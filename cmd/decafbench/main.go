@@ -1,0 +1,66 @@
+// Command decafbench regenerates the paper's evaluation: Tables 1-4 and the
+// E1000 case study (§5), printing measured values next to the published
+// ones.
+//
+// Usage:
+//
+//	decafbench -table all
+//	decafbench -table 3 -netperf 30s
+//	decafbench -table casestudy
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"decafdrivers/internal/bench"
+)
+
+func main() {
+	tableFlag := flag.String("table", "all", "which table to regenerate: 1, 2, 3, 4, casestudy, or all")
+	root := flag.String("root", ".", "repository root (for Table 1 line counting)")
+	netperf := flag.Duration("netperf", 10*time.Second, "virtual duration of each netperf run")
+	audio := flag.Duration("audio", 30*time.Second, "virtual duration of the mpg123 run")
+	tarBytes := flag.Int("tar", 2<<20, "archive size for the tar workload, bytes")
+	mouse := flag.Duration("mouse", 30*time.Second, "virtual duration of the mouse workload")
+	flag.Parse()
+
+	cfg := bench.Table3Config{
+		NetperfDuration: *netperf,
+		AudioDuration:   *audio,
+		TarBytes:        *tarBytes,
+		MouseDuration:   *mouse,
+	}
+
+	run := func(name string, fn func() error) {
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "decafbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+
+	switch *tableFlag {
+	case "1":
+		run("table 1", func() error { return bench.PrintTable1(os.Stdout, *root) })
+	case "2":
+		run("table 2", func() error { return bench.PrintTable2(os.Stdout) })
+	case "3":
+		run("table 3", func() error { return bench.PrintTable3(os.Stdout, cfg) })
+	case "4":
+		run("table 4", func() error { return bench.PrintTable4(os.Stdout) })
+	case "casestudy":
+		run("case study", func() error { return bench.PrintCaseStudy(os.Stdout) })
+	case "all":
+		run("table 1", func() error { return bench.PrintTable1(os.Stdout, *root) })
+		run("table 2", func() error { return bench.PrintTable2(os.Stdout) })
+		run("table 3", func() error { return bench.PrintTable3(os.Stdout, cfg) })
+		run("table 4", func() error { return bench.PrintTable4(os.Stdout) })
+		run("case study", func() error { return bench.PrintCaseStudy(os.Stdout) })
+	default:
+		fmt.Fprintf(os.Stderr, "decafbench: unknown table %q\n", *tableFlag)
+		os.Exit(2)
+	}
+}

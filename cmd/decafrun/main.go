@@ -1,0 +1,100 @@
+// Command decafrun boots a simulated machine, loads one of the five
+// converted drivers in native or decaf deployment, runs its Table 3
+// workload, and reports throughput, CPU utilization, initialization latency
+// and crossing counts.
+//
+// Usage:
+//
+//	decafrun -driver e1000 -mode decaf -dur 10s
+//	decafrun -driver psmouse -mode native
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"decafdrivers/internal/workload"
+	"decafdrivers/internal/xpc"
+)
+
+func main() {
+	driver := flag.String("driver", "e1000", "driver: 8139too, e1000, ens1371, uhci-hcd, psmouse")
+	modeFlag := flag.String("mode", "decaf", "deployment: native or decaf")
+	dur := flag.Duration("dur", 10*time.Second, "virtual workload duration (tar uses -tar bytes instead)")
+	tarBytes := flag.Int("tar", 2<<20, "archive bytes for the uhci-hcd tar workload")
+	flag.Parse()
+
+	var mode xpc.Mode
+	switch *modeFlag {
+	case "native":
+		mode = xpc.ModeNative
+	case "decaf":
+		mode = xpc.ModeDecaf
+	default:
+		fmt.Fprintf(os.Stderr, "decafrun: unknown mode %q\n", *modeFlag)
+		os.Exit(2)
+	}
+
+	var (
+		tb  *workload.Testbed
+		res workload.Result
+		err error
+	)
+	switch *driver {
+	case "e1000":
+		tb, err = workload.NewE1000(mode)
+		if err == nil {
+			res, err = workload.NetperfSend(tb, tb.E1000.NetDevice(), workload.GigabitMbps, *dur)
+		}
+	case "8139too":
+		tb, err = workload.NewRTL8139(mode)
+		if err == nil {
+			res, err = workload.NetperfSend(tb, tb.RTL.NetDevice(), workload.FastEtherMbps, *dur)
+		}
+	case "ens1371":
+		tb, err = workload.NewEns1371(mode)
+		if err == nil {
+			res, err = workload.Mpg123(tb, *dur)
+		}
+	case "uhci-hcd":
+		tb, err = workload.NewUhci(mode)
+		if err == nil {
+			res, err = workload.TarToFlash(tb, *tarBytes)
+		}
+	case "psmouse":
+		tb, err = workload.NewPsmouse(mode)
+		if err == nil {
+			res, err = workload.MoveAndClick(tb, *dur)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "decafrun: unknown driver %q\n", *driver)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "decafrun:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("driver:          %s (%s deployment)\n", *driver, mode)
+	fmt.Printf("init latency:    %v (%d user/kernel crossings)\n",
+		tb.Load.InitLatency, tb.InitCrossings())
+	fmt.Printf("workload:        %s over %v of virtual time\n", res.Workload, res.Elapsed)
+	if res.ThroughputMbps > 0 {
+		fmt.Printf("throughput:      %.1f Mb/s\n", res.ThroughputMbps)
+	}
+	fmt.Printf("CPU utilization: %.2f%%\n", res.CPUUtil*100)
+	fmt.Printf("workload units:  %d\n", res.Units)
+	fmt.Printf("steady-state crossings: %d\n", res.Crossings)
+	c := tb.Runtime.Counters()
+	fmt.Printf("total crossings: %d upcalls, %d downcalls, %d library calls\n",
+		c.Upcalls, c.Downcalls, c.LibraryCalls)
+	fmt.Printf("marshaled bytes: %d kernel/user, %d C/Java\n", c.BytesKernelUser, c.BytesCJava)
+	if names := c.CallNames(); len(names) > 0 {
+		fmt.Println("entry points crossed:")
+		for _, n := range names {
+			fmt.Printf("  %6d  %s\n", c.PerCall[n], n)
+		}
+	}
+}

@@ -1,0 +1,12 @@
+// Package decafdrivers is a reproduction of "Decaf: Moving Device Drivers
+// to a Modern Language" (Renzelmann & Swift, USENIX ATC 2009) as a Go
+// library: the XPC communication substrate, the DriverSlicer tool, a
+// simulated Linux-like kernel and register-level device models, the five
+// converted drivers, and a benchmark harness regenerating every table in
+// the paper's evaluation.
+//
+// See README.md for the architecture overview, DESIGN.md for the system
+// inventory and substitution notes, and EXPERIMENTS.md for paper-vs-measured
+// results. The root package exists to host the repository-level benchmarks
+// in bench_test.go; the implementation lives under internal/.
+package decafdrivers

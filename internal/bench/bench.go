@@ -1,0 +1,53 @@
+// Package bench regenerates every table in the paper's evaluation
+// (Tables 1-4) and the case-study figures, printing rows shaped like the
+// paper's with the published values alongside for comparison. The
+// cmd/decafbench binary and the repository's testing.B benchmarks both
+// drive this package.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// row formats one aligned table row.
+func row(w io.Writer, cols []string, widths []int) {
+	var b strings.Builder
+	for i, c := range cols {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		pad := widths[i] - len(c)
+		if pad < 0 {
+			pad = 0
+		}
+		b.WriteString(c)
+		b.WriteString(strings.Repeat(" ", pad))
+	}
+	fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+}
+
+// table prints an aligned table with a header rule.
+func table(w io.Writer, header []string, rows [][]string) {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	row(w, header, widths)
+	total := 0
+	for _, wd := range widths {
+		total += wd + 2
+	}
+	fmt.Fprintln(w, strings.Repeat("-", total-2))
+	for _, r := range rows {
+		row(w, r, widths)
+	}
+}

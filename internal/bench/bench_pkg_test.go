@@ -1,0 +1,120 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func fastTable3Config() Table3Config {
+	return Table3Config{
+		NetperfDuration: 3 * time.Second,
+		AudioDuration:   5 * time.Second,
+		TarBytes:        256 << 10,
+		MouseDuration:   5 * time.Second,
+	}
+}
+
+func TestPrintTable2(t *testing.T) {
+	var buf bytes.Buffer
+	if err := PrintTable2(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"8139too", "e1000", "ens1371", "uhci-hcd", "psmouse",
+		"14204", "236", "7804", "8693"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 2 output missing %q", want)
+		}
+	}
+}
+
+func TestRunTable3Shape(t *testing.T) {
+	rows, err := RunTable3(fastTable3Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 7 {
+		t.Fatalf("rows = %d, want 7 (the paper's seven workload lines)", len(rows))
+	}
+	for _, r := range rows {
+		if r.HasRate && (r.RelativePerf < 0.95 || r.RelativePerf > 1.05) {
+			t.Errorf("%s/%s: relative perf %.3f outside the paper's within-a-few-percent band",
+				r.Driver, r.Workload, r.RelativePerf)
+		}
+		if r.HasInitMetrics {
+			if r.InitDecaf <= r.InitNative {
+				t.Errorf("%s: decaf init %v <= native %v", r.Driver, r.InitDecaf, r.InitNative)
+			}
+			if r.InitCrossings == 0 {
+				t.Errorf("%s: zero init crossings", r.Driver)
+			}
+		}
+	}
+	// Crossing rank order must match the paper:
+	// psmouse(24) < 8139too(40) < uhci(49) < e1000(91) < ens1371(237).
+	x := map[string]uint64{}
+	for _, r := range rows {
+		if r.HasInitMetrics {
+			x[r.Driver] = r.InitCrossings
+		}
+	}
+	if !(x["psmouse"] < x["8139too"] && x["8139too"] < x["uhci-hcd"] &&
+		x["uhci-hcd"] < x["E1000"] && x["E1000"] < x["ens1371"]) {
+		t.Errorf("init crossing rank order broken: %v (paper: psmouse<8139too<uhci<e1000<ens1371)", x)
+	}
+}
+
+func TestPrintTable3(t *testing.T) {
+	var buf bytes.Buffer
+	if err := PrintTable3(&buf, fastTable3Config()); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"netperf-send", "mpg123", "tar", "move-and-click", "Init decaf"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("Table 3 output missing %q", want)
+		}
+	}
+}
+
+func TestPrintTable4(t *testing.T) {
+	var buf bytes.Buffer
+	if err := PrintTable4(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"381", "4690", "23", "batch 1", "batch 2"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("Table 4 output missing %q", want)
+		}
+	}
+}
+
+func TestPrintCaseStudy(t *testing.T) {
+	var buf bytes.Buffer
+	if err := PrintCaseStudy(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"92", "28", "675", "array256_uint32_t", "xlate_j_to_c"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("case study output missing %q", want)
+		}
+	}
+}
+
+func TestRunTable1(t *testing.T) {
+	rows, err := RunTable1("../..")
+	if err != nil {
+		t.Skipf("source tree not available: %v", err)
+	}
+	total := 0
+	for _, r := range rows {
+		if r.Lines <= 0 {
+			t.Errorf("%s counted %d lines", r.Component, r.Lines)
+		}
+		total += r.Lines
+	}
+	if total < 5000 {
+		t.Errorf("total = %d lines, implausibly small", total)
+	}
+}

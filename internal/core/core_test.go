@@ -1,0 +1,67 @@
+package core
+
+import (
+	"testing"
+
+	"decafdrivers/internal/kernel"
+	"decafdrivers/internal/xpc"
+)
+
+func TestNewSystemWiresSubsystems(t *testing.T) {
+	s := NewSystem(Options{})
+	if s.Kernel == nil || s.Bus == nil || s.Clock == nil {
+		t.Fatal("machine incomplete")
+	}
+	if s.Net == nil || s.Snd == nil || s.USB == nil || s.Input == nil {
+		t.Fatal("subsystems missing")
+	}
+	if s.Kernel.Clock() != s.Clock || s.Kernel.Bus() != s.Bus {
+		t.Fatal("kernel not wired to the machine's clock/bus")
+	}
+	if s.Bus.DMA().Size() != 16<<20 {
+		t.Fatalf("default DMA arena = %d", s.Bus.DMA().Size())
+	}
+}
+
+func TestRuntimeRegistry(t *testing.T) {
+	s := NewSystem(Options{DMABytes: 1 << 20})
+	rt, err := s.NewRuntime("e1000", xpc.ModeDecaf, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.NewRuntime("e1000", xpc.ModeNative, nil); err == nil {
+		t.Fatal("duplicate runtime accepted")
+	}
+	got, ok := s.Runtime("e1000")
+	if !ok || got != rt {
+		t.Fatal("Runtime lookup failed")
+	}
+	if _, ok := s.Runtime("nope"); ok {
+		t.Fatal("phantom runtime")
+	}
+}
+
+func TestTotalCrossings(t *testing.T) {
+	s := NewSystem(Options{DMABytes: 1 << 20})
+	rt1, _ := s.NewRuntime("a", xpc.ModeDecaf, nil)
+	rt2, _ := s.NewRuntime("b", xpc.ModeDecaf, nil)
+	ctx := s.Kernel.NewContext("t")
+	_ = rt1.Upcall(ctx, "x", func(uctx *kernel.Context) error { return nil })
+	_ = rt2.Upcall(ctx, "y", func(uctx *kernel.Context) error { return nil })
+	_ = rt2.Downcall(rt2.DecafContext(), "z", func(kctx *kernel.Context) error { return nil })
+	if got := s.TotalCrossings(); got != 3 {
+		t.Fatalf("TotalCrossings = %d, want 3", got)
+	}
+}
+
+func TestDrainDeferredWorkAdvancesClock(t *testing.T) {
+	s := NewSystem(Options{DMABytes: 1 << 20})
+	s.Kernel.DeferToWork(func(ctx *kernel.Context) {
+		ctx.MSleep(25)
+	})
+	before := s.Clock.Now()
+	s.DrainDeferredWork()
+	if s.Clock.Now()-before < 25*1e6 {
+		t.Fatalf("clock advanced %v, want >= 25ms", s.Clock.Now()-before)
+	}
+}

@@ -1,0 +1,86 @@
+package decaf
+
+import (
+	"runtime"
+	"sync"
+)
+
+// This file implements the automatic collection of shared objects that the
+// paper leaves as future work: "Implementing the object tracker with weak
+// references and finalizers would allow unreferenced objects to be removed
+// from the object tracker automatically" (§3.1.2), and "we can write a
+// custom finalizer to free the associated kernel memory when the Java
+// garbage collector frees the object. This approach can simplify
+// exception-handling code and prevent resource leaks on error paths, a
+// common driver problem" (§5.1).
+
+// Collector arranges for a release action (tracker removal plus kernel-side
+// kfree) to run when a decaf object becomes unreachable, and also supports
+// explicit release for drivers that free deterministically. Each action runs
+// at most once.
+type Collector struct {
+	mu       sync.Mutex
+	pending  map[*releaseHandle]struct{}
+	released int
+}
+
+type releaseHandle struct {
+	c       *Collector
+	mu      sync.Mutex
+	release func()
+}
+
+// NewCollector creates an empty collector.
+func NewCollector() *Collector {
+	return &Collector{pending: make(map[*releaseHandle]struct{})}
+}
+
+// Handle identifies a registered release action.
+type Handle struct{ h *releaseHandle }
+
+// Register attaches release to obj: it runs when obj is garbage collected,
+// or earlier if Release is called explicitly. obj must be a pointer.
+func (c *Collector) Register(obj any, release func()) Handle {
+	h := &releaseHandle{c: c, release: release}
+	c.mu.Lock()
+	c.pending[h] = struct{}{}
+	c.mu.Unlock()
+	runtime.SetFinalizer(obj, func(any) { h.run() })
+	return Handle{h: h}
+}
+
+func (h *releaseHandle) run() {
+	h.mu.Lock()
+	rel := h.release
+	h.release = nil
+	h.mu.Unlock()
+	if rel == nil {
+		return
+	}
+	rel()
+	h.c.mu.Lock()
+	delete(h.c.pending, h)
+	h.c.released++
+	h.c.mu.Unlock()
+}
+
+// Release runs the handle's action now (idempotent).
+func (c *Collector) Release(h Handle) {
+	if h.h != nil {
+		h.h.run()
+	}
+}
+
+// Pending reports how many registered objects have not yet been released.
+func (c *Collector) Pending() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.pending)
+}
+
+// Released reports how many release actions have run.
+func (c *Collector) Released() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.released
+}

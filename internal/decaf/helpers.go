@@ -1,0 +1,77 @@
+package decaf
+
+import (
+	"decafdrivers/internal/hw"
+	"decafdrivers/internal/kernel"
+	"decafdrivers/internal/xpc"
+)
+
+// Helpers is the decaf runtime's escape hatch for "functionality necessary
+// for communicating with the kernel or the device that is not possible to
+// express" in a managed language (paper §5.3): programmed I/O, sleeps, and
+// sizeof-style queries. The paper observes that none of these are specific
+// to any one driver and places them in the shared decaf runtime; the same
+// holds here. Each helper is a direct cross-language library call, not a
+// kernel crossing.
+type Helpers struct {
+	rt  *xpc.Runtime
+	bus *hw.Bus
+}
+
+// NewHelpers creates the helper set for one decaf driver.
+func NewHelpers(rt *xpc.Runtime, bus *hw.Bus) *Helpers {
+	return &Helpers{rt: rt, bus: bus}
+}
+
+// Msleep is the Java_msleep wrapper from the paper's Figure 5.
+func (h *Helpers) Msleep(ctx *kernel.Context, ms int) {
+	h.rt.LibraryCall(ctx, "msleep", func() { ctx.MSleep(ms) })
+}
+
+// Outb writes one byte to an I/O port via the driver library.
+func (h *Helpers) Outb(ctx *kernel.Context, port uint16, v uint8) {
+	h.rt.LibraryCall(ctx, "outb", func() { h.bus.Outb(port, v) })
+}
+
+// Outw writes a 16-bit word to an I/O port via the driver library.
+func (h *Helpers) Outw(ctx *kernel.Context, port uint16, v uint16) {
+	h.rt.LibraryCall(ctx, "outw", func() { h.bus.Outw(port, v) })
+}
+
+// Outl writes a 32-bit longword to an I/O port via the driver library.
+func (h *Helpers) Outl(ctx *kernel.Context, port uint16, v uint32) {
+	h.rt.LibraryCall(ctx, "outl", func() { h.bus.Outl(port, v) })
+}
+
+// Inb reads one byte from an I/O port via the driver library.
+func (h *Helpers) Inb(ctx *kernel.Context, port uint16) uint8 {
+	var v uint8
+	h.rt.LibraryCall(ctx, "inb", func() { v = h.bus.Inb(port) })
+	return v
+}
+
+// Inw reads a 16-bit word from an I/O port via the driver library.
+func (h *Helpers) Inw(ctx *kernel.Context, port uint16) uint16 {
+	var v uint16
+	h.rt.LibraryCall(ctx, "inw", func() { v = h.bus.Inw(port) })
+	return v
+}
+
+// Inl reads a 32-bit longword from an I/O port via the driver library.
+func (h *Helpers) Inl(ctx *kernel.Context, port uint16) uint32 {
+	var v uint32
+	h.rt.LibraryCall(ctx, "inl", func() { v = h.bus.Inl(port) })
+	return v
+}
+
+// ReadMMIO performs a memory-mapped register read via the driver library.
+func (h *Helpers) ReadMMIO(ctx *kernel.Context, dev *hw.PCIDevice, bar int, off uint32, size int) uint64 {
+	var v uint64
+	h.rt.LibraryCall(ctx, "readl", func() { v = dev.MMIORead(bar, off, size) })
+	return v
+}
+
+// WriteMMIO performs a memory-mapped register write via the driver library.
+func (h *Helpers) WriteMMIO(ctx *kernel.Context, dev *hw.PCIDevice, bar int, off uint32, size int, v uint64) {
+	h.rt.LibraryCall(ctx, "writel", func() { dev.MMIOWrite(bar, off, size, v) })
+}

@@ -1,0 +1,29 @@
+package decaf
+
+import (
+	"decafdrivers/internal/objtrack"
+	"decafdrivers/internal/xpc"
+)
+
+// ShareWithCollector registers a kernel/decaf object pair with the XPC
+// runtime *and* attaches a release action to the decaf object: when the
+// decaf driver drops its last reference (or releases explicitly), the
+// tracker associations disappear and the kernel-side free runs. This is the
+// §5.1 proposal implemented: "a custom constructor that also allocates
+// kernel memory at the same time and creates an association in the object
+// tracker ... a custom finalizer to free the associated kernel memory when
+// the garbage collector frees the object", preventing resource leaks on
+// error paths.
+func ShareWithCollector(rt *xpc.Runtime, col *Collector, kernelObj, decafObj any, freeKernel func()) (objtrack.CPtr, Handle, error) {
+	ptr, err := rt.Share(kernelObj, decafObj)
+	if err != nil {
+		return 0, Handle{}, err
+	}
+	h := col.Register(decafObj, func() {
+		rt.Unshare(kernelObj)
+		if freeKernel != nil {
+			freeKernel()
+		}
+	})
+	return ptr, h, nil
+}

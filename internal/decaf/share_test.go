@@ -1,0 +1,86 @@
+package decaf
+
+import (
+	"testing"
+
+	"decafdrivers/internal/hw"
+	"decafdrivers/internal/kernel"
+	"decafdrivers/internal/ktime"
+	"decafdrivers/internal/xpc"
+)
+
+type sharedThing struct {
+	Value int32
+}
+
+func TestShareWithCollectorExplicitRelease(t *testing.T) {
+	clock := ktime.NewClock()
+	k := kernel.New(clock, hw.NewBus(clock, 1<<16))
+	rt := xpc.NewRuntime(k, "t", xpc.ModeDecaf, nil)
+	col := NewCollector()
+
+	kobj, dobj := &sharedThing{Value: 1}, &sharedThing{}
+	freed := false
+	ptr, h, err := ShareWithCollector(rt, col, kobj, dobj, func() { freed = true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ptr == 0 || rt.SharedCount() != 1 {
+		t.Fatal("share failed")
+	}
+
+	// The pair works like any shared object until released.
+	ctx := k.NewContext("t")
+	kobj.Value = 42
+	if err := rt.SyncToUser(ctx, kobj); err != nil {
+		t.Fatal(err)
+	}
+	if dobj.Value != 42 {
+		t.Fatal("sync failed")
+	}
+
+	col.Release(h)
+	if !freed {
+		t.Fatal("kernel free did not run")
+	}
+	if rt.SharedCount() != 0 {
+		t.Fatal("tracker associations survived release")
+	}
+	// Release is idempotent; double release must not double-free.
+	freed = false
+	col.Release(h)
+	if freed {
+		t.Fatal("double release ran the free again")
+	}
+}
+
+// TestShareWithCollectorErrorPath demonstrates the §5.1 claim: on an error
+// path that abandons the decaf object, the release action still reclaims
+// the kernel resources (here triggered explicitly; the finalizer path is
+// exercised in TestCollectorFinalizerRelease).
+func TestShareWithCollectorErrorPath(t *testing.T) {
+	clock := ktime.NewClock()
+	k := kernel.New(clock, hw.NewBus(clock, 1<<16))
+	rt := xpc.NewRuntime(k, "t", xpc.ModeDecaf, nil)
+	col := NewCollector()
+
+	dma := hw.NewDMAMemory(1 << 12)
+	buf, err := dma.Alloc(64, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, h, err := ShareWithCollector(rt, col, &sharedThing{}, &sharedThing{},
+		func() { _ = dma.Free(buf) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A failure occurs: the decaf driver abandons the object.
+	exc := Try(func() { Throw("HWErr", "probe failed after allocation") })
+	if exc == nil {
+		t.Fatal("setup")
+	}
+	col.Release(h) // what the finalizer would do at the next GC
+	if dma.InUse() != 0 {
+		t.Fatal("error path leaked the kernel allocation")
+	}
+}

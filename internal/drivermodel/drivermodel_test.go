@@ -1,0 +1,168 @@
+package drivermodel
+
+import (
+	"testing"
+
+	"decafdrivers/internal/slicer"
+)
+
+// TestTable2Exact verifies that slicing the five modeled drivers reproduces
+// the paper's Table 2 exactly: the partition algorithm runs for real; the
+// models encode structure, not results.
+func TestTable2Exact(t *testing.T) {
+	want := map[string]struct {
+		totalLoC, ann         int
+		nucF, nucLoC          int
+		libF, libLoC          int
+		decF, decLoC, decOrig int
+	}{
+		"8139too":  {1916, 17, 12, 389, 16, 292, 25, 541, 570},
+		"e1000":    {14204, 64, 46, 1715, 0, 0, 236, 7804, 8693},
+		"ens1371":  {2165, 18, 6, 140, 0, 0, 59, 1049, 1068},
+		"uhci-hcd": {2339, 94, 68, 1537, 12, 287, 3, 188, 168},
+		"psmouse":  {2448, 17, 15, 501, 74, 1310, 14, 192, 250},
+	}
+	for name, d := range Drivers() {
+		w := want[name]
+		p, err := slicer.Slice(d)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		s := p.ComputeStats(DecafLoCRatio(name))
+		if s.TotalLoC != w.totalLoC {
+			t.Errorf("%s: TotalLoC = %d, want %d", name, s.TotalLoC, w.totalLoC)
+		}
+		if s.Annotations != w.ann {
+			t.Errorf("%s: Annotations = %d, want %d", name, s.Annotations, w.ann)
+		}
+		if s.Nucleus.Funcs != w.nucF || s.Nucleus.LoC != w.nucLoC {
+			t.Errorf("%s: nucleus = %d funcs / %d LoC, want %d / %d",
+				name, s.Nucleus.Funcs, s.Nucleus.LoC, w.nucF, w.nucLoC)
+		}
+		if s.Library.Funcs != w.libF || s.Library.LoC != w.libLoC {
+			t.Errorf("%s: library = %d funcs / %d LoC, want %d / %d",
+				name, s.Library.Funcs, s.Library.LoC, w.libF, w.libLoC)
+		}
+		if s.Decaf.Funcs != w.decF || s.DecafOrigLoC != w.decOrig || s.Decaf.LoC != w.decLoC {
+			t.Errorf("%s: decaf = %d funcs / %d LoC (orig %d), want %d / %d (orig %d)",
+				name, s.Decaf.Funcs, s.Decaf.LoC, s.DecafOrigLoC, w.decF, w.decLoC, w.decOrig)
+		}
+	}
+}
+
+// TestUserFractionClaims verifies the §4.1 text: >75% of functions moved
+// out of the kernel for four of five drivers; uhci-hcd converted only ~4%
+// of functions to Java.
+func TestUserFractionClaims(t *testing.T) {
+	for name, d := range Drivers() {
+		p, err := slicer.Slice(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := p.ComputeStats(DecafLoCRatio(name))
+		if name == "uhci-hcd" {
+			if jf := s.JavaFraction(); jf < 0.02 || jf > 0.06 {
+				t.Errorf("uhci-hcd JavaFraction = %.3f, want ~0.04", jf)
+			}
+			continue
+		}
+		if uf := s.UserFraction(); uf <= 0.75 {
+			t.Errorf("%s: UserFraction = %.3f, want > 0.75", name, uf)
+		}
+	}
+}
+
+func TestE1000PinnedEthtoolFunctions(t *testing.T) {
+	p, err := slicer.Slice(E1000())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Pinned) != 4 {
+		t.Fatalf("pinned = %d functions, want 4 (the ethtool data race)", len(p.Pinned))
+	}
+	for fn, reason := range p.Pinned {
+		if p.ByFunc[fn] != slicer.PlaceNucleus {
+			t.Errorf("pinned %s not in nucleus", fn)
+		}
+		if reason == "" {
+			t.Errorf("pinned %s lacks a reason", fn)
+		}
+	}
+}
+
+func TestModelsValidate(t *testing.T) {
+	for name, d := range Drivers() {
+		if err := d.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestE1000Figure3Fields(t *testing.T) {
+	d := E1000()
+	spec, err := slicer.GenerateXDRSpec(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, w := range spec.WrapperStructs {
+		if w == "array256_uint32_t" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("Figure 3 wrapper missing; wrappers = %v", spec.WrapperStructs)
+	}
+}
+
+func TestE1000ErrorGroundTruth(t *testing.T) {
+	d := E1000()
+	carriers, defects, lines := 0, 0, 0
+	for _, f := range d.Funcs {
+		if len(f.ErrorSites) > 0 {
+			carriers++
+		}
+		for _, s := range f.ErrorSites {
+			if !s.Checked || !s.HandledCorrectly {
+				defects++
+			}
+			lines += s.CheckLines
+			if !s.Checked && s.CheckLines != 0 {
+				t.Error("ignored site carries check lines")
+			}
+		}
+	}
+	if carriers != E1000FunctionsWithErrorSites {
+		t.Errorf("carriers = %d, want %d", carriers, E1000FunctionsWithErrorSites)
+	}
+	if defects != E1000DefectiveSites {
+		t.Errorf("defects = %d, want %d", defects, E1000DefectiveSites)
+	}
+	if lines != E1000ErrorCheckLines {
+		t.Errorf("check lines = %d, want %d", lines, E1000ErrorCheckLines)
+	}
+}
+
+func TestE1000PatchStream(t *testing.T) {
+	d := E1000()
+	patches := E1000Patches(d)
+	if len(patches) != E1000PatchCount {
+		t.Fatalf("patches = %d, want %d", len(patches), E1000PatchCount)
+	}
+	batches := map[int]int{}
+	fieldAdds := 0
+	for _, p := range patches {
+		batches[p.Batch]++
+		for _, h := range p.Hunks {
+			if h.Kind == HunkFieldAdd {
+				fieldAdds++
+			}
+		}
+	}
+	if batches[1] == 0 || batches[2] == 0 {
+		t.Fatalf("batch split = %v, want two non-empty batches", batches)
+	}
+	if fieldAdds != E1000InterfaceLines {
+		t.Fatalf("field adds = %d, want %d", fieldAdds, E1000InterfaceLines)
+	}
+}

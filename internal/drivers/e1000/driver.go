@@ -1,0 +1,185 @@
+package e1000
+
+import (
+	"fmt"
+	"time"
+
+	"decafdrivers/internal/decaf"
+	"decafdrivers/internal/hw/e1000hw"
+	"decafdrivers/internal/kernel"
+	"decafdrivers/internal/knet"
+	"decafdrivers/internal/xpc"
+)
+
+// WatchdogPeriod is the E1000 watchdog interval: "a watchdog timer that
+// executes every two seconds" (§3.1.3).
+const WatchdogPeriod = 2 * time.Second
+
+// Driver is one bound E1000 instance: nucleus + decaf driver + XPC runtime.
+type Driver struct {
+	kern    *kernel.Kernel
+	net     *knet.Subsystem
+	dev     *e1000hw.Device
+	rt      *xpc.Runtime
+	helpers *decaf.Helpers
+	irq     int
+	opts    map[string]int
+
+	// Adapter is the kernel-side shared structure; DecafAdapter is the
+	// user-side copy (the same object in native mode).
+	Adapter      *Adapter
+	DecafAdapter *Adapter
+
+	nuc    *nucleus
+	dcf    *decafDriver
+	netdev *knet.NetDevice
+
+	watchdog *kernel.KTimer
+}
+
+// Config configures a driver instance.
+type Config struct {
+	// Mode selects native (kernel-only) or decaf (split) deployment.
+	Mode xpc.Mode
+	// IRQ is the device's interrupt number.
+	IRQ int
+	// ModuleParams are the insmod options validated by the decaf driver.
+	ModuleParams map[string]int
+}
+
+// New binds the driver to a device model. Call Module().Init via
+// kernel.LoadModule to probe and register the interface.
+func New(k *kernel.Kernel, net *knet.Subsystem, dev *e1000hw.Device, cfg Config) *Driver {
+	d := &Driver{
+		kern: k,
+		net:  net,
+		dev:  dev,
+		irq:  cfg.IRQ,
+		opts: cfg.ModuleParams,
+	}
+	d.rt = xpc.NewRuntime(k, "e1000", cfg.Mode, FieldMask())
+	d.rt.DisableIRQs = []int{cfg.IRQ}
+	d.helpers = decaf.NewHelpers(d.rt, k.Bus())
+	d.Adapter = &Adapter{MsgEnable: 3, Mtu: 1500, TxRingSize: DefaultTxRing, RxRingSize: DefaultRxRing}
+	if cfg.Mode == xpc.ModeNative {
+		// Native: one copy of every structure, as in an unsplit driver.
+		d.DecafAdapter = d.Adapter
+	} else {
+		d.DecafAdapter = &Adapter{}
+		if _, err := d.rt.Share(d.Adapter, d.DecafAdapter); err != nil {
+			panic(fmt.Sprintf("e1000: share adapter: %v", err))
+		}
+	}
+	d.nuc = newNucleus(d)
+	d.dcf = newDecafDriver(d)
+	return d
+}
+
+// Runtime exposes the XPC runtime (crossing counters for the harness).
+func (d *Driver) Runtime() *xpc.Runtime { return d.rt }
+
+// NetDevice returns the registered interface (after module init).
+func (d *Driver) NetDevice() *knet.NetDevice { return d.netdev }
+
+// Module adapts the driver to the kernel module loader.
+func (d *Driver) Module() kernel.Module { return (*e1000Module)(d) }
+
+type e1000Module Driver
+
+// ModuleName implements kernel.Module.
+func (m *e1000Module) ModuleName() string { return "e1000" }
+
+// Init is insmod: probe the device through the decaf driver, register the
+// interface, arm the watchdog.
+func (m *e1000Module) Init(ctx *kernel.Context) error {
+	d := (*Driver)(m)
+	d.dev.PCI.EnableBusMaster()
+
+	err := d.rt.Upcall(ctx, "e1000_probe", func(uctx *kernel.Context) error {
+		return decaf.ToError(decaf.Try(func() { d.dcf.probe(uctx, d.opts) }))
+	}, d.Adapter)
+	if err != nil {
+		return fmt.Errorf("e1000: probe: %w", err)
+	}
+
+	// The probe proposes "eth0"; the network core assigns the first free
+	// ethN, as register_netdev does.
+	d.Adapter.Name = d.net.FreeName("eth")
+	nd, err := d.net.Register(d.Adapter.Name, int(d.Adapter.Mtu), (*e1000Ops)(d))
+	if err != nil {
+		return fmt.Errorf("e1000: register_netdev: %w", err)
+	}
+	nd.MAC = d.Adapter.MAC
+	d.netdev = nd
+
+	// The watchdog runs from a kernel timer; timers execute at high
+	// priority, so the timer body only enqueues a work item, and the work
+	// item performs the XPC to the decaf driver.
+	d.watchdog = d.kern.NewTimer("e1000_watchdog", func(tctx *kernel.Context) {
+		d.scheduleWatchdogWork()
+	})
+	d.watchdog.SchedulePeriodic(WatchdogPeriod)
+	return nil
+}
+
+// Exit is rmmod.
+func (m *e1000Module) Exit(ctx *kernel.Context) {
+	d := (*Driver)(m)
+	if d.watchdog != nil {
+		d.watchdog.Stop()
+	}
+	if d.netdev != nil && d.netdev.IsUp() {
+		_ = d.netdev.Down(ctx)
+	}
+	if d.netdev != nil {
+		_ = d.net.Unregister(d.netdev.Name)
+	}
+	if d.rt.Mode == xpc.ModeDecaf {
+		d.rt.Unshare(d.Adapter)
+	}
+}
+
+func (d *Driver) scheduleWatchdogWork() {
+	d.kern.DeferToWork(func(wctx *kernel.Context) {
+		_ = d.rt.Upcall(wctx, "e1000_watchdog", func(uctx *kernel.Context) error {
+			return decaf.ToError(decaf.Try(func() { d.dcf.watchdog(uctx) }))
+		}, d.Adapter)
+	})
+}
+
+// e1000Ops implements knet.DeviceOps: the kernel-facing entry points. Open
+// and Stop forward to the decaf driver through kernel-side stubs; StartXmit
+// stays in the nucleus (critical root).
+type e1000Ops Driver
+
+// Open implements knet.DeviceOps by upcalling e1000_open.
+func (o *e1000Ops) Open(ctx *kernel.Context) error {
+	d := (*Driver)(o)
+	err := d.rt.Upcall(ctx, "e1000_open", func(uctx *kernel.Context) error {
+		return decaf.ToError(decaf.Try(func() { d.dcf.open(uctx) }))
+	}, d.Adapter)
+	if err != nil {
+		return err
+	}
+	// Immediate link evaluation, as the C driver does after e1000_up.
+	if d.dev.LinkUp() {
+		d.Adapter.LinkUp = true
+		d.netdev.CarrierOn()
+	}
+	return nil
+}
+
+// Stop implements knet.DeviceOps by upcalling e1000_close.
+func (o *e1000Ops) Stop(ctx *kernel.Context) error {
+	d := (*Driver)(o)
+	return d.rt.Upcall(ctx, "e1000_close", func(uctx *kernel.Context) error {
+		return decaf.ToError(decaf.Try(func() { d.dcf.close(uctx) }))
+	}, d.Adapter)
+}
+
+// StartXmit implements knet.DeviceOps in the nucleus: the data path never
+// crosses to user level.
+func (o *e1000Ops) StartXmit(ctx *kernel.Context, pkt *knet.Packet) error {
+	d := (*Driver)(o)
+	return d.nuc.xmitFrame(ctx, pkt)
+}

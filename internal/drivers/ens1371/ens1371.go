@@ -1,0 +1,427 @@
+// Package ens1371 is the Decaf conversion of the Ensoniq AudioPCI sound
+// driver. It has the paper's cleanest split (§4.1, Table 2): no driver
+// library at all — every user-level function is in the decaf driver — and
+// only the interrupt handler and playback data path remain in the nucleus.
+// Its initialization is the costliest of the five (6.34 s, 237 crossings in
+// Table 3) because probing walks the sample-rate-converter RAM and the
+// AC'97 codec register file through kernel entry points one register at a
+// time.
+package ens1371
+
+import (
+	"fmt"
+	"time"
+
+	"decafdrivers/internal/decaf"
+	"decafdrivers/internal/hw"
+	"decafdrivers/internal/hw/es1371hw"
+	"decafdrivers/internal/kernel"
+	"decafdrivers/internal/ksound"
+	"decafdrivers/internal/xdr"
+	"decafdrivers/internal/xpc"
+)
+
+// HWException is the decaf driver's checked exception class.
+const HWException = "Ens1371HWException"
+
+// Data-path CPU costs: audio is low bandwidth, so utilization rounds to
+// zero as in Table 3.
+const (
+	periodIntrCost = 3 * time.Microsecond
+	copyCostPerKB  = 1 * time.Microsecond
+)
+
+// BufferFrames is the playback DMA buffer size in frames.
+const BufferFrames = 16 * 1024
+
+// Chip is the ensoniq-chip structure shared across domains.
+type Chip struct {
+	Name        string
+	CodecVendor uint32
+	Rate        int32
+	Channels    int32
+	PeriodLen   int32
+	Running     bool
+	Periods     uint64
+	MixerCtls   int32
+
+	// Kernel-only state.
+	HWPos     uint32
+	IntrCount uint64
+}
+
+// FieldMask is DriverSlicer's marshaling specification for the chip.
+func FieldMask() xdr.FieldMask {
+	return xdr.FieldMask{"Chip": {
+		"Name": true, "CodecVendor": true, "Rate": true, "Channels": true,
+		"PeriodLen": true, "Running": true, "Periods": true, "MixerCtls": true,
+	}}
+}
+
+// Config configures a driver instance.
+type Config struct {
+	Mode xpc.Mode
+	IRQ  int
+}
+
+// Driver is one bound ens1371 instance.
+type Driver struct {
+	kern    *kernel.Kernel
+	snd     *ksound.Subsystem
+	dev     *es1371hw.Device
+	rt      *xpc.Runtime
+	helpers *decaf.Helpers
+	irq     int
+	ioBase  uint16
+
+	Chip      *Chip
+	DecafChip *Chip
+
+	card   *ksound.Card
+	buf    hw.DMAAddr
+	stream *ksound.Substream
+}
+
+// New binds the driver to a device model.
+func New(k *kernel.Kernel, snd *ksound.Subsystem, dev *es1371hw.Device, ioBase uint16, cfg Config) *Driver {
+	d := &Driver{
+		kern: k, snd: snd, dev: dev, irq: cfg.IRQ, ioBase: ioBase,
+		Chip: &Chip{},
+	}
+	d.rt = xpc.NewRuntime(k, "ens1371", cfg.Mode, FieldMask())
+	d.rt.DisableIRQs = []int{cfg.IRQ}
+	d.helpers = decaf.NewHelpers(d.rt, k.Bus())
+	if cfg.Mode == xpc.ModeNative {
+		d.DecafChip = d.Chip
+	} else {
+		d.DecafChip = &Chip{}
+		if _, err := d.rt.Share(d.Chip, d.DecafChip); err != nil {
+			panic(fmt.Sprintf("ens1371: share chip: %v", err))
+		}
+	}
+	return d
+}
+
+// Runtime exposes the XPC runtime.
+func (d *Driver) Runtime() *xpc.Runtime { return d.rt }
+
+// Card returns the registered sound card (after module init).
+func (d *Driver) Card() *ksound.Card { return d.card }
+
+// --- nucleus ---
+
+func (d *Driver) outl(off uint16, v uint32) { d.kern.Bus().Outl(d.ioBase+off, v) }
+func (d *Driver) inl(off uint16) uint32     { return d.kern.Bus().Inl(d.ioBase + off) }
+
+// codecWrite is a kernel entry point: AC'97 port access is serialized in
+// the kernel.
+func (d *Driver) codecWrite(ctx *kernel.Context, addr uint32, val uint16) {
+	d.outl(es1371hw.RegCodec, addr<<16|uint32(val))
+	ctx.UDelay(2)
+}
+
+// codecRead is codecWrite's read twin; it returns -EIO when the codec does
+// not come ready.
+func (d *Driver) codecRead(ctx *kernel.Context, addr uint32) (uint16, int) {
+	d.outl(es1371hw.RegCodec, addr<<16|es1371hw.CodecReadRequest)
+	ctx.UDelay(2)
+	v := d.inl(es1371hw.RegCodec)
+	if v&es1371hw.CodecReady == 0 {
+		return 0, -5
+	}
+	return uint16(v), 0
+}
+
+// srcWrite programs one sample-rate-converter RAM entry (kernel entry
+// point).
+func (d *Driver) srcWrite(ctx *kernel.Context, addr uint32, val uint16) {
+	d.outl(es1371hw.RegSRC, addr<<25|es1371hw.SRCWE|uint32(val))
+	ctx.UDelay(1)
+}
+
+// intr is the interrupt handler, a critical root.
+func (d *Driver) intr(ctx *kernel.Context, irq int, dev any) {
+	status := d.inl(es1371hw.RegStatus)
+	if status&es1371hw.StatusIntr == 0 {
+		return
+	}
+	if status&es1371hw.StatusDAC2 != 0 {
+		d.outl(es1371hw.RegStatus, es1371hw.StatusDAC2) // ack
+		c := d.Chip
+		c.IntrCount++
+		c.HWPos = d.dev.Position()
+		c.Periods++
+		ctx.Charge(periodIntrCost)
+		if d.stream != nil {
+			d.stream.PeriodElapsed()
+		}
+	}
+}
+
+// allocBuffer allocates the playback DMA buffer (kernel entry point).
+func (d *Driver) allocBuffer(ctx *kernel.Context) error {
+	b, err := d.kern.Bus().DMA().Alloc(BufferFrames*4, 4096)
+	if err != nil {
+		return fmt.Errorf("ens1371: playback buffer: %w", err)
+	}
+	d.buf = b
+	return nil
+}
+
+func (d *Driver) freeBuffer(ctx *kernel.Context) {
+	if d.buf != 0 {
+		_ = d.kern.Bus().DMA().Free(d.buf)
+		d.buf = 0
+	}
+}
+
+// startDAC2 programs the frame registers and enables the engine.
+func (d *Driver) startDAC2(ctx *kernel.Context) {
+	c := d.Chip
+	d.outl(es1371hw.RegDAC2FrameAddr, uint32(d.buf))
+	d.outl(es1371hw.RegDAC2FrameSize, BufferFrames) // dwords: 1 frame = 1 dword
+	d.outl(es1371hw.RegDAC2Count, uint32(c.PeriodLen))
+	d.outl(es1371hw.RegControl, d.inl(es1371hw.RegControl)|es1371hw.CtrlDAC2En)
+}
+
+func (d *Driver) stopDAC2(ctx *kernel.Context) {
+	d.outl(es1371hw.RegControl, d.inl(es1371hw.RegControl)&^uint32(es1371hw.CtrlDAC2En))
+}
+
+// --- decaf driver ---
+
+// probeDecaf initializes the SRC and codec — the crossing-heavy path that
+// dominates Table 3's 237 init crossings and 6.34 s latency.
+func (d *Driver) probeDecaf(uctx *kernel.Context) {
+	c := d.DecafChip
+
+	// Initialize the sample-rate converter RAM, one entry per downcall.
+	for addr := uint32(0); addr < es1371hw.SRCRAMSize; addr++ {
+		val := uint16(0x8000 | addr)
+		if err := d.rt.Downcall(uctx, "snd_es1371_src_write", func(kctx *kernel.Context) error {
+			d.srcWrite(kctx, addr, val)
+			return nil
+		}); err != nil {
+			decaf.ThrowCause(HWException, err, "SRC init at %d", addr)
+		}
+	}
+
+	// AC'97 codec bring-up: reset, vendor id, then the mixer register file.
+	_ = d.rt.Downcall(uctx, "snd_ac97_write", func(kctx *kernel.Context) error {
+		d.codecWrite(kctx, 0x00, 0) // register reset
+		return nil
+	})
+	var vendorHi, vendorLo uint16
+	for i, probe := range []struct {
+		addr uint32
+		dst  *uint16
+	}{{0x7C, &vendorHi}, {0x7E, &vendorLo}} {
+		p := probe
+		var code int
+		if err := d.rt.Downcall(uctx, "snd_ac97_read", func(kctx *kernel.Context) error {
+			v, c := d.codecRead(kctx, p.addr)
+			*p.dst, code = v, c
+			return nil
+		}); err != nil {
+			decaf.ThrowCause(HWException, err, "codec read %d", i)
+		}
+		decaf.Check(HWException, code, "ac97 vendor read")
+	}
+	c.CodecVendor = uint32(vendorHi)<<16 | uint32(vendorLo)
+	if c.CodecVendor == 0 {
+		decaf.Throw(HWException, "no AC'97 codec detected")
+	}
+
+	// Program the standard mixer registers (volumes, input selects).
+	for reg := uint32(0x02); reg <= 0x38; reg += 2 {
+		r := reg
+		_ = d.rt.Downcall(uctx, "snd_ac97_write", func(kctx *kernel.Context) error {
+			d.codecWrite(kctx, r, 0x0808)
+			return nil
+		})
+	}
+
+	// Register mixer controls with the sound core, one downcall each.
+	names := []string{
+		"Master Playback Volume", "Master Playback Switch",
+		"PCM Playback Volume", "PCM Playback Switch",
+		"CD Playback Volume", "CD Playback Switch",
+		"Line Playback Volume", "Line Playback Switch",
+		"Mic Playback Volume", "Mic Playback Switch",
+		"Aux Playback Volume", "Capture Volume", "Capture Switch",
+		"PC Speaker Playback Volume", "Phone Playback Volume",
+		"Video Playback Volume", "Mono Playback Volume", "3D Control - Switch",
+	}
+	for _, name := range names {
+		n := name
+		_ = d.rt.Downcall(uctx, "snd_ctl_add", func(kctx *kernel.Context) error {
+			d.card.AddControl(n, 0x0808)
+			return nil
+		})
+	}
+	c.MixerCtls = int32(len(names))
+	c.Name = "ens1371"
+	d.helpers.Msleep(uctx, 750) // codec ready wait, as the C driver sleeps
+
+	if err := d.rt.Downcall(uctx, "snd_card_register", func(kctx *kernel.Context) error {
+		return d.snd.Register(d.card)
+	}); err != nil {
+		decaf.ThrowCause(HWException, err, "snd_card_register")
+	}
+}
+
+// pcmOps implements ksound.PCMOps: every operation except the data copy
+// crosses to the decaf driver, producing the paper's "15 calls, all during
+// playback start and end".
+type pcmOps Driver
+
+// Open implements ksound.PCMOps via the decaf driver.
+func (o *pcmOps) Open(ctx *kernel.Context) error {
+	d := (*Driver)(o)
+	return d.rt.Upcall(ctx, "snd_ens1371_playback_open", func(uctx *kernel.Context) error {
+		return decaf.ToError(decaf.Try(func() {
+			if err := d.rt.Downcall(uctx, "snd_dma_alloc", func(kctx *kernel.Context) error {
+				return d.allocBuffer(kctx)
+			}); err != nil {
+				decaf.ThrowCause(HWException, err, "dma alloc")
+			}
+		}))
+	}, d.Chip)
+}
+
+// HWParams implements ksound.PCMOps via the decaf driver.
+func (o *pcmOps) HWParams(ctx *kernel.Context, rate, channels, periodFrames int) error {
+	d := (*Driver)(o)
+	return d.rt.Upcall(ctx, "snd_ens1371_hw_params", func(uctx *kernel.Context) error {
+		return decaf.ToError(decaf.Try(func() {
+			c := d.DecafChip
+			if rate != 44100 && rate != 48000 && rate != 22050 {
+				decaf.Throw(HWException, "unsupported rate %d", rate)
+			}
+			c.Rate, c.Channels, c.PeriodLen = int32(rate), int32(channels), int32(periodFrames)
+			// Set the DAC2 rate through the SRC (two register downcalls).
+			for i := uint32(0); i < 2; i++ {
+				idx := i
+				_ = d.rt.Downcall(uctx, "snd_es1371_src_write", func(kctx *kernel.Context) error {
+					d.srcWrite(kctx, 0x70+idx, uint16(rate/(1+int(idx))))
+					return nil
+				})
+			}
+		}))
+	}, d.Chip)
+}
+
+// Prepare implements ksound.PCMOps via the decaf driver.
+func (o *pcmOps) Prepare(ctx *kernel.Context) error {
+	d := (*Driver)(o)
+	return d.rt.Upcall(ctx, "snd_ens1371_prepare", func(uctx *kernel.Context) error {
+		return decaf.ToError(decaf.Try(func() {
+			_ = d.rt.Downcall(uctx, "snd_es1371_reset_pointer", func(kctx *kernel.Context) error {
+				d.Chip.HWPos = 0
+				return nil
+			})
+		}))
+	}, d.Chip)
+}
+
+// Trigger implements ksound.PCMOps via the decaf driver.
+func (o *pcmOps) Trigger(ctx *kernel.Context, start bool) error {
+	d := (*Driver)(o)
+	return d.rt.Upcall(ctx, "snd_ens1371_trigger", func(uctx *kernel.Context) error {
+		return decaf.ToError(decaf.Try(func() {
+			c := d.DecafChip
+			c.Running = start
+			_ = d.rt.Downcall(uctx, "snd_es1371_dac2_ctrl", func(kctx *kernel.Context) error {
+				if start {
+					d.startDAC2(kctx)
+				} else {
+					d.stopDAC2(kctx)
+				}
+				return nil
+			})
+		}))
+	}, d.Chip)
+}
+
+// Pointer implements ksound.PCMOps in the nucleus (fast path).
+func (o *pcmOps) Pointer(ctx *kernel.Context) uint32 {
+	return (*Driver)(o).dev.Position()
+}
+
+// CopyAudio implements ksound.PCMOps in the nucleus: the playback data path.
+func (o *pcmOps) CopyAudio(ctx *kernel.Context, frameOff uint32, data []byte) error {
+	d := (*Driver)(o)
+	if d.buf == 0 {
+		return fmt.Errorf("ens1371: copy with no buffer")
+	}
+	off := (frameOff % BufferFrames) * 4
+	n := len(data)
+	if int(off)+n > BufferFrames*4 {
+		// Wrap: split the copy.
+		first := BufferFrames*4 - int(off)
+		d.kern.Bus().DMA().Write(d.buf+hw.DMAAddr(off), data[:first])
+		d.kern.Bus().DMA().Write(d.buf, data[first:])
+	} else {
+		d.kern.Bus().DMA().Write(d.buf+hw.DMAAddr(off), data)
+	}
+	ctx.Charge(time.Duration(n/1024+1) * copyCostPerKB)
+	return nil
+}
+
+// Close implements ksound.PCMOps via the decaf driver.
+func (o *pcmOps) Close(ctx *kernel.Context) error {
+	d := (*Driver)(o)
+	return d.rt.Upcall(ctx, "snd_ens1371_playback_close", func(uctx *kernel.Context) error {
+		return decaf.ToError(decaf.Try(func() {
+			_ = d.rt.Downcall(uctx, "snd_dma_free", func(kctx *kernel.Context) error {
+				d.freeBuffer(kctx)
+				return nil
+			})
+		}))
+	}, d.Chip)
+}
+
+// --- module glue ---
+
+// Module adapts the driver to the module loader.
+func (d *Driver) Module() kernel.Module { return (*ensModule)(d) }
+
+type ensModule Driver
+
+// ModuleName implements kernel.Module.
+func (m *ensModule) ModuleName() string { return "ens1371" }
+
+// Init creates the card, probes through the decaf driver, and installs the
+// PCM and interrupt handler.
+func (m *ensModule) Init(ctx *kernel.Context) error {
+	d := (*Driver)(m)
+	d.dev.PCI.EnableBusMaster()
+	d.card = d.snd.NewCard("ens1371")
+
+	err := d.rt.Upcall(ctx, "snd_ens1371_probe", func(uctx *kernel.Context) error {
+		return decaf.ToError(decaf.Try(func() { d.probeDecaf(uctx) }))
+	}, d.Chip)
+	if err != nil {
+		return fmt.Errorf("ens1371: probe: %w", err)
+	}
+	d.card.SetPCMOps((*pcmOps)(d))
+	if err := d.kern.RequestIRQ(d.irq, "ens1371", d.intr, d.Chip); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Exit unregisters and quiesces.
+func (m *ensModule) Exit(ctx *kernel.Context) {
+	d := (*Driver)(m)
+	d.stopDAC2(ctx)
+	_ = d.kern.FreeIRQ(d.irq, "ens1371")
+	_ = d.snd.Unregister("ens1371")
+	if d.rt.Mode == xpc.ModeDecaf {
+		d.rt.Unshare(d.Chip)
+	}
+}
+
+// AttachStream lets the playback path deliver period callbacks (set by the
+// workload when it opens the substream).
+func (d *Driver) AttachStream(st *ksound.Substream) { d.stream = st }

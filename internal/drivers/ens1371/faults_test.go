@@ -1,0 +1,78 @@
+package ens1371
+
+import (
+	"testing"
+
+	"decafdrivers/internal/hw"
+	"decafdrivers/internal/xpc"
+)
+
+// exhaustDMA drains the arena down to sub-page crumbs so any driver-sized
+// allocation must fail.
+func exhaustDMA(dma *hw.DMAMemory) {
+	for _, chunk := range []int{1 << 20, 4096, 64} {
+		for {
+			if _, err := dma.Alloc(chunk, 1); err != nil {
+				break
+			}
+		}
+	}
+}
+
+// TestPlaybackOpenFailsCleanlyOnDMAExhaustion: the decaf driver's
+// exception path converts a kernel allocation failure into a clean error at
+// the PCM layer, with no partial state left behind.
+func TestPlaybackOpenFailsCleanlyOnDMAExhaustion(t *testing.T) {
+	r := newRig(t, xpc.ModeDecaf)
+	if _, err := r.kern.LoadModule(r.drv.Module()); err != nil {
+		t.Fatal(err)
+	}
+	dma := r.kern.Bus().DMA()
+	exhaustDMA(dma)
+	inUse := dma.InUse()
+
+	card, _ := r.snd.Card("ens1371")
+	ctx := r.kern.NewContext("mpg123")
+	if _, err := card.OpenPlayback(ctx); err == nil {
+		t.Fatal("playback opened with exhausted DMA arena")
+	}
+	if dma.InUse() != inUse {
+		t.Fatalf("failed open leaked %d allocations", dma.InUse()-inUse)
+	}
+	// The card must be reusable: free space and retry.
+	// (Bump allocator cannot actually free space, so just verify the
+	// stream slot was not leaked by opening against a fresh rig.)
+	r2 := newRig(t, xpc.ModeDecaf)
+	if _, err := r2.kern.LoadModule(r2.drv.Module()); err != nil {
+		t.Fatal(err)
+	}
+	card2, _ := r2.snd.Card("ens1371")
+	if _, err := card2.OpenPlayback(r2.kern.NewContext("t")); err != nil {
+		t.Fatalf("fresh open failed: %v", err)
+	}
+}
+
+// TestStreamSlotReleasedAfterFailedOpen verifies the failure path does not
+// leave the card's single playback slot occupied.
+func TestStreamSlotReleasedAfterFailedOpen(t *testing.T) {
+	r := newRig(t, xpc.ModeDecaf)
+	if _, err := r.kern.LoadModule(r.drv.Module()); err != nil {
+		t.Fatal(err)
+	}
+	dma := r.kern.Bus().DMA()
+	exhaustDMA(dma)
+	card, _ := r.snd.Card("ens1371")
+	ctx := r.kern.NewContext("t")
+	if _, err := card.OpenPlayback(ctx); err == nil {
+		t.Fatal("expected failure")
+	}
+	// A second attempt must fail with the allocation error again, not with
+	// "playback busy" — the slot was released.
+	_, err := card.OpenPlayback(ctx)
+	if err == nil {
+		t.Fatal("expected failure")
+	}
+	if got := err.Error(); len(got) > 0 && got == "ksound: card \"ens1371\" playback busy" {
+		t.Fatalf("stream slot leaked: %v", err)
+	}
+}

@@ -1,0 +1,303 @@
+// Package psmouse is the Decaf conversion of the PS/2 mouse driver. Per the
+// paper (§4.1), "most of the user-level code was device-specific.
+// Consequently, we implemented in Java only those functions that were
+// actually called for our mouse device": protocol detection and device
+// initialization live in the decaf driver; the byte-stream interrupt
+// handler and packet parser stay in the nucleus.
+package psmouse
+
+import (
+	"fmt"
+	"time"
+
+	"decafdrivers/internal/decaf"
+	"decafdrivers/internal/hw/ps2hw"
+	"decafdrivers/internal/kernel"
+	"decafdrivers/internal/kinput"
+	"decafdrivers/internal/xdr"
+	"decafdrivers/internal/xpc"
+)
+
+// ProtoException is the decaf driver's checked exception class.
+const ProtoException = "PsmouseProtocolException"
+
+// Per-report CPU cost in the interrupt path.
+const reportCost = 2 * time.Microsecond
+
+// cmdTimeoutBytes bounds how many response bytes a command waits for.
+const cmdTimeoutBytes = 4
+
+// State is the psmouse structure shared across domains.
+type State struct {
+	Name       string
+	Protocol   string
+	MouseID    int32
+	Rate       int32
+	Resolution int32
+
+	// Kernel-only parser state.
+	PktBytes  [4]byte
+	PktLen    int32
+	Reports   uint64
+	IntrCount uint64
+}
+
+// FieldMask is DriverSlicer's marshaling specification.
+func FieldMask() xdr.FieldMask {
+	return xdr.FieldMask{"State": {
+		"Name": true, "Protocol": true, "MouseID": true, "Rate": true, "Resolution": true,
+	}}
+}
+
+// Config configures a driver instance.
+type Config struct {
+	Mode xpc.Mode
+	IRQ  int
+}
+
+// Driver is one bound psmouse instance.
+type Driver struct {
+	kern *kernel.Kernel
+	in   *kinput.Subsystem
+	port *kinput.SerioPort
+	rt   *xpc.Runtime
+	irq  int
+
+	State      *State
+	DecafState *State
+
+	input *kinput.Device
+
+	// command/response plumbing (nucleus).
+	respBuf []byte
+	inCmd   bool
+}
+
+// New binds the driver to a serio port.
+func New(k *kernel.Kernel, in *kinput.Subsystem, port *kinput.SerioPort, cfg Config) *Driver {
+	d := &Driver{
+		kern: k, in: in, port: port, irq: cfg.IRQ,
+		State: &State{},
+	}
+	d.rt = xpc.NewRuntime(k, "psmouse", cfg.Mode, FieldMask())
+	d.rt.DisableIRQs = []int{cfg.IRQ}
+	if cfg.Mode == xpc.ModeNative {
+		d.DecafState = d.State
+	} else {
+		d.DecafState = &State{}
+		if _, err := d.rt.Share(d.State, d.DecafState); err != nil {
+			panic(fmt.Sprintf("psmouse: share state: %v", err))
+		}
+	}
+	port.ConnectDriver(d.receiveByte)
+	return d
+}
+
+// Runtime exposes the XPC runtime.
+func (d *Driver) Runtime() *xpc.Runtime { return d.rt }
+
+// InputDevice returns the registered input device (after module init).
+func (d *Driver) InputDevice() *kinput.Device { return d.input }
+
+// --- nucleus ---
+
+// receiveByte is the serio interrupt path: every byte from the mouse lands
+// here in (conceptually) IRQ context. During command execution bytes are
+// responses; in stream mode they are report bytes parsed into input events.
+func (d *Driver) receiveByte(b byte) {
+	s := d.State
+	s.IntrCount++
+	if d.inCmd {
+		d.respBuf = append(d.respBuf, b)
+		return
+	}
+	s.PktBytes[s.PktLen] = b
+	s.PktLen++
+	if s.PktLen < 3 {
+		return
+	}
+	s.PktLen = 0
+	d.processPacket(s.PktBytes[0], s.PktBytes[1], s.PktBytes[2])
+}
+
+// processPacket decodes one three-byte report (nucleus data path).
+func (d *Driver) processPacket(flags, dxB, dyB byte) {
+	if d.input == nil {
+		return
+	}
+	dx, dy := int(int8(dxB)), int(int8(dyB))
+	d.State.Reports++
+	d.input.ReportRel("REL_X", dx)
+	d.input.ReportRel("REL_Y", dy)
+	d.input.ReportKey("BTN_LEFT", int(flags&0x01))
+	d.input.ReportKey("BTN_RIGHT", int(flags>>1&0x01))
+	d.input.Sync()
+}
+
+// ps2Command is a kernel entry point: send a command byte (plus optional
+// argument) and collect the expected response bytes. Serio access must be
+// serialized in the kernel.
+func (d *Driver) ps2Command(ctx *kernel.Context, cmd byte, arg *byte, respLen int) ([]byte, error) {
+	d.inCmd = true
+	d.respBuf = nil
+	defer func() { d.inCmd = false }()
+
+	if err := d.port.Write(cmd); err != nil {
+		return nil, err
+	}
+	// Command settle times: a reset runs the mouse's self-test (~20 ms);
+	// other commands take about a millisecond on the 12 kHz serial link.
+	if cmd == ps2hw.CmdReset {
+		ctx.MSleep(20)
+	} else {
+		ctx.MSleep(1)
+	}
+	if len(d.respBuf) == 0 || d.respBuf[0] != ps2hw.RespAck {
+		return nil, fmt.Errorf("psmouse: command %#x not acknowledged", cmd)
+	}
+	if arg != nil {
+		d.respBuf = nil
+		if err := d.port.Write(*arg); err != nil {
+			return nil, err
+		}
+		if len(d.respBuf) == 0 || d.respBuf[0] != ps2hw.RespAck {
+			return nil, fmt.Errorf("psmouse: argument %#x not acknowledged", *arg)
+		}
+	}
+	resp := d.respBuf
+	if len(resp) > 0 {
+		resp = resp[1:] // strip the ACK
+	}
+	if len(resp) < respLen {
+		return nil, fmt.Errorf("psmouse: command %#x returned %d bytes, want %d", cmd, len(resp), respLen)
+	}
+	if respLen > cmdTimeoutBytes {
+		respLen = cmdTimeoutBytes
+	}
+	return resp[:respLen], nil
+}
+
+// --- decaf driver ---
+
+// command wraps ps2Command in a downcall and converts failures to
+// exceptions.
+func (d *Driver) command(uctx *kernel.Context, name string, cmd byte, arg *byte, respLen int) []byte {
+	var resp []byte
+	err := d.rt.Downcall(uctx, name, func(kctx *kernel.Context) error {
+		r, err := d.ps2Command(kctx, cmd, arg, respLen)
+		resp = r
+		return err
+	})
+	if err != nil {
+		decaf.ThrowCause(ProtoException, err, "command %#x", cmd)
+	}
+	return resp
+}
+
+// probeDecaf is the decaf-driver body: reset, protocol detection (the
+// IntelliMouse rate knock), rate/resolution programming, and reporting
+// enable.
+func (d *Driver) probeDecaf(uctx *kernel.Context) {
+	s := d.DecafState
+
+	// Reset: expect self-test OK + id.
+	resp := d.command(uctx, "psmouse_reset", ps2hw.CmdReset, nil, 2)
+	if resp[0] != ps2hw.RespSelfTestOK {
+		decaf.Throw(ProtoException, "self-test failed: %#x", resp[0])
+	}
+
+	// Make sure stream mode is off during detection.
+	d.command(uctx, "psmouse_disable", ps2hw.CmdDisable, nil, 0)
+
+	// Baseline identity.
+	id := d.command(uctx, "psmouse_getid", ps2hw.CmdGetID, nil, 1)[0]
+
+	// IntelliMouse detection: the 200/100/80 sample-rate knock.
+	for _, rate := range []byte{200, 100, 80} {
+		r := rate
+		d.command(uctx, "psmouse_setrate", ps2hw.CmdSetRate, &r, 0)
+	}
+	id = d.command(uctx, "psmouse_getid", ps2hw.CmdGetID, nil, 1)[0]
+
+	// IntelliMouse Explorer detection: the 200/200/80 knock (a further
+	// protocol probe the real driver always attempts).
+	for _, rate := range []byte{200, 200, 80} {
+		r := rate
+		d.command(uctx, "psmouse_setrate", ps2hw.CmdSetRate, &r, 0)
+	}
+	exID := d.command(uctx, "psmouse_getid", ps2hw.CmdGetID, nil, 1)[0]
+	if exID > id {
+		id = exID
+	}
+	switch id {
+	case ps2hw.IDIntelliMouse:
+		s.Protocol = "ImPS/2"
+	default:
+		s.Protocol = "PS/2"
+	}
+	s.MouseID = int32(id)
+
+	// Operating parameters: the real driver programs them once during
+	// detection and again in psmouse_initialize.
+	for i := 0; i < 2; i++ {
+		rate := byte(100)
+		d.command(uctx, "psmouse_setrate", ps2hw.CmdSetRate, &rate, 0)
+		s.Rate = int32(rate)
+		res := byte(3) // 8 counts/mm
+		d.command(uctx, "psmouse_setres", ps2hw.CmdSetResolution, &res, 0)
+		s.Resolution = int32(res)
+	}
+
+	// Final identity confirmation after programming.
+	d.command(uctx, "psmouse_getid", ps2hw.CmdGetID, nil, 1)
+
+	// Enable stream mode.
+	d.command(uctx, "psmouse_enable", ps2hw.CmdEnable, nil, 0)
+	s.Name = "psmouse"
+}
+
+// --- module glue ---
+
+// Module adapts the driver to the module loader.
+func (d *Driver) Module() kernel.Module { return (*psmouseModule)(d) }
+
+type psmouseModule Driver
+
+// ModuleName implements kernel.Module.
+func (m *psmouseModule) ModuleName() string { return "psmouse" }
+
+// Init probes the protocol through the decaf driver and registers the input
+// device.
+func (m *psmouseModule) Init(ctx *kernel.Context) error {
+	d := (*Driver)(m)
+	err := d.rt.Upcall(ctx, "psmouse_probe", func(uctx *kernel.Context) error {
+		return decaf.ToError(decaf.Try(func() { d.probeDecaf(uctx) }))
+	}, d.State)
+	if err != nil {
+		return fmt.Errorf("psmouse: probe: %w", err)
+	}
+	dev, err := d.in.Register(d.State.Name)
+	if err != nil {
+		return err
+	}
+	d.input = dev
+	return nil
+}
+
+// Exit unregisters the input device.
+func (m *psmouseModule) Exit(ctx *kernel.Context) {
+	d := (*Driver)(m)
+	if d.input != nil {
+		_ = d.in.Unregister(d.input.Name)
+		d.input = nil
+	}
+	if d.rt.Mode == xpc.ModeDecaf {
+		d.rt.Unshare(d.State)
+	}
+}
+
+// ChargeReport lets the workload charge the per-report interrupt cost (the
+// serio path here is callback-based rather than context-based).
+func (d *Driver) ChargeReport(ctx *kernel.Context) {
+	ctx.Charge(reportCost)
+}

@@ -1,0 +1,59 @@
+package uhcihcd
+
+import (
+	"strings"
+	"testing"
+
+	"decafdrivers/internal/hw"
+	"decafdrivers/internal/kusb"
+	"decafdrivers/internal/xpc"
+)
+
+func exhaustDMA(dma *hw.DMAMemory) {
+	for _, chunk := range []int{1 << 20, 4096, 64} {
+		for {
+			if _, err := dma.Alloc(chunk, 1); err != nil {
+				break
+			}
+		}
+	}
+}
+
+// TestInitFailsCleanlyOnDMAExhaustion: the schedule allocation happens in a
+// kernel entry point called from the decaf driver; its failure must surface
+// as a module-init error, not a fault, and leave no handlers registered.
+func TestInitFailsCleanlyOnDMAExhaustion(t *testing.T) {
+	r := newRig(t, xpc.ModeDecaf)
+	exhaustDMA(r.kern.Bus().DMA())
+	_, err := r.kern.LoadModule(r.drv.Module())
+	if err == nil {
+		t.Fatal("init succeeded with exhausted DMA arena")
+	}
+	if !strings.Contains(err.Error(), "schedule") && !strings.Contains(err.Error(), "frame list") {
+		t.Fatalf("unexpected failure: %v", err)
+	}
+	if len(r.kern.LoadedModules()) != 0 {
+		t.Fatal("failed module left loaded")
+	}
+	if _, ok := r.usb.HCDByName("uhci-hcd"); ok {
+		t.Fatal("HCD registered despite failed init")
+	}
+	// Interrupts must not be wired either: raising the line is harmless.
+	r.kern.Bus().IRQ(10).Raise()
+	if r.drv.State.IntrCount != 0 {
+		t.Fatal("interrupt handler ran after failed init")
+	}
+}
+
+// TestSubmitBeforeConfigureRejected guards the not-yet-configured window.
+func TestSubmitBeforeConfigureRejected(t *testing.T) {
+	r := newRig(t, xpc.ModeNative)
+	ctx := r.kern.NewContext("t")
+	if err := r.drv.Enqueue(ctx, mkURB(64)); err == nil {
+		t.Fatal("enqueue accepted before configuration")
+	}
+}
+
+func mkURB(n int) *kusb.URB {
+	return &kusb.URB{Endpoint: 2, Dir: kusb.DirOut, Data: make([]byte, n)}
+}

@@ -1,0 +1,123 @@
+// Package evolution implements the §5.2 driver-evolution experiment: apply
+// an upstream patch stream to a sliced driver, classify every changed line
+// against the partition (driver nucleus / decaf driver / user-kernel
+// interface), add the DECAF_XVAR annotations new shared fields require, and
+// re-run DriverSlicer's regeneration between batches.
+package evolution
+
+import (
+	"fmt"
+
+	"decafdrivers/internal/drivermodel"
+	"decafdrivers/internal/slicer"
+)
+
+// Report is the Table 4 output plus regeneration bookkeeping.
+type Report struct {
+	// PatchesApplied counts processed patches.
+	PatchesApplied int
+	// NucleusLines / DecafLines / InterfaceLines are the Table 4 rows.
+	NucleusLines   int
+	DecafLines     int
+	LibraryLines   int
+	InterfaceLines int
+	// Batches records per-batch regeneration results.
+	Batches []BatchResult
+	// FieldsAdded lists interface fields added across the stream.
+	FieldsAdded []string
+}
+
+// BatchResult is one DriverSlicer regeneration run.
+type BatchResult struct {
+	// Batch is the batch number.
+	Batch int
+	// Patches is the number of patches in the batch.
+	Patches int
+	// AddedMarshalFields lists struct.field references the regenerated
+	// marshaling specification gained.
+	AddedMarshalFields []string
+	// StubsRegenerated counts stubs re-emitted for the batch.
+	StubsRegenerated int
+}
+
+// Apply runs the patch stream against the driver IR. The driver is mutated
+// (fields added, function line counts touched); the returned report
+// reclassifies every hunk against a fresh slice, so the component totals
+// are computed by the partition algorithm, not assumed.
+func Apply(d *slicer.Driver, patches []drivermodel.Patch) (*Report, error) {
+	part, err := slicer.Slice(d)
+	if err != nil {
+		return nil, err
+	}
+	spec := slicer.BuildMarshalSpec(part)
+
+	rep := &Report{}
+	byBatch := make(map[int][]drivermodel.Patch)
+	maxBatch := 0
+	for _, p := range patches {
+		byBatch[p.Batch] = append(byBatch[p.Batch], p)
+		if p.Batch > maxBatch {
+			maxBatch = p.Batch
+		}
+	}
+
+	for batch := 1; batch <= maxBatch; batch++ {
+		group := byBatch[batch]
+		for _, p := range group {
+			for _, h := range p.Hunks {
+				switch h.Kind {
+				case drivermodel.HunkFunc:
+					f, ok := d.Funcs[h.Func]
+					if !ok {
+						return nil, fmt.Errorf("evolution: patch %d touches unknown function %q", p.ID, h.Func)
+					}
+					switch part.ByFunc[h.Func] {
+					case slicer.PlaceNucleus:
+						rep.NucleusLines += h.Lines
+					case slicer.PlaceDecaf:
+						rep.DecafLines += h.Lines
+					case slicer.PlaceLibrary:
+						rep.LibraryLines += h.Lines
+					}
+					// Touch the function so the IR reflects the change.
+					f.LoC += h.Lines / 16
+				case drivermodel.HunkFieldAdd:
+					s, ok := d.StructByName(h.Struct)
+					if !ok {
+						return nil, fmt.Errorf("evolution: patch %d touches unknown struct %q", p.ID, h.Struct)
+					}
+					s.Fields = append(s.Fields, slicer.FieldDef{
+						Name: h.Field, CType: h.CType,
+					})
+					// "We added one additional annotation for each new
+					// field to the original driver" (§5.2).
+					if h.Access != "" {
+						if err := slicer.AddDecafXVar(d, h.Struct, h.Field, h.Access); err != nil {
+							return nil, err
+						}
+					}
+					rep.InterfaceLines += h.Lines
+					rep.FieldsAdded = append(rep.FieldsAdded, h.Struct+"."+h.Field)
+				default:
+					return nil, fmt.Errorf("evolution: patch %d has unknown hunk kind %d", p.ID, h.Kind)
+				}
+			}
+			rep.PatchesApplied++
+		}
+
+		// Between batches: re-split the driver and regenerate marshaling
+		// code, as §5.2 does after each batch.
+		newPart, newSpec, regen, err := slicer.Regenerate(d, spec)
+		if err != nil {
+			return nil, err
+		}
+		part, spec = newPart, newSpec
+		rep.Batches = append(rep.Batches, BatchResult{
+			Batch:              batch,
+			Patches:            len(group),
+			AddedMarshalFields: regen.AddedFields,
+			StubsRegenerated:   len(regen.StubsToRegenerate),
+		})
+	}
+	return rep, nil
+}

@@ -1,0 +1,113 @@
+package evolution
+
+import (
+	"testing"
+
+	"decafdrivers/internal/drivermodel"
+	"decafdrivers/internal/slicer"
+)
+
+// TestTable4Exact applies the modeled 320-patch stream and verifies the
+// Table 4 rows. Classification runs against a live slice of the driver.
+func TestTable4Exact(t *testing.T) {
+	d := drivermodel.E1000()
+	rep, err := Apply(d, drivermodel.E1000Patches(d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.PatchesApplied != 320 {
+		t.Errorf("PatchesApplied = %d, want 320", rep.PatchesApplied)
+	}
+	if rep.NucleusLines != 381 {
+		t.Errorf("NucleusLines = %d, want 381", rep.NucleusLines)
+	}
+	if rep.DecafLines != 4690 {
+		t.Errorf("DecafLines = %d, want 4690", rep.DecafLines)
+	}
+	if rep.InterfaceLines != 23 {
+		t.Errorf("InterfaceLines = %d, want 23", rep.InterfaceLines)
+	}
+	if rep.LibraryLines != 0 {
+		t.Errorf("LibraryLines = %d, want 0 (E1000 has no driver library)", rep.LibraryLines)
+	}
+	if len(rep.Batches) != 2 {
+		t.Fatalf("batches = %d, want 2 (before/after 2.6.22)", len(rep.Batches))
+	}
+	if len(rep.FieldsAdded) != 23 {
+		t.Errorf("FieldsAdded = %d, want 23", len(rep.FieldsAdded))
+	}
+}
+
+// TestRegenerationPicksUpNewFields verifies that after evolution, the
+// marshaling specification covers every added field (each carried a
+// DECAF_XVAR annotation) and stubs were regenerated.
+func TestRegenerationPicksUpNewFields(t *testing.T) {
+	d := drivermodel.E1000()
+	rep, err := Apply(d, drivermodel.E1000Patches(d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := slicer.Slice(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := slicer.BuildMarshalSpec(p)
+	for _, ref := range rep.FieldsAdded {
+		parts := [2]string{}
+		for i, s := range []byte(ref) {
+			if s == '.' {
+				parts[0], parts[1] = ref[:i], ref[i+1:]
+				break
+			}
+		}
+		if !spec.Includes(parts[0], parts[1]) {
+			t.Errorf("marshaling spec missing evolved field %s", ref)
+		}
+	}
+	regenerated := 0
+	marshalAdds := 0
+	for _, b := range rep.Batches {
+		regenerated += b.StubsRegenerated
+		marshalAdds += len(b.AddedMarshalFields)
+	}
+	if regenerated == 0 {
+		t.Error("no stubs regenerated across batches")
+	}
+	if marshalAdds != 23 {
+		t.Errorf("marshaling spec gained %d fields across batches, want 23", marshalAdds)
+	}
+}
+
+// TestEvolutionPreservesPartitionShape verifies the split survives the
+// patch stream: re-slicing after evolution yields the same function
+// placement (patches touch bodies, not the call graph).
+func TestEvolutionPreservesPartitionShape(t *testing.T) {
+	d := drivermodel.E1000()
+	before, err := slicer.Slice(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Apply(d, drivermodel.E1000Patches(d)); err != nil {
+		t.Fatal(err)
+	}
+	after, err := slicer.Slice(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for fn, place := range before.ByFunc {
+		if after.ByFunc[fn] != place {
+			t.Errorf("%s moved from %v to %v across evolution", fn, place, after.ByFunc[fn])
+		}
+	}
+}
+
+func TestApplyRejectsUnknownFunction(t *testing.T) {
+	d := drivermodel.E1000()
+	_, err := Apply(d, []drivermodel.Patch{{
+		ID: 1, Batch: 1,
+		Hunks: []drivermodel.Hunk{{Kind: drivermodel.HunkFunc, Func: "nope", Lines: 1}},
+	}})
+	if err == nil {
+		t.Fatal("patch on unknown function accepted")
+	}
+}

@@ -1,0 +1,96 @@
+package hw
+
+import "sync"
+
+// IRQHandler is invoked when an interrupt line asserts while enabled.
+// It runs in whatever context the device model raised the interrupt from;
+// the kernel layer wraps it to establish hard-IRQ context.
+type IRQHandler func()
+
+// IRQLine models a level-triggered interrupt line shared between a device
+// model (which raises it) and the kernel (which dispatches to the registered
+// handler). Lines can be disabled, as the Decaf nuclear runtime does with
+// disable_irq while the decaf driver runs (paper §3.1.3), in which case
+// asserts are latched and delivered on enable.
+type IRQLine struct {
+	mu       sync.Mutex
+	num      int
+	handler  IRQHandler
+	disabled int // disable depth, like disable_irq nesting
+	pending  bool
+	raised   uint64 // total asserts
+	handled  uint64 // total handler invocations
+}
+
+func newIRQLine(num int) *IRQLine { return &IRQLine{num: num} }
+
+// Num reports the line number.
+func (l *IRQLine) Num() int { return l.num }
+
+// SetHandler installs (or clears, with nil) the interrupt handler.
+func (l *IRQLine) SetHandler(h IRQHandler) {
+	l.mu.Lock()
+	l.handler = h
+	l.mu.Unlock()
+}
+
+// Raise asserts the line. If the line is enabled and a handler is installed,
+// the handler runs synchronously (modeling immediate interrupt delivery);
+// otherwise the assert is latched.
+func (l *IRQLine) Raise() {
+	l.mu.Lock()
+	l.raised++
+	if l.disabled > 0 || l.handler == nil {
+		l.pending = true
+		l.mu.Unlock()
+		return
+	}
+	h := l.handler
+	l.handled++
+	l.mu.Unlock()
+	h()
+}
+
+// Disable increments the disable depth; while positive, asserts are latched.
+func (l *IRQLine) Disable() {
+	l.mu.Lock()
+	l.disabled++
+	l.mu.Unlock()
+}
+
+// Enable decrements the disable depth and, when it reaches zero with a latched
+// assert pending, delivers the interrupt. Enable on an already-enabled line
+// panics: it indicates unbalanced disable/enable in a driver.
+func (l *IRQLine) Enable() {
+	l.mu.Lock()
+	if l.disabled == 0 {
+		l.mu.Unlock()
+		panic("hw: unbalanced IRQ enable")
+	}
+	l.disabled--
+	deliver := l.disabled == 0 && l.pending && l.handler != nil
+	var h IRQHandler
+	if deliver {
+		l.pending = false
+		l.handled++
+		h = l.handler
+	}
+	l.mu.Unlock()
+	if deliver {
+		h()
+	}
+}
+
+// Disabled reports whether the line is currently disabled.
+func (l *IRQLine) Disabled() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.disabled > 0
+}
+
+// Stats reports total asserts and handler invocations.
+func (l *IRQLine) Stats() (raised, handled uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.raised, l.handled
+}

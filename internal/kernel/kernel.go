@@ -1,0 +1,226 @@
+package kernel
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"decafdrivers/internal/hw"
+	"decafdrivers/internal/ktime"
+)
+
+// Kernel is the simulated operating-system kernel. It owns the virtual
+// clock, the hardware bus, module bookkeeping, work queues and CPU
+// accounting. One Kernel corresponds to one booted machine in the paper's
+// testbed.
+type Kernel struct {
+	clock *ktime.Clock
+	bus   *hw.Bus
+
+	mu      sync.Mutex
+	modules map[string]*loadedModule
+	oopses  []error
+	// strictOops controls whether Oops panics (tests) or records (harness).
+	strictOops bool
+
+	accounting *CPUAccounting
+
+	defaultWQ *Workqueue
+	irqTable  *irqTable
+}
+
+// New boots a simulated kernel around the given clock and bus.
+func New(clock *ktime.Clock, bus *hw.Bus) *Kernel {
+	k := &Kernel{
+		clock:      clock,
+		bus:        bus,
+		modules:    make(map[string]*loadedModule),
+		accounting: &CPUAccounting{},
+		strictOops: true,
+		irqTable:   &irqTable{byNum: make(map[int]*irqState)},
+	}
+	k.defaultWQ = k.NewWorkqueue("events")
+	return k
+}
+
+// Clock returns the kernel's virtual clock.
+func (k *Kernel) Clock() *ktime.Clock { return k.clock }
+
+// Bus returns the hardware bus.
+func (k *Kernel) Bus() *hw.Bus { return k.bus }
+
+// Accounting returns the global CPU-time accounting.
+func (k *Kernel) Accounting() *CPUAccounting { return k.accounting }
+
+// DefaultWorkqueue returns the kernel's shared "events" work queue, the
+// analogue of schedule_work.
+func (k *Kernel) DefaultWorkqueue() *Workqueue { return k.defaultWQ }
+
+// SetStrictOops selects whether kernel faults panic immediately (true, the
+// default, so tests fail loudly) or are recorded for later inspection.
+func (k *Kernel) SetStrictOops(strict bool) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.strictOops = strict
+}
+
+// Oops reports a kernel fault: a violated invariant such as sleeping in
+// atomic context. In strict mode it panics; otherwise the fault is recorded.
+func (k *Kernel) Oops(err error) {
+	k.mu.Lock()
+	strict := k.strictOops
+	k.oopses = append(k.oopses, err)
+	k.mu.Unlock()
+	if strict {
+		panic(err)
+	}
+}
+
+// Oopses returns the recorded faults.
+func (k *Kernel) Oopses() []error {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	out := make([]error, len(k.oopses))
+	copy(out, k.oopses)
+	return out
+}
+
+// ClearOopses discards recorded faults.
+func (k *Kernel) ClearOopses() {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.oopses = nil
+}
+
+// CPUAccounting accumulates charged CPU time by context kind. The Table 3
+// CPU-utilization column is busy time divided by elapsed virtual time.
+type CPUAccounting struct {
+	mu      sync.Mutex
+	process time.Duration
+	softirq time.Duration
+	hardirq time.Duration
+}
+
+func (a *CPUAccounting) charge(kind ContextKind, d time.Duration) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	switch kind {
+	case CtxProcess:
+		a.process += d
+	case CtxSoftIRQ:
+		a.softirq += d
+	case CtxHardIRQ:
+		a.hardirq += d
+	}
+}
+
+// Totals reports accumulated CPU time per context kind.
+func (a *CPUAccounting) Totals() (process, softirq, hardirq time.Duration) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.process, a.softirq, a.hardirq
+}
+
+// Busy reports the total accumulated CPU time.
+func (a *CPUAccounting) Busy() time.Duration {
+	p, s, h := a.Totals()
+	return p + s + h
+}
+
+// Reset zeroes the accounting.
+func (a *CPUAccounting) Reset() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.process, a.softirq, a.hardirq = 0, 0, 0
+}
+
+// Module is a loadable kernel module — in Decaf terms, a driver nucleus
+// (plus its registration glue).
+type Module interface {
+	// ModuleName is the module's unique name.
+	ModuleName() string
+	// Init is the module's init_module entry, run in process context.
+	Init(ctx *Context) error
+	// Exit is the module's cleanup_module entry.
+	Exit(ctx *Context)
+}
+
+type loadedModule struct {
+	module Module
+	report LoadReport
+}
+
+// LoadReport describes one insmod: the paper's Table 3 init-latency metric.
+type LoadReport struct {
+	// Name is the module name.
+	Name string
+	// InitLatency is the elapsed virtual time of Init — what the paper
+	// measures as "latency to run the insmod module loader".
+	InitLatency time.Duration
+	// InitBusy is the CPU portion of InitLatency.
+	InitBusy time.Duration
+}
+
+// LoadModule runs m.Init in a fresh process context and records the module.
+// It returns a report with the init latency in virtual time.
+func (k *Kernel) LoadModule(m Module) (LoadReport, error) {
+	k.mu.Lock()
+	if _, dup := k.modules[m.ModuleName()]; dup {
+		k.mu.Unlock()
+		return LoadReport{}, fmt.Errorf("kernel: module %q already loaded", m.ModuleName())
+	}
+	k.mu.Unlock()
+
+	ctx := k.NewContext("insmod:" + m.ModuleName())
+	if err := m.Init(ctx); err != nil {
+		return LoadReport{}, fmt.Errorf("kernel: init of %q failed: %w", m.ModuleName(), err)
+	}
+	rep := LoadReport{
+		Name:        m.ModuleName(),
+		InitLatency: ctx.Elapsed(),
+		InitBusy:    ctx.Busy(),
+	}
+	k.mu.Lock()
+	k.modules[m.ModuleName()] = &loadedModule{module: m, report: rep}
+	k.mu.Unlock()
+	return rep, nil
+}
+
+// UnloadModule runs the module's Exit and forgets it.
+func (k *Kernel) UnloadModule(name string) error {
+	k.mu.Lock()
+	lm, ok := k.modules[name]
+	if !ok {
+		k.mu.Unlock()
+		return fmt.Errorf("kernel: module %q not loaded", name)
+	}
+	delete(k.modules, name)
+	k.mu.Unlock()
+	ctx := k.NewContext("rmmod:" + name)
+	lm.module.Exit(ctx)
+	return nil
+}
+
+// LoadedModules lists loaded module names in sorted order.
+func (k *Kernel) LoadedModules() []string {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	names := make([]string, 0, len(k.modules))
+	for n := range k.modules {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ModuleReport returns the load report for a loaded module.
+func (k *Kernel) ModuleReport(name string) (LoadReport, bool) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	lm, ok := k.modules[name]
+	if !ok {
+		return LoadReport{}, false
+	}
+	return lm.report, true
+}

@@ -1,0 +1,202 @@
+package knet
+
+import (
+	"errors"
+	"testing"
+
+	"decafdrivers/internal/hw"
+	"decafdrivers/internal/kernel"
+	"decafdrivers/internal/ktime"
+)
+
+type fakeOps struct {
+	opened, stopped bool
+	sent            []*Packet
+	xmitErr         error
+	openErr         error
+}
+
+func (f *fakeOps) Open(ctx *kernel.Context) error { f.opened = true; return f.openErr }
+func (f *fakeOps) Stop(ctx *kernel.Context) error { f.stopped = true; return nil }
+func (f *fakeOps) StartXmit(ctx *kernel.Context, pkt *Packet) error {
+	if f.xmitErr != nil {
+		return f.xmitErr
+	}
+	f.sent = append(f.sent, pkt)
+	return nil
+}
+
+func newNet(t *testing.T) (*Subsystem, *kernel.Kernel) {
+	t.Helper()
+	clock := ktime.NewClock()
+	k := kernel.New(clock, hw.NewBus(clock, 1<<16))
+	return New(k), k
+}
+
+func TestRegisterUnregister(t *testing.T) {
+	s, _ := newNet(t)
+	dev, err := s.Register("eth0", 1500, &fakeOps{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dev.MTU != 1500 || dev.Name != "eth0" {
+		t.Fatalf("device = %+v", dev)
+	}
+	if _, err := s.Register("eth0", 1500, &fakeOps{}); err == nil {
+		t.Fatal("duplicate registration accepted")
+	}
+	if _, err := s.Register("eth1", 1500, nil); err == nil {
+		t.Fatal("nil ops accepted")
+	}
+	if err := s.Unregister("eth0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Unregister("eth0"); err == nil {
+		t.Fatal("double unregister accepted")
+	}
+	if _, ok := s.Device("eth0"); ok {
+		t.Fatal("device still resolvable")
+	}
+}
+
+func TestUpDownLifecycle(t *testing.T) {
+	s, k := newNet(t)
+	ops := &fakeOps{}
+	dev, _ := s.Register("eth0", 1500, ops)
+	ctx := k.NewContext("t")
+	if dev.IsUp() {
+		t.Fatal("up before Up()")
+	}
+	if err := dev.Up(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if !ops.opened || !dev.IsUp() {
+		t.Fatal("Open not propagated")
+	}
+	// Idempotent.
+	ops.opened = false
+	if err := dev.Up(ctx); err != nil || ops.opened {
+		t.Fatal("double Up reopened the driver")
+	}
+	if err := dev.Down(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if !ops.stopped || dev.IsUp() {
+		t.Fatal("Stop not propagated")
+	}
+}
+
+func TestUpFailurePropagates(t *testing.T) {
+	s, k := newNet(t)
+	ops := &fakeOps{openErr: errors.New("no irq")}
+	dev, _ := s.Register("eth0", 1500, ops)
+	if err := dev.Up(k.NewContext("t")); err == nil {
+		t.Fatal("failed open reported success")
+	}
+	if dev.IsUp() {
+		t.Fatal("device marked up after failed open")
+	}
+}
+
+func TestTransmitGates(t *testing.T) {
+	s, k := newNet(t)
+	ops := &fakeOps{}
+	dev, _ := s.Register("eth0", 1500, ops)
+	ctx := k.NewContext("t")
+	pkt := NewPacket([6]byte{1}, [6]byte{2}, 0x0800, 100)
+
+	if err := dev.Transmit(ctx, pkt); err == nil {
+		t.Fatal("transmit on down interface accepted")
+	}
+	_ = dev.Up(ctx)
+	if err := dev.Transmit(ctx, pkt); err == nil {
+		t.Fatal("transmit without carrier accepted")
+	}
+	if dev.Stats().TxErrors != 1 {
+		t.Fatalf("TxErrors = %d", dev.Stats().TxErrors)
+	}
+	dev.CarrierOn()
+	if err := dev.Transmit(ctx, pkt); err != nil {
+		t.Fatal(err)
+	}
+	st := dev.Stats()
+	if st.TxPackets != 1 || st.TxBytes != uint64(pkt.Len()) {
+		t.Fatalf("stats = %+v", st)
+	}
+	if len(ops.sent) != 1 {
+		t.Fatal("driver did not see the frame")
+	}
+}
+
+func TestTransmitDriverErrorCounted(t *testing.T) {
+	s, k := newNet(t)
+	ops := &fakeOps{xmitErr: errors.New("ring full")}
+	dev, _ := s.Register("eth0", 1500, ops)
+	ctx := k.NewContext("t")
+	_ = dev.Up(ctx)
+	dev.CarrierOn()
+	if err := dev.Transmit(ctx, NewPacket([6]byte{1}, [6]byte{2}, 0x0800, 10)); err == nil {
+		t.Fatal("driver error swallowed")
+	}
+	if dev.Stats().TxErrors != 1 {
+		t.Fatal("TxErrors not counted")
+	}
+}
+
+func TestReceivePath(t *testing.T) {
+	s, _ := newNet(t)
+	dev, _ := s.Register("eth0", 1500, &fakeOps{})
+	// No sink: dropped and counted.
+	dev.Receive(&Packet{Data: make([]byte, 60)})
+	if dev.Stats().RxDropped != 1 {
+		t.Fatalf("RxDropped = %d", dev.Stats().RxDropped)
+	}
+	var got *Packet
+	dev.SetRxSink(func(p *Packet) { got = p })
+	dev.Receive(&Packet{Data: make([]byte, 80)})
+	if got == nil || got.Len() != 80 {
+		t.Fatal("sink did not receive")
+	}
+	st := dev.Stats()
+	if st.RxPackets != 1 || st.RxBytes != 80 {
+		t.Fatalf("stats = %+v", st)
+	}
+	dev.ResetStats()
+	if dev.Stats().RxPackets != 0 {
+		t.Fatal("ResetStats failed")
+	}
+}
+
+func TestCarrierToggle(t *testing.T) {
+	s, _ := newNet(t)
+	dev, _ := s.Register("eth0", 1500, &fakeOps{})
+	if dev.CarrierOK() {
+		t.Fatal("carrier up by default")
+	}
+	dev.CarrierOn()
+	if !dev.CarrierOK() {
+		t.Fatal("CarrierOn failed")
+	}
+	dev.CarrierOff()
+	if dev.CarrierOK() {
+		t.Fatal("CarrierOff failed")
+	}
+}
+
+func TestNewPacketLayout(t *testing.T) {
+	dst := [6]byte{1, 2, 3, 4, 5, 6}
+	src := [6]byte{7, 8, 9, 10, 11, 12}
+	p := NewPacket(dst, src, 0x0800, 100)
+	if p.Len() != EthHeaderLen+100 {
+		t.Fatalf("len = %d", p.Len())
+	}
+	if p.Data[0] != 1 || p.Data[5] != 6 {
+		t.Fatal("dst MAC misplaced")
+	}
+	if p.Data[6] != 7 || p.Data[11] != 12 {
+		t.Fatal("src MAC misplaced")
+	}
+	if p.Data[12] != 0x08 || p.Data[13] != 0x00 {
+		t.Fatal("ethertype misplaced")
+	}
+}

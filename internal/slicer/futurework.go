@@ -1,0 +1,233 @@
+package slicer
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// This file implements the two DriverSlicer improvements the paper leaves
+// as future work in §3.2.4:
+//
+//   - "In the future, we plan to automatically analyze the decaf driver
+//     source code to detect and marshal these fields" — InferAnnotations
+//     derives DECAF_XVAR annotations from the field accesses of functions
+//     placed in the decaf driver, so the programmer no longer maintains
+//     them by hand.
+//   - "In addition, we plan to produce a concise specification of the
+//     entry points for regenerating marshaling code, rather than relying
+//     on the original driver source" — EntryPointSpec captures the entry
+//     points and the marshaling field sets in a small text format from
+//     which stubs regenerate without the driver source.
+
+// InferAnnotations scans every user-placed function's field accesses and
+// installs the corresponding DECAF_XVAR annotations on the structure
+// definitions (merging R and W into RW where both occur). It returns the
+// number of annotations added or widened.
+func InferAnnotations(d *Driver, p *Partition) (int, error) {
+	if p.Driver != d {
+		return 0, fmt.Errorf("slicer: partition does not belong to driver %q", d.Name)
+	}
+	type access struct{ read, write bool }
+	wanted := make(map[string]map[string]*access) // struct -> field -> access
+	note := func(ref string, write bool) {
+		parts := strings.SplitN(ref, ".", 2)
+		if len(parts) != 2 {
+			return
+		}
+		if wanted[parts[0]] == nil {
+			wanted[parts[0]] = make(map[string]*access)
+		}
+		a := wanted[parts[0]][parts[1]]
+		if a == nil {
+			a = &access{}
+			wanted[parts[0]][parts[1]] = a
+		}
+		if write {
+			a.write = true
+		} else {
+			a.read = true
+		}
+	}
+	for name, f := range d.Funcs {
+		if p.ByFunc[name] == PlaceNucleus {
+			continue
+		}
+		for _, r := range f.ReadsFields {
+			note(r, false)
+		}
+		for _, w := range f.WritesFields {
+			note(w, true)
+		}
+	}
+
+	added := 0
+	for structName, fields := range wanted {
+		s, ok := d.StructByName(structName)
+		if !ok {
+			return added, fmt.Errorf("slicer: inferred access to unknown struct %q", structName)
+		}
+		for i := range s.Fields {
+			a, ok := fields[s.Fields[i].Name]
+			if !ok {
+				continue
+			}
+			want := "R"
+			switch {
+			case a.read && a.write:
+				want = "RW"
+			case a.write:
+				want = "W"
+			}
+			cur := s.Fields[i].DecafAccess
+			merged := mergeAccess(cur, want)
+			if merged != cur {
+				s.Fields[i].DecafAccess = merged
+				added++
+			}
+		}
+	}
+	return added, nil
+}
+
+func mergeAccess(a, b string) string {
+	r := strings.Contains(a, "R") || strings.Contains(b, "R")
+	w := strings.Contains(a, "W") || strings.Contains(b, "W")
+	switch {
+	case r && w:
+		return "RW"
+	case w:
+		return "W"
+	case r:
+		return "R"
+	default:
+		return ""
+	}
+}
+
+// EntryPointSpec is the concise regeneration specification: everything
+// DriverSlicer needs to re-emit stubs and marshaling code, independent of
+// the original driver source.
+type EntryPointSpec struct {
+	// Driver is the module name.
+	Driver string
+	// SharedStruct names the structure entry-point stubs marshal.
+	SharedStruct string
+	// UserEntryPoints and KernelEntryPoints mirror the partition's sets.
+	UserEntryPoints   []string
+	KernelEntryPoints []string
+	// Marshal maps struct name -> transferred field names.
+	Marshal map[string][]string
+}
+
+// BuildEntryPointSpec captures the spec from a partition and its marshaling
+// specification.
+func BuildEntryPointSpec(p *Partition, m *MarshalSpec, sharedStruct string) *EntryPointSpec {
+	spec := &EntryPointSpec{
+		Driver:            p.Driver.Name,
+		SharedStruct:      sharedStruct,
+		UserEntryPoints:   append([]string(nil), p.UserEntryPoints...),
+		KernelEntryPoints: append([]string(nil), p.KernelEntryPoints...),
+		Marshal:           make(map[string][]string, len(m.Fields)),
+	}
+	for s, fields := range m.Fields {
+		spec.Marshal[s] = append([]string(nil), fields...)
+	}
+	return spec
+}
+
+// Render serializes the spec to its text format:
+//
+//	driver e1000
+//	shared e1000_adapter
+//	user-entry e1000_open
+//	kernel-entry request_irq
+//	marshal e1000_adapter: link_up mac_addr
+func (s *EntryPointSpec) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "driver %s\n", s.Driver)
+	fmt.Fprintf(&b, "shared %s\n", s.SharedStruct)
+	for _, ep := range s.UserEntryPoints {
+		fmt.Fprintf(&b, "user-entry %s\n", ep)
+	}
+	for _, ep := range s.KernelEntryPoints {
+		fmt.Fprintf(&b, "kernel-entry %s\n", ep)
+	}
+	structs := make([]string, 0, len(s.Marshal))
+	for name := range s.Marshal {
+		structs = append(structs, name)
+	}
+	sort.Strings(structs)
+	for _, name := range structs {
+		fmt.Fprintf(&b, "marshal %s: %s\n", name, strings.Join(s.Marshal[name], " "))
+	}
+	return b.String()
+}
+
+// ParseEntryPointSpec reads the text format back.
+func ParseEntryPointSpec(text string) (*EntryPointSpec, error) {
+	spec := &EntryPointSpec{Marshal: make(map[string][]string)}
+	for lineNo, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		word, rest, ok := strings.Cut(line, " ")
+		if !ok {
+			return nil, fmt.Errorf("slicer: spec line %d: %q", lineNo+1, line)
+		}
+		switch word {
+		case "driver":
+			spec.Driver = rest
+		case "shared":
+			spec.SharedStruct = rest
+		case "user-entry":
+			spec.UserEntryPoints = append(spec.UserEntryPoints, rest)
+		case "kernel-entry":
+			spec.KernelEntryPoints = append(spec.KernelEntryPoints, rest)
+		case "marshal":
+			name, fields, ok := strings.Cut(rest, ":")
+			if !ok {
+				return nil, fmt.Errorf("slicer: spec line %d: marshal without ':'", lineNo+1)
+			}
+			spec.Marshal[strings.TrimSpace(name)] = strings.Fields(fields)
+		default:
+			return nil, fmt.Errorf("slicer: spec line %d: unknown directive %q", lineNo+1, word)
+		}
+	}
+	if spec.Driver == "" {
+		return nil, fmt.Errorf("slicer: spec missing driver line")
+	}
+	return spec, nil
+}
+
+// GenerateStubs re-emits every stub from the spec alone — the regeneration
+// path that no longer needs the original driver source.
+func (s *EntryPointSpec) GenerateStubs() []Stub {
+	stubs := make([]Stub, 0, len(s.UserEntryPoints)+len(s.KernelEntryPoints))
+	pseudo := &Driver{Name: s.Driver}
+	for _, ep := range s.UserEntryPoints {
+		stubs = append(stubs, Stub{Name: ep, Kind: "kernel", Text: kernelStub(pseudo, ep, s.SharedStruct)})
+	}
+	for _, ep := range s.KernelEntryPoints {
+		stubs = append(stubs, Stub{Name: ep, Kind: "jeannie", Text: jeannieStub(pseudo, ep, s.SharedStruct)})
+	}
+	sort.Slice(stubs, func(i, j int) bool {
+		if stubs[i].Kind != stubs[j].Kind {
+			return stubs[i].Kind < stubs[j].Kind
+		}
+		return stubs[i].Name < stubs[j].Name
+	})
+	return stubs
+}
+
+// MarshalSpec converts the spec's field sets back to a MarshalSpec.
+func (s *EntryPointSpec) MarshalSpec() *MarshalSpec {
+	m := &MarshalSpec{Fields: make(map[string][]string, len(s.Marshal))}
+	for name, fields := range s.Marshal {
+		sorted := append([]string(nil), fields...)
+		sort.Strings(sorted)
+		m.Fields[name] = sorted
+	}
+	return m
+}

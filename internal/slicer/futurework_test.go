@@ -1,0 +1,182 @@
+package slicer
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestInferAnnotationsFromDecafAccesses(t *testing.T) {
+	d := toyDriver()
+	// Clear the hand-written annotation; inference must rediscover access.
+	for i := range d.Structs[0].Fields {
+		d.Structs[0].Fields[i].DecafAccess = ""
+	}
+	p, err := Slice(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	added, err := InferAnnotations(d, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added == 0 {
+		t.Fatal("inference added nothing")
+	}
+	s, _ := d.StructByName("toy_adapter")
+	got := map[string]string{}
+	for _, f := range s.Fields {
+		got[f.Name] = f.DecafAccess
+	}
+	// toy_probe writes flags; toy_open reads mac_addr.
+	if got["flags"] != "W" {
+		t.Errorf("flags access = %q, want W", got["flags"])
+	}
+	if got["mac_addr"] != "R" {
+		t.Errorf("mac_addr access = %q, want R", got["mac_addr"])
+	}
+	// Fields nobody touches stay unannotated.
+	if got["stats_total"] != "" {
+		t.Errorf("stats_total access = %q, want none", got["stats_total"])
+	}
+}
+
+func TestInferAnnotationsMergesRW(t *testing.T) {
+	d := toyDriver()
+	d.Funcs["toy_probe"].ReadsFields = []string{"toy_adapter.flags"} // also written
+	p, _ := Slice(d)
+	if _, err := InferAnnotations(d, p); err != nil {
+		t.Fatal(err)
+	}
+	s, _ := d.StructByName("toy_adapter")
+	for _, f := range s.Fields {
+		if f.Name == "flags" && f.DecafAccess != "RW" {
+			t.Fatalf("flags = %q, want RW", f.DecafAccess)
+		}
+	}
+}
+
+func TestInferAnnotationsIgnoresNucleusAccesses(t *testing.T) {
+	d := toyDriver()
+	for i := range d.Structs[0].Fields {
+		d.Structs[0].Fields[i].DecafAccess = ""
+	}
+	// A nucleus function's accesses must not create marshaling traffic.
+	d.Funcs["toy_intr"].WritesFields = []string{"toy_adapter.stats_total"}
+	p, _ := Slice(d)
+	if _, err := InferAnnotations(d, p); err != nil {
+		t.Fatal(err)
+	}
+	s, _ := d.StructByName("toy_adapter")
+	for _, f := range s.Fields {
+		if f.Name == "stats_total" && f.DecafAccess != "" {
+			t.Fatal("nucleus access produced an annotation")
+		}
+	}
+}
+
+func TestInferThenRegenerateCoversFields(t *testing.T) {
+	// End-to-end: inference followed by regeneration marshals exactly the
+	// decaf-accessed fields, without hand annotations.
+	d := toyDriver()
+	for i := range d.Structs[0].Fields {
+		d.Structs[0].Fields[i].DecafAccess = ""
+	}
+	p, _ := Slice(d)
+	if _, err := InferAnnotations(d, p); err != nil {
+		t.Fatal(err)
+	}
+	_, spec, _, err := Regenerate(d, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !spec.Includes("toy_adapter", "flags") || !spec.Includes("toy_adapter", "mac_addr") {
+		t.Fatalf("regenerated spec = %v", spec.Fields)
+	}
+}
+
+func TestEntryPointSpecRoundTrip(t *testing.T) {
+	d := toyDriver()
+	p, _ := Slice(d)
+	m := BuildMarshalSpec(p)
+	spec := BuildEntryPointSpec(p, m, "toy_adapter")
+
+	text := spec.Render()
+	for _, want := range []string{"driver toy", "shared toy_adapter", "user-entry toy_open",
+		"kernel-entry request_irq", "marshal toy_adapter:"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("rendered spec missing %q:\n%s", want, text)
+		}
+	}
+
+	back, err := ParseEntryPointSpec(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Driver != "toy" || back.SharedStruct != "toy_adapter" {
+		t.Fatalf("parsed header = %q/%q", back.Driver, back.SharedStruct)
+	}
+	if len(back.UserEntryPoints) != len(spec.UserEntryPoints) {
+		t.Fatalf("user entries = %v", back.UserEntryPoints)
+	}
+	if len(back.KernelEntryPoints) != len(spec.KernelEntryPoints) {
+		t.Fatalf("kernel entries = %v", back.KernelEntryPoints)
+	}
+	m2 := back.MarshalSpec()
+	if !m2.Includes("toy_adapter", "msg_enable") {
+		t.Fatalf("parsed marshal spec = %v", m2.Fields)
+	}
+}
+
+func TestEntryPointSpecGeneratesStubsWithoutSource(t *testing.T) {
+	d := toyDriver()
+	p, _ := Slice(d)
+	spec := BuildEntryPointSpec(p, BuildMarshalSpec(p), "toy_adapter")
+
+	// Simulate losing the driver source: parse the rendered spec and
+	// regenerate stubs from it alone.
+	back, err := ParseEntryPointSpec(spec.Render())
+	if err != nil {
+		t.Fatal(err)
+	}
+	stubs := back.GenerateStubs()
+	if len(stubs) != len(p.UserEntryPoints)+len(p.KernelEntryPoints) {
+		t.Fatalf("stubs = %d, want %d", len(stubs), len(p.UserEntryPoints)+len(p.KernelEntryPoints))
+	}
+	jeannie := 0
+	for _, s := range stubs {
+		if s.Kind == "jeannie" {
+			jeannie++
+			if !StubHasFigure2Shape(s) {
+				t.Errorf("spec-regenerated stub %s lacks Figure 2 shape", s.Name)
+			}
+		}
+	}
+	if jeannie == 0 {
+		t.Fatal("no jeannie stubs regenerated")
+	}
+}
+
+func TestParseEntryPointSpecErrors(t *testing.T) {
+	if _, err := ParseEntryPointSpec("bogus-directive x\n"); err == nil {
+		t.Fatal("unknown directive accepted")
+	}
+	if _, err := ParseEntryPointSpec("shared x\n"); err == nil {
+		t.Fatal("spec without driver accepted")
+	}
+	if _, err := ParseEntryPointSpec("driver d\nmarshal no-colon\n"); err == nil {
+		t.Fatal("malformed marshal line accepted")
+	}
+	// Comments and blanks are fine.
+	spec, err := ParseEntryPointSpec("# comment\n\ndriver d\n")
+	if err != nil || spec.Driver != "d" {
+		t.Fatalf("comment handling broken: %v", err)
+	}
+}
+
+func TestInferAnnotationsWrongPartition(t *testing.T) {
+	d1, d2 := toyDriver(), toyDriver()
+	p, _ := Slice(d2)
+	if _, err := InferAnnotations(d1, p); err == nil {
+		t.Fatal("mismatched partition accepted")
+	}
+}

@@ -1,0 +1,151 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"decafdrivers/internal/core"
+	"decafdrivers/internal/drivers/e1000"
+	"decafdrivers/internal/drivers/psmouse"
+	"decafdrivers/internal/drivers/rtl8139"
+	"decafdrivers/internal/hw/e1000hw"
+	"decafdrivers/internal/hw/ps2hw"
+	"decafdrivers/internal/hw/rtl8139hw"
+	"decafdrivers/internal/kinput"
+	"decafdrivers/internal/knet"
+	"decafdrivers/internal/xpc"
+)
+
+// TestMultiDriverMachine boots one simulated machine hosting three decaf
+// drivers at once — two NICs and a mouse — and runs traffic on all of them
+// concurrently, verifying that the per-driver XPC runtimes, IRQ lines and
+// subsystem registrations stay isolated (the paper runs each decaf driver
+// as its own user-level process; here each has its own runtime and
+// domains).
+func TestMultiDriverMachine(t *testing.T) {
+	sys := core.NewSystem(core.Options{})
+
+	// E1000 on IRQ 9.
+	e1kDev := e1000hw.New(sys.Bus, 9, [6]byte{0x00, 0x1B, 0x21, 1, 1, 1})
+	e1kDev.SetLink(true)
+	e1kDev.SetIntrBatch(16)
+	e1k := e1000.New(sys.Kernel, sys.Net, e1kDev, e1000.Config{Mode: xpc.ModeDecaf, IRQ: 9})
+	if _, err := sys.Kernel.LoadModule(e1k.Module()); err != nil {
+		t.Fatal(err)
+	}
+
+	// 8139too on IRQ 11; the network core assigns it the next free ethN.
+	rtlDev := rtl8139hw.New(sys.Bus, 11, 0xC000, [6]byte{0x00, 0xE0, 0x4C, 2, 2, 2})
+	rtl := rtl8139.New(sys.Kernel, sys.Net, rtlDev, 0xC000, rtl8139.Config{Mode: xpc.ModeDecaf, IRQ: 11})
+	if _, err := sys.Kernel.LoadModule(rtl.Module()); err != nil {
+		t.Fatal(err)
+	}
+	if rtl.NetDevice().Name != "eth1" || e1k.NetDevice().Name != "eth0" {
+		t.Fatalf("interface names = %q, %q", e1k.NetDevice().Name, rtl.NetDevice().Name)
+	}
+
+	// PS/2 mouse on IRQ 12.
+	port := kinput.NewSerioPort()
+	mouse := ps2hw.New(port, sys.Bus.IRQ(12))
+	psm := psmouse.New(sys.Kernel, sys.Input, port, psmouse.Config{Mode: xpc.ModeDecaf, IRQ: 12})
+	if _, err := sys.Kernel.LoadModule(psm.Module()); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := len(sys.Kernel.LoadedModules()); got != 3 {
+		t.Fatalf("loaded modules = %d, want 3", got)
+	}
+	for name, rt := range map[string]*xpc.Runtime{
+		"e1000": e1k.Runtime(), "8139too": rtl.Runtime(), "psmouse": psm.Runtime(),
+	} {
+		if err := sys.AdoptRuntime(name, rt); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Bring both interfaces up and run interleaved traffic.
+	ctx := sys.Kernel.NewContext("apps")
+	if err := e1k.NetDevice().Up(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := rtl.NetDevice().Up(ctx); err != nil {
+		t.Fatal(err)
+	}
+	e1kDev.OnTransmit = func([]byte) {}
+	rtlDev.OnTransmit = func([]byte) {}
+
+	mouseEvents := 0
+	psm.InputDevice().SetSink(func(kinput.Event) { mouseEvents++ })
+
+	e1kBase := e1k.Runtime().Counters().Trips()
+	rtlBase := rtl.Runtime().Counters().Trips()
+	for i := 0; i < 200; i++ {
+		if err := e1k.NetDevice().Transmit(ctx, knet.NewPacket([6]byte{1}, e1k.NetDevice().MAC, 0x0800, 800)); err != nil {
+			t.Fatalf("e1000 tx %d: %v", i, err)
+		}
+		if err := rtl.NetDevice().Transmit(ctx, knet.NewPacket([6]byte{2}, rtl.NetDevice().MAC, 0x0800, 400)); err != nil {
+			t.Fatalf("8139too tx %d: %v", i, err)
+		}
+		if i%4 == 0 {
+			mouse.Move(1, -1, false, false)
+		}
+		sys.Clock.Advance(100 * time.Microsecond)
+		sys.DrainDeferredWork()
+	}
+
+	// Traffic landed on the right devices.
+	e1kTx, _, _, _, _ := e1kDev.Counters()
+	rtlTx, _, _, _, _ := rtlDev.Counters()
+	if e1kTx != 200 || rtlTx != 200 {
+		t.Fatalf("tx counts = %d / %d, want 200 / 200", e1kTx, rtlTx)
+	}
+	if mouseEvents != 50*4 {
+		t.Fatalf("mouse events = %d, want 200", mouseEvents)
+	}
+
+	// Crossing isolation: the 8139too and psmouse data paths crossed zero
+	// times; any crossings belong to the E1000 watchdog.
+	if d := rtl.Runtime().Counters().Trips() - rtlBase; d != 0 {
+		t.Fatalf("8139too crossed %d times under load", d)
+	}
+	if d := e1k.Runtime().Counters().Trips() - e1kBase; d > 1 {
+		t.Fatalf("e1000 crossed %d times in 20ms of traffic (watchdog alone expected)", d)
+	}
+	if sys.TotalCrossings() == 0 {
+		t.Fatal("no crossings recorded at all (init should have crossed)")
+	}
+
+	// Teardown is clean across all three.
+	for _, name := range []string{"e1000", "8139too", "psmouse"} {
+		if err := sys.Kernel.UnloadModule(name); err != nil {
+			t.Fatalf("unload %s: %v", name, err)
+		}
+	}
+	if got := len(sys.Kernel.LoadedModules()); got != 0 {
+		t.Fatalf("modules left after teardown: %d", got)
+	}
+}
+
+// TestMultiDriverInitLatencyAdds verifies module-load accounting is
+// per-module even on a shared machine.
+func TestMultiDriverInitLatencyAdds(t *testing.T) {
+	sys := core.NewSystem(core.Options{})
+	e1kDev := e1000hw.New(sys.Bus, 9, [6]byte{1, 2, 3, 4, 5, 6})
+	e1kDev.SetLink(true)
+	e1k := e1000.New(sys.Kernel, sys.Net, e1kDev, e1000.Config{Mode: xpc.ModeDecaf, IRQ: 9})
+	rep1, err := sys.Kernel.LoadModule(e1k.Module())
+	if err != nil {
+		t.Fatal(err)
+	}
+	port := kinput.NewSerioPort()
+	ps2hw.New(port, sys.Bus.IRQ(12))
+	psm := psmouse.New(sys.Kernel, sys.Input, port, psmouse.Config{Mode: xpc.ModeDecaf, IRQ: 12})
+	rep2, err := sys.Kernel.LoadModule(psm.Module())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep1.InitLatency < 2*rep2.InitLatency {
+		t.Fatalf("e1000 init %v should clearly exceed psmouse init %v (80 vs 18 crossings)",
+			rep1.InitLatency, rep2.InitLatency)
+	}
+}

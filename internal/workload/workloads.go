@@ -1,0 +1,240 @@
+package workload
+
+import (
+	"fmt"
+	"time"
+
+	"decafdrivers/internal/kinput"
+	"decafdrivers/internal/knet"
+	"decafdrivers/internal/kusb"
+)
+
+// Result is one workload measurement, a Table 3 cell group.
+type Result struct {
+	// Workload names the benchmark ("netperf-send", ...).
+	Workload string
+	// ThroughputMbps is the achieved rate in megabits per second
+	// (0 for workloads without a meaningful rate).
+	ThroughputMbps float64
+	// CPUUtil is busy CPU over elapsed virtual time.
+	CPUUtil float64
+	// Crossings counts user/kernel trips during the workload phase.
+	Crossings uint64
+	// Elapsed is the workload's virtual duration.
+	Elapsed time.Duration
+	// Units is a workload-specific count (packets, periods, events, bytes).
+	Units uint64
+}
+
+// Line rates for the wire-time pacing model.
+const (
+	GigabitMbps    = 1000.0
+	FastEtherMbps  = 100.0
+	netperfPayload = 1448
+)
+
+func wireTime(bytes int, mbps float64) time.Duration {
+	return time.Duration(float64(bytes*8) / (mbps * 1e6) * float64(time.Second))
+}
+
+// NetperfSend streams TCP-sized frames out of the interface for the given
+// virtual duration, pacing the clock at the wire rate.
+func NetperfSend(tb *Testbed, nd *knet.NetDevice, mbps float64, duration time.Duration) (Result, error) {
+	ctx := tb.Kernel.NewContext("netperf-send")
+	phase := tb.StartPhase()
+	end := tb.Clock.Now() + duration
+	var bytes, pkts uint64
+	pkt := knet.NewPacket([6]byte{0x00, 0x11, 0x22, 0x33, 0x44, 0x55}, nd.MAC, 0x0800, netperfPayload)
+	wt := wireTime(pkt.Len(), mbps)
+	for tb.Clock.Now() < end {
+		if err := nd.Transmit(ctx, pkt); err != nil {
+			return Result{}, fmt.Errorf("netperf-send: %w", err)
+		}
+		bytes += uint64(pkt.Len())
+		pkts++
+		tb.Clock.Advance(wt)
+		tb.drainDeferredWork()
+	}
+	elapsed, cpu, x := phase.End()
+	return Result{
+		Workload:       "netperf-send",
+		ThroughputMbps: float64(bytes*8) / elapsed.Seconds() / 1e6,
+		CPUUtil:        cpu,
+		Crossings:      x,
+		Elapsed:        elapsed,
+		Units:          pkts,
+	}, nil
+}
+
+// NetperfRecv injects wire frames into the adapter for the given duration;
+// the driver's interrupt path delivers them up the stack.
+func NetperfRecv(tb *Testbed, inject func(frame []byte) bool, nd *knet.NetDevice, mbps float64, duration time.Duration) (Result, error) {
+	received := uint64(0)
+	nd.SetRxSink(func(p *knet.Packet) { received += uint64(p.Len()) })
+	defer nd.SetRxSink(nil)
+
+	phase := tb.StartPhase()
+	end := tb.Clock.Now() + duration
+	frame := knet.NewPacket(nd.MAC, [6]byte{0x00, 0x99, 0x88, 0x77, 0x66, 0x55}, 0x0800, netperfPayload)
+	wt := wireTime(frame.Len(), mbps)
+	var pkts uint64
+	for tb.Clock.Now() < end {
+		if !inject(frame.Data) {
+			return Result{}, fmt.Errorf("netperf-recv: adapter dropped a frame (ring overrun)")
+		}
+		pkts++
+		tb.Clock.Advance(wt)
+		tb.drainDeferredWork()
+	}
+	elapsed, cpu, x := phase.End()
+	return Result{
+		Workload:       "netperf-recv",
+		ThroughputMbps: float64(received*8) / elapsed.Seconds() / 1e6,
+		CPUUtil:        cpu,
+		Crossings:      x,
+		Elapsed:        elapsed,
+		Units:          pkts,
+	}, nil
+}
+
+// MP3 playback parameters: a 256 kb/s MP3 decodes to 44.1 kHz 16-bit
+// stereo PCM.
+const (
+	mpgRate         = 44100
+	mpgChannels     = 2
+	mpgPeriodFrames = 1024
+)
+
+// Mpg123 plays the given duration of decoded audio through the sound card,
+// keeping the DMA buffer fed one period ahead.
+func Mpg123(tb *Testbed, duration time.Duration) (Result, error) {
+	ctx := tb.Kernel.NewContext("mpg123")
+	card, ok := tb.Snd.Card("ens1371")
+	if !ok {
+		return Result{}, fmt.Errorf("mpg123: no sound card")
+	}
+	// The phase includes playback start and end: that is where the paper's
+	// 15 decaf-driver invocations occur (§4.2).
+	phase := tb.StartPhase()
+	st, err := card.OpenPlayback(ctx)
+	if err != nil {
+		return Result{}, err
+	}
+	tb.Ens.AttachStream(st)
+	if err := st.Configure(ctx, mpgRate, mpgChannels, mpgPeriodFrames); err != nil {
+		return Result{}, err
+	}
+	pcm := make([]byte, mpgPeriodFrames*2*mpgChannels)
+	for i := range pcm {
+		pcm[i] = byte(i * 7)
+	}
+	// Prefill one period, start, then feed period-by-period.
+	if _, err := st.Write(ctx, pcm); err != nil {
+		return Result{}, err
+	}
+	if err := st.Start(ctx); err != nil {
+		return Result{}, err
+	}
+	const periodTime = time.Second * mpgPeriodFrames / mpgRate
+	end := tb.Clock.Now() + duration
+	for tb.Clock.Now() < end {
+		if _, err := st.Write(ctx, pcm); err != nil {
+			return Result{}, err
+		}
+		tb.Clock.Advance(periodTime)
+		tb.drainDeferredWork()
+	}
+	if err := st.Stop(ctx); err != nil {
+		return Result{}, err
+	}
+	periods := st.Periods()
+	if err := st.Close(ctx); err != nil {
+		return Result{}, err
+	}
+	elapsed, cpu, x := phase.End()
+	return Result{
+		Workload:  "mpg123",
+		CPUUtil:   cpu,
+		Crossings: x,
+		Elapsed:   elapsed,
+		Units:     periods,
+	}, nil
+}
+
+// TarToFlash streams an archive of the given size to the USB flash drive
+// in 4 KiB bulk URBs, waiting for each completion.
+func TarToFlash(tb *Testbed, archiveBytes int) (Result, error) {
+	ctx := tb.Kernel.NewContext("tar")
+	phase := tb.StartPhase()
+	const urbSize = 4096
+	sent := 0
+	buf := make([]byte, urbSize)
+	for i := range buf {
+		buf[i] = byte(i)
+	}
+	for sent < archiveBytes {
+		n := urbSize
+		if archiveBytes-sent < n {
+			n = archiveBytes - sent
+		}
+		done := false
+		urb := &kusb.URB{Endpoint: 2, Dir: kusb.DirOut, Data: buf[:n],
+			Complete: func(u *kusb.URB) { done = true }}
+		if err := tb.USB.SubmitURB(ctx, "uhci-hcd", urb); err != nil {
+			return Result{}, err
+		}
+		for !done {
+			tb.Clock.Advance(time.Millisecond) // frame by frame
+		}
+		if urb.Status != 0 {
+			return Result{}, fmt.Errorf("tar: URB failed with %d", urb.Status)
+		}
+		sent += n
+		tb.drainDeferredWork()
+	}
+	elapsed, cpu, x := phase.End()
+	return Result{
+		Workload:       "tar",
+		ThroughputMbps: float64(sent*8) / elapsed.Seconds() / 1e6,
+		CPUUtil:        cpu,
+		Crossings:      x,
+		Elapsed:        elapsed,
+		Units:          uint64(sent),
+	}, nil
+}
+
+// MoveAndClick moves the mouse continuously for the given duration at a
+// 100 Hz report rate, clicking once a second — the paper's psmouse
+// workload.
+func MoveAndClick(tb *Testbed, duration time.Duration) (Result, error) {
+	ctx := tb.Kernel.NewContext("move-and-click")
+	dev := tb.Psmouse.InputDevice()
+	if dev == nil {
+		return Result{}, fmt.Errorf("move-and-click: no input device")
+	}
+	events := uint64(0)
+	dev.SetSink(func(e kinput.Event) { events++ })
+	defer dev.SetSink(nil)
+
+	phase := tb.StartPhase()
+	end := tb.Clock.Now() + duration
+	i := 0
+	for tb.Clock.Now() < end {
+		click := i%100 == 0
+		if !tb.Mouse.Move(3, -2, click, false) {
+			return Result{}, fmt.Errorf("move-and-click: reporting disabled")
+		}
+		tb.Psmouse.ChargeReport(ctx)
+		tb.Clock.Advance(10 * time.Millisecond)
+		tb.drainDeferredWork()
+		i++
+	}
+	elapsed, cpu, x := phase.End()
+	return Result{
+		Workload:  "move-and-click",
+		CPUUtil:   cpu,
+		Crossings: x,
+		Elapsed:   elapsed,
+		Units:     events,
+	}, nil
+}

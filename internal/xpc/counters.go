@@ -1,0 +1,76 @@
+package xpc
+
+import "sort"
+
+// Counters accumulate crossing statistics — the source of the Table 3
+// "User/Kernel Crossings" column and the §4.2 decaf-invocation counts.
+type Counters struct {
+	// Upcalls counts kernel→user call/return trips.
+	Upcalls uint64
+	// Downcalls counts user→kernel call/return trips.
+	Downcalls uint64
+	// LibraryCalls counts direct decaf→library scalar calls.
+	LibraryCalls uint64
+	// BytesKernelUser is the total marshaled bytes across the process
+	// boundary.
+	BytesKernelUser uint64
+	// BytesCJava is the total marshaled bytes across the language boundary.
+	BytesCJava uint64
+	// PerCall counts trips per entry-point name.
+	PerCall map[string]uint64
+}
+
+// Trips reports total user/kernel call/return trips (upcalls + downcalls),
+// the paper's crossing metric.
+func (c Counters) Trips() uint64 { return c.Upcalls + c.Downcalls }
+
+// CallNames lists the entry points that crossed, sorted.
+func (c Counters) CallNames() []string {
+	names := make([]string, 0, len(c.PerCall))
+	for n := range c.PerCall {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func (r *Runtime) countTrip(name string, up bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if up {
+		r.counters.Upcalls++
+	} else {
+		r.counters.Downcalls++
+	}
+	if r.counters.PerCall == nil {
+		r.counters.PerCall = make(map[string]uint64)
+	}
+	r.counters.PerCall[name]++
+}
+
+func (r *Runtime) addBytes(ku, cj int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.counters.BytesKernelUser += uint64(ku)
+	r.counters.BytesCJava += uint64(cj)
+}
+
+// Counters returns a snapshot of the runtime's crossing statistics.
+func (r *Runtime) Counters() Counters {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	snap := r.counters
+	snap.PerCall = make(map[string]uint64, len(r.counters.PerCall))
+	for k, v := range r.counters.PerCall {
+		snap.PerCall[k] = v
+	}
+	return snap
+}
+
+// ResetCounters zeroes the crossing statistics (the harness calls this
+// between the initialization and steady-state phases of a workload).
+func (r *Runtime) ResetCounters() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.counters = Counters{}
+}

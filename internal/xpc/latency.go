@@ -1,0 +1,74 @@
+package xpc
+
+import (
+	"time"
+
+	"decafdrivers/internal/kernel"
+)
+
+// Leg identifies one boundary a transfer crosses.
+type Leg int
+
+// Crossing legs.
+const (
+	// LegKernelUser crosses the kernel/user process boundary.
+	LegKernelUser Leg = iota
+	// LegCJava crosses the C/Java language boundary with XDR marshaling.
+	LegCJava
+	// LegCJavaDirect is a direct cross-language call with scalar arguments
+	// (no marshaling).
+	LegCJavaDirect
+)
+
+// LatencyModel prices one crossing leg: a fixed scheduling/transition cost
+// plus a per-byte marshaling cost. The defaults are calibrated so that the
+// five drivers' simulated initialization latencies land in the range the
+// paper measures in Table 3 (15–50 ms per call/return trip, depending on
+// how large the marshaled driver structures are; see EXPERIMENTS.md).
+type LatencyModel struct {
+	// KernelUserBase is the scheduling + protection-domain transition cost
+	// of one kernel/user call/return trip.
+	KernelUserBase time.Duration
+	// CJavaBase is the JNI-transition cost of one C/Java call/return trip.
+	CJavaBase time.Duration
+	// CJavaDirectBase is the cost of a direct cross-language scalar call.
+	CJavaDirectBase time.Duration
+	// PerByte is the CPU cost of marshaling plus unmarshaling one byte.
+	PerByte time.Duration
+}
+
+// DefaultLatencyModel is the calibrated model used by all experiments.
+var DefaultLatencyModel = LatencyModel{
+	KernelUserBase:  22 * time.Millisecond,
+	CJavaBase:       3 * time.Millisecond,
+	CJavaDirectBase: 2 * time.Microsecond,
+	PerByte:         2500 * time.Nanosecond,
+}
+
+// ZeroLatencyModel charges nothing; useful for isolating logic in tests.
+var ZeroLatencyModel = LatencyModel{}
+
+// chargeTrip accounts the control-transfer cost of one call/return trip —
+// the kernel/user transition plus the C/Java transition — as blocked time on
+// the calling context. It is charged once per Upcall/Downcall regardless of
+// how many objects travel.
+func (m LatencyModel) chargeTrip(ctx *kernel.Context) {
+	if base := m.KernelUserBase + m.CJavaBase; base > 0 {
+		ctx.Sleep(base)
+	}
+}
+
+// chargeDirect accounts a direct cross-language scalar call.
+func (m LatencyModel) chargeDirect(ctx *kernel.Context) {
+	if m.CJavaDirectBase > 0 {
+		ctx.Sleep(m.CJavaDirectBase)
+	}
+}
+
+// chargeMarshal accounts the CPU cost of marshaling plus unmarshaling one
+// leg's payload.
+func (m LatencyModel) chargeMarshal(ctx *kernel.Context, bytes int) {
+	if bytes > 0 && m.PerByte > 0 {
+		ctx.Charge(time.Duration(bytes) * m.PerByte)
+	}
+}

@@ -1,0 +1,401 @@
+// Package xpc implements Extension Procedure Call, the communication
+// substrate of Decaf Drivers (paper §2.3, §3.1): procedure calls between the
+// driver nucleus (kernel), the driver library (user-level C), and the decaf
+// driver (user-level managed code), providing
+//
+//   - control transfer with procedure-call semantics,
+//   - object transfer via XDR marshaling with field-level masks,
+//   - object sharing through the object tracker, and
+//   - synchronization via combolocks (implemented in package kernel).
+//
+// Decaf always performs XPCs to and from the kernel in C: "An upcall from
+// the kernel always invokes C code first, which may then invoke Java code"
+// (§3.1). An upcall therefore has two legs — kernel→library (process
+// boundary, Microdrivers-style marshaling) and library→decaf (language
+// boundary, XDR) — and the runtime reproduces both, including the double
+// marshal/unmarshal the paper identifies as its main initialization cost:
+// "unmarshaling at user-level in C and re-marshaling in Java" (§4.2).
+//
+// Control transfer reuses the calling thread, the optimization the paper
+// permits when the decaf driver and driver library share a process.
+package xpc
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+
+	"decafdrivers/internal/kernel"
+	"decafdrivers/internal/objtrack"
+	"decafdrivers/internal/xdr"
+)
+
+// Mode selects how a driver instance is deployed.
+type Mode int
+
+// Deployment modes.
+const (
+	// ModeNative runs every driver function in the kernel, the paper's
+	// "native" baseline: no crossings, no marshaling.
+	ModeNative Mode = iota
+	// ModeDecaf splits the driver: nucleus functions stay in the kernel and
+	// entry points to user-level functions cross via XPC.
+	ModeDecaf
+)
+
+func (m Mode) String() string {
+	if m == ModeNative {
+		return "native"
+	}
+	return "decaf"
+}
+
+// Runtime is the per-driver XPC runtime: one instance backs one loaded
+// decaf driver and holds its domains, trackers, codecs and counters. The
+// kernel-resident half is the paper's "nuclear runtime"; the user-resident
+// half is the "decaf runtime".
+type Runtime struct {
+	Kernel *kernel.Kernel
+	Mode   Mode
+
+	// KernelSpace is the driver nucleus's heap of shared objects.
+	KernelSpace *objtrack.AddressSpace
+	// LibrarySpace is the driver library's (user C) heap.
+	LibrarySpace *objtrack.AddressSpace
+	// LibTracker maps kernel pointers to driver-library objects.
+	LibTracker *objtrack.Tracker
+	// DecafTracker is the user-level object tracker ("JavaOT") mapping
+	// driver-library pointers to decaf-driver objects.
+	DecafTracker *objtrack.Tracker
+
+	// Masked is the default codec, marshaling only annotated fields.
+	Masked *xdr.Codec
+	// Full marshals entire structures; selecting it instead of Masked is
+	// the D2 ablation (DESIGN.md).
+	Full *xdr.Codec
+	// UseFullMarshal switches every transfer to the Full codec.
+	UseFullMarshal bool
+	// DirectTransfer enables the optimization the paper proposes in §4.2:
+	// transfer data directly between the driver nucleus and the decaf
+	// driver, skipping the unmarshal/re-marshal through the driver library.
+	DirectTransfer bool
+
+	// Latency is the crossing cost model.
+	Latency LatencyModel
+
+	// DisableIRQs lists interrupt numbers the nuclear runtime masks while
+	// the decaf driver executes, so "the driver cannot interrupt itself"
+	// (§3.1.3).
+	DisableIRQs []int
+
+	decafCtx *kernel.Context
+	downCtx  *kernel.Context
+
+	mu       sync.Mutex
+	counters Counters
+	shared   []sharedObject
+}
+
+type sharedObject struct {
+	kernelObj any
+	libObj    any
+	decafObj  any
+	typeID    objtrack.TypeID
+	kernelPtr objtrack.CPtr
+	libPtr    objtrack.CPtr
+}
+
+// NewRuntime creates an XPC runtime for one driver on the given kernel.
+func NewRuntime(k *kernel.Kernel, name string, mode Mode, mask xdr.FieldMask) *Runtime {
+	return &Runtime{
+		Kernel:       k,
+		Mode:         mode,
+		KernelSpace:  objtrack.NewAddressSpace(name + "/kernel"),
+		LibrarySpace: objtrack.NewAddressSpace(name + "/library"),
+		LibTracker:   objtrack.NewTracker(name + "/library"),
+		DecafTracker: objtrack.NewTracker(name + "/decaf"),
+		Masked:       &xdr.Codec{Mask: mask},
+		Full:         &xdr.Codec{},
+		Latency:      DefaultLatencyModel,
+		decafCtx:     k.NewContext(name + "/decaf"),
+		downCtx:      k.NewContext(name + "/downcall"),
+	}
+}
+
+// DecafContext returns the context user-level decaf code executes under.
+func (r *Runtime) DecafContext() *kernel.Context { return r.decafCtx }
+
+func (r *Runtime) codec() *xdr.Codec {
+	if r.UseFullMarshal {
+		return r.Full
+	}
+	return r.Masked
+}
+
+// TypeIDOf derives the object-tracker type identifier for an object: its
+// struct type name, standing in for the address of its XDR marshaling
+// function (paper §3.1.2).
+func TypeIDOf(obj any) objtrack.TypeID {
+	t := reflect.TypeOf(obj)
+	for t.Kind() == reflect.Ptr {
+		t = t.Elem()
+	}
+	return objtrack.TypeID(t.Name())
+}
+
+// Share registers a kernel object and its decaf-driver counterpart with the
+// object trackers, allocating the intermediate driver-library copy, and
+// returns the kernel pointer. Decaf drivers call this from their custom
+// constructors, which "also allocate kernel memory at the same time and
+// create an association in the object tracker" (§5.1).
+func (r *Runtime) Share(kernelObj, decafObj any) (objtrack.CPtr, error) {
+	if reflect.TypeOf(kernelObj) != reflect.TypeOf(decafObj) {
+		return 0, fmt.Errorf("xpc: Share of mismatched types %T and %T", kernelObj, decafObj)
+	}
+	typ := TypeIDOf(kernelObj)
+	kptr := r.KernelSpace.Register(kernelObj)
+	lib := reflect.New(reflect.TypeOf(kernelObj).Elem()).Interface()
+	if err := r.LibTracker.Associate(kptr, typ, lib); err != nil {
+		return 0, err
+	}
+	lptr := r.LibrarySpace.Register(lib)
+	if err := r.DecafTracker.Associate(lptr, typ, decafObj); err != nil {
+		return 0, err
+	}
+	r.mu.Lock()
+	r.shared = append(r.shared, sharedObject{
+		kernelObj: kernelObj, libObj: lib, decafObj: decafObj,
+		typeID: typ, kernelPtr: kptr, libPtr: lptr,
+	})
+	r.mu.Unlock()
+	return kptr, nil
+}
+
+// Unshare releases every tracker association for a kernel object, after
+// which the decaf-side object is collectable. It reports whether the object
+// was shared.
+func (r *Runtime) Unshare(kernelObj any) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i, s := range r.shared {
+		if s.kernelObj == kernelObj {
+			r.LibTracker.Release(s.kernelPtr, s.typeID)
+			r.DecafTracker.Release(s.libPtr, s.typeID)
+			r.shared = append(r.shared[:i], r.shared[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// SharedCount reports the number of live shared objects.
+func (r *Runtime) SharedCount() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.shared)
+}
+
+func (r *Runtime) findShared(obj any) (sharedObject, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, s := range r.shared {
+		if s.kernelObj == obj || s.decafObj == obj || s.libObj == obj {
+			return s, true
+		}
+	}
+	return sharedObject{}, false
+}
+
+// unmarshalInto decodes data over an existing object (in place).
+func unmarshalInto(c *xdr.Codec, data []byte, obj any) error {
+	holder := reflect.New(reflect.TypeOf(obj))
+	holder.Elem().Set(reflect.ValueOf(obj))
+	return c.Unmarshal(data, holder.Interface())
+}
+
+// syncLeg marshals src and unmarshals over dst, charging the marshaling CPU
+// cost to ctx, and returns the byte count. The leg parameter classifies the
+// bytes for the counters.
+func (r *Runtime) syncLeg(ctx *kernel.Context, src, dst any, leg Leg) (int, error) {
+	c := r.codec()
+	data, err := c.Marshal(src)
+	if err != nil {
+		return 0, fmt.Errorf("xpc: marshal %T: %w", src, err)
+	}
+	if err := unmarshalInto(c, data, dst); err != nil {
+		return 0, fmt.Errorf("xpc: unmarshal into %T: %w", dst, err)
+	}
+	_ = leg
+	r.Latency.chargeMarshal(ctx, len(data))
+	return len(data), nil
+}
+
+// SyncToUser propagates a shared object's kernel state to the decaf driver:
+// kernel → library → decaf, or directly when DirectTransfer is set.
+func (r *Runtime) SyncToUser(ctx *kernel.Context, obj any) error {
+	s, ok := r.findShared(obj)
+	if !ok {
+		return fmt.Errorf("xpc: SyncToUser of unshared %T", obj)
+	}
+	if r.DirectTransfer {
+		n, err := r.syncLeg(ctx, s.kernelObj, s.decafObj, LegKernelUser)
+		r.addBytes(n, 0)
+		return err
+	}
+	n1, err := r.syncLeg(ctx, s.kernelObj, s.libObj, LegKernelUser)
+	if err != nil {
+		return err
+	}
+	n2, err := r.syncLeg(ctx, s.libObj, s.decafObj, LegCJava)
+	r.addBytes(n1, n2)
+	return err
+}
+
+// SyncToKernel propagates a shared object's decaf state back to the kernel.
+func (r *Runtime) SyncToKernel(ctx *kernel.Context, obj any) error {
+	s, ok := r.findShared(obj)
+	if !ok {
+		return fmt.Errorf("xpc: SyncToKernel of unshared %T", obj)
+	}
+	if r.DirectTransfer {
+		n, err := r.syncLeg(ctx, s.decafObj, s.kernelObj, LegKernelUser)
+		r.addBytes(n, 0)
+		return err
+	}
+	n2, err := r.syncLeg(ctx, s.decafObj, s.libObj, LegCJava)
+	if err != nil {
+		return err
+	}
+	n1, err := r.syncLeg(ctx, s.libObj, s.kernelObj, LegKernelUser)
+	r.addBytes(n1, n2)
+	return err
+}
+
+// DecafOf returns the decaf-driver counterpart of a shared kernel object.
+func (r *Runtime) DecafOf(kernelObj any) (any, bool) {
+	s, ok := r.findShared(kernelObj)
+	if !ok {
+		return nil, false
+	}
+	return s.decafObj, true
+}
+
+// KernelOf returns the kernel counterpart of a shared decaf object.
+func (r *Runtime) KernelOf(decafObj any) (any, bool) {
+	s, ok := r.findShared(decafObj)
+	if !ok {
+		return nil, false
+	}
+	return s.kernelObj, true
+}
+
+// UserFault describes a fault (panic) in user-level driver code that the
+// nuclear runtime contained: the kernel survives, the call fails.
+type UserFault struct {
+	Call  string
+	Cause any
+}
+
+func (f *UserFault) Error() string {
+	return fmt.Sprintf("xpc: user-level fault in %s: %v", f.Call, f.Cause)
+}
+
+// Upcall transfers control from the kernel to a user-level driver function:
+// the stub path of Figure 1. objs are the shared objects the function
+// accesses; their kernel state is synchronized to user level before fn runs
+// and back after. In ModeNative, fn simply runs in the calling kernel
+// context with no crossing, cost or counter.
+//
+// The nuclear runtime masks the driver's interrupts for the duration and
+// converts a panic in fn into a *UserFault error rather than a kernel crash
+// (driver isolation).
+func (r *Runtime) Upcall(ctx *kernel.Context, name string, fn func(uctx *kernel.Context) error, objs ...any) (err error) {
+	if r.Mode == ModeNative {
+		return fn(ctx)
+	}
+	ctx.AssertMayBlock("XPC upcall " + name)
+	for _, irq := range r.DisableIRQs {
+		r.Kernel.DisableIRQ(irq)
+	}
+	defer func() {
+		for _, irq := range r.DisableIRQs {
+			r.Kernel.EnableIRQ(irq)
+		}
+	}()
+
+	for _, o := range objs {
+		if err := r.SyncToUser(ctx, o); err != nil {
+			return err
+		}
+	}
+	r.countTrip(name, true)
+	r.Latency.chargeTrip(ctx)
+
+	// The kernel thread blocks while the user-level thread runs; charge the
+	// user execution's elapsed time to the caller as wait time.
+	userStart := r.decafCtx.Elapsed()
+	func() {
+		defer func() {
+			if p := recover(); p != nil {
+				err = &UserFault{Call: name, Cause: p}
+			}
+		}()
+		err = fn(r.decafCtx)
+	}()
+	if d := r.decafCtx.Elapsed() - userStart; d > 0 {
+		ctx.Sleep(d)
+	}
+	if _, isFault := err.(*UserFault); isFault {
+		// The user process is suspect: do not copy its state back.
+		return err
+	}
+
+	for _, o := range objs {
+		if serr := r.SyncToKernel(ctx, o); serr != nil && err == nil {
+			err = serr
+		}
+	}
+	return err
+}
+
+// Downcall transfers control from the decaf driver into the kernel — the
+// stub path of Figure 2 (snd_card_register and friends). objs are shared
+// objects whose decaf state must be visible to the kernel function and whose
+// kernel state is synchronized back after. In ModeNative fn runs directly.
+func (r *Runtime) Downcall(uctx *kernel.Context, name string, fn func(kctx *kernel.Context) error, objs ...any) error {
+	if r.Mode == ModeNative {
+		return fn(uctx)
+	}
+	uctx.AssertMayBlock("XPC downcall " + name)
+	for _, o := range objs {
+		if err := r.SyncToKernel(uctx, o); err != nil {
+			return err
+		}
+	}
+	r.countTrip(name, false)
+	r.Latency.chargeTrip(uctx)
+	kernelStart := r.downCtx.Elapsed()
+	err := fn(r.downCtx)
+	if d := r.downCtx.Elapsed() - kernelStart; d > 0 {
+		uctx.Sleep(d)
+	}
+	for _, o := range objs {
+		if serr := r.SyncToUser(uctx, o); serr != nil && err == nil {
+			err = serr
+		}
+	}
+	return err
+}
+
+// LibraryCall models a direct cross-language call from the decaf driver into
+// the driver library for scalar arguments (§3.1.1): no marshaling, no
+// user/kernel crossing, just the language-boundary cost.
+func (r *Runtime) LibraryCall(uctx *kernel.Context, name string, fn func()) {
+	if r.Mode == ModeDecaf {
+		r.Latency.chargeDirect(uctx)
+		r.mu.Lock()
+		r.counters.LibraryCalls++
+		r.mu.Unlock()
+	}
+	fn()
+}

@@ -1,0 +1,422 @@
+package xpc
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"decafdrivers/internal/hw"
+	"decafdrivers/internal/kernel"
+	"decafdrivers/internal/ktime"
+	"decafdrivers/internal/xdr"
+)
+
+type ring struct {
+	Count uint32
+	Head  uint32
+}
+
+type adapter struct {
+	Name      string
+	MsgEnable int32
+	LinkUp    bool
+	Tx        ring
+	Stats     [4]uint64
+}
+
+func newTestKernel() *kernel.Kernel {
+	clock := ktime.NewClock()
+	return kernel.New(clock, hw.NewBus(clock, 1<<20))
+}
+
+func newDecafRuntime(k *kernel.Kernel) *Runtime {
+	return NewRuntime(k, "test", ModeDecaf, nil)
+}
+
+func TestShareCreatesTrackerAssociations(t *testing.T) {
+	k := newTestKernel()
+	r := newDecafRuntime(k)
+	ka := &adapter{Name: "eth0"}
+	da := &adapter{}
+	kptr, err := r.Share(ka, da)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kptr == 0 {
+		t.Fatal("Share returned NULL kernel pointer")
+	}
+	if r.SharedCount() != 1 {
+		t.Fatalf("SharedCount = %d", r.SharedCount())
+	}
+	if r.LibTracker.Count() != 1 || r.DecafTracker.Count() != 1 {
+		t.Fatal("trackers not populated")
+	}
+	got, ok := r.DecafOf(ka)
+	if !ok || got != any(da) {
+		t.Fatal("DecafOf failed")
+	}
+	kback, ok := r.KernelOf(da)
+	if !ok || kback != any(ka) {
+		t.Fatal("KernelOf failed")
+	}
+}
+
+func TestShareTypeMismatch(t *testing.T) {
+	k := newTestKernel()
+	r := newDecafRuntime(k)
+	if _, err := r.Share(&adapter{}, &ring{}); err == nil {
+		t.Fatal("mismatched Share succeeded")
+	}
+}
+
+func TestUnshare(t *testing.T) {
+	k := newTestKernel()
+	r := newDecafRuntime(k)
+	ka, da := &adapter{}, &adapter{}
+	_, _ = r.Share(ka, da)
+	if !r.Unshare(ka) {
+		t.Fatal("Unshare = false")
+	}
+	if r.Unshare(ka) {
+		t.Fatal("double Unshare = true")
+	}
+	if r.SharedCount() != 0 || r.LibTracker.Count() != 0 || r.DecafTracker.Count() != 0 {
+		t.Fatal("Unshare left associations")
+	}
+}
+
+func TestSyncToUserPropagatesState(t *testing.T) {
+	k := newTestKernel()
+	r := newDecafRuntime(k)
+	ka := &adapter{Name: "eth0", MsgEnable: 3, LinkUp: true, Tx: ring{Count: 256, Head: 7}}
+	da := &adapter{}
+	_, _ = r.Share(ka, da)
+	ctx := k.NewContext("t")
+	if err := r.SyncToUser(ctx, ka); err != nil {
+		t.Fatal(err)
+	}
+	if da.Name != "eth0" || da.MsgEnable != 3 || !da.LinkUp || da.Tx.Head != 7 {
+		t.Fatalf("decaf copy not updated: %+v", da)
+	}
+}
+
+func TestSyncToKernelPropagatesState(t *testing.T) {
+	k := newTestKernel()
+	r := newDecafRuntime(k)
+	ka, da := &adapter{}, &adapter{}
+	_, _ = r.Share(ka, da)
+	da.MsgEnable = 42
+	da.Tx.Count = 128
+	ctx := k.NewContext("t")
+	if err := r.SyncToKernel(ctx, da); err != nil {
+		t.Fatal(err)
+	}
+	if ka.MsgEnable != 42 || ka.Tx.Count != 128 {
+		t.Fatalf("kernel copy not updated: %+v", ka)
+	}
+}
+
+func TestSyncUnsharedFails(t *testing.T) {
+	k := newTestKernel()
+	r := newDecafRuntime(k)
+	ctx := k.NewContext("t")
+	if err := r.SyncToUser(ctx, &adapter{}); err == nil {
+		t.Fatal("SyncToUser of unshared object succeeded")
+	}
+	if err := r.SyncToKernel(ctx, &adapter{}); err == nil {
+		t.Fatal("SyncToKernel of unshared object succeeded")
+	}
+}
+
+func TestUpcallRoundTrip(t *testing.T) {
+	k := newTestKernel()
+	r := newDecafRuntime(k)
+	ka := &adapter{Name: "eth0", MsgEnable: 1}
+	da := &adapter{}
+	_, _ = r.Share(ka, da)
+	ctx := k.NewContext("t")
+
+	err := r.Upcall(ctx, "e1000_open", func(uctx *kernel.Context) error {
+		if da.Name != "eth0" {
+			t.Error("decaf copy stale inside upcall")
+		}
+		da.MsgEnable = 7 // user-level modification
+		da.LinkUp = true
+		return nil
+	}, ka)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ka.MsgEnable != 7 || !ka.LinkUp {
+		t.Fatalf("user modifications not synced back: %+v", ka)
+	}
+	c := r.Counters()
+	if c.Upcalls != 1 || c.Downcalls != 0 || c.Trips() != 1 {
+		t.Fatalf("counters = %+v", c)
+	}
+	if c.PerCall["e1000_open"] != 1 {
+		t.Fatalf("PerCall = %v", c.PerCall)
+	}
+	if c.BytesKernelUser == 0 || c.BytesCJava == 0 {
+		t.Fatal("no bytes accounted for the two marshal legs")
+	}
+}
+
+func TestUpcallNativeModeBypassesXPC(t *testing.T) {
+	k := newTestKernel()
+	r := NewRuntime(k, "test", ModeNative, nil)
+	ctx := k.NewContext("t")
+	ran := false
+	err := r.Upcall(ctx, "fn", func(uctx *kernel.Context) error {
+		ran = true
+		if uctx != ctx {
+			t.Error("native upcall switched context")
+		}
+		return nil
+	})
+	if err != nil || !ran {
+		t.Fatal("native upcall failed")
+	}
+	if r.Counters().Trips() != 0 {
+		t.Fatal("native mode counted a crossing")
+	}
+	if ctx.Elapsed() != 0 {
+		t.Fatal("native mode charged latency")
+	}
+}
+
+func TestUpcallChargesLatency(t *testing.T) {
+	k := newTestKernel()
+	r := newDecafRuntime(k)
+	ka, da := &adapter{}, &adapter{}
+	_, _ = r.Share(ka, da)
+	ctx := k.NewContext("t")
+	_ = r.Upcall(ctx, "fn", func(uctx *kernel.Context) error { return nil }, ka)
+	// One call/return trip's control-transfer base plus marshaling CPU.
+	minBase := DefaultLatencyModel.KernelUserBase + DefaultLatencyModel.CJavaBase
+	if ctx.Elapsed() < minBase {
+		t.Fatalf("Elapsed = %v, want >= %v", ctx.Elapsed(), minBase)
+	}
+	if ctx.Busy() == 0 {
+		t.Fatal("no marshaling CPU charged")
+	}
+}
+
+func TestUpcallFromAtomicContextFaults(t *testing.T) {
+	k := newTestKernel()
+	r := newDecafRuntime(k)
+	ctx := k.NewContext("t")
+	lock := kernel.NewSpinLock("adapter")
+	lock.Lock(ctx)
+	defer lock.Unlock(ctx)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("upcall under spinlock did not fault")
+		}
+	}()
+	_ = r.Upcall(ctx, "fn", func(uctx *kernel.Context) error { return nil })
+}
+
+func TestUpcallDisablesIRQs(t *testing.T) {
+	k := newTestKernel()
+	r := newDecafRuntime(k)
+	r.DisableIRQs = []int{9}
+	line := k.Bus().IRQ(9)
+	fired := 0
+	_ = k.RequestIRQ(9, "dev", func(c *kernel.Context, irq int, dev any) { fired++ }, nil)
+	ctx := k.NewContext("t")
+	err := r.Upcall(ctx, "fn", func(uctx *kernel.Context) error {
+		if !line.Disabled() {
+			t.Error("IRQ not disabled during decaf execution")
+		}
+		line.Raise() // device interrupts while decaf code runs: must latch
+		if fired != 0 {
+			t.Error("interrupt delivered while masked")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if line.Disabled() {
+		t.Fatal("IRQ still disabled after upcall")
+	}
+	if fired != 1 {
+		t.Fatalf("latched interrupt fired %d times after upcall, want 1", fired)
+	}
+}
+
+func TestUpcallContainsUserFault(t *testing.T) {
+	k := newTestKernel()
+	r := newDecafRuntime(k)
+	ka, da := &adapter{MsgEnable: 5}, &adapter{}
+	_, _ = r.Share(ka, da)
+	ctx := k.NewContext("t")
+	err := r.Upcall(ctx, "buggy", func(uctx *kernel.Context) error {
+		da.MsgEnable = 99
+		panic("NullPointerException")
+	}, ka)
+	var fault *UserFault
+	if !errors.As(err, &fault) {
+		t.Fatalf("err = %v, want *UserFault", err)
+	}
+	if !strings.Contains(fault.Error(), "buggy") {
+		t.Fatalf("fault message %q lacks call name", fault.Error())
+	}
+	// State from the faulted call must not leak back into the kernel.
+	if ka.MsgEnable != 5 {
+		t.Fatalf("faulted user state synced to kernel: MsgEnable = %d", ka.MsgEnable)
+	}
+}
+
+func TestDowncallRoundTrip(t *testing.T) {
+	k := newTestKernel()
+	r := newDecafRuntime(k)
+	ka, da := &adapter{}, &adapter{}
+	_, _ = r.Share(ka, da)
+	da.Name = "from-decaf"
+	uctx := r.DecafContext()
+	err := r.Downcall(uctx, "snd_card_register", func(kctx *kernel.Context) error {
+		if ka.Name != "from-decaf" {
+			t.Error("decaf state not visible in kernel during downcall")
+		}
+		ka.LinkUp = true // kernel-side modification
+		return nil
+	}, da)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !da.LinkUp {
+		t.Fatal("kernel modification not synced back to decaf copy")
+	}
+	c := r.Counters()
+	if c.Downcalls != 1 || c.Trips() != 1 {
+		t.Fatalf("counters = %+v", c)
+	}
+}
+
+func TestDowncallPropagatesError(t *testing.T) {
+	k := newTestKernel()
+	r := newDecafRuntime(k)
+	boom := errors.New("EIO")
+	err := r.Downcall(r.DecafContext(), "fn", func(kctx *kernel.Context) error { return boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestLibraryCallCheap(t *testing.T) {
+	k := newTestKernel()
+	r := newDecafRuntime(k)
+	uctx := r.DecafContext()
+	ran := false
+	r.LibraryCall(uctx, "outb", func() { ran = true })
+	if !ran {
+		t.Fatal("library call did not run")
+	}
+	c := r.Counters()
+	if c.LibraryCalls != 1 {
+		t.Fatalf("LibraryCalls = %d", c.LibraryCalls)
+	}
+	if c.Trips() != 0 {
+		t.Fatal("library call counted as a user/kernel crossing")
+	}
+	if uctx.Elapsed() >= DefaultLatencyModel.KernelUserBase {
+		t.Fatalf("library call cost %v, should be far below a kernel crossing", uctx.Elapsed())
+	}
+}
+
+func TestFieldMaskReducesBytes(t *testing.T) {
+	k := newTestKernel()
+	mask := xdr.FieldMask{"adapter": {"MsgEnable": true, "LinkUp": true}}
+	rMasked := NewRuntime(k, "masked", ModeDecaf, mask)
+	rFull := NewRuntime(k, "full", ModeDecaf, mask)
+	rFull.UseFullMarshal = true
+
+	run := func(r *Runtime) uint64 {
+		ka, da := &adapter{Name: "a-long-interface-name"}, &adapter{}
+		_, _ = r.Share(ka, da)
+		ctx := k.NewContext("t")
+		if err := r.Upcall(ctx, "fn", func(uctx *kernel.Context) error { return nil }, ka); err != nil {
+			t.Fatal(err)
+		}
+		return r.Counters().BytesKernelUser
+	}
+	masked, full := run(rMasked), run(rFull)
+	if masked >= full {
+		t.Fatalf("masked bytes %d >= full bytes %d", masked, full)
+	}
+}
+
+func TestDirectTransferSkipsLibraryLeg(t *testing.T) {
+	k := newTestKernel()
+	r := newDecafRuntime(k)
+	r.DirectTransfer = true
+	ka, da := &adapter{MsgEnable: 9}, &adapter{}
+	_, _ = r.Share(ka, da)
+	ctx := k.NewContext("t")
+	if err := r.Upcall(ctx, "fn", func(uctx *kernel.Context) error {
+		if da.MsgEnable != 9 {
+			t.Error("direct transfer did not propagate state")
+		}
+		return nil
+	}, ka); err != nil {
+		t.Fatal(err)
+	}
+	c := r.Counters()
+	if c.BytesCJava != 0 {
+		t.Fatalf("direct transfer still marshaled %d bytes through the library", c.BytesCJava)
+	}
+	if c.BytesKernelUser == 0 {
+		t.Fatal("no direct bytes accounted")
+	}
+}
+
+func TestDirectTransferFasterThanStaged(t *testing.T) {
+	k := newTestKernel()
+	staged := newDecafRuntime(k)
+	direct := newDecafRuntime(k)
+	direct.DirectTransfer = true
+
+	elapsed := func(r *Runtime) time.Duration {
+		ka, da := &adapter{Name: "eth0"}, &adapter{}
+		_, _ = r.Share(ka, da)
+		ctx := k.NewContext("t")
+		_ = r.Upcall(ctx, "fn", func(uctx *kernel.Context) error { return nil }, ka)
+		return ctx.Elapsed()
+	}
+	if ds, dd := elapsed(staged), elapsed(direct); dd >= ds {
+		t.Fatalf("direct transfer (%v) not faster than staged (%v)", dd, ds)
+	}
+}
+
+func TestResetCounters(t *testing.T) {
+	k := newTestKernel()
+	r := newDecafRuntime(k)
+	_ = r.Upcall(k.NewContext("t"), "fn", func(uctx *kernel.Context) error { return nil })
+	if r.Counters().Trips() != 1 {
+		t.Fatal("setup failed")
+	}
+	r.ResetCounters()
+	if r.Counters().Trips() != 0 {
+		t.Fatal("ResetCounters did not zero")
+	}
+}
+
+func TestTypeIDOf(t *testing.T) {
+	if TypeIDOf(&adapter{}) != "adapter" {
+		t.Fatalf("TypeIDOf(&adapter{}) = %s", TypeIDOf(&adapter{}))
+	}
+	if TypeIDOf(adapter{}) != "adapter" {
+		t.Fatalf("TypeIDOf(adapter{}) = %s", TypeIDOf(adapter{}))
+	}
+}
+
+func TestCountersCallNames(t *testing.T) {
+	c := Counters{PerCall: map[string]uint64{"b": 1, "a": 2}}
+	names := c.CallNames()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("CallNames = %v", names)
+	}
+}
