@@ -1,30 +1,52 @@
-// Command decafbench regenerates the paper's evaluation: Tables 1-4 and the
-// E1000 case study (§5), printing measured values next to the published
-// ones.
+// Command decafbench regenerates the paper's evaluation: Tables 1-4, the
+// E1000 case study (§5), and the batched-XPC-transport comparison (§4.2),
+// printing measured values next to the published ones.
 //
 // Usage:
 //
 //	decafbench -table all
 //	decafbench -table 3 -netperf 30s
 //	decafbench -table casestudy
+//	decafbench -table batch -batch 8,32 -transport all
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"decafdrivers/internal/bench"
 )
 
+// parseBatchSizes parses the -batch flag ("8,32" -> []int{8, 32}).
+func parseBatchSizes(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n < 2 {
+			return nil, fmt.Errorf("batch size %q (want integers >= 2)", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
 func main() {
-	tableFlag := flag.String("table", "all", "which table to regenerate: 1, 2, 3, 4, casestudy, or all")
+	tableFlag := flag.String("table", "all", "which table to regenerate: 1, 2, 3, 4, casestudy, batch, or all")
 	root := flag.String("root", ".", "repository root (for Table 1 line counting)")
 	netperf := flag.Duration("netperf", 10*time.Second, "virtual duration of each netperf run")
 	audio := flag.Duration("audio", 30*time.Second, "virtual duration of the mpg123 run")
 	tarBytes := flag.Int("tar", 2<<20, "archive size for the tar workload, bytes")
 	mouse := flag.Duration("mouse", 30*time.Second, "virtual duration of the mouse workload")
+	transport := flag.String("transport", "all", "transports for the batch table: all, per-call, or batched")
+	batch := flag.String("batch", "8,32", "comma-separated batch sizes for the batch table")
 	flag.Parse()
 
 	cfg := bench.Table3Config{
@@ -33,6 +55,24 @@ func main() {
 		TarBytes:        *tarBytes,
 		MouseDuration:   *mouse,
 	}
+
+	sizes, err := parseBatchSizes(*batch)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "decafbench: -batch: %v\n", err)
+		os.Exit(2)
+	}
+	batchCfg := bench.BatchTableConfig{
+		NetperfDuration: bench.DefaultBatchTableConfig.NetperfDuration,
+		BatchSizes:      sizes,
+		Transports:      *transport,
+	}
+	// The batch table defaults to shorter runs than Table 3 (the per-packet
+	// ratios are duration-independent), but an explicit -netperf wins.
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "netperf" {
+			batchCfg.NetperfDuration = *netperf
+		}
+	})
 
 	run := func(name string, fn func() error) {
 		if err := fn(); err != nil {
@@ -53,12 +93,15 @@ func main() {
 		run("table 4", func() error { return bench.PrintTable4(os.Stdout) })
 	case "casestudy":
 		run("case study", func() error { return bench.PrintCaseStudy(os.Stdout) })
+	case "batch":
+		run("batch table", func() error { return bench.PrintBatchTable(os.Stdout, batchCfg) })
 	case "all":
 		run("table 1", func() error { return bench.PrintTable1(os.Stdout, *root) })
 		run("table 2", func() error { return bench.PrintTable2(os.Stdout) })
 		run("table 3", func() error { return bench.PrintTable3(os.Stdout, cfg) })
 		run("table 4", func() error { return bench.PrintTable4(os.Stdout) })
 		run("case study", func() error { return bench.PrintCaseStudy(os.Stdout) })
+		run("batch table", func() error { return bench.PrintBatchTable(os.Stdout, batchCfg) })
 	default:
 		fmt.Fprintf(os.Stderr, "decafbench: unknown table %q\n", *tableFlag)
 		os.Exit(2)

@@ -1,0 +1,3 @@
+module decafdrivers
+
+go 1.24

@@ -1,0 +1,68 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func fastBatchConfig() BatchTableConfig {
+	return BatchTableConfig{
+		NetperfDuration: 1 * time.Second,
+		BatchSizes:      []int{8},
+	}
+}
+
+// TestRunBatchTableCrossingsPerPacket asserts the §4.2 claim the table
+// exists to demonstrate: for the netperf send workload with the data path
+// in the decaf driver, the per-call transport pays ~1 crossing per packet
+// and a batched(N) transport pays ~1/N.
+func TestRunBatchTableCrossingsPerPacket(t *testing.T) {
+	rows, err := RunBatchTable(fastBatchConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(workload, transport string) *BatchRow {
+		for i := range rows {
+			if rows[i].Driver == "E1000" && rows[i].Workload == workload && rows[i].Transport == transport {
+				return &rows[i]
+			}
+		}
+		t.Fatalf("no row E1000/%s/%s in %d rows", workload, transport, len(rows))
+		return nil
+	}
+
+	base := get("netperf-send", "nucleus")
+	if base.XPerPacket > 0.01 {
+		t.Errorf("nucleus data path crossed per packet: X/pkt = %.3f", base.XPerPacket)
+	}
+	perCall := get("netperf-send", "per-call")
+	if perCall.XPerPacket < 0.99 || perCall.XPerPacket > 1.05 {
+		t.Errorf("per-call X/pkt = %.3f, want ~1", perCall.XPerPacket)
+	}
+	batched := get("netperf-send", "batched(8)")
+	want := 1.0 / 8
+	if batched.XPerPacket < want*0.95 || batched.XPerPacket > want*1.1 {
+		t.Errorf("batched(8) X/pkt = %.3f, want ~%.3f", batched.XPerPacket, want)
+	}
+	if batched.Batches == 0 {
+		t.Error("batched transport recorded no batches")
+	}
+	// Batching must not cost throughput on the send path.
+	if batched.ThroughputMbps < perCall.ThroughputMbps*0.99 {
+		t.Errorf("batched throughput %.0f < per-call %.0f", batched.ThroughputMbps, perCall.ThroughputMbps)
+	}
+}
+
+func TestPrintBatchTable(t *testing.T) {
+	var buf bytes.Buffer
+	if err := PrintBatchTable(&buf, fastBatchConfig()); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"per-call", "batched(8)", "X/pkt", "nucleus"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("batch table output missing %q", want)
+		}
+	}
+}

@@ -25,6 +25,17 @@ type Driver struct {
 	irq     int
 	opts    map[string]int
 
+	// dataPath places the per-packet path: nucleus (default) or decaf.
+	dataPath xpc.DataPath
+	// txQueue holds frames awaiting submission through the decaf driver
+	// when the data path is in the decaf driver; txDepth bounds it, and
+	// the coalescing timer flushes a partial queue when traffic pauses.
+	txQueue       []*knet.Packet
+	txDepth       int
+	txTimer       *kernel.KTimer
+	txFlushArmed  bool
+	txFlushQueued bool
+
 	// Adapter is the kernel-side shared structure; DecafAdapter is the
 	// user-side copy (the same object in native mode).
 	Adapter      *Adapter
@@ -45,18 +56,39 @@ type Config struct {
 	IRQ int
 	// ModuleParams are the insmod options validated by the decaf driver.
 	ModuleParams map[string]int
+	// DataPath places the per-packet path; DataPathNucleus (the paper's
+	// split) is the default. DataPathDecaf routes each frame through the
+	// decaf driver, submitting TX frames and RX drains as batches through
+	// the runtime's transport.
+	DataPath xpc.DataPath
+	// TxQueueDepth is how many TX frames accumulate before a decaf
+	// data-path driver flushes them in one batch; <=1 flushes per frame.
+	TxQueueDepth int
 }
 
 // New binds the driver to a device model. Call Module().Init via
 // kernel.LoadModule to probe and register the interface.
 func New(k *kernel.Kernel, net *knet.Subsystem, dev *e1000hw.Device, cfg Config) *Driver {
 	d := &Driver{
-		kern: k,
-		net:  net,
-		dev:  dev,
-		irq:  cfg.IRQ,
-		opts: cfg.ModuleParams,
+		kern:     k,
+		net:      net,
+		dev:      dev,
+		irq:      cfg.IRQ,
+		opts:     cfg.ModuleParams,
+		dataPath: cfg.DataPath,
+		txDepth:  cfg.TxQueueDepth,
 	}
+	if d.txDepth < 1 {
+		d.txDepth = 1
+	}
+	// The TX coalescing timer runs at high priority and so only enqueues
+	// the flush work; the work item performs the batched crossing (§3.1.3).
+	d.txTimer = k.NewTimer("e1000_tx_coalesce", func(tctx *kernel.Context) {
+		d.txFlushArmed = false
+		if len(d.txQueue) > 0 {
+			d.scheduleTxFlush()
+		}
+	})
 	d.rt = xpc.NewRuntime(k, "e1000", cfg.Mode, FieldMask())
 	d.rt.DisableIRQs = []int{cfg.IRQ}
 	d.helpers = decaf.NewHelpers(d.rt, k.Bus())
@@ -169,17 +201,133 @@ func (o *e1000Ops) Open(ctx *kernel.Context) error {
 	return nil
 }
 
-// Stop implements knet.DeviceOps by upcalling e1000_close.
+// Stop implements knet.DeviceOps by upcalling e1000_close. Queued TX frames
+// flush first so none are stranded behind the teardown.
 func (o *e1000Ops) Stop(ctx *kernel.Context) error {
 	d := (*Driver)(o)
+	d.txTimer.Stop()
+	d.txFlushArmed = false
+	_ = d.FlushTx(ctx)
 	return d.rt.Upcall(ctx, "e1000_close", func(uctx *kernel.Context) error {
 		return decaf.ToError(decaf.Try(func() { d.dcf.close(uctx) }))
 	}, d.Adapter)
 }
 
-// StartXmit implements knet.DeviceOps in the nucleus: the data path never
-// crosses to user level.
+// StartXmit implements knet.DeviceOps. In the default nucleus data path the
+// frame never crosses to user level; in the decaf data path it queues for a
+// batched crossing through the decaf driver.
 func (o *e1000Ops) StartXmit(ctx *kernel.Context, pkt *knet.Packet) error {
 	d := (*Driver)(o)
+	if d.decafDataPath() {
+		return d.xmitViaDecaf(ctx, pkt)
+	}
 	return d.nuc.xmitFrame(ctx, pkt)
+}
+
+func (d *Driver) decafDataPath() bool {
+	return d.dataPath == xpc.DataPathDecaf && d.rt.Mode == xpc.ModeDecaf
+}
+
+// txCoalesceWindow bounds how long a queued TX frame may wait for its batch
+// to fill before the coalescing timer flushes the queue, so a traffic pause
+// never strands frames below TxQueueDepth.
+const txCoalesceWindow = 2 * time.Millisecond
+
+// xmitViaDecaf queues the frame on the TX batch; once TxQueueDepth frames
+// accumulate (or the coalescing window closes) they cross to the decaf
+// driver in one flush. Under a batched transport that flush is a single
+// crossing for the whole queue.
+func (d *Driver) xmitViaDecaf(ctx *kernel.Context, pkt *knet.Packet) error {
+	d.txQueue = append(d.txQueue, pkt)
+	if len(d.txQueue) >= d.txDepth {
+		return d.FlushTx(ctx)
+	}
+	if !d.txFlushArmed && !d.txFlushQueued {
+		d.txFlushArmed = true
+		d.txTimer.Schedule(txCoalesceWindow)
+	}
+	return nil
+}
+
+// scheduleTxFlush queues the TX flush in process context. At most one flush
+// is in flight at a time.
+func (d *Driver) scheduleTxFlush() {
+	if d.txFlushQueued {
+		return
+	}
+	d.txFlushQueued = true
+	d.kern.DeferToWork(func(wctx *kernel.Context) {
+		d.txFlushQueued = false
+		_ = d.FlushTx(wctx)
+	})
+}
+
+// FlushTx submits every queued TX frame through the decaf driver in one
+// batch, then hands them to the nucleus for transmission. A no-op outside
+// the decaf data path or with an empty queue.
+func (d *Driver) FlushTx(ctx *kernel.Context) error {
+	if len(d.txQueue) == 0 {
+		return nil
+	}
+	pending := d.txQueue
+	d.txQueue = nil
+	// The flush consumes any armed coalescing timer: it should fire only
+	// when a partial queue goes stale, not mid-stream between full batches.
+	if d.txFlushArmed {
+		d.txTimer.Stop()
+		d.txFlushArmed = false
+	}
+	b := d.rt.Batch(ctx)
+	for _, pkt := range pending {
+		p := pkt
+		b.UpcallData("e1000_xmit_frame", p.Data, func(uctx *kernel.Context) error {
+			d.dcf.xmitFrame(uctx, p)
+			return nil
+		})
+	}
+	if err := b.Flush(); err != nil {
+		d.Adapter.Stats.TxErrors += uint64(len(pending))
+		return err
+	}
+	var firstErr error
+	for _, pkt := range pending {
+		if err := d.nuc.xmitFrame(ctx, pkt); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// deliverRx hands drained RX frames up the stack. In the decaf data path the
+// crossing cannot happen in IRQ context, so a work item performs the batched
+// upcalls and then delivers — the work-queue handoff of §3.1.3 applied to
+// the receive path.
+func (d *Driver) deliverRx(frames []*knet.Packet) {
+	if len(frames) == 0 {
+		return
+	}
+	if !d.decafDataPath() {
+		for _, f := range frames {
+			d.netdev.Receive(f)
+		}
+		return
+	}
+	d.kern.DeferToWork(func(wctx *kernel.Context) {
+		b := d.rt.Batch(wctx)
+		for _, f := range frames {
+			p := f
+			b.UpcallData("e1000_rx_frame", p.Data, func(uctx *kernel.Context) error {
+				d.dcf.rxFrame(uctx, p)
+				return nil
+			})
+		}
+		if err := b.Flush(); err != nil {
+			// A faulted decaf driver drops the drain; the kernel survives.
+			d.Adapter.Stats.RxDropped += uint64(len(frames))
+			return
+		}
+		for _, f := range frames {
+			d.netdev.Receive(f)
+		}
+	})
 }

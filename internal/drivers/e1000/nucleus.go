@@ -286,9 +286,7 @@ func (n *nucleus) cleanRxIRQ(ctx *kernel.Context) {
 		a.Stats.RxBytes += uint64(length)
 	}
 	n.rxLock.Unlock(ctx)
-	for _, f := range frames {
-		n.drv.netdev.Receive(f)
-	}
+	n.drv.deliverRx(frames)
 }
 
 // xmitFrame is the hard_start_xmit path, a critical root.

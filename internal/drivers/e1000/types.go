@@ -68,6 +68,11 @@ type Adapter struct {
 	TxNextToClean uint32
 	RxNextToClean uint32
 	IntrCount     uint64
+
+	// Decaf-local frame counters for the decaf data path (not marshaled:
+	// they live on the decaf copy only).
+	DecafTxFrames uint64
+	DecafRxFrames uint64
 }
 
 // FieldMask is the marshaling specification DriverSlicer generates for the

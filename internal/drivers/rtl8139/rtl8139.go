@@ -44,6 +44,10 @@ type Adapter struct {
 	TxCurrent uint32
 	TxDirty   uint32
 	IntrCount uint64
+
+	// DecafRxFrames is the decaf-local frame count for the decaf data path
+	// (not marshaled: it lives on the decaf copy only).
+	DecafRxFrames uint64
 }
 
 // FieldMask is DriverSlicer's marshaling specification for the adapter.
@@ -58,6 +62,11 @@ func FieldMask() xdr.FieldMask {
 type Config struct {
 	Mode xpc.Mode
 	IRQ  int
+	// DataPath places the per-packet receive path; DataPathNucleus is the
+	// default. DataPathDecaf routes each drained frame through the decaf
+	// driver as one batch per interrupt, submitted through the runtime's
+	// transport.
+	DataPath xpc.DataPath
 }
 
 // Driver is one bound 8139too instance.
@@ -73,23 +82,41 @@ type Driver struct {
 	Adapter      *Adapter
 	DecafAdapter *Adapter
 
+	dataPath xpc.DataPath
 	lock     *kernel.SpinLock
 	txBufs   [rtl8139hw.NumTxDesc]hw.DMAAddr
 	rxBuf    hw.DMAAddr
 	rxReadPt uint16
 	netdev   *knet.NetDevice
+
+	// Decaf-data-path receive coalescing: the 8139 interrupts per frame, so
+	// drained frames accumulate here until a transport batch fills or the
+	// coalescing timer closes the window.
+	rxPending     []*knet.Packet
+	rxTimer       *kernel.KTimer
+	rxFlushArmed  bool
+	rxFlushQueued bool
 }
 
 // New binds the driver to a device model.
 func New(k *kernel.Kernel, net *knet.Subsystem, dev *rtl8139hw.Device, ioBase uint16, cfg Config) *Driver {
 	d := &Driver{
 		kern: k, net: net, dev: dev, irq: cfg.IRQ, ioBase: ioBase,
-		lock:    kernel.NewSpinLock("8139too.lock"),
-		Adapter: &Adapter{MsgEnable: 1, Mtu: 1500},
+		dataPath: cfg.DataPath,
+		lock:     kernel.NewSpinLock("8139too.lock"),
+		Adapter:  &Adapter{MsgEnable: 1, Mtu: 1500},
 	}
 	d.rt = xpc.NewRuntime(k, "8139too", cfg.Mode, FieldMask())
 	d.rt.DisableIRQs = []int{cfg.IRQ}
 	d.helpers = decaf.NewHelpers(d.rt, k.Bus())
+	// The coalescing timer runs at high priority and so only enqueues the
+	// flush work; the work item performs the batched crossing (§3.1.3).
+	d.rxTimer = k.NewTimer("8139too_rx_coalesce", func(tctx *kernel.Context) {
+		d.rxFlushArmed = false
+		if len(d.rxPending) > 0 {
+			d.scheduleRxFlush()
+		}
+	})
 	if cfg.Mode == xpc.ModeNative {
 		d.DecafAdapter = d.Adapter
 	} else {
@@ -236,6 +263,75 @@ func (d *Driver) rxInterrupt(ctx *kernel.Context) {
 		ctx.Charge(rxPacketCost)
 	}
 	d.lock.Unlock(ctx)
+	d.deliverRx(frames)
+}
+
+// rxCoalesceWindow bounds how long a decaf-data-path frame may wait for its
+// batch to fill before the timer flushes the queue — the driver-level
+// analogue of NIC interrupt coalescing, needed because the 8139 interrupts
+// per frame.
+const rxCoalesceWindow = 2 * time.Millisecond
+
+// deliverRx hands drained frames up the stack. In the decaf data path the
+// frames accumulate until a transport batch fills (or the coalescing window
+// closes), then cross to the decaf driver in one batched flush before
+// delivery.
+func (d *Driver) deliverRx(frames []*knet.Packet) {
+	if len(frames) == 0 {
+		return
+	}
+	if d.dataPath != xpc.DataPathDecaf || d.rt.Mode != xpc.ModeDecaf {
+		for _, f := range frames {
+			d.netdev.Receive(f)
+		}
+		return
+	}
+	d.rxPending = append(d.rxPending, frames...)
+	if len(d.rxPending) >= d.rt.Transport().MaxBatch() {
+		d.scheduleRxFlush()
+	} else if !d.rxFlushArmed && !d.rxFlushQueued {
+		d.rxFlushArmed = true
+		d.rxTimer.Schedule(rxCoalesceWindow)
+	}
+}
+
+// scheduleRxFlush queues the batched RX flush in process context, where the
+// crossing is legal. At most one flush is in flight at a time.
+func (d *Driver) scheduleRxFlush() {
+	if d.rxFlushQueued {
+		return
+	}
+	d.rxFlushQueued = true
+	d.kern.DeferToWork(func(wctx *kernel.Context) { d.flushRx(wctx) })
+}
+
+// flushRx submits every coalesced frame to the decaf driver in one batch,
+// then delivers them up the stack.
+func (d *Driver) flushRx(wctx *kernel.Context) {
+	frames := d.rxPending
+	d.rxPending = nil
+	d.rxFlushQueued = false
+	// The flush consumes any armed coalescing timer: it should fire only
+	// when a partial queue goes stale, not mid-stream between full batches.
+	if d.rxFlushArmed {
+		d.rxTimer.Stop()
+		d.rxFlushArmed = false
+	}
+	if len(frames) == 0 {
+		return
+	}
+	b := d.rt.Batch(wctx)
+	for _, f := range frames {
+		p := f
+		b.UpcallData("rtl8139_rx_frame", p.Data, func(uctx *kernel.Context) error {
+			d.rxFrameDecaf(uctx, p)
+			return nil
+		})
+	}
+	if err := b.Flush(); err != nil {
+		d.Adapter.Stats.RxDropped += uint64(len(frames))
+		return
+	}
 	for _, f := range frames {
 		d.netdev.Receive(f)
 	}
@@ -268,6 +364,18 @@ func (d *Driver) xmit(ctx *kernel.Context, pkt *knet.Packet) error {
 }
 
 // --- decaf driver (user-level) ---
+
+// decafRxFrameCost is the user-level per-frame inspection cost in the decaf
+// data path.
+const decafRxFrameCost = 900 * time.Nanosecond
+
+// rxFrameDecaf is the decaf-driver RX body in the decaf data path:
+// user-level inspection and accounting of one drained frame.
+func (d *Driver) rxFrameDecaf(uctx *kernel.Context, pkt *knet.Packet) {
+	d.DecafAdapter.DecafRxFrames++
+	uctx.Charge(decafRxFrameCost)
+	_ = pkt
+}
 
 // probeDecaf identifies the chip and reads the MAC: the decaf-driver body
 // of rtl8139_init_board + read_eeprom.
@@ -412,9 +520,17 @@ func (o *rtlOps) Open(ctx *kernel.Context) error {
 	return nil
 }
 
-// Stop implements knet.DeviceOps via the decaf driver.
+// Stop implements knet.DeviceOps via the decaf driver. Coalesced RX frames
+// not yet flushed are purged, as a real ifdown purges driver queues.
 func (o *rtlOps) Stop(ctx *kernel.Context) error {
 	d := (*Driver)(o)
+	d.rxTimer.Stop()
+	d.rxFlushArmed = false
+	d.rxFlushQueued = false
+	if n := len(d.rxPending); n > 0 {
+		d.rxPending = nil
+		d.Adapter.Stats.RxDropped += uint64(n)
+	}
 	return d.rt.Upcall(ctx, "rtl8139_close", func(uctx *kernel.Context) error {
 		return decaf.ToError(decaf.Try(func() { d.closeDecaf(uctx) }))
 	}, d.Adapter)

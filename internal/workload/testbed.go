@@ -86,17 +86,45 @@ func (tb *Testbed) load(m kernel.Module) error {
 	return nil
 }
 
+// NetOptions tunes a network testbed beyond the deployment mode.
+type NetOptions struct {
+	// DataPath places the per-packet path: the nucleus (paper's split,
+	// default) or the decaf driver (per-packet crossings, the batching
+	// study's configuration).
+	DataPath xpc.DataPath
+	// BatchN > 1 installs a batched XPC transport coalescing up to N calls
+	// per crossing, and sizes the e1000 TX queue to match. <= 1 keeps the
+	// synchronous per-call transport.
+	BatchN int
+}
+
+func (o NetOptions) transport() xpc.Transport {
+	if o.BatchN > 1 {
+		return xpc.BatchTransport{N: o.BatchN}
+	}
+	return nil
+}
+
 // NewE1000 boots a machine with an E1000 adapter, loads the driver and
 // brings the interface up.
 func NewE1000(mode xpc.Mode) (*Testbed, error) {
+	return NewE1000With(mode, NetOptions{})
+}
+
+// NewE1000With boots an E1000 machine with data-path and transport options.
+func NewE1000With(mode xpc.Mode, opts NetOptions) (*Testbed, error) {
 	tb := newBase(mode)
 	tb.E1000Dev = e1000hw.New(tb.Bus, 9, [6]byte{0x00, 0x1B, 0x21, 0xAA, 0xBB, 0xCC})
 	tb.E1000Dev.SetLink(true)
 	// Interrupt throttling, as the real driver programs via ITR: without
 	// it, per-packet interrupts dominate CPU at gigabit rates.
 	tb.E1000Dev.SetIntrBatch(16)
-	tb.E1000 = e1000.New(tb.Kernel, tb.Net, tb.E1000Dev, e1000.Config{Mode: mode, IRQ: 9})
+	tb.E1000 = e1000.New(tb.Kernel, tb.Net, tb.E1000Dev, e1000.Config{
+		Mode: mode, IRQ: 9,
+		DataPath: opts.DataPath, TxQueueDepth: opts.BatchN,
+	})
 	tb.Runtime = tb.E1000.Runtime()
+	tb.Runtime.SetTransport(opts.transport())
 	if err := tb.load(tb.E1000.Module()); err != nil {
 		return nil, err
 	}
@@ -109,10 +137,19 @@ func NewE1000(mode xpc.Mode) (*Testbed, error) {
 
 // NewRTL8139 boots a machine with an RTL-8139.
 func NewRTL8139(mode xpc.Mode) (*Testbed, error) {
+	return NewRTL8139With(mode, NetOptions{})
+}
+
+// NewRTL8139With boots an RTL-8139 machine with data-path and transport
+// options.
+func NewRTL8139With(mode xpc.Mode, opts NetOptions) (*Testbed, error) {
 	tb := newBase(mode)
 	tb.RTLDev = rtl8139hw.New(tb.Bus, 11, 0xC000, [6]byte{0x00, 0xE0, 0x4C, 0x39, 0x13, 0x9A})
-	tb.RTL = rtl8139.New(tb.Kernel, tb.Net, tb.RTLDev, 0xC000, rtl8139.Config{Mode: mode, IRQ: 11})
+	tb.RTL = rtl8139.New(tb.Kernel, tb.Net, tb.RTLDev, 0xC000, rtl8139.Config{
+		Mode: mode, IRQ: 11, DataPath: opts.DataPath,
+	})
 	tb.Runtime = tb.RTL.Runtime()
+	tb.Runtime.SetTransport(opts.transport())
 	if err := tb.load(tb.RTL.Module()); err != nil {
 		return nil, err
 	}

@@ -1,0 +1,97 @@
+package xdr
+
+import "testing"
+
+type benchRing struct {
+	Count uint32
+	Head  uint32
+	Tail  uint32
+}
+
+type benchAdapter struct {
+	Name      string
+	MsgEnable int32
+	LinkUp    bool
+	MAC       [6]byte
+	EEPROM    [64]uint16
+	Tx        benchRing
+	Rx        benchRing
+	Stats     [8]uint64
+	Next      *benchRing
+}
+
+func benchValue() *benchAdapter {
+	a := &benchAdapter{Name: "eth0", MsgEnable: 3, LinkUp: true}
+	for i := range a.EEPROM {
+		a.EEPROM[i] = uint16(i * 13)
+	}
+	a.Tx = benchRing{Count: 256, Head: 12, Tail: 200}
+	a.Next = &a.Tx // pointer + back-reference path
+	return a
+}
+
+// BenchmarkMarshal is the seed codec path: a fresh buffer every call.
+func BenchmarkMarshal(b *testing.B) {
+	c := &Codec{}
+	v := benchValue()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Marshal(v); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMarshalAppend is the pooled path: the caller recycles one buffer,
+// and the codec recycles its encoder state, so steady-state marshaling does
+// not allocate.
+func BenchmarkMarshalAppend(b *testing.B) {
+	c := &Codec{}
+	v := benchValue()
+	var buf []byte
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		out, err := c.MarshalAppend(buf[:0], v)
+		if err != nil {
+			b.Fatal(err)
+		}
+		buf = out
+	}
+}
+
+// BenchmarkRoundTrip is one sync leg: marshal into a reused buffer, then
+// unmarshal over an existing object — the XPC steady state.
+func BenchmarkRoundTrip(b *testing.B) {
+	c := &Codec{}
+	src := benchValue()
+	dst := benchValue()
+	var buf []byte
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		out, err := c.MarshalAppend(buf[:0], src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		buf = out
+		// &dst so the decoder consumes the top-level pointer marker and
+		// updates the existing object, as the XPC sync legs do.
+		if err := c.Unmarshal(buf, &dst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMarshalMasked measures the field-mask fast path.
+func BenchmarkMarshalMasked(b *testing.B) {
+	c := &Codec{Mask: FieldMask{"benchAdapter": {"MsgEnable": true, "LinkUp": true}}}
+	v := benchValue()
+	var buf []byte
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		out, err := c.MarshalAppend(buf[:0], v)
+		if err != nil {
+			b.Fatal(err)
+		}
+		buf = out
+	}
+}

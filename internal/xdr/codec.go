@@ -3,6 +3,7 @@ package xdr
 import (
 	"fmt"
 	"reflect"
+	"sync"
 )
 
 // FieldMask selects, per structure type name, which exported fields are
@@ -46,29 +47,68 @@ const (
 )
 
 type encState struct {
-	enc  *Encoder
+	enc  Encoder
 	seen map[uintptr]uint32 // pointer -> object index
 	next uint32
 	c    *Codec
 }
 
+// encStatePool recycles encoder state (identity map and scratch) between
+// marshals, so steady-state marshaling allocates nothing beyond the output
+// buffer — and not even that when the caller reuses one via MarshalAppend.
+var encStatePool = sync.Pool{
+	New: func() any { return &encState{seen: make(map[uintptr]uint32)} },
+}
+
+func (st *encState) release() {
+	clear(st.seen)
+	st.next = 0
+	st.c = nil
+	st.enc.buf = nil
+	encStatePool.Put(st)
+}
+
 // Marshal encodes v (any supported value, typically a pointer to a driver
-// structure) and returns the XDR bytes.
+// structure) and returns the XDR bytes in a fresh buffer.
 func (c *Codec) Marshal(v any) ([]byte, error) {
-	st := &encState{enc: NewEncoder(), seen: make(map[uintptr]uint32), c: c}
-	if err := st.value(reflect.ValueOf(v)); err != nil {
+	return c.MarshalAppend(nil, v)
+}
+
+// MarshalAppend encodes v, appending the XDR bytes to dst and returning the
+// extended buffer. Passing a recycled dst (length 0, retained capacity)
+// makes steady-state marshaling allocation-free.
+func (c *Codec) MarshalAppend(dst []byte, v any) ([]byte, error) {
+	st := encStatePool.Get().(*encState)
+	st.c = c
+	st.enc.buf = dst
+	err := st.value(reflect.ValueOf(v))
+	out := st.enc.buf
+	st.release()
+	if err != nil {
 		return nil, err
 	}
-	return st.enc.Bytes(), nil
+	return out, nil
 }
 
 // MarshalSize reports the encoded size of v without retaining the buffer.
 func (c *Codec) MarshalSize(v any) (int, error) {
-	b, err := c.Marshal(v)
+	bp := sizeBufPool.Get().(*[]byte)
+	b, err := c.MarshalAppend((*bp)[:0], v)
 	if err != nil {
+		sizeBufPool.Put(bp)
 		return 0, err
 	}
-	return len(b), nil
+	n := len(b)
+	*bp = b[:0]
+	sizeBufPool.Put(bp)
+	return n, nil
+}
+
+var sizeBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 256)
+		return &b
+	},
 }
 
 func (s *encState) value(v reflect.Value) error {
@@ -153,22 +193,38 @@ func (s *encState) pointer(v reflect.Value) error {
 }
 
 type decState struct {
-	dec  *Decoder
+	dec  Decoder
 	objs []reflect.Value // object index -> decoded pointer
 	c    *Codec
+}
+
+// decStatePool recycles decoder state between unmarshals.
+var decStatePool = sync.Pool{
+	New: func() any { return &decState{} },
 }
 
 // Unmarshal decodes XDR bytes into target, which must be a non-nil pointer.
 // Struct fields excluded by the codec's mask are left untouched, which is
 // how the object tracker's "update the existing object" semantics preserve
-// unmarshaled state.
+// unmarshaled state. Nothing decoded retains data; callers may reuse the
+// buffer afterwards.
 func (c *Codec) Unmarshal(data []byte, target any) error {
 	v := reflect.ValueOf(target)
 	if v.Kind() != reflect.Ptr || v.IsNil() {
 		return fmt.Errorf("xdr: Unmarshal target must be a non-nil pointer, got %T", target)
 	}
-	st := &decState{dec: NewDecoder(data), c: c}
-	return st.value(v.Elem())
+	st := decStatePool.Get().(*decState)
+	st.c = c
+	st.dec = Decoder{buf: data}
+	err := st.value(v.Elem())
+	for i := range st.objs {
+		st.objs[i] = reflect.Value{}
+	}
+	st.objs = st.objs[:0]
+	st.c = nil
+	st.dec = Decoder{}
+	decStatePool.Put(st)
+	return err
 }
 
 func (s *decState) value(v reflect.Value) error {

@@ -1,0 +1,103 @@
+package xpc
+
+import (
+	"decafdrivers/internal/kernel"
+)
+
+// Batch accumulates crossing requests and submits them through the runtime's
+// transport. Under a BatchTransport, queued calls coalesce into crossings of
+// up to MaxBatch calls each, paying the kernel/user transition once per
+// crossing; under the synchronous transport every queued call still crosses
+// individually, so driver code written against Batch is transport-agnostic.
+//
+// The builder auto-flushes whenever the queue reaches the transport's
+// MaxBatch or the call direction changes (each crossing travels one
+// direction), so a driver may stream an unbounded number of calls through
+// one Batch. Errors are sticky: after a call fails, subsequent adds are
+// dropped and Flush returns the first error.
+//
+// In ModeNative each call runs immediately in the caller's context, exactly
+// as Upcall/Downcall do.
+type Batch struct {
+	r     *Runtime
+	ctx   *kernel.Context
+	calls []*Call
+	err   error
+}
+
+// Batch starts a crossing batch bound to the calling context.
+func (r *Runtime) Batch(ctx *kernel.Context) *Batch {
+	return &Batch{r: r, ctx: ctx}
+}
+
+func (b *Batch) add(c *Call) *Batch {
+	if b.err != nil {
+		return b
+	}
+	if b.r.Mode == ModeNative {
+		b.err = c.Fn(b.ctx)
+		return b
+	}
+	// A crossing travels one direction: a direction change flushes the
+	// queued calls first, so every batch is all-upcall or all-downcall.
+	if len(b.calls) > 0 && b.calls[0].Up != c.Up {
+		if err := b.flush(); err != nil {
+			b.err = err
+			return b
+		}
+	}
+	b.calls = append(b.calls, c)
+	if len(b.calls) >= b.r.Transport().MaxBatch() {
+		b.err = b.flush()
+	}
+	return b
+}
+
+// Upcall queues a kernel→user call. objs are shared objects synchronized to
+// user level before the call body runs and back after.
+func (b *Batch) Upcall(name string, fn func(uctx *kernel.Context) error, objs ...any) *Batch {
+	return b.add(&Call{Name: name, Up: true, Fn: fn, Objs: objs})
+}
+
+// UpcallData queues a kernel→user call carrying an opaque payload (packet
+// bytes) transferred directly with the call.
+func (b *Batch) UpcallData(name string, data []byte, fn func(uctx *kernel.Context) error, objs ...any) *Batch {
+	return b.add(&Call{Name: name, Up: true, Fn: fn, Objs: objs, Data: data})
+}
+
+// Downcall queues a user→kernel call.
+func (b *Batch) Downcall(name string, fn func(kctx *kernel.Context) error, objs ...any) *Batch {
+	return b.add(&Call{Name: name, Up: false, Fn: fn, Objs: objs})
+}
+
+// DowncallData queues a user→kernel call carrying an opaque payload.
+func (b *Batch) DowncallData(name string, data []byte, fn func(kctx *kernel.Context) error, objs ...any) *Batch {
+	return b.add(&Call{Name: name, Up: false, Fn: fn, Objs: objs, Data: data})
+}
+
+// Len reports the calls queued and not yet flushed.
+func (b *Batch) Len() int { return len(b.calls) }
+
+// Err reports the sticky error, if any, without flushing.
+func (b *Batch) Err() error { return b.err }
+
+func (b *Batch) flush() error {
+	if len(b.calls) == 0 {
+		return nil
+	}
+	calls := b.calls
+	b.calls = nil
+	return b.r.Transport().Cross(b.r, b.ctx, calls)
+}
+
+// Flush submits every queued call and returns the first error encountered by
+// this batch (including errors from earlier auto-flushes). The batch is
+// reusable afterwards; the sticky error is cleared.
+func (b *Batch) Flush() error {
+	if ferr := b.flush(); b.err == nil {
+		b.err = ferr
+	}
+	err := b.err
+	b.err = nil
+	return err
+}

@@ -1,0 +1,323 @@
+package xpc
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"decafdrivers/internal/kernel"
+)
+
+func TestBatchOneCrossingForManyCalls(t *testing.T) {
+	k := newTestKernel()
+	r := newDecafRuntime(k)
+	r.SetTransport(BatchTransport{N: 8})
+	ctx := k.NewContext("t")
+
+	ran := 0
+	b := r.Batch(ctx)
+	for i := 0; i < 5; i++ {
+		b.Upcall("xmit", func(uctx *kernel.Context) error {
+			ran++
+			return nil
+		})
+	}
+	if err := b.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if ran != 5 {
+		t.Fatalf("ran %d of 5 calls", ran)
+	}
+	c := r.Counters()
+	if c.Trips() != 1 {
+		t.Fatalf("Trips = %d, want 1 crossing for the whole batch", c.Trips())
+	}
+	if c.Batches != 1 || c.BatchedCalls != 5 {
+		t.Fatalf("Batches = %d BatchedCalls = %d, want 1/5", c.Batches, c.BatchedCalls)
+	}
+	if c.PerCall["xmit"] != 5 {
+		t.Fatalf("PerCall[xmit] = %d, want every call counted", c.PerCall["xmit"])
+	}
+}
+
+func TestBatchAutoFlushAtMaxBatch(t *testing.T) {
+	k := newTestKernel()
+	r := newDecafRuntime(k)
+	r.SetTransport(BatchTransport{N: 4})
+	ctx := k.NewContext("t")
+
+	b := r.Batch(ctx)
+	for i := 0; i < 10; i++ {
+		b.Upcall("xmit", func(uctx *kernel.Context) error { return nil })
+	}
+	if err := b.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// 10 calls at N=4: two full auto-flushed batches plus a final 2-call
+	// batch = 3 crossings.
+	c := r.Counters()
+	if c.Trips() != 3 {
+		t.Fatalf("Trips = %d, want 3", c.Trips())
+	}
+	if c.BatchedCalls != 10 {
+		t.Fatalf("BatchedCalls = %d, want 10", c.BatchedCalls)
+	}
+}
+
+func TestBatchUnderSyncTransportCrossesPerCall(t *testing.T) {
+	k := newTestKernel()
+	r := newDecafRuntime(k)
+	ctx := k.NewContext("t")
+
+	b := r.Batch(ctx)
+	for i := 0; i < 6; i++ {
+		b.Upcall("xmit", func(uctx *kernel.Context) error { return nil })
+	}
+	if err := b.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	c := r.Counters()
+	if c.Trips() != 6 {
+		t.Fatalf("Trips = %d, want 6 (one crossing per call under SyncTransport)", c.Trips())
+	}
+	if c.Batches != 0 {
+		t.Fatalf("Batches = %d, want 0", c.Batches)
+	}
+}
+
+func TestBatchNativeModeRunsImmediately(t *testing.T) {
+	k := newTestKernel()
+	r := NewRuntime(k, "test", ModeNative, nil)
+	ctx := k.NewContext("t")
+
+	ran := 0
+	b := r.Batch(ctx)
+	b.Upcall("fn", func(uctx *kernel.Context) error {
+		ran++
+		if uctx != ctx {
+			t.Error("native batch call switched context")
+		}
+		return nil
+	})
+	if ran != 1 {
+		t.Fatal("native batch call did not run immediately")
+	}
+	if err := b.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if r.Counters().Trips() != 0 {
+		t.Fatal("native mode counted a crossing")
+	}
+}
+
+func TestBatchChargesBaseOnce(t *testing.T) {
+	k := newTestKernel()
+	rBatch := newDecafRuntime(k)
+	rBatch.SetTransport(BatchTransport{N: 16})
+	rSync := newDecafRuntime(k)
+
+	const calls = 8
+	run := func(r *Runtime, name string) *kernel.Context {
+		ctx := k.NewContext(name)
+		b := r.Batch(ctx)
+		for i := 0; i < calls; i++ {
+			b.Upcall("fn", func(uctx *kernel.Context) error { return nil })
+		}
+		if err := b.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		return ctx
+	}
+	syncCtx := run(rSync, "sync")
+	batchCtx := run(rBatch, "batch")
+
+	m := DefaultLatencyModel
+	wantSync := time.Duration(calls) * (m.KernelUserBase + m.CJavaBase)
+	wantBatch := m.KernelUserBase + time.Duration(calls)*m.CJavaBase
+	if syncCtx.Elapsed() != wantSync {
+		t.Fatalf("sync elapsed %v, want %v", syncCtx.Elapsed(), wantSync)
+	}
+	if batchCtx.Elapsed() != wantBatch {
+		t.Fatalf("batched elapsed %v, want %v (KernelUserBase paid once)", batchCtx.Elapsed(), wantBatch)
+	}
+}
+
+func TestBatchFaultAbortsRemainingCalls(t *testing.T) {
+	k := newTestKernel()
+	r := newDecafRuntime(k)
+	r.SetTransport(BatchTransport{N: 8})
+	ka, da := &adapter{MsgEnable: 5}, &adapter{}
+	_, _ = r.Share(ka, da)
+	ctx := k.NewContext("t")
+
+	ran := []string{}
+	b := r.Batch(ctx)
+	b.Upcall("first", func(uctx *kernel.Context) error {
+		ran = append(ran, "first")
+		return nil
+	}, ka)
+	b.Upcall("buggy", func(uctx *kernel.Context) error {
+		da.MsgEnable = 99
+		panic("NullPointerException")
+	}, ka)
+	b.Upcall("third", func(uctx *kernel.Context) error {
+		ran = append(ran, "third")
+		return nil
+	}, ka)
+	err := b.Flush()
+	var fault *UserFault
+	if !errors.As(err, &fault) {
+		t.Fatalf("err = %v, want *UserFault", err)
+	}
+	if len(ran) != 1 || ran[0] != "first" {
+		t.Fatalf("ran = %v, want only the pre-fault call", ran)
+	}
+	// State from the faulted batch must not leak back into the kernel.
+	if ka.MsgEnable != 5 {
+		t.Fatalf("faulted user state synced to kernel: MsgEnable = %d", ka.MsgEnable)
+	}
+}
+
+func TestBatchErrorStopsExecutionButSyncsCompleted(t *testing.T) {
+	k := newTestKernel()
+	r := newDecafRuntime(k)
+	r.SetTransport(BatchTransport{N: 8})
+	ka, da := &adapter{}, &adapter{}
+	_, _ = r.Share(ka, da)
+	ctx := k.NewContext("t")
+	boom := errors.New("EIO")
+
+	third := false
+	b := r.Batch(ctx)
+	b.Upcall("first", func(uctx *kernel.Context) error {
+		da.MsgEnable = 7
+		return nil
+	}, ka)
+	b.Upcall("second", func(uctx *kernel.Context) error { return boom })
+	b.Upcall("third", func(uctx *kernel.Context) error {
+		third = true
+		return nil
+	})
+	if err := b.Flush(); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	if third {
+		t.Fatal("call after the failing one still ran")
+	}
+	if ka.MsgEnable != 7 {
+		t.Fatal("completed call's state not synced back after a later error")
+	}
+}
+
+func TestBatchStickyErrorDropsLaterCalls(t *testing.T) {
+	k := newTestKernel()
+	r := newDecafRuntime(k)
+	ctx := k.NewContext("t")
+	boom := errors.New("bad")
+
+	after := false
+	b := r.Batch(ctx)
+	b.Upcall("fails", func(uctx *kernel.Context) error { return boom })
+	// SyncTransport auto-flushes per call, so the error is already sticky.
+	b.Upcall("after", func(uctx *kernel.Context) error {
+		after = true
+		return nil
+	})
+	if err := b.Flush(); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	if after {
+		t.Fatal("call queued after a sticky error still ran")
+	}
+	// The batch is reusable after Flush clears the sticky error.
+	ok := false
+	b.Upcall("retry", func(uctx *kernel.Context) error {
+		ok = true
+		return nil
+	})
+	if err := b.Flush(); err != nil || !ok {
+		t.Fatalf("reused batch: err = %v ran = %v", err, ok)
+	}
+}
+
+func TestBatchDataPaysPerByte(t *testing.T) {
+	k := newTestKernel()
+	r := newDecafRuntime(k)
+	r.SetTransport(BatchTransport{N: 4})
+	ctx := k.NewContext("t")
+
+	payload := make([]byte, 1024)
+	b := r.Batch(ctx)
+	b.UpcallData("xmit", payload, func(uctx *kernel.Context) error { return nil })
+	b.UpcallData("xmit", payload, func(uctx *kernel.Context) error { return nil })
+	if err := b.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	c := r.Counters()
+	want := uint64(2 * (len(payload) + 4))
+	if c.BytesKernelUser != want || c.BytesCJava != want {
+		t.Fatalf("bytes = %d/%d, want %d on both legs", c.BytesKernelUser, c.BytesCJava, want)
+	}
+	if ctx.Busy() == 0 {
+		t.Fatal("payload transfer charged no CPU")
+	}
+}
+
+func TestBatchDirectionChangeFlushes(t *testing.T) {
+	k := newTestKernel()
+	r := newDecafRuntime(k)
+	r.SetTransport(BatchTransport{N: 8})
+	ctx := k.NewContext("t")
+
+	b := r.Batch(ctx)
+	b.Upcall("up1", func(uctx *kernel.Context) error { return nil })
+	b.Upcall("up2", func(uctx *kernel.Context) error { return nil })
+	// Direction change: the two queued upcalls must flush as one crossing
+	// before the downcalls queue.
+	b.Downcall("down1", func(kctx *kernel.Context) error { return nil })
+	b.Downcall("down2", func(kctx *kernel.Context) error { return nil })
+	if err := b.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	c := r.Counters()
+	if c.Upcalls != 1 || c.Downcalls != 1 {
+		t.Fatalf("Upcalls/Downcalls = %d/%d, want 1/1 (one crossing per direction)", c.Upcalls, c.Downcalls)
+	}
+	if c.BatchedCalls != 4 {
+		t.Fatalf("BatchedCalls = %d, want 4", c.BatchedCalls)
+	}
+}
+
+func TestBatchedDowncallsDoNotMaskIRQs(t *testing.T) {
+	k := newTestKernel()
+	r := newDecafRuntime(k)
+	r.SetTransport(BatchTransport{N: 4})
+	r.DisableIRQs = []int{9}
+	line := k.Bus().IRQ(9)
+	ctx := k.NewContext("t")
+
+	b := r.Batch(ctx)
+	for i := 0; i < 2; i++ {
+		b.Downcall("down", func(kctx *kernel.Context) error {
+			if line.Disabled() {
+				t.Error("downcall batch masked the driver's IRQs")
+			}
+			return nil
+		})
+	}
+	if err := b.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransportNames(t *testing.T) {
+	if (SyncTransport{}).Name() != "per-call" {
+		t.Fatal("SyncTransport name")
+	}
+	if (BatchTransport{N: 32}).Name() != "batched(32)" {
+		t.Fatal("BatchTransport name")
+	}
+	if (BatchTransport{}).MaxBatch() != DefaultBatchSize {
+		t.Fatal("zero-value BatchTransport batch size")
+	}
+}

@@ -1,0 +1,99 @@
+package xpc
+
+import (
+	"fmt"
+	"testing"
+
+	"decafdrivers/internal/kernel"
+)
+
+// BenchmarkUpcallPerCall is the seed crossing path: one full crossing per
+// call, shared object synchronized both ways.
+func BenchmarkUpcallPerCall(b *testing.B) {
+	k := newTestKernel()
+	r := newDecafRuntime(k)
+	ka, da := &adapter{Name: "eth0"}, &adapter{}
+	if _, err := r.Share(ka, da); err != nil {
+		b.Fatal(err)
+	}
+	ctx := k.NewContext("bench")
+	noop := func(uctx *kernel.Context) error { return nil }
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := r.Upcall(ctx, "fn", noop, ka); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCrossingBatched measures N calls per crossing through the Batch
+// builder at several batch sizes; compare ns/op against the per-call
+// benchmark times N.
+func BenchmarkCrossingBatched(b *testing.B) {
+	for _, n := range []int{8, 32} {
+		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) {
+			k := newTestKernel()
+			r := newDecafRuntime(k)
+			r.SetTransport(BatchTransport{N: n})
+			ctx := k.NewContext("bench")
+			noop := func(uctx *kernel.Context) error { return nil }
+			payload := make([]byte, 1462)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				batch := r.Batch(ctx)
+				for j := 0; j < n; j++ {
+					batch.UpcallData("xmit", payload, noop)
+				}
+				if err := batch.Flush(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCrossingPerCallData is the per-call equivalent of the batched
+// benchmark: the same payload calls, each paying a full crossing.
+func BenchmarkCrossingPerCallData(b *testing.B) {
+	k := newTestKernel()
+	r := newDecafRuntime(k)
+	ctx := k.NewContext("bench")
+	noop := func(uctx *kernel.Context) error { return nil }
+	payload := make([]byte, 1462)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		batch := r.Batch(ctx)
+		batch.UpcallData("xmit", payload, noop)
+		if err := batch.Flush(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSyncToUser isolates the pooled marshal path of one object sync.
+func BenchmarkSyncToUser(b *testing.B) {
+	k := newTestKernel()
+	r := newDecafRuntime(k)
+	ka, da := &adapter{Name: "eth0", MsgEnable: 3}, &adapter{}
+	if _, err := r.Share(ka, da); err != nil {
+		b.Fatal(err)
+	}
+	ctx := k.NewContext("bench")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := r.SyncToUser(ctx, ka); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCounters measures the contention-free counter fast path.
+func BenchmarkCounters(b *testing.B) {
+	k := newTestKernel()
+	r := newDecafRuntime(k)
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			r.countTrip("fn", true)
+		}
+	})
+}

@@ -1,13 +1,18 @@
 package xpc
 
-import "sort"
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
 
 // Counters accumulate crossing statistics — the source of the Table 3
 // "User/Kernel Crossings" column and the §4.2 decaf-invocation counts.
 type Counters struct {
-	// Upcalls counts kernel→user call/return trips.
+	// Upcalls counts kernel→user crossings (one per batched flush, however
+	// many calls it carries).
 	Upcalls uint64
-	// Downcalls counts user→kernel call/return trips.
+	// Downcalls counts user→kernel crossings.
 	Downcalls uint64
 	// LibraryCalls counts direct decaf→library scalar calls.
 	LibraryCalls uint64
@@ -16,13 +21,27 @@ type Counters struct {
 	BytesKernelUser uint64
 	// BytesCJava is the total marshaled bytes across the language boundary.
 	BytesCJava uint64
-	// PerCall counts trips per entry-point name.
+	// Batches counts crossings that coalesced more than one call.
+	Batches uint64
+	// BatchedCalls counts the calls delivered inside those batches.
+	BatchedCalls uint64
+	// PerCall counts invocations per entry-point name, batched or not.
 	PerCall map[string]uint64
 }
 
 // Trips reports total user/kernel call/return trips (upcalls + downcalls),
-// the paper's crossing metric.
+// the paper's crossing metric. A batched flush is one trip.
 func (c Counters) Trips() uint64 { return c.Upcalls + c.Downcalls }
+
+// Calls reports total entry-point invocations delivered across the boundary,
+// counting every call inside a batch individually.
+func (c Counters) Calls() uint64 {
+	var n uint64
+	for _, v := range c.PerCall {
+		n += v
+	}
+	return n
+}
 
 // CallNames lists the entry points that crossed, sorted.
 func (c Counters) CallNames() []string {
@@ -34,43 +53,139 @@ func (c Counters) CallNames() []string {
 	return names
 }
 
-func (r *Runtime) countTrip(name string, up bool) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if up {
-		r.counters.Upcalls++
-	} else {
-		r.counters.Downcalls++
-	}
-	if r.counters.PerCall == nil {
-		r.counters.PerCall = make(map[string]uint64)
-	}
-	r.counters.PerCall[name]++
+// counterShards is the number of independently updated counter cells. Distinct
+// entry points hash to distinct cells, so concurrent crossings of different
+// calls never touch the same cache line.
+const counterShards = 8
+
+// counterCell is one shard of the runtime's statistics. All fields are
+// atomics — the crossing fast path takes no lock — and the cell is padded to
+// a cache line so shards never false-share.
+type counterCell struct {
+	upcalls         atomic.Uint64
+	downcalls       atomic.Uint64
+	libraryCalls    atomic.Uint64
+	bytesKernelUser atomic.Uint64
+	bytesCJava      atomic.Uint64
+	batches         atomic.Uint64
+	batchedCalls    atomic.Uint64
+	_               [8]byte
 }
 
-func (r *Runtime) addBytes(ku, cj int) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.counters.BytesKernelUser += uint64(ku)
-	r.counters.BytesCJava += uint64(cj)
+// counterState is one epoch of statistics. ResetCounters swaps in a fresh
+// state rather than zeroing in place, so resets are atomic with respect to
+// concurrent crossings.
+type counterState struct {
+	cells [counterShards]counterCell
+	// perCall maps entry-point name -> *atomic.Uint64. sync.Map is
+	// lock-free on the steady-state hit path.
+	perCall sync.Map
+}
+
+// shardIndex hashes an entry-point name to a counter cell (FNV-1a).
+func shardIndex(name string) int {
+	h := uint32(2166136261)
+	for i := 0; i < len(name); i++ {
+		h = (h ^ uint32(name[i])) * 16777619
+	}
+	return int(h % counterShards)
+}
+
+func (s *counterState) cell(name string) *counterCell {
+	return &s.cells[shardIndex(name)]
+}
+
+func (s *counterState) perCallCounter(name string) *atomic.Uint64 {
+	if v, ok := s.perCall.Load(name); ok {
+		return v.(*atomic.Uint64)
+	}
+	v, _ := s.perCall.LoadOrStore(name, new(atomic.Uint64))
+	return v.(*atomic.Uint64)
+}
+
+// state returns the current counter epoch, initializing it on first use.
+func (r *Runtime) state() *counterState {
+	if s := r.counters.Load(); s != nil {
+		return s
+	}
+	// Benign race: two initializers may allocate; CompareAndSwap keeps one.
+	s := &counterState{}
+	if r.counters.CompareAndSwap(nil, s) {
+		return s
+	}
+	return r.counters.Load()
+}
+
+// countTrip records one single-call crossing.
+func (r *Runtime) countTrip(name string, up bool) {
+	s := r.state()
+	c := s.cell(name)
+	if up {
+		c.upcalls.Add(1)
+	} else {
+		c.downcalls.Add(1)
+	}
+	s.perCallCounter(name).Add(1)
+}
+
+// countBatch records one batched crossing delivering the named calls.
+func (r *Runtime) countBatch(calls []*Call) {
+	s := r.state()
+	c := s.cell(calls[0].Name)
+	if calls[0].Up {
+		c.upcalls.Add(1)
+	} else {
+		c.downcalls.Add(1)
+	}
+	c.batches.Add(1)
+	c.batchedCalls.Add(uint64(len(calls)))
+	for _, call := range calls {
+		s.perCallCounter(call.Name).Add(1)
+	}
+}
+
+// countLibraryCall records one direct decaf→library scalar call.
+func (r *Runtime) countLibraryCall(name string) {
+	r.state().cell(name).libraryCalls.Add(1)
+}
+
+// addBytes accumulates marshaled byte counts on the shard keyed by name
+// (an entry-point or shared-object type name).
+func (r *Runtime) addBytes(name string, ku, cj int) {
+	c := r.state().cell(name)
+	if ku > 0 {
+		c.bytesKernelUser.Add(uint64(ku))
+	}
+	if cj > 0 {
+		c.bytesCJava.Add(uint64(cj))
+	}
 }
 
 // Counters returns a snapshot of the runtime's crossing statistics.
 func (r *Runtime) Counters() Counters {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	snap := r.counters
-	snap.PerCall = make(map[string]uint64, len(r.counters.PerCall))
-	for k, v := range r.counters.PerCall {
-		snap.PerCall[k] = v
+	s := r.state()
+	var snap Counters
+	for i := range s.cells {
+		c := &s.cells[i]
+		snap.Upcalls += c.upcalls.Load()
+		snap.Downcalls += c.downcalls.Load()
+		snap.LibraryCalls += c.libraryCalls.Load()
+		snap.BytesKernelUser += c.bytesKernelUser.Load()
+		snap.BytesCJava += c.bytesCJava.Load()
+		snap.Batches += c.batches.Load()
+		snap.BatchedCalls += c.batchedCalls.Load()
 	}
+	snap.PerCall = make(map[string]uint64)
+	s.perCall.Range(func(k, v any) bool {
+		snap.PerCall[k.(string)] = v.(*atomic.Uint64).Load()
+		return true
+	})
 	return snap
 }
 
 // ResetCounters zeroes the crossing statistics (the harness calls this
-// between the initialization and steady-state phases of a workload).
+// between the initialization and steady-state phases of a workload) by
+// swapping in a fresh epoch.
 func (r *Runtime) ResetCounters() {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.counters = Counters{}
+	r.counters.Store(&counterState{})
 }

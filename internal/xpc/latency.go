@@ -33,8 +33,13 @@ type LatencyModel struct {
 	CJavaBase time.Duration
 	// CJavaDirectBase is the cost of a direct cross-language scalar call.
 	CJavaDirectBase time.Duration
-	// PerByte is the CPU cost of marshaling plus unmarshaling one byte.
+	// PerByte is the CPU cost of marshaling plus unmarshaling one byte of
+	// structured data (reflection-driven XDR walk).
 	PerByte time.Duration
+	// PerByteData is the CPU cost of transferring one byte of opaque
+	// payload (packet data): a straight copy with no reflection walk, the
+	// direct data transfer of §4.2.
+	PerByteData time.Duration
 }
 
 // DefaultLatencyModel is the calibrated model used by all experiments.
@@ -43,6 +48,7 @@ var DefaultLatencyModel = LatencyModel{
 	CJavaBase:       3 * time.Millisecond,
 	CJavaDirectBase: 2 * time.Microsecond,
 	PerByte:         2500 * time.Nanosecond,
+	PerByteData:     2 * time.Nanosecond,
 }
 
 // ZeroLatencyModel charges nothing; useful for isolating logic in tests.
@@ -54,6 +60,16 @@ var ZeroLatencyModel = LatencyModel{}
 // how many objects travel.
 func (m LatencyModel) chargeTrip(ctx *kernel.Context) {
 	if base := m.KernelUserBase + m.CJavaBase; base > 0 {
+		ctx.Sleep(base)
+	}
+}
+
+// chargeBatchTrip accounts the control-transfer cost of one batched crossing
+// carrying n calls: the kernel/user transition is paid once for the whole
+// batch — the §4.2 batching optimization — while the C/Java transition is
+// still paid per call.
+func (m LatencyModel) chargeBatchTrip(ctx *kernel.Context, n int) {
+	if base := m.KernelUserBase + time.Duration(n)*m.CJavaBase; base > 0 {
 		ctx.Sleep(base)
 	}
 }
@@ -70,5 +86,12 @@ func (m LatencyModel) chargeDirect(ctx *kernel.Context) {
 func (m LatencyModel) chargeMarshal(ctx *kernel.Context, bytes int) {
 	if bytes > 0 && m.PerByte > 0 {
 		ctx.Charge(time.Duration(bytes) * m.PerByte)
+	}
+}
+
+// chargeData accounts the CPU cost of one leg of opaque payload transfer.
+func (m LatencyModel) chargeData(ctx *kernel.Context, bytes int) {
+	if bytes > 0 && m.PerByteData > 0 {
+		ctx.Charge(time.Duration(bytes) * m.PerByteData)
 	}
 }

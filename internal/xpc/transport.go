@@ -1,0 +1,123 @@
+package xpc
+
+import (
+	"fmt"
+
+	"decafdrivers/internal/kernel"
+)
+
+// Call is one crossing request: a named entry point, the direction it
+// crosses in, the function to run on the far side, the shared objects whose
+// state travels with it, and an optional opaque payload (packet data) that
+// is transferred directly (§4.2) without reflection-driven marshaling.
+type Call struct {
+	// Name is the entry point, used for per-call statistics.
+	Name string
+	// Up is true for kernel→user calls (upcalls), false for downcalls.
+	Up bool
+	// Fn runs on the far side of the crossing.
+	Fn func(ctx *kernel.Context) error
+	// Objs are shared objects synchronized before and after Fn.
+	Objs []any
+	// Data is an opaque payload carried with the call. It pays per-byte
+	// marshaling cost but no reflection walk, modeling the direct data
+	// transfer the paper proposes for the fast path.
+	Data []byte
+}
+
+// Transport performs user/kernel crossings on behalf of a Runtime. It owns
+// the policy of how queued calls map onto physical crossings: a synchronous
+// transport pays one full crossing per call, a batched transport coalesces
+// up to MaxBatch calls into one crossing that pays the kernel/user
+// transition once. The mechanics of a crossing (IRQ masking, object
+// synchronization, fault containment, accounting) live on the Runtime; the
+// Transport decides how many calls share each crossing and what it costs.
+//
+// The interface is the seam for future deployment modes — a true
+// process-separated transport would implement Cross with real IPC.
+type Transport interface {
+	// Name identifies the transport in benchmark output.
+	Name() string
+	// MaxBatch is the largest number of calls one crossing may coalesce;
+	// 1 for synchronous transports. Batch builders auto-flush at this size.
+	MaxBatch() int
+	// Cross delivers the calls to the far side, performing one or more
+	// physical crossings.
+	Cross(r *Runtime, ctx *kernel.Context, calls []*Call) error
+}
+
+// SyncTransport is the seed behavior: every call is its own crossing, paying
+// the full kernel/user transition and both marshaling legs.
+type SyncTransport struct{}
+
+// Name implements Transport.
+func (SyncTransport) Name() string { return "per-call" }
+
+// MaxBatch implements Transport: synchronous crossings never coalesce.
+func (SyncTransport) MaxBatch() int { return 1 }
+
+// Cross implements Transport by performing one crossing per call.
+func (SyncTransport) Cross(r *Runtime, ctx *kernel.Context, calls []*Call) error {
+	for _, c := range calls {
+		if err := r.crossOne(ctx, c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DefaultBatchSize is the batch size a zero-valued BatchTransport uses.
+const DefaultBatchSize = 16
+
+// BatchTransport coalesces up to N calls into one crossing: the kernel/user
+// transition (LatencyModel.KernelUserBase) is paid once per batch, while each
+// call still pays its language-boundary transition and per-byte marshaling.
+// This is the §4.2 batching optimization: for a ring of packets, crossings
+// per packet drop from ~1 to ~1/N.
+type BatchTransport struct {
+	// N is the maximum calls per crossing; <1 means DefaultBatchSize.
+	N int
+}
+
+func (t BatchTransport) size() int {
+	if t.N < 1 {
+		return DefaultBatchSize
+	}
+	return t.N
+}
+
+// Name implements Transport.
+func (t BatchTransport) Name() string { return fmt.Sprintf("batched(%d)", t.size()) }
+
+// MaxBatch implements Transport.
+func (t BatchTransport) MaxBatch() int { return t.size() }
+
+// Cross implements Transport by splitting the calls into chunks of at most N
+// and performing one crossing per chunk.
+func (t BatchTransport) Cross(r *Runtime, ctx *kernel.Context, calls []*Call) error {
+	n := t.size()
+	for len(calls) > 0 {
+		chunk := calls
+		if len(chunk) > n {
+			chunk = calls[:n]
+		}
+		calls = calls[len(chunk):]
+		if err := r.crossBatch(ctx, chunk); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Transport returns the runtime's crossing transport (SyncTransport when none
+// was selected).
+func (r *Runtime) Transport() Transport {
+	if r.transport == nil {
+		return SyncTransport{}
+	}
+	return r.transport
+}
+
+// SetTransport selects the crossing transport; nil restores the default
+// synchronous transport. Swap transports only while the driver is quiescent.
+func (r *Runtime) SetTransport(t Transport) { r.transport = t }

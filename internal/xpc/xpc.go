@@ -18,12 +18,29 @@
 //
 // Control transfer reuses the calling thread, the optimization the paper
 // permits when the decaf driver and driver library share a process.
+//
+// # Transports and batching
+//
+// The mechanics of a crossing are pluggable through the Transport interface.
+// The default SyncTransport performs one full crossing per Upcall/Downcall,
+// the seed behavior. BatchTransport implements the §4.2 batching
+// optimization: calls queued through Runtime.Batch coalesce into crossings
+// of up to N calls, paying the kernel/user transition (the dominant fixed
+// cost) once per crossing while each call still pays its language-boundary
+// transition and per-byte marshaling. Hot paths written against the Batch
+// builder are transport-agnostic: under SyncTransport each queued call still
+// crosses individually.
+//
+// Crossing statistics are kept in sharded atomic counters: the fast path of
+// a crossing acquires no mutex, so concurrent crossings of different entry
+// points never contend (see counters.go).
 package xpc
 
 import (
 	"fmt"
 	"reflect"
 	"sync"
+	"sync/atomic"
 
 	"decafdrivers/internal/kernel"
 	"decafdrivers/internal/objtrack"
@@ -48,6 +65,29 @@ func (m Mode) String() string {
 		return "native"
 	}
 	return "decaf"
+}
+
+// DataPath selects where a driver's per-packet data path executes.
+type DataPath int
+
+// Data-path placements.
+const (
+	// DataPathNucleus keeps the data path in the driver nucleus (the
+	// paper's split: transmit and receive are critical roots and never
+	// cross). This is the default.
+	DataPathNucleus DataPath = iota
+	// DataPathDecaf routes each packet through the decaf driver — the
+	// configuration whose per-packet crossings §4.2's batching optimization
+	// targets. Drivers submit packet batches through Runtime.Batch, so a
+	// BatchTransport coalesces the crossings.
+	DataPathDecaf
+)
+
+func (p DataPath) String() string {
+	if p == DataPathDecaf {
+		return "decaf"
+	}
+	return "nucleus"
 }
 
 // Runtime is the per-driver XPC runtime: one instance backs one loaded
@@ -91,9 +131,17 @@ type Runtime struct {
 	decafCtx *kernel.Context
 	downCtx  *kernel.Context
 
-	mu       sync.Mutex
-	counters Counters
-	shared   []sharedObject
+	// transport performs crossings; nil selects the default SyncTransport.
+	transport Transport
+
+	// counters is the current statistics epoch (sharded atomics; see
+	// counters.go). ResetCounters swaps the pointer.
+	counters atomic.Pointer[counterState]
+
+	// mu guards the shared-object registry only; the crossing fast path
+	// never takes it.
+	mu     sync.Mutex
+	shared []sharedObject
 }
 
 type sharedObject struct {
@@ -213,21 +261,37 @@ func unmarshalInto(c *xdr.Codec, data []byte, obj any) error {
 	return c.Unmarshal(data, holder.Interface())
 }
 
+// marshalBufPool recycles marshal buffers so steady-state crossings stop
+// allocating per call (§4.2: marshaling is the recurring cost).
+var marshalBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 512)
+		return &b
+	},
+}
+
 // syncLeg marshals src and unmarshals over dst, charging the marshaling CPU
 // cost to ctx, and returns the byte count. The leg parameter classifies the
-// bytes for the counters.
+// bytes for the counters. The intermediate wire buffer comes from a pool;
+// nothing decoded retains it.
 func (r *Runtime) syncLeg(ctx *kernel.Context, src, dst any, leg Leg) (int, error) {
 	c := r.codec()
-	data, err := c.Marshal(src)
+	bp := marshalBufPool.Get().(*[]byte)
+	data, err := c.MarshalAppend((*bp)[:0], src)
 	if err != nil {
+		marshalBufPool.Put(bp)
 		return 0, fmt.Errorf("xpc: marshal %T: %w", src, err)
 	}
-	if err := unmarshalInto(c, data, dst); err != nil {
-		return 0, fmt.Errorf("xpc: unmarshal into %T: %w", dst, err)
+	n := len(data)
+	uerr := unmarshalInto(c, data, dst)
+	*bp = data[:0]
+	marshalBufPool.Put(bp)
+	if uerr != nil {
+		return 0, fmt.Errorf("xpc: unmarshal into %T: %w", dst, uerr)
 	}
 	_ = leg
-	r.Latency.chargeMarshal(ctx, len(data))
-	return len(data), nil
+	r.Latency.chargeMarshal(ctx, n)
+	return n, nil
 }
 
 // SyncToUser propagates a shared object's kernel state to the decaf driver:
@@ -239,7 +303,7 @@ func (r *Runtime) SyncToUser(ctx *kernel.Context, obj any) error {
 	}
 	if r.DirectTransfer {
 		n, err := r.syncLeg(ctx, s.kernelObj, s.decafObj, LegKernelUser)
-		r.addBytes(n, 0)
+		r.addBytes(string(s.typeID), n, 0)
 		return err
 	}
 	n1, err := r.syncLeg(ctx, s.kernelObj, s.libObj, LegKernelUser)
@@ -247,7 +311,7 @@ func (r *Runtime) SyncToUser(ctx *kernel.Context, obj any) error {
 		return err
 	}
 	n2, err := r.syncLeg(ctx, s.libObj, s.decafObj, LegCJava)
-	r.addBytes(n1, n2)
+	r.addBytes(string(s.typeID), n1, n2)
 	return err
 }
 
@@ -259,7 +323,7 @@ func (r *Runtime) SyncToKernel(ctx *kernel.Context, obj any) error {
 	}
 	if r.DirectTransfer {
 		n, err := r.syncLeg(ctx, s.decafObj, s.kernelObj, LegKernelUser)
-		r.addBytes(n, 0)
+		r.addBytes(string(s.typeID), n, 0)
 		return err
 	}
 	n2, err := r.syncLeg(ctx, s.decafObj, s.libObj, LegCJava)
@@ -267,7 +331,7 @@ func (r *Runtime) SyncToKernel(ctx *kernel.Context, obj any) error {
 		return err
 	}
 	n1, err := r.syncLeg(ctx, s.libObj, s.kernelObj, LegKernelUser)
-	r.addBytes(n1, n2)
+	r.addBytes(string(s.typeID), n1, n2)
 	return err
 }
 
@@ -309,30 +373,109 @@ func (f *UserFault) Error() string {
 // The nuclear runtime masks the driver's interrupts for the duration and
 // converts a panic in fn into a *UserFault error rather than a kernel crash
 // (driver isolation).
-func (r *Runtime) Upcall(ctx *kernel.Context, name string, fn func(uctx *kernel.Context) error, objs ...any) (err error) {
+func (r *Runtime) Upcall(ctx *kernel.Context, name string, fn func(uctx *kernel.Context) error, objs ...any) error {
 	if r.Mode == ModeNative {
 		return fn(ctx)
 	}
-	ctx.AssertMayBlock("XPC upcall " + name)
+	return r.Transport().Cross(r, ctx, []*Call{{Name: name, Up: true, Fn: fn, Objs: objs}})
+}
+
+// Downcall transfers control from the decaf driver into the kernel — the
+// stub path of Figure 2 (snd_card_register and friends). objs are shared
+// objects whose decaf state must be visible to the kernel function and whose
+// kernel state is synchronized back after. In ModeNative fn runs directly.
+func (r *Runtime) Downcall(uctx *kernel.Context, name string, fn func(kctx *kernel.Context) error, objs ...any) error {
+	if r.Mode == ModeNative {
+		return fn(uctx)
+	}
+	return r.Transport().Cross(r, uctx, []*Call{{Name: name, Up: false, Fn: fn, Objs: objs}})
+}
+
+// maskIRQs disables the runtime's listed interrupt lines and returns the
+// function restoring them, so "the driver cannot interrupt itself" while its
+// user-level half runs (§3.1.3).
+func (r *Runtime) maskIRQs() func() {
 	for _, irq := range r.DisableIRQs {
 		r.Kernel.DisableIRQ(irq)
 	}
-	defer func() {
+	return func() {
 		for _, irq := range r.DisableIRQs {
 			r.Kernel.EnableIRQ(irq)
 		}
-	}()
+	}
+}
 
-	for _, o := range objs {
-		if err := r.SyncToUser(ctx, o); err != nil {
+// syncIn synchronizes a call's shared objects to the destination side and
+// transfers its opaque payload.
+func (r *Runtime) syncIn(ctx *kernel.Context, c *Call) error {
+	for _, o := range c.Objs {
+		var err error
+		if c.Up {
+			err = r.SyncToUser(ctx, o)
+		} else {
+			err = r.SyncToKernel(ctx, o)
+		}
+		if err != nil {
 			return err
 		}
 	}
-	r.countTrip(name, true)
-	r.Latency.chargeTrip(ctx)
+	r.transferData(ctx, c)
+	return nil
+}
 
-	// The kernel thread blocks while the user-level thread runs; charge the
-	// user execution's elapsed time to the caller as wait time.
+// syncOut synchronizes a call's shared objects back to the calling side.
+func (r *Runtime) syncOut(ctx *kernel.Context, c *Call) error {
+	for _, o := range c.Objs {
+		var err error
+		if c.Up {
+			err = r.SyncToKernel(ctx, o)
+		} else {
+			err = r.SyncToUser(ctx, o)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// transferData accounts a call's opaque payload: per-byte marshaling cost
+// with no reflection walk. Without DirectTransfer the payload crosses both
+// legs (kernel→library, library→decaf) and is charged twice, reproducing the
+// double-marshal; with it, once.
+func (r *Runtime) transferData(ctx *kernel.Context, c *Call) {
+	if len(c.Data) == 0 {
+		return
+	}
+	n := len(c.Data) + 4 // XDR opaque: payload plus length prefix
+	r.Latency.chargeData(ctx, n)
+	if r.DirectTransfer {
+		r.addBytes(c.Name, n, 0)
+		return
+	}
+	r.Latency.chargeData(ctx, n)
+	r.addBytes(c.Name, n, n)
+}
+
+// execute runs a call's body on the far side, charging the far side's
+// elapsed time to the caller as wait time. Upcall bodies run under fault
+// containment; downcall bodies run in the kernel, where a panic is a crash.
+func (r *Runtime) execute(ctx *kernel.Context, c *Call) error {
+	if c.Up {
+		return r.runUser(ctx, c.Name, c.Fn)
+	}
+	kernelStart := r.downCtx.Elapsed()
+	err := c.Fn(r.downCtx)
+	if d := r.downCtx.Elapsed() - kernelStart; d > 0 {
+		ctx.Sleep(d)
+	}
+	return err
+}
+
+// runUser runs fn in the decaf context, converting a panic into a *UserFault
+// (driver isolation) and charging the user execution's elapsed time to the
+// caller as wait time.
+func (r *Runtime) runUser(ctx *kernel.Context, name string, fn func(uctx *kernel.Context) error) (err error) {
 	userStart := r.decafCtx.Elapsed()
 	func() {
 		defer func() {
@@ -345,42 +488,79 @@ func (r *Runtime) Upcall(ctx *kernel.Context, name string, fn func(uctx *kernel.
 	if d := r.decafCtx.Elapsed() - userStart; d > 0 {
 		ctx.Sleep(d)
 	}
+	return err
+}
+
+// crossOne performs one full crossing for a single call: the seed
+// Upcall/Downcall semantics.
+func (r *Runtime) crossOne(ctx *kernel.Context, c *Call) error {
+	if c.Up {
+		ctx.AssertMayBlock("XPC upcall " + c.Name)
+		defer r.maskIRQs()()
+	} else {
+		ctx.AssertMayBlock("XPC downcall " + c.Name)
+	}
+	if err := r.syncIn(ctx, c); err != nil {
+		return err
+	}
+	r.countTrip(c.Name, c.Up)
+	r.Latency.chargeTrip(ctx)
+	err := r.execute(ctx, c)
 	if _, isFault := err.(*UserFault); isFault {
 		// The user process is suspect: do not copy its state back.
 		return err
 	}
-
-	for _, o := range objs {
-		if serr := r.SyncToKernel(ctx, o); serr != nil && err == nil {
-			err = serr
-		}
+	if serr := r.syncOut(ctx, c); serr != nil && err == nil {
+		err = serr
 	}
 	return err
 }
 
-// Downcall transfers control from the decaf driver into the kernel — the
-// stub path of Figure 2 (snd_card_register and friends). objs are shared
-// objects whose decaf state must be visible to the kernel function and whose
-// kernel state is synchronized back after. In ModeNative fn runs directly.
-func (r *Runtime) Downcall(uctx *kernel.Context, name string, fn func(kctx *kernel.Context) error, objs ...any) error {
-	if r.Mode == ModeNative {
-		return fn(uctx)
+// crossBatch performs ONE crossing delivering every call: for upcall
+// batches interrupts are masked once, the kernel/user transition is paid
+// once, and each call still pays its language-boundary transition, object
+// synchronization and per-byte payload cost. A user fault aborts the batch
+// without copying any state back; an ordinary error stops execution of the
+// remaining calls but the completed calls' objects still synchronize back.
+//
+// The Batch builder only produces single-direction batches (a direction
+// change flushes); a mixed list handed to a Transport directly is counted
+// and masked by its first call's direction.
+func (r *Runtime) crossBatch(ctx *kernel.Context, calls []*Call) error {
+	switch len(calls) {
+	case 0:
+		return nil
+	case 1:
+		return r.crossOne(ctx, calls[0])
 	}
-	uctx.AssertMayBlock("XPC downcall " + name)
-	for _, o := range objs {
-		if err := r.SyncToKernel(uctx, o); err != nil {
-			return err
+	ctx.AssertMayBlock("XPC batched crossing " + calls[0].Name)
+	if calls[0].Up {
+		// Downcall batches run kernel-side code and, like single
+		// downcalls, never mask the driver's interrupts.
+		defer r.maskIRQs()()
+	}
+
+	r.countBatch(calls)
+	r.Latency.chargeBatchTrip(ctx, len(calls))
+
+	executed := 0
+	var err error
+	for _, c := range calls {
+		if serr := r.syncIn(ctx, c); serr != nil {
+			err = serr
+			break
+		}
+		err = r.execute(ctx, c)
+		executed++
+		if err != nil {
+			break
 		}
 	}
-	r.countTrip(name, false)
-	r.Latency.chargeTrip(uctx)
-	kernelStart := r.downCtx.Elapsed()
-	err := fn(r.downCtx)
-	if d := r.downCtx.Elapsed() - kernelStart; d > 0 {
-		uctx.Sleep(d)
+	if _, isFault := err.(*UserFault); isFault {
+		return err
 	}
-	for _, o := range objs {
-		if serr := r.SyncToUser(uctx, o); serr != nil && err == nil {
+	for _, c := range calls[:executed] {
+		if serr := r.syncOut(ctx, c); serr != nil && err == nil {
 			err = serr
 		}
 	}
@@ -393,9 +573,7 @@ func (r *Runtime) Downcall(uctx *kernel.Context, name string, fn func(kctx *kern
 func (r *Runtime) LibraryCall(uctx *kernel.Context, name string, fn func()) {
 	if r.Mode == ModeDecaf {
 		r.Latency.chargeDirect(uctx)
-		r.mu.Lock()
-		r.counters.LibraryCalls++
-		r.mu.Unlock()
+		r.countLibraryCall(name)
 	}
 	fn()
 }
