@@ -1,6 +1,7 @@
 // Command decafbench regenerates the paper's evaluation: Tables 1-4, the
-// E1000 case study (§5), and the batched-XPC-transport comparison (§4.2),
-// printing measured values next to the published ones.
+// E1000 case study (§5), the batched-XPC-transport comparison (§4.2), and
+// the async submit/complete comparison, printing measured values next to
+// the published ones.
 //
 // Usage:
 //
@@ -8,6 +9,7 @@
 //	decafbench -table 3 -netperf 30s
 //	decafbench -table casestudy
 //	decafbench -table batch -batch 8,32 -transport all
+//	decafbench -table async -transport async -queue 256 -rate 2.5
 package main
 
 import (
@@ -20,6 +22,22 @@ import (
 
 	"decafdrivers/internal/bench"
 )
+
+// validTables and validTransports are the accepted flag values; anything
+// else is rejected with a message listing them.
+var (
+	validTables     = []string{"1", "2", "3", "4", "casestudy", "batch", "async", "all"}
+	validTransports = []string{"all", "per-call", "sync", "batched", "batch", "async"}
+)
+
+func oneOf(value string, valid []string) bool {
+	for _, v := range valid {
+		if value == v {
+			return true
+		}
+	}
+	return false
+}
 
 // parseBatchSizes parses the -batch flag ("8,32" -> []int{8, 32}).
 func parseBatchSizes(s string) ([]int, error) {
@@ -39,15 +57,33 @@ func parseBatchSizes(s string) ([]int, error) {
 }
 
 func main() {
-	tableFlag := flag.String("table", "all", "which table to regenerate: 1, 2, 3, 4, casestudy, batch, or all")
+	tableFlag := flag.String("table", "all", "which table to regenerate: "+strings.Join(validTables, ", "))
 	root := flag.String("root", ".", "repository root (for Table 1 line counting)")
 	netperf := flag.Duration("netperf", 10*time.Second, "virtual duration of each netperf run")
 	audio := flag.Duration("audio", 30*time.Second, "virtual duration of the mpg123 run")
 	tarBytes := flag.Int("tar", 2<<20, "archive size for the tar workload, bytes")
 	mouse := flag.Duration("mouse", 30*time.Second, "virtual duration of the mouse workload")
-	transport := flag.String("transport", "all", "transports for the batch table: all, per-call, or batched")
-	batch := flag.String("batch", "8,32", "comma-separated batch sizes for the batch table")
+	transport := flag.String("transport", "all", "transports for the batch/async tables: "+strings.Join(validTransports, ", "))
+	batch := flag.String("batch", "8,32", "comma-separated batch sizes for the batch table (the largest also sizes the async table's coalescing)")
+	queue := flag.Int("queue", 0, "async submission-ring depth for the async table (0 = default)")
+	rate := flag.Float64("rate", 0, "offered load in Mb/s for the async table (0 = default)")
 	flag.Parse()
+
+	if !oneOf(*tableFlag, validTables) {
+		fmt.Fprintf(os.Stderr, "decafbench: unknown table %q (valid: %s)\n", *tableFlag, strings.Join(validTables, ", "))
+		os.Exit(2)
+	}
+	if !oneOf(*transport, validTransports) {
+		fmt.Fprintf(os.Stderr, "decafbench: unknown transport %q (valid: %s)\n", *transport, strings.Join(validTransports, ", "))
+		os.Exit(2)
+	}
+	// Only the async table has async rows: reject the combination for any
+	// other table (including the default "all", whose batch table would
+	// otherwise render empty) instead of silently selecting nothing.
+	if *transport == "async" && *tableFlag != "async" {
+		fmt.Fprintf(os.Stderr, "decafbench: -transport async requires -table async (-table %s has no async rows)\n", *tableFlag)
+		os.Exit(2)
+	}
 
 	cfg := bench.Table3Config{
 		NetperfDuration: *netperf,
@@ -66,11 +102,27 @@ func main() {
 		BatchSizes:      sizes,
 		Transports:      *transport,
 	}
+	asyncCfg := bench.AsyncTableConfig{
+		QueueDepth: *queue,
+		OfferedMbps: func() float64 {
+			if *rate > 0 {
+				return *rate
+			}
+			return bench.DefaultAsyncTableConfig.OfferedMbps
+		}(),
+		Transports: *transport,
+	}
+	for _, n := range sizes {
+		if n > asyncCfg.BatchN {
+			asyncCfg.BatchN = n
+		}
+	}
 	// The batch table defaults to shorter runs than Table 3 (the per-packet
 	// ratios are duration-independent), but an explicit -netperf wins.
 	flag.Visit(func(f *flag.Flag) {
 		if f.Name == "netperf" {
 			batchCfg.NetperfDuration = *netperf
+			asyncCfg.NetperfDuration = *netperf
 		}
 	})
 
@@ -95,6 +147,8 @@ func main() {
 		run("case study", func() error { return bench.PrintCaseStudy(os.Stdout) })
 	case "batch":
 		run("batch table", func() error { return bench.PrintBatchTable(os.Stdout, batchCfg) })
+	case "async":
+		run("async table", func() error { return bench.PrintAsyncTable(os.Stdout, asyncCfg) })
 	case "all":
 		run("table 1", func() error { return bench.PrintTable1(os.Stdout, *root) })
 		run("table 2", func() error { return bench.PrintTable2(os.Stdout) })
@@ -102,8 +156,6 @@ func main() {
 		run("table 4", func() error { return bench.PrintTable4(os.Stdout) })
 		run("case study", func() error { return bench.PrintCaseStudy(os.Stdout) })
 		run("batch table", func() error { return bench.PrintBatchTable(os.Stdout, batchCfg) })
-	default:
-		fmt.Fprintf(os.Stderr, "decafbench: unknown table %q\n", *tableFlag)
-		os.Exit(2)
+		run("async table", func() error { return bench.PrintAsyncTable(os.Stdout, asyncCfg) })
 	}
 }

@@ -1,0 +1,91 @@
+package bench
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestAsyncTableStallReduction is the acceptance check for the
+// submit/complete redesign: at equal crossings-per-packet, the async
+// transport must show less caller-visible stall per packet than the batched
+// transport, on every driver/workload cell.
+func TestAsyncTableStallReduction(t *testing.T) {
+	cfg := AsyncTableConfig{
+		NetperfDuration: 2 * time.Second,
+		OfferedMbps:     2.5,
+		BatchN:          16,
+		QueueDepth:      128,
+	}
+	rows, err := RunAsyncTable(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type cell struct{ batched, async *AsyncRow }
+	cells := map[string]*cell{}
+	for i := range rows {
+		r := &rows[i]
+		key := r.Driver + "/" + r.Workload
+		if cells[key] == nil {
+			cells[key] = &cell{}
+		}
+		switch {
+		case strings.HasPrefix(r.Transport, "batched"):
+			cells[key].batched = r
+		case strings.HasPrefix(r.Transport, "async"):
+			cells[key].async = r
+		}
+	}
+	if len(cells) != 3 {
+		t.Fatalf("expected 3 driver/workload cells, got %d", len(cells))
+	}
+	for key, c := range cells {
+		if c.batched == nil || c.async == nil {
+			t.Fatalf("%s: missing transport rows", key)
+		}
+		// Equal crossings-per-packet: the coalescing size is shared, so the
+		// ratios must be within 25% of each other.
+		if c.batched.XPerPacket == 0 || c.async.XPerPacket == 0 {
+			t.Fatalf("%s: zero crossings-per-packet", key)
+		}
+		ratio := c.async.XPerPacket / c.batched.XPerPacket
+		if math.Abs(ratio-1) > 0.25 {
+			t.Errorf("%s: X/pkt not comparable: batched %.3f async %.3f",
+				key, c.batched.XPerPacket, c.async.XPerPacket)
+		}
+		// The point of the redesign: the same crossings, but the caller
+		// stalls at most half as long (measured runs show 10-70x less).
+		if c.async.StallPerPkt*2 >= c.batched.StallPerPkt {
+			t.Errorf("%s: async stall %v not well below batched stall %v",
+				key, c.async.StallPerPkt, c.batched.StallPerPkt)
+		}
+		// The crossing cost did not vanish — it moved to the decaf-side
+		// timeline.
+		if c.async.DecafPerPkt == 0 {
+			t.Errorf("%s: async row accounts no decaf-side crossing time", key)
+		}
+	}
+}
+
+// TestPrintAsyncTableRenders smoke-tests the rendering path.
+func TestPrintAsyncTableRenders(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := AsyncTableConfig{
+		NetperfDuration: 500 * time.Millisecond,
+		OfferedMbps:     2.5,
+		BatchN:          8,
+		QueueDepth:      64,
+		Transports:      "async",
+	}
+	if err := PrintAsyncTable(&buf, cfg); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Stall/pkt", "async(q64,b8)", "netperf-send"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}

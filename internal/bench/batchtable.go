@@ -63,7 +63,9 @@ func (cfg BatchTableConfig) wants(transport string) bool {
 	case "batched", "batch":
 		return transport != "per-call" && transport != "nucleus"
 	default:
-		return true
+		// An unrecognized filter selects nothing rather than everything;
+		// the CLI rejects unknown values before they reach here.
+		return false
 	}
 }
 

@@ -32,9 +32,16 @@ type Driver struct {
 	// the coalescing timer flushes a partial queue when traffic pauses.
 	txQueue       []*knet.Packet
 	txDepth       int
+	txWindow      time.Duration
 	txTimer       *kernel.KTimer
 	txFlushArmed  bool
 	txFlushQueued bool
+	// txInFlight/rxInFlight hold flushes submitted through FlushAsync
+	// whose frames await the decaf-side completion (nucleus transmit for
+	// TX, stack delivery for RX); under an async transport they overlap
+	// packet production with crossing execution.
+	txInFlight xpc.FlushPipeline[[]*knet.Packet]
+	rxInFlight xpc.FlushPipeline[[]*knet.Packet]
 
 	// Adapter is the kernel-side shared structure; DecafAdapter is the
 	// user-side copy (the same object in native mode).
@@ -64,6 +71,10 @@ type Config struct {
 	// TxQueueDepth is how many TX frames accumulate before a decaf
 	// data-path driver flushes them in one batch; <=1 flushes per frame.
 	TxQueueDepth int
+	// TxCoalesceWindow bounds how long a queued TX frame may wait for its
+	// batch to fill; 0 means the 2 ms default. Harnesses running at low
+	// offered loads widen it so batches still fill.
+	TxCoalesceWindow time.Duration
 }
 
 // New binds the driver to a device model. Call Module().Init via
@@ -77,9 +88,13 @@ func New(k *kernel.Kernel, net *knet.Subsystem, dev *e1000hw.Device, cfg Config)
 		opts:     cfg.ModuleParams,
 		dataPath: cfg.DataPath,
 		txDepth:  cfg.TxQueueDepth,
+		txWindow: cfg.TxCoalesceWindow,
 	}
 	if d.txDepth < 1 {
 		d.txDepth = 1
+	}
+	if d.txWindow <= 0 {
+		d.txWindow = txCoalesceWindow
 	}
 	// The TX coalescing timer runs at high priority and so only enqueues
 	// the flush work; the work item performs the batched crossing (§3.1.3).
@@ -202,12 +217,17 @@ func (o *e1000Ops) Open(ctx *kernel.Context) error {
 }
 
 // Stop implements knet.DeviceOps by upcalling e1000_close. Queued TX frames
-// flush first so none are stranded behind the teardown.
+// flush and transmit first so none are stranded behind the teardown, while
+// in-flight RX flushes settle and drop — frames are not delivered into a
+// closing interface, matching the rtl8139 purge-on-stop semantics.
 func (o *e1000Ops) Stop(ctx *kernel.Context) error {
 	d := (*Driver)(o)
 	d.txTimer.Stop()
 	d.txFlushArmed = false
-	_ = d.FlushTx(ctx)
+	_ = d.rxInFlight.Drain(ctx, func(frames []*knet.Packet) {
+		d.dropRxFrames(frames, nil)
+	}, d.dropRxFrames)
+	_ = d.Quiesce(ctx)
 	return d.rt.Upcall(ctx, "e1000_close", func(uctx *kernel.Context) error {
 		return decaf.ToError(decaf.Try(func() { d.dcf.close(uctx) }))
 	}, d.Adapter)
@@ -244,7 +264,7 @@ func (d *Driver) xmitViaDecaf(ctx *kernel.Context, pkt *knet.Packet) error {
 	}
 	if !d.txFlushArmed && !d.txFlushQueued {
 		d.txFlushArmed = true
-		d.txTimer.Schedule(txCoalesceWindow)
+		d.txTimer.Schedule(d.txWindow)
 	}
 	return nil
 }
@@ -262,46 +282,110 @@ func (d *Driver) scheduleTxFlush() {
 	})
 }
 
-// FlushTx submits every queued TX frame through the decaf driver in one
-// batch, then hands them to the nucleus for transmission. A no-op outside
-// the decaf data path or with an empty queue.
+// maxTxInFlight bounds how many submitted-but-unreaped flushes may overlap
+// under an async transport before the caller blocks on the oldest.
+const maxTxInFlight = 4
+
+// FlushTx submits every queued TX frame through the decaf driver via
+// FlushAsync, then reaps every in-flight flush whose crossing has (virtually)
+// completed and hands its frames to the nucleus for transmission. Under an
+// inline transport the flush settles during submission, so frames reach the
+// hardware in the same call — the seed behavior; under an async transport
+// the caller keeps producing while the decaf side drains the crossing, and
+// frames follow one reap behind. A no-op outside the decaf data path.
 func (d *Driver) FlushTx(ctx *kernel.Context) error {
-	if len(d.txQueue) == 0 {
-		return nil
+	if len(d.txQueue) > 0 {
+		pending := d.txQueue
+		d.txQueue = nil
+		// The flush consumes any armed coalescing timer: it should fire
+		// only when a partial queue goes stale, not mid-stream between
+		// full batches.
+		if d.txFlushArmed {
+			d.txTimer.Stop()
+			d.txFlushArmed = false
+		}
+		b := d.rt.Batch(ctx)
+		for _, pkt := range pending {
+			p := pkt
+			b.UpcallData("e1000_xmit_frame", p.Data, func(uctx *kernel.Context) error {
+				d.dcf.xmitFrame(uctx, p)
+				return nil
+			})
+		}
+		d.txInFlight.Push(b.FlushAsync(), pending)
 	}
-	pending := d.txQueue
-	d.txQueue = nil
-	// The flush consumes any armed coalescing timer: it should fire only
-	// when a partial queue goes stale, not mid-stream between full batches.
-	if d.txFlushArmed {
-		d.txTimer.Stop()
-		d.txFlushArmed = false
-	}
-	b := d.rt.Batch(ctx)
-	for _, pkt := range pending {
-		p := pkt
-		b.UpcallData("e1000_xmit_frame", p.Data, func(uctx *kernel.Context) error {
-			d.dcf.xmitFrame(uctx, p)
-			return nil
-		})
-	}
-	if err := b.Flush(); err != nil {
-		d.Adapter.Stats.TxErrors += uint64(len(pending))
-		return err
-	}
-	var firstErr error
-	for _, pkt := range pending {
-		if err := d.nuc.xmitFrame(ctx, pkt); err != nil && firstErr == nil {
-			firstErr = err
+	return d.reapTx(ctx, d.txInFlight.Len() >= maxTxInFlight)
+}
+
+// txCallbacks builds the TX pipeline's deliver/drop pair: successful
+// flushes hand their frames to the nucleus (the first transmit error lands
+// in *errp), failed or faulted flushes drop theirs into TxErrors — the
+// kernel survives.
+func (d *Driver) txCallbacks(ctx *kernel.Context, errp *error) (deliver func([]*knet.Packet), drop func([]*knet.Packet, error)) {
+	deliver = func(frames []*knet.Packet) {
+		for _, pkt := range frames {
+			if xerr := d.nuc.xmitFrame(ctx, pkt); xerr != nil && *errp == nil {
+				*errp = xerr
+			}
 		}
 	}
-	return firstErr
+	drop = func(frames []*knet.Packet, _ error) {
+		d.Adapter.Stats.TxErrors += uint64(len(frames))
+	}
+	return deliver, drop
+}
+
+// deliverRxFrames/dropRxFrames are the RX pipeline's deliver/drop pair.
+func (d *Driver) deliverRxFrames(frames []*knet.Packet) {
+	for _, pkt := range frames {
+		d.netdev.Receive(pkt)
+	}
+}
+
+func (d *Driver) dropRxFrames(frames []*knet.Packet, _ error) {
+	d.Adapter.Stats.RxDropped += uint64(len(frames))
+}
+
+// reapTx transmits the frames of every settled in-flight flush; with force,
+// it first waits for the oldest flush (charging the caller any residual
+// stall) so the pipeline depth stays bounded.
+func (d *Driver) reapTx(ctx *kernel.Context, force bool) error {
+	var xmitErr error
+	deliver, drop := d.txCallbacks(ctx, &xmitErr)
+	err := d.txInFlight.Reap(ctx, d.kern.Clock().Now(), force, deliver, drop)
+	if err == nil {
+		err = xmitErr
+	}
+	return err
+}
+
+// Quiesce flushes the partial TX queue and waits for every in-flight decaf
+// crossing, transmitting reaped TX frames and delivering reaped RX frames.
+// Workload harnesses call it before closing a measurement phase so async
+// completions are settled.
+func (d *Driver) Quiesce(ctx *kernel.Context) error {
+	err := d.FlushTx(ctx)
+	var xmitErr error
+	deliver, drop := d.txCallbacks(ctx, &xmitErr)
+	if derr := d.txInFlight.Drain(ctx, deliver, drop); err == nil {
+		if derr == nil {
+			derr = xmitErr
+		}
+		err = derr
+	}
+	_ = d.rxInFlight.Drain(ctx, d.deliverRxFrames, d.dropRxFrames)
+	if derr := d.rt.DrainCrossings(ctx); derr != nil && err == nil {
+		err = derr
+	}
+	return err
 }
 
 // deliverRx hands drained RX frames up the stack. In the decaf data path the
-// crossing cannot happen in IRQ context, so a work item performs the batched
-// upcalls and then delivers — the work-queue handoff of §3.1.3 applied to
-// the receive path.
+// crossing cannot happen in IRQ context, so a work item submits the batched
+// upcalls — the work-queue handoff of §3.1.3 applied to the receive path —
+// and delivery follows each flush's completion: inline transports settle
+// during submission (delivery in the same work item, the seed behavior),
+// async transports overlap the crossing with further interrupt drains.
 func (d *Driver) deliverRx(frames []*knet.Packet) {
 	if len(frames) == 0 {
 		return
@@ -321,13 +405,17 @@ func (d *Driver) deliverRx(frames []*knet.Packet) {
 				return nil
 			})
 		}
-		if err := b.Flush(); err != nil {
-			// A faulted decaf driver drops the drain; the kernel survives.
-			d.Adapter.Stats.RxDropped += uint64(len(frames))
-			return
-		}
-		for _, f := range frames {
-			d.netdev.Receive(f)
-		}
+		d.rxInFlight.Push(b.FlushAsync(), frames)
+		d.reapRx(wctx, d.rxInFlight.Len() >= maxRxInFlight)
 	})
+}
+
+// maxRxInFlight bounds the RX pipeline depth under an async transport.
+const maxRxInFlight = 4
+
+// reapRx delivers the frames of every settled in-flight RX flush; with
+// force, it first waits for the oldest. A faulted decaf driver drops its
+// own drain; the kernel survives.
+func (d *Driver) reapRx(ctx *kernel.Context, force bool) {
+	_ = d.rxInFlight.Reap(ctx, d.kern.Clock().Now(), force, d.deliverRxFrames, d.dropRxFrames)
 }

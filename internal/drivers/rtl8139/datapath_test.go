@@ -118,6 +118,67 @@ func TestRxCoalescingRearmsAfterStop(t *testing.T) {
 	}
 }
 
+// TestRxDecafPathAsyncTransport drives the decaf RX path through an
+// AsyncTransport end to end: probe (with its nested inline downcalls and
+// batched EEPROM walk), interrupt drains submitting through the ring, and
+// Quiesce settling the in-flight flushes so every frame is delivered.
+func TestRxDecafPathAsyncTransport(t *testing.T) {
+	const batchN = 4
+	r := newDecafPathRig(t, 1)
+	r.drv.Runtime().SetTransport(xpc.NewAsyncTransport(xpc.AsyncConfig{Depth: 32, Batch: batchN}))
+	defer r.drv.Runtime().SetTransport(nil)
+	r.loadAndUp(t)
+	r.drv.Runtime().ResetCounters()
+
+	received := 0
+	r.drv.NetDevice().SetRxSink(func(p *knet.Packet) { received++ })
+	frame := knet.NewPacket(r.drv.Adapter.MAC, [6]byte{9, 8, 7, 6, 5, 4}, 0x0800, 200)
+	for i := 0; i < 2*batchN; i++ {
+		if !r.dev.InjectRx(frame.Data) {
+			t.Fatalf("inject %d failed", i)
+		}
+	}
+	r.kern.DefaultWorkqueue().Drain()
+	ctx := r.kern.NewContext("settle")
+	if err := r.drv.Quiesce(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if received != 2*batchN {
+		t.Fatalf("received %d frames, want %d", received, 2*batchN)
+	}
+	if got := r.drv.DecafAdapter.DecafRxFrames; got != 2*batchN {
+		t.Fatalf("decaf driver saw %d frames, want %d", got, 2*batchN)
+	}
+	c := r.drv.Runtime().Counters()
+	if c.Trips() == 0 || c.Trips() > 2*batchN {
+		t.Fatalf("Trips = %d, want coalesced crossings", c.Trips())
+	}
+	if c.InFlight != 0 {
+		t.Fatalf("InFlight = %d after Quiesce", c.InFlight)
+	}
+}
+
+// TestProbeEEPROMWalkBatched checks the probe-time EEPROM walk coalesces
+// through the Batch downcall builder: under a batched transport the 32-word
+// walk plus the Cfg9346 lock dance costs a few crossings, not one per word.
+func TestProbeEEPROMWalkBatched(t *testing.T) {
+	r := newDecafPathRig(t, 16)
+	r.loadAndUp(t)
+	c := r.drv.Runtime().Counters()
+	// 34 same-direction downcalls (unlock + 32 words + lock) at MaxBatch 16
+	// is 3 crossings; the rest of probe/open adds a handful more. Without
+	// batching the walk alone would cost 34.
+	if c.Downcalls >= 34 {
+		t.Fatalf("Downcalls = %d, want the EEPROM walk coalesced (< 34)", c.Downcalls)
+	}
+	if c.PerCall["rtl8139_read_eeprom"] != 32 {
+		t.Fatalf("EEPROM reads = %d, want 32", c.PerCall["rtl8139_read_eeprom"])
+	}
+	if r.drv.DecafAdapter.EEPROM[0] != 0x8129 {
+		t.Fatalf("EEPROM signature = %#x", r.drv.DecafAdapter.EEPROM[0])
+	}
+}
+
 // TestRxPendingPurgedOnStop checks ifdown drops coalesced-but-unflushed
 // frames instead of delivering through a closing driver.
 func TestRxPendingPurgedOnStop(t *testing.T) {

@@ -67,6 +67,10 @@ type Config struct {
 	// driver as one batch per interrupt, submitted through the runtime's
 	// transport.
 	DataPath xpc.DataPath
+	// RxCoalesceWindow bounds how long a drained frame may wait for its
+	// batch to fill; 0 means the 2 ms default. Harnesses running at low
+	// offered loads widen it so batches still fill.
+	RxCoalesceWindow time.Duration
 }
 
 // Driver is one bound 8139too instance.
@@ -93,18 +97,32 @@ type Driver struct {
 	// drained frames accumulate here until a transport batch fills or the
 	// coalescing timer closes the window.
 	rxPending     []*knet.Packet
+	rxWindow      time.Duration
 	rxTimer       *kernel.KTimer
 	rxFlushArmed  bool
 	rxFlushQueued bool
+	// rxInFlight holds flushes submitted through FlushAsync whose frames
+	// await the decaf-side completion before delivery up the stack. Inline
+	// transports settle during submission (pipeline depth one, the seed
+	// behavior); an async transport overlaps the crossing with further
+	// interrupt drains.
+	rxInFlight xpc.FlushPipeline[[]*knet.Packet]
 }
+
+// maxRxInFlight bounds the RX pipeline depth under an async transport.
+const maxRxInFlight = 4
 
 // New binds the driver to a device model.
 func New(k *kernel.Kernel, net *knet.Subsystem, dev *rtl8139hw.Device, ioBase uint16, cfg Config) *Driver {
 	d := &Driver{
 		kern: k, net: net, dev: dev, irq: cfg.IRQ, ioBase: ioBase,
 		dataPath: cfg.DataPath,
+		rxWindow: cfg.RxCoalesceWindow,
 		lock:     kernel.NewSpinLock("8139too.lock"),
 		Adapter:  &Adapter{MsgEnable: 1, Mtu: 1500},
+	}
+	if d.rxWindow <= 0 {
+		d.rxWindow = rxCoalesceWindow
 	}
 	d.rt = xpc.NewRuntime(k, "8139too", cfg.Mode, FieldMask())
 	d.rt.DisableIRQs = []int{cfg.IRQ}
@@ -291,7 +309,7 @@ func (d *Driver) deliverRx(frames []*knet.Packet) {
 		d.scheduleRxFlush()
 	} else if !d.rxFlushArmed && !d.rxFlushQueued {
 		d.rxFlushArmed = true
-		d.rxTimer.Schedule(rxCoalesceWindow)
+		d.rxTimer.Schedule(d.rxWindow)
 	}
 }
 
@@ -305,8 +323,11 @@ func (d *Driver) scheduleRxFlush() {
 	d.kern.DeferToWork(func(wctx *kernel.Context) { d.flushRx(wctx) })
 }
 
-// flushRx submits every coalesced frame to the decaf driver in one batch,
-// then delivers them up the stack.
+// flushRx submits every coalesced frame to the decaf driver via FlushAsync,
+// then delivers the frames of every flush whose crossing has (virtually)
+// completed. Inline transports settle during submission, so delivery
+// happens in the same work item — the seed behavior; an async transport
+// lets the interrupt path keep draining while the decaf side inspects.
 func (d *Driver) flushRx(wctx *kernel.Context) {
 	frames := d.rxPending
 	d.rxPending = nil
@@ -317,24 +338,43 @@ func (d *Driver) flushRx(wctx *kernel.Context) {
 		d.rxTimer.Stop()
 		d.rxFlushArmed = false
 	}
-	if len(frames) == 0 {
-		return
+	if len(frames) > 0 {
+		b := d.rt.Batch(wctx)
+		for _, f := range frames {
+			p := f
+			b.UpcallData("rtl8139_rx_frame", p.Data, func(uctx *kernel.Context) error {
+				d.rxFrameDecaf(uctx, p)
+				return nil
+			})
+		}
+		d.rxInFlight.Push(b.FlushAsync(), frames)
 	}
-	b := d.rt.Batch(wctx)
-	for _, f := range frames {
-		p := f
-		b.UpcallData("rtl8139_rx_frame", p.Data, func(uctx *kernel.Context) error {
-			d.rxFrameDecaf(uctx, p)
-			return nil
-		})
+	d.reapRx(wctx, d.rxInFlight.Len() >= maxRxInFlight)
+}
+
+// deliverFrames/dropFrames are the RX pipeline's deliver/drop pair.
+func (d *Driver) deliverFrames(frames []*knet.Packet) {
+	for _, pkt := range frames {
+		d.netdev.Receive(pkt)
 	}
-	if err := b.Flush(); err != nil {
-		d.Adapter.Stats.RxDropped += uint64(len(frames))
-		return
-	}
-	for _, f := range frames {
-		d.netdev.Receive(f)
-	}
+}
+
+func (d *Driver) dropFrames(frames []*knet.Packet, _ error) {
+	d.Adapter.Stats.RxDropped += uint64(len(frames))
+}
+
+// reapRx delivers the frames of every settled in-flight flush; with force,
+// it first waits for the oldest (charging any residual stall). A faulted
+// decaf driver drops its own drain; the kernel survives.
+func (d *Driver) reapRx(ctx *kernel.Context, force bool) {
+	_ = d.rxInFlight.Reap(ctx, d.kern.Clock().Now(), force, d.deliverFrames, d.dropFrames)
+}
+
+// Quiesce waits for every in-flight decaf crossing and delivers the reaped
+// frames; workload harnesses call it before closing a measurement phase.
+func (d *Driver) Quiesce(ctx *kernel.Context) error {
+	_ = d.rxInFlight.Drain(ctx, d.deliverFrames, d.dropFrames)
+	return d.rt.DrainCrossings(ctx)
 }
 
 // xmit is hard_start_xmit, a critical root.
@@ -387,25 +427,37 @@ func (d *Driver) probeDecaf(uctx *kernel.Context) {
 	}
 	d.helpers.Msleep(uctx, 10)
 
-	// Unlock the 93C46 before the walk and relock after, each a kernel
-	// entry (the Cfg9346 dance the real driver performs).
-	_ = d.rt.Downcall(uctx, "rtl8139_cfg9346_unlock", func(kctx *kernel.Context) error {
+	// Unlock the 93C46 and walk every word through the Batch downcall
+	// builder: one direction throughout, so under a batched or async
+	// transport the walk coalesces into one crossing per MaxBatch-call
+	// chunk instead of one per word (the Table 3 init-crossing reduction);
+	// under the default per-call transport the counts are unchanged. The
+	// relock is issued unconditionally afterwards — a failed walk must not
+	// leave the 93C46 unlocked (a sticky batch error would drop a queued
+	// relock).
+	a := d.DecafAdapter
+	var words [32]uint16
+	b := d.rt.Batch(uctx)
+	b.Downcall("rtl8139_cfg9346_unlock", func(kctx *kernel.Context) error {
 		d.outb(rtl8139hw.Reg9346CR, 0xC0)
 		return nil
 	})
-	a := d.DecafAdapter
-	for w := uint8(0); w < uint8(len(a.EEPROM)); w++ {
-		var word uint16
-		_ = d.rt.Downcall(uctx, "rtl8139_read_eeprom", func(kctx *kernel.Context) error {
-			word = d.readEEPROMWord(kctx, w)
+	for w := uint8(0); w < uint8(len(words)); w++ {
+		w := w
+		b.Downcall("rtl8139_read_eeprom", func(kctx *kernel.Context) error {
+			words[w] = d.readEEPROMWord(kctx, w)
 			return nil
 		})
-		a.EEPROM[w] = word
 	}
+	walkErr := b.Flush()
 	_ = d.rt.Downcall(uctx, "rtl8139_cfg9346_lock", func(kctx *kernel.Context) error {
 		d.outb(rtl8139hw.Reg9346CR, 0x00)
 		return nil
 	})
+	if walkErr != nil {
+		decaf.ThrowCause(HWException, walkErr, "EEPROM walk failed")
+	}
+	copy(a.EEPROM[:], words[:])
 	if a.EEPROM[0] != 0x8129 {
 		decaf.Throw(HWException, "bad EEPROM signature %#x", a.EEPROM[0])
 	}
@@ -521,7 +573,9 @@ func (o *rtlOps) Open(ctx *kernel.Context) error {
 }
 
 // Stop implements knet.DeviceOps via the decaf driver. Coalesced RX frames
-// not yet flushed are purged, as a real ifdown purges driver queues.
+// not yet flushed are purged, as a real ifdown purges driver queues, and
+// in-flight decaf crossings settle (their frames are dropped rather than
+// delivered into a closing interface).
 func (o *rtlOps) Stop(ctx *kernel.Context) error {
 	d := (*Driver)(o)
 	d.rxTimer.Stop()
@@ -531,6 +585,9 @@ func (o *rtlOps) Stop(ctx *kernel.Context) error {
 		d.rxPending = nil
 		d.Adapter.Stats.RxDropped += uint64(n)
 	}
+	_ = d.rxInFlight.Drain(ctx, func(frames []*knet.Packet) {
+		d.dropFrames(frames, nil)
+	}, d.dropFrames)
 	return d.rt.Upcall(ctx, "rtl8139_close", func(uctx *kernel.Context) error {
 		return decaf.ToError(decaf.Try(func() { d.closeDecaf(uctx) }))
 	}, d.Adapter)

@@ -92,13 +92,26 @@ type NetOptions struct {
 	// default) or the decaf driver (per-packet crossings, the batching
 	// study's configuration).
 	DataPath xpc.DataPath
-	// BatchN > 1 installs a batched XPC transport coalescing up to N calls
-	// per crossing, and sizes the e1000 TX queue to match. <= 1 keeps the
-	// synchronous per-call transport.
+	// BatchN > 1 coalesces up to N calls per crossing (BatchTransport, or
+	// the async service's coalescing size when Async is set), and sizes
+	// the e1000 TX queue to match. <= 1 keeps per-call crossings.
 	BatchN int
+	// Async installs an AsyncTransport: submissions queue onto a bounded
+	// ring serviced by a dedicated decaf-side goroutine, so crossings
+	// overlap with packet production instead of stalling the caller.
+	Async bool
+	// QueueDepth bounds the async submission ring; <1 means
+	// xpc.DefaultQueueDepth. Ignored unless Async is set.
+	QueueDepth int
+	// CoalesceWindow overrides the drivers' 2 ms batch-coalescing windows;
+	// harnesses running below line rate widen it so batches still fill.
+	CoalesceWindow time.Duration
 }
 
 func (o NetOptions) transport() xpc.Transport {
+	if o.Async {
+		return xpc.NewAsyncTransport(xpc.AsyncConfig{Depth: o.QueueDepth, Batch: o.BatchN})
+	}
 	if o.BatchN > 1 {
 		return xpc.BatchTransport{N: o.BatchN}
 	}
@@ -122,6 +135,7 @@ func NewE1000With(mode xpc.Mode, opts NetOptions) (*Testbed, error) {
 	tb.E1000 = e1000.New(tb.Kernel, tb.Net, tb.E1000Dev, e1000.Config{
 		Mode: mode, IRQ: 9,
 		DataPath: opts.DataPath, TxQueueDepth: opts.BatchN,
+		TxCoalesceWindow: opts.CoalesceWindow,
 	})
 	tb.Runtime = tb.E1000.Runtime()
 	tb.Runtime.SetTransport(opts.transport())
@@ -132,6 +146,10 @@ func NewE1000With(mode xpc.Mode, opts NetOptions) (*Testbed, error) {
 	if err := tb.E1000.NetDevice().Up(ctx); err != nil {
 		return nil, err
 	}
+	// Initialization crossings were synchronous (waited-for); advance the
+	// clock past them so a following measurement phase starts with the
+	// async service timeline and the clock in step.
+	tb.Clock.AdvanceTo(tb.Runtime.WaitFrontier())
 	return tb, nil
 }
 
@@ -147,6 +165,7 @@ func NewRTL8139With(mode xpc.Mode, opts NetOptions) (*Testbed, error) {
 	tb.RTLDev = rtl8139hw.New(tb.Bus, 11, 0xC000, [6]byte{0x00, 0xE0, 0x4C, 0x39, 0x13, 0x9A})
 	tb.RTL = rtl8139.New(tb.Kernel, tb.Net, tb.RTLDev, 0xC000, rtl8139.Config{
 		Mode: mode, IRQ: 11, DataPath: opts.DataPath,
+		RxCoalesceWindow: opts.CoalesceWindow,
 	})
 	tb.Runtime = tb.RTL.Runtime()
 	tb.Runtime.SetTransport(opts.transport())
@@ -157,6 +176,7 @@ func NewRTL8139With(mode xpc.Mode, opts NetOptions) (*Testbed, error) {
 	if err := tb.RTL.NetDevice().Up(ctx); err != nil {
 		return nil, err
 	}
+	tb.Clock.AdvanceTo(tb.Runtime.WaitFrontier())
 	return tb, nil
 }
 
@@ -211,6 +231,37 @@ func (tb *Testbed) InitCrossings() uint64 {
 // runs here; its XPC wait shows up as elapsed time).
 func (tb *Testbed) drainDeferredWork() {
 	tb.Sys.DrainDeferredWork()
+}
+
+// Settle quiesces the testbed's crossing pipelines: deferred work drains,
+// the drivers reap their in-flight async flushes, and the transport's queue
+// empties, charging ctx any residual catch-up stall. Workloads call it
+// before closing a measurement phase so crossing counters and deliveries
+// are complete; under inline transports it is a no-op beyond the work-queue
+// drain.
+func (tb *Testbed) Settle(ctx *kernel.Context) {
+	tb.drainDeferredWork()
+	if tb.E1000 != nil {
+		_ = tb.E1000.Quiesce(ctx)
+	}
+	if tb.RTL != nil {
+		_ = tb.RTL.Quiesce(ctx)
+	}
+	tb.drainDeferredWork()
+	if tb.Runtime != nil {
+		_ = tb.Runtime.DrainCrossings(ctx)
+	}
+}
+
+// Shutdown settles the testbed and releases transport resources (an
+// AsyncTransport's service goroutine). Benchmarks call it when a testbed is
+// no longer needed.
+func (tb *Testbed) Shutdown() {
+	ctx := tb.Kernel.NewContext("shutdown")
+	tb.Settle(ctx)
+	if tb.Runtime != nil {
+		tb.Runtime.SetTransport(nil)
+	}
 }
 
 // Phase measures one workload phase: busy CPU time and crossings are

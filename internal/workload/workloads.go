@@ -55,6 +55,7 @@ func NetperfSend(tb *Testbed, nd *knet.NetDevice, mbps float64, duration time.Du
 		tb.Clock.Advance(wt)
 		tb.drainDeferredWork()
 	}
+	tb.Settle(ctx)
 	elapsed, cpu, x := phase.End()
 	return Result{
 		Workload:       "netperf-send",
@@ -86,6 +87,7 @@ func NetperfRecv(tb *Testbed, inject func(frame []byte) bool, nd *knet.NetDevice
 		tb.Clock.Advance(wt)
 		tb.drainDeferredWork()
 	}
+	tb.Settle(tb.Kernel.NewContext("netperf-settle"))
 	elapsed, cpu, x := phase.End()
 	return Result{
 		Workload:       "netperf-recv",

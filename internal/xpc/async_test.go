@@ -1,0 +1,463 @@
+package xpc
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"decafdrivers/internal/kernel"
+)
+
+func newAsyncRuntime(k *kernel.Kernel, cfg AsyncConfig) (*Runtime, *AsyncTransport) {
+	r := newDecafRuntime(k)
+	t := NewAsyncTransport(cfg)
+	r.SetTransport(t)
+	return r, t
+}
+
+func TestAsyncUpcallSugarBlocksLikeSync(t *testing.T) {
+	k := newTestKernel()
+	r, _ := newAsyncRuntime(k, AsyncConfig{})
+	defer r.SetTransport(nil)
+	ctx := k.NewContext("t")
+
+	ran := false
+	if err := r.Upcall(ctx, "fn", func(uctx *kernel.Context) error {
+		ran = true
+		return nil
+	}); err != nil || !ran {
+		t.Fatalf("upcall err=%v ran=%v", err, ran)
+	}
+	// Submit + immediate Wait: the caller stalls the full crossing latency,
+	// exactly as the synchronous transport charges it.
+	minBase := DefaultLatencyModel.KernelUserBase + DefaultLatencyModel.CJavaBase
+	if ctx.Elapsed() < minBase {
+		t.Fatalf("Elapsed = %v, want >= %v (blocking sugar)", ctx.Elapsed(), minBase)
+	}
+	c := r.Counters()
+	if c.Trips() != 1 || c.Submissions != 1 {
+		t.Fatalf("counters = %+v", c)
+	}
+}
+
+func TestAsyncFlushOverlapsCallerWork(t *testing.T) {
+	k := newTestKernel()
+	r, _ := newAsyncRuntime(k, AsyncConfig{Batch: 8})
+	defer r.SetTransport(nil)
+	ctx := k.NewContext("t")
+
+	b := r.Batch(ctx)
+	for i := 0; i < 8; i++ {
+		b.Upcall("xmit", func(uctx *kernel.Context) error { return nil })
+	}
+	done := b.FlushAsync()
+	submitted := ctx.Elapsed()
+	if base := DefaultLatencyModel.KernelUserBase; submitted >= base {
+		t.Fatalf("FlushAsync stalled the caller %v (>= one crossing base %v)", submitted, base)
+	}
+	// The caller "produces" past the crossing's virtual completion; waiting
+	// then charges nothing — the latency was hidden by overlap.
+	k.Clock().Advance(done.Latency() + time.Second)
+	if err := done.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if stallFree := ctx.Elapsed() - submitted; stallFree != 0 {
+		t.Fatalf("overlapped wait still charged %v", stallFree)
+	}
+	if !done.Settled(k.Clock().Now()) {
+		t.Fatal("completion not settled after its due time")
+	}
+	c := r.Counters()
+	if c.Trips() != 1 {
+		t.Fatalf("Trips = %d, want 1 coalesced crossing", c.Trips())
+	}
+	if c.CrossTime == 0 {
+		t.Fatal("no crossing time accounted to the decaf timeline")
+	}
+}
+
+func TestAsyncImmediateWaitChargesFullLatency(t *testing.T) {
+	k := newTestKernel()
+	r, _ := newAsyncRuntime(k, AsyncConfig{Batch: 4})
+	defer r.SetTransport(nil)
+	ctx := k.NewContext("t")
+
+	b := r.Batch(ctx)
+	for i := 0; i < 4; i++ {
+		b.Upcall("xmit", func(uctx *kernel.Context) error { return nil })
+	}
+	done := b.FlushAsync()
+	if err := done.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// No clock advance between submit and wait: the full latency is stall.
+	if ctx.Elapsed() < DefaultLatencyModel.KernelUserBase {
+		t.Fatalf("immediate wait charged only %v", ctx.Elapsed())
+	}
+	if r.Counters().Stall == 0 {
+		t.Fatal("no caller-visible stall recorded")
+	}
+}
+
+func TestAsyncCompletionOrderingPerDirection(t *testing.T) {
+	k := newTestKernel()
+	r, _ := newAsyncRuntime(k, AsyncConfig{Batch: 4})
+	defer r.SetTransport(nil)
+	r.Latency = ZeroLatencyModel
+	ctx := k.NewContext("t")
+
+	var mu sync.Mutex
+	var upOrder, downOrder []int
+	b := r.Batch(ctx)
+	const n = 40
+	for i := 0; i < n; i++ {
+		i := i
+		if i%2 == 0 {
+			b.Upcall("up", func(uctx *kernel.Context) error {
+				mu.Lock()
+				upOrder = append(upOrder, i)
+				mu.Unlock()
+				return nil
+			})
+		} else {
+			b.Downcall("down", func(kctx *kernel.Context) error {
+				mu.Lock()
+				downOrder = append(downOrder, i)
+				mu.Unlock()
+				return nil
+			})
+		}
+	}
+	if err := b.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(upOrder)+len(downOrder) != n {
+		t.Fatalf("ran %d+%d of %d calls", len(upOrder), len(downOrder), n)
+	}
+	for i := 1; i < len(upOrder); i++ {
+		if upOrder[i] < upOrder[i-1] {
+			t.Fatalf("upcall order not FIFO: %v", upOrder)
+		}
+	}
+	for i := 1; i < len(downOrder); i++ {
+		if downOrder[i] < downOrder[i-1] {
+			t.Fatalf("downcall order not FIFO: %v", downOrder)
+		}
+	}
+}
+
+func TestAsyncConcurrentSubmitters(t *testing.T) {
+	k := newTestKernel()
+	r, _ := newAsyncRuntime(k, AsyncConfig{Depth: 32, Batch: 8})
+	defer r.SetTransport(nil)
+	r.Latency = ZeroLatencyModel
+
+	const workers = 8
+	const iters = 100
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx := k.NewContext(fmt.Sprintf("worker-%d", w))
+			for i := 0; i < iters; i++ {
+				if err := r.Upcall(ctx, "up", func(uctx *kernel.Context) error { return nil }); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err := r.DrainCrossings(k.NewContext("drain")); err != nil {
+		t.Fatal(err)
+	}
+	c := r.Counters()
+	if c.Submissions != workers*iters {
+		t.Fatalf("Submissions = %d, want %d", c.Submissions, workers*iters)
+	}
+	if got := c.Calls(); got != workers*iters {
+		t.Fatalf("Calls = %d, want %d", got, workers*iters)
+	}
+	if c.InFlight != 0 {
+		t.Fatalf("InFlight gauge = %d after drain", c.InFlight)
+	}
+}
+
+// TestAsyncFaultFailsOnlyItsOwnCompletion is the fault-containment
+// requirement of the submit/complete redesign: a panicking decaf-side call
+// inside a coalesced async crossing fails its own Completion; its neighbors
+// run and succeed.
+func TestAsyncFaultFailsOnlyItsOwnCompletion(t *testing.T) {
+	k := newTestKernel()
+	r, _ := newAsyncRuntime(k, AsyncConfig{Batch: 8})
+	defer r.SetTransport(nil)
+	r.Latency = ZeroLatencyModel
+	ctx := k.NewContext("t")
+
+	var ran []string
+	var mu sync.Mutex
+	note := func(s string) {
+		mu.Lock()
+		ran = append(ran, s)
+		mu.Unlock()
+	}
+	subs := []*Submission{
+		r.NewSubmission(&Call{Name: "first", Up: true, Fn: func(*kernel.Context) error { note("first"); return nil }}),
+		r.NewSubmission(&Call{Name: "buggy", Up: true, Fn: func(*kernel.Context) error { panic("NullPointerException") }}),
+		r.NewSubmission(&Call{Name: "third", Up: true, Fn: func(*kernel.Context) error { note("third"); return nil }}),
+	}
+	if err := r.Transport().Submit(r, ctx, subs); err != nil {
+		t.Fatal(err)
+	}
+	if err := subs[0].Completion.Wait(ctx); err != nil {
+		t.Fatalf("first: %v", err)
+	}
+	var fault *UserFault
+	if err := subs[1].Completion.Wait(ctx); !errors.As(err, &fault) {
+		t.Fatalf("buggy: err = %v, want *UserFault", err)
+	}
+	if !subs[1].Completion.Faulted() {
+		t.Fatal("buggy completion not marked faulted")
+	}
+	if err := subs[2].Completion.Wait(ctx); err != nil {
+		t.Fatalf("third (after fault): %v", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(ran) != 2 {
+		t.Fatalf("ran = %v, want the two healthy calls", ran)
+	}
+	if c := r.Counters(); c.Faults != 1 {
+		t.Fatalf("Faults = %d, want 1", c.Faults)
+	}
+}
+
+func TestAsyncNestedDowncallRunsInline(t *testing.T) {
+	k := newTestKernel()
+	r, _ := newAsyncRuntime(k, AsyncConfig{})
+	defer r.SetTransport(nil)
+	ctx := k.NewContext("t")
+
+	// The decaf-side body performs a downcall; queueing it to the service
+	// loop the body itself runs on would deadlock — it must cross inline.
+	kernelRan := false
+	err := r.Upcall(ctx, "open", func(uctx *kernel.Context) error {
+		return r.Downcall(uctx, "request_irq", func(kctx *kernel.Context) error {
+			kernelRan = true
+			return nil
+		})
+	})
+	if err != nil || !kernelRan {
+		t.Fatalf("nested downcall err=%v ran=%v", err, kernelRan)
+	}
+	c := r.Counters()
+	if c.Upcalls != 1 || c.Downcalls != 1 {
+		t.Fatalf("counters = %+v", c)
+	}
+}
+
+func TestAsyncBackpressureFailFast(t *testing.T) {
+	k := newTestKernel()
+	r, _ := newAsyncRuntime(k, AsyncConfig{Depth: 1, Batch: 1, Policy: BackpressureFail})
+	defer r.SetTransport(nil)
+	r.Latency = ZeroLatencyModel
+	ctx := k.NewContext("t")
+
+	gate := make(chan struct{})
+	entered := make(chan struct{})
+	slow := r.NewSubmission(&Call{Name: "slow", Up: true, Fn: func(*kernel.Context) error {
+		close(entered)
+		<-gate
+		return nil
+	}})
+	if err := r.Transport().Submit(r, ctx, []*Submission{slow}); err != nil {
+		t.Fatal(err)
+	}
+	<-entered // the service goroutine is now occupied
+	filler := r.NewSubmission(&Call{Name: "filler", Up: true, Fn: func(*kernel.Context) error { return nil }})
+	if err := r.Transport().Submit(r, ctx, []*Submission{filler}); err != nil {
+		t.Fatal(err) // fits in the depth-1 ring
+	}
+	dropped := r.NewSubmission(&Call{Name: "dropped", Up: true, Fn: func(*kernel.Context) error { return nil }})
+	if err := r.Transport().Submit(r, ctx, []*Submission{dropped}); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("err = %v, want ErrQueueFull", err)
+	}
+	if err := dropped.Completion.Err(); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("completion err = %v, want ErrQueueFull", err)
+	}
+	close(gate)
+	if err := r.DrainCrossings(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := filler.Completion.Err(); err != nil {
+		t.Fatalf("filler: %v", err)
+	}
+}
+
+func TestAsyncBackpressureBlocks(t *testing.T) {
+	k := newTestKernel()
+	r, _ := newAsyncRuntime(k, AsyncConfig{Depth: 1, Batch: 1, Policy: BackpressureBlock})
+	defer r.SetTransport(nil)
+	ctx := k.NewContext("t")
+
+	gate := make(chan struct{})
+	entered := make(chan struct{})
+	slow := r.NewSubmission(&Call{Name: "slow", Up: true, Fn: func(*kernel.Context) error {
+		close(entered)
+		<-gate
+		return nil
+	}})
+	if err := r.Transport().Submit(r, ctx, []*Submission{slow}); err != nil {
+		t.Fatal(err)
+	}
+	<-entered
+	filler := r.NewSubmission(&Call{Name: "filler", Up: true, Fn: func(*kernel.Context) error { return nil }})
+	if err := r.Transport().Submit(r, ctx, []*Submission{filler}); err != nil {
+		t.Fatal(err)
+	}
+	// The ring is full and the service blocked: a further submit must wait
+	// for a slot instead of failing. Release the gate from another
+	// goroutine so the blocked submit can proceed.
+	go func() {
+		close(gate)
+	}()
+	blocked := r.NewSubmission(&Call{Name: "blocked", Up: true, Fn: func(*kernel.Context) error { return nil }})
+	if err := r.Transport().Submit(r, ctx, []*Submission{blocked}); err != nil {
+		t.Fatal(err)
+	}
+	if err := blocked.Completion.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := slow.Completion.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAsyncDrainAndGauges(t *testing.T) {
+	k := newTestKernel()
+	r, tr := newAsyncRuntime(k, AsyncConfig{Depth: 64, Batch: 8})
+	defer r.SetTransport(nil)
+	ctx := k.NewContext("t")
+
+	b := r.Batch(ctx)
+	for i := 0; i < 24; i++ {
+		b.Upcall("xmit", func(uctx *kernel.Context) error { return nil })
+	}
+	_ = b.FlushAsync()
+	if err := r.DrainCrossings(ctx); err != nil {
+		t.Fatal(err)
+	}
+	c := r.Counters()
+	if c.InFlight != 0 || c.QueueLen != 0 {
+		t.Fatalf("gauges after drain: inflight=%d queuelen=%d", c.InFlight, c.QueueLen)
+	}
+	if c.Submissions != 24 {
+		t.Fatalf("Submissions = %d", c.Submissions)
+	}
+	// Drain synchronized the caller with the decaf timeline: nothing is
+	// due in the caller's future any more.
+	if f := time.Duration(tr.svcFreeAt.Load()); f > k.Clock().Now() && f > r.WaitFrontier() {
+		t.Fatalf("drain left the service timeline ahead: freeAt=%v now=%v frontier=%v",
+			f, k.Clock().Now(), r.WaitFrontier())
+	}
+}
+
+func TestAsyncCloseResolvesQueued(t *testing.T) {
+	k := newTestKernel()
+	r, tr := newAsyncRuntime(k, AsyncConfig{Depth: 8, Batch: 1})
+	r.Latency = ZeroLatencyModel
+	ctx := k.NewContext("t")
+
+	gate := make(chan struct{})
+	entered := make(chan struct{})
+	var once sync.Once
+	var subs []*Submission
+	first := r.NewSubmission(&Call{Name: "slow", Up: true, Fn: func(*kernel.Context) error {
+		once.Do(func() { close(entered) })
+		<-gate
+		return nil
+	}})
+	_ = r.Transport().Submit(r, ctx, []*Submission{first})
+	<-entered
+	for i := 0; i < 4; i++ {
+		s := r.NewSubmission(&Call{Name: "queued", Up: true, Fn: func(*kernel.Context) error { return nil }})
+		_ = r.Transport().Submit(r, ctx, []*Submission{s})
+		subs = append(subs, s)
+	}
+	close(gate)
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Every queued submission resolved: either it ran before the close or
+	// it carries ErrTransportClosed.
+	for _, s := range subs {
+		if err := s.Completion.Err(); err != nil && !errors.Is(err, ErrTransportClosed) {
+			t.Fatalf("queued completion err = %v", err)
+		}
+	}
+	after := r.NewSubmission(&Call{Name: "late", Up: true, Fn: func(*kernel.Context) error { return nil }})
+	if err := r.Transport().Submit(r, ctx, []*Submission{after}); !errors.Is(err, ErrTransportClosed) {
+		t.Fatalf("submit after close: err = %v", err)
+	}
+	r.SetTransport(nil)
+}
+
+func TestAsyncTransportBoundToOneRuntime(t *testing.T) {
+	k := newTestKernel()
+	r1, tr := newAsyncRuntime(k, AsyncConfig{})
+	defer r1.SetTransport(nil)
+	ctx := k.NewContext("t")
+	if err := r1.Upcall(ctx, "fn", func(*kernel.Context) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	r2 := newDecafRuntime(k)
+	sub := r2.NewSubmission(&Call{Name: "fn", Up: true, Fn: func(*kernel.Context) error { return nil }})
+	if err := tr.Submit(r2, ctx, []*Submission{sub}); !errors.Is(err, ErrTransportBound) {
+		t.Fatalf("cross-runtime submit: err = %v, want ErrTransportBound", err)
+	}
+	if err := sub.Completion.Err(); !errors.Is(err, ErrTransportBound) {
+		t.Fatalf("completion err = %v", err)
+	}
+}
+
+func TestAsyncQueueWaitSeparatedFromCrossCost(t *testing.T) {
+	k := newTestKernel()
+	r, _ := newAsyncRuntime(k, AsyncConfig{Batch: 2})
+	defer r.SetTransport(nil)
+	ctx := k.NewContext("t")
+
+	// Two flushes submitted back-to-back at the same clock instant: the
+	// second crossing starts only when the first finishes, so its
+	// submissions carry queue wait equal to the first crossing's cost.
+	b := r.Batch(ctx)
+	b.Upcall("a", func(*kernel.Context) error { return nil })
+	b.Upcall("a", func(*kernel.Context) error { return nil })
+	c1 := b.FlushAsync()
+	b.Upcall("b", func(*kernel.Context) error { return nil })
+	b.Upcall("b", func(*kernel.Context) error { return nil })
+	c2 := b.FlushAsync()
+	if err := c1.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if c1.QueueWait() != 0 {
+		t.Fatalf("first flush queue wait = %v, want 0", c1.QueueWait())
+	}
+	if c2.QueueWait() == 0 {
+		t.Fatal("second flush recorded no queue wait behind the first")
+	}
+	if c2.CrossLatency() == 0 {
+		t.Fatal("second flush recorded no crossing cost")
+	}
+	if got, want := c2.Latency(), c2.QueueWait()+c2.CrossLatency(); got != want {
+		t.Fatalf("Latency = %v, want queueWait+crossCost = %v", got, want)
+	}
+}

@@ -8,13 +8,17 @@ import (
 // transport. Under a BatchTransport, queued calls coalesce into crossings of
 // up to MaxBatch calls each, paying the kernel/user transition once per
 // crossing; under the synchronous transport every queued call still crosses
-// individually, so driver code written against Batch is transport-agnostic.
+// individually; under an AsyncTransport queued calls stream onto the
+// submission ring and execute on the decaf-side goroutine. Driver code
+// written against Batch is transport-agnostic.
 //
 // The builder auto-flushes whenever the queue reaches the transport's
 // MaxBatch or the call direction changes (each crossing travels one
 // direction), so a driver may stream an unbounded number of calls through
-// one Batch. Errors are sticky: after a call fails, subsequent adds are
-// dropped and Flush returns the first error.
+// one Batch. Errors known synchronously are sticky: after a call fails,
+// subsequent adds are dropped and Flush returns the first error. Under an
+// async transport errors surface through the completions instead — Flush
+// still reports the first one, FlushAsync hands back the aggregate handle.
 //
 // In ModeNative each call runs immediately in the caller's context, exactly
 // as Upcall/Downcall do.
@@ -22,7 +26,10 @@ type Batch struct {
 	r     *Runtime
 	ctx   *kernel.Context
 	calls []*Call
-	err   error
+	// outstanding are the completions of calls already submitted by
+	// auto-flushes, awaited by Flush or aggregated by FlushAsync.
+	outstanding []*Completion
+	err         error
 }
 
 // Batch starts a crossing batch bound to the calling context.
@@ -41,14 +48,14 @@ func (b *Batch) add(c *Call) *Batch {
 	// A crossing travels one direction: a direction change flushes the
 	// queued calls first, so every batch is all-upcall or all-downcall.
 	if len(b.calls) > 0 && b.calls[0].Up != c.Up {
-		if err := b.flush(); err != nil {
+		if err := b.submit(); err != nil {
 			b.err = err
 			return b
 		}
 	}
 	b.calls = append(b.calls, c)
 	if len(b.calls) >= b.r.Transport().MaxBatch() {
-		b.err = b.flush()
+		b.err = b.submit()
 	}
 	return b
 }
@@ -75,29 +82,70 @@ func (b *Batch) DowncallData(name string, data []byte, fn func(kctx *kernel.Cont
 	return b.add(&Call{Name: name, Up: false, Fn: fn, Objs: objs, Data: data})
 }
 
-// Len reports the calls queued and not yet flushed.
+// Len reports the calls queued and not yet submitted.
 func (b *Batch) Len() int { return len(b.calls) }
+
+// Outstanding reports the calls submitted but not yet waited for.
+func (b *Batch) Outstanding() int { return len(b.outstanding) }
 
 // Err reports the sticky error, if any, without flushing.
 func (b *Batch) Err() error { return b.err }
 
-func (b *Batch) flush() error {
+// submit hands the queued calls to the transport, retaining their
+// completions, and returns the first synchronously-known error.
+func (b *Batch) submit() error {
 	if len(b.calls) == 0 {
 		return nil
 	}
-	calls := b.calls
+	subs := make([]*Submission, len(b.calls))
+	for i, c := range b.calls {
+		subs[i] = b.r.NewSubmission(c)
+		b.outstanding = append(b.outstanding, subs[i].Completion)
+	}
 	b.calls = nil
-	return b.r.Transport().Cross(b.r, b.ctx, calls)
+	return b.r.Transport().Submit(b.r, b.ctx, subs)
 }
 
-// Flush submits every queued call and returns the first error encountered by
-// this batch (including errors from earlier auto-flushes). The batch is
-// reusable afterwards; the sticky error is cleared.
+// Flush submits every queued call, waits for every submitted call to
+// complete, and returns the first error encountered by this batch
+// (including errors from earlier auto-flushes). Under an inline transport
+// the crossings happened on the calling context; under an async transport
+// the caller stalls only for latency not already hidden by overlap. The
+// batch is reusable afterwards; the sticky error is cleared.
 func (b *Batch) Flush() error {
-	if ferr := b.flush(); b.err == nil {
+	if ferr := b.submit(); b.err == nil {
 		b.err = ferr
 	}
+	for _, c := range b.outstanding {
+		if werr := c.Wait(b.ctx); werr != nil && b.err == nil {
+			b.err = werr
+		}
+	}
+	b.outstanding = nil
 	err := b.err
 	b.err = nil
 	return err
+}
+
+// FlushAsync submits every queued call and returns an aggregate Completion
+// that resolves when the last of this batch's submitted calls does, without
+// waiting: the caller keeps producing while the decaf side drains the
+// crossing. The aggregate carries the first error in submission order, the
+// combined crossing cost, and the latest virtual completion instant. Under
+// an inline transport the calls completed during submission, so the handle
+// is already settled. The batch is reusable afterwards; the sticky error is
+// cleared (it is carried by the returned completion).
+func (b *Batch) FlushAsync() *Completion {
+	ferr := b.submit()
+	if b.err == nil {
+		b.err = ferr
+	}
+	outstanding := b.outstanding
+	b.outstanding = nil
+	stickyErr := b.err
+	b.err = nil
+	if len(outstanding) == 0 {
+		return newSettledCompletion(b.r, "flush", stickyErr, b.r.Kernel.Clock().Now())
+	}
+	return aggregate(b.r, "flush", outstanding)
 }

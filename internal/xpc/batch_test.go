@@ -310,6 +310,145 @@ func TestBatchedDowncallsDoNotMaskIRQs(t *testing.T) {
 	}
 }
 
+func TestBatchNativeModeFlushAsyncSettled(t *testing.T) {
+	k := newTestKernel()
+	r := NewRuntime(k, "test", ModeNative, nil)
+	ctx := k.NewContext("t")
+
+	ran := 0
+	b := r.Batch(ctx)
+	b.Upcall("fn", func(uctx *kernel.Context) error {
+		ran++
+		return nil
+	})
+	if ran != 1 {
+		t.Fatal("native batch call did not run immediately")
+	}
+	// Native mode never crosses; FlushAsync must hand back an
+	// already-settled handle with nothing pending.
+	done := b.FlushAsync()
+	if !done.Settled(k.Clock().Now()) {
+		t.Fatal("native FlushAsync handle not settled")
+	}
+	if err := done.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if r.Counters().Trips() != 0 {
+		t.Fatal("native mode counted a crossing")
+	}
+}
+
+// TestBatchStickyErrorAfterAutoFlush pins the auto-flush edge case: when the
+// queue reaches MaxBatch and the flushed crossing fails, the error must be
+// sticky — later adds are dropped and Flush reports the auto-flush error.
+func TestBatchStickyErrorAfterAutoFlush(t *testing.T) {
+	k := newTestKernel()
+	r := newDecafRuntime(k)
+	r.SetTransport(BatchTransport{N: 2})
+	ctx := k.NewContext("t")
+	boom := errors.New("EIO")
+
+	after := false
+	b := r.Batch(ctx)
+	b.Upcall("ok", func(uctx *kernel.Context) error { return nil })
+	// Reaching MaxBatch=2 auto-flushes; the second call fails inside it.
+	b.Upcall("fails", func(uctx *kernel.Context) error { return boom })
+	if b.Err() == nil {
+		t.Fatal("auto-flush error not sticky")
+	}
+	b.Upcall("after", func(uctx *kernel.Context) error {
+		after = true
+		return nil
+	})
+	if err := b.Flush(); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	if after {
+		t.Fatal("call queued after the sticky auto-flush error still ran")
+	}
+}
+
+// TestBatchDirectionChangeExecutionOrder pins the ordering half of the
+// direction-change flush: the queued upcalls must execute before the
+// downcall that forced the flush, preserving program order across the
+// direction boundary.
+func TestBatchDirectionChangeExecutionOrder(t *testing.T) {
+	k := newTestKernel()
+	r := newDecafRuntime(k)
+	r.SetTransport(BatchTransport{N: 8})
+	ctx := k.NewContext("t")
+
+	var order []string
+	b := r.Batch(ctx)
+	b.Upcall("up1", func(uctx *kernel.Context) error {
+		order = append(order, "up1")
+		return nil
+	})
+	b.Upcall("up2", func(uctx *kernel.Context) error {
+		order = append(order, "up2")
+		return nil
+	})
+	b.Downcall("down1", func(kctx *kernel.Context) error {
+		order = append(order, "down1")
+		return nil
+	})
+	b.Upcall("up3", func(uctx *kernel.Context) error {
+		order = append(order, "up3")
+		return nil
+	})
+	if err := b.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"up1", "up2", "down1", "up3"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	// Three direction segments = three crossings.
+	if got := r.Counters().Trips(); got != 3 {
+		t.Fatalf("Trips = %d, want 3", got)
+	}
+}
+
+// TestBatchReuseAfterFlush pins builder reuse: after Flush the batch queues
+// and flushes again from a clean state, whether the previous flush
+// succeeded or failed.
+func TestBatchReuseAfterFlush(t *testing.T) {
+	k := newTestKernel()
+	r := newDecafRuntime(k)
+	r.SetTransport(BatchTransport{N: 4})
+	ctx := k.NewContext("t")
+
+	b := r.Batch(ctx)
+	b.Upcall("first", func(uctx *kernel.Context) error { return nil })
+	if err := b.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 0 || b.Outstanding() != 0 || b.Err() != nil {
+		t.Fatalf("batch not clean after Flush: len=%d outstanding=%d err=%v", b.Len(), b.Outstanding(), b.Err())
+	}
+	boom := errors.New("bad")
+	b.Upcall("fails", func(uctx *kernel.Context) error { return boom })
+	if err := b.Flush(); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	ok := false
+	b.Upcall("again", func(uctx *kernel.Context) error {
+		ok = true
+		return nil
+	})
+	if err := b.Flush(); err != nil || !ok {
+		t.Fatalf("reuse after failed flush: err=%v ran=%v", err, ok)
+	}
+	if got := r.Counters().Trips(); got != 3 {
+		t.Fatalf("Trips = %d, want 3", got)
+	}
+}
+
 func TestTransportNames(t *testing.T) {
 	if (SyncTransport{}).Name() != "per-call" {
 		t.Fatal("SyncTransport name")
@@ -319,5 +458,15 @@ func TestTransportNames(t *testing.T) {
 	}
 	if (BatchTransport{}).MaxBatch() != DefaultBatchSize {
 		t.Fatal("zero-value BatchTransport batch size")
+	}
+	a := NewAsyncTransport(AsyncConfig{Depth: 128, Batch: 32})
+	if a.Name() != "async(q128,b32)" {
+		t.Fatalf("AsyncTransport name = %s", a.Name())
+	}
+	if a.MaxBatch() != 32 || a.QueueDepth() != 128 {
+		t.Fatal("AsyncTransport sizing")
+	}
+	if NewAsyncTransport(AsyncConfig{}).QueueDepth() != DefaultQueueDepth {
+		t.Fatal("zero-value AsyncConfig depth")
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Counters accumulate crossing statistics — the source of the Table 3
@@ -27,6 +28,32 @@ type Counters struct {
 	BatchedCalls uint64
 	// PerCall counts invocations per entry-point name, batched or not.
 	PerCall map[string]uint64
+
+	// Submissions counts calls admitted through the submit/complete API
+	// (every Upcall, Downcall and Batch call flows through it).
+	Submissions uint64
+	// Faults counts contained decaf-side panics (each failed only its own
+	// Completion under the async transport).
+	Faults uint64
+	// Stall is the caller-visible crossing stall: virtual time submitting
+	// contexts slept inside inline crossings plus what waiters were charged
+	// catching up to async completions. This is the cost the async
+	// transport exists to take off the caller's timeline.
+	Stall time.Duration
+	// QueueWait is total virtual time submissions waited behind earlier
+	// work before their crossing started (async transports; zero inline).
+	QueueWait time.Duration
+	// CrossTime is the total virtual crossing cost accounted to
+	// completions — under the async transport this is the decaf-side
+	// timeline's load, the cost that moved off the callers.
+	CrossTime time.Duration
+
+	// InFlight is a gauge: submissions admitted but not yet completed.
+	InFlight int64
+	// QueueLen is a gauge: submissions currently in the async ring.
+	QueueLen int64
+	// QueuePeak is the high-water mark of QueueLen.
+	QueuePeak int64
 }
 
 // Trips reports total user/kernel call/return trips (upcalls + downcalls),
@@ -69,7 +96,12 @@ type counterCell struct {
 	bytesCJava      atomic.Uint64
 	batches         atomic.Uint64
 	batchedCalls    atomic.Uint64
-	_               [8]byte
+	submissions     atomic.Uint64
+	faults          atomic.Uint64
+	stallNs         atomic.Uint64
+	queueWaitNs     atomic.Uint64
+	crossNs         atomic.Uint64
+	_               [32]byte
 }
 
 // counterState is one epoch of statistics. ResetCounters swaps in a fresh
@@ -149,6 +181,48 @@ func (r *Runtime) countLibraryCall(name string) {
 	r.state().cell(name).libraryCalls.Add(1)
 }
 
+// noteSubmission records one call admitted through the submit/complete API.
+func (r *Runtime) noteSubmission(name string) {
+	r.state().cell(name).submissions.Add(1)
+}
+
+// noteCompletion records a resolved submission's latency split and fault
+// outcome.
+func (r *Runtime) noteCompletion(name string, queueWait, crossCost time.Duration, fault bool) {
+	c := r.state().cell(name)
+	if queueWait > 0 {
+		c.queueWaitNs.Add(uint64(queueWait))
+	}
+	if crossCost > 0 {
+		c.crossNs.Add(uint64(crossCost))
+	}
+	if fault {
+		c.faults.Add(1)
+	}
+}
+
+// noteStall records caller-visible crossing stall: sleep charged to a
+// submitting context by an inline crossing, or to a waiter catching up to
+// an async completion.
+func (r *Runtime) noteStall(name string, d time.Duration) {
+	if d > 0 {
+		r.state().cell(name).stallNs.Add(uint64(d))
+	}
+}
+
+// noteEnqueued/noteDequeued maintain the async ring-occupancy gauges.
+func (r *Runtime) noteEnqueued(n int) {
+	cur := r.queueLen.Add(int64(n))
+	for {
+		peak := r.queuePeak.Load()
+		if cur <= peak || r.queuePeak.CompareAndSwap(peak, cur) {
+			return
+		}
+	}
+}
+
+func (r *Runtime) noteDequeued(n int) { r.queueLen.Add(int64(-n)) }
+
 // addBytes accumulates marshaled byte counts on the shard keyed by name
 // (an entry-point or shared-object type name).
 func (r *Runtime) addBytes(name string, ku, cj int) {
@@ -174,7 +248,15 @@ func (r *Runtime) Counters() Counters {
 		snap.BytesCJava += c.bytesCJava.Load()
 		snap.Batches += c.batches.Load()
 		snap.BatchedCalls += c.batchedCalls.Load()
+		snap.Submissions += c.submissions.Load()
+		snap.Faults += c.faults.Load()
+		snap.Stall += time.Duration(c.stallNs.Load())
+		snap.QueueWait += time.Duration(c.queueWaitNs.Load())
+		snap.CrossTime += time.Duration(c.crossNs.Load())
 	}
+	snap.InFlight = r.inFlight.Load()
+	snap.QueueLen = r.queueLen.Load()
+	snap.QueuePeak = r.queuePeak.Load()
 	snap.PerCall = make(map[string]uint64)
 	s.perCall.Range(func(k, v any) bool {
 		snap.PerCall[k.(string)] = v.(*atomic.Uint64).Load()

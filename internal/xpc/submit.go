@@ -1,0 +1,279 @@
+package xpc
+
+import (
+	"errors"
+	"time"
+
+	"decafdrivers/internal/kernel"
+)
+
+// Submission errors. Completions resolved on a failure path carry one of
+// these (or the call's own error) so waiters always learn the outcome.
+var (
+	// ErrCrossingAborted resolves a submission that never executed because
+	// an earlier call in the same flush failed or faulted.
+	ErrCrossingAborted = errors.New("xpc: crossing aborted by earlier failure")
+	// ErrQueueFull is the fail-fast backpressure outcome: the async
+	// submission ring had no free slot.
+	ErrQueueFull = errors.New("xpc: async submission ring full")
+	// ErrTransportClosed resolves submissions still queued when an async
+	// transport shuts down, and rejects submissions after Close.
+	ErrTransportClosed = errors.New("xpc: transport closed")
+	// ErrTransportBound rejects a Submit through an AsyncTransport already
+	// serving a different runtime (the service goroutine, queue and service
+	// context are per-runtime state).
+	ErrTransportBound = errors.New("xpc: async transport already bound to another runtime")
+)
+
+// Submission is one crossing request in flight through a Transport: the Call
+// to deliver plus the Completion handle the caller observes it through.
+// Transports resolve every admitted submission's Completion exactly once —
+// with the call's result, or with a queue/abort error if it never ran.
+type Submission struct {
+	// Call is the crossing request.
+	Call *Call
+	// Completion is the observable outcome. Runtime.Admit populates it when
+	// nil; callers that need the handle before submitting (the Batch builder
+	// does, to aggregate) may create it via Runtime.NewSubmission.
+	Completion *Completion
+}
+
+// NewSubmission wraps a call with a fresh Completion handle bound to this
+// runtime.
+func (r *Runtime) NewSubmission(c *Call) *Submission {
+	return &Submission{Call: c, Completion: newCompletion(r, c.Name, c.Up)}
+}
+
+// Completion is the handle for one submitted crossing. It resolves exactly
+// once, carrying the call's result (error or contained fault), its cost
+// split into queue wait and crossing time, and the virtual-clock instant the
+// crossing completed at. All accessors except Done and Settled block until
+// the completion resolves.
+//
+// Virtual completion time: an asynchronous transport executes the decaf side
+// on its own timeline, so a submission completes at a definite virtual
+// instant (submit time + queue wait + crossing cost) that may lie in the
+// caller's future. Wait charges the waiting context only the portion of that
+// latency not already hidden by work the caller did in the meantime — the
+// §4.2 overlap the submit/complete split exists to expose.
+type Completion struct {
+	name string
+	up   bool
+	r    *Runtime
+
+	done chan struct{}
+
+	// Resolved fields, written exactly once before done is closed and
+	// immutable after; the channel close publishes them.
+	err        error
+	fault      bool
+	queueWait  time.Duration
+	crossCost  time.Duration
+	completeAt time.Duration
+
+	submitClock time.Duration
+}
+
+func newCompletion(r *Runtime, name string, up bool) *Completion {
+	return &Completion{name: name, up: up, r: r, done: make(chan struct{})}
+}
+
+// newSettledCompletion returns an already-resolved completion (empty
+// flushes, native-mode paths).
+func newSettledCompletion(r *Runtime, name string, err error, at time.Duration) *Completion {
+	c := &Completion{name: name, r: r, done: make(chan struct{})}
+	c.err = err
+	c.completeAt = at
+	close(c.done)
+	return c
+}
+
+// resolve publishes the outcome. queueWait and completeAt must already be
+// stamped by the transport; crossCost is this call's share of the crossing.
+func (c *Completion) resolve(err error, fault bool, crossCost time.Duration) {
+	c.err = err
+	c.fault = fault
+	c.crossCost = crossCost
+	if c.r != nil {
+		c.r.noteCompletion(c.name, c.queueWait, crossCost, fault)
+		c.r.inFlight.Add(-1)
+	}
+	close(c.done)
+}
+
+// aggregate builds a completion that resolves when the last child does,
+// carrying the first error in submission order, any fault, the combined
+// crossing cost and the latest virtual completion instant. A small waiter
+// goroutine performs the fan-in; transports guarantee every child resolves,
+// so it always terminates.
+func aggregate(r *Runtime, name string, children []*Completion) *Completion {
+	p := &Completion{name: name, r: r, done: make(chan struct{})}
+	fanIn := func() {
+		for _, ch := range children {
+			<-ch.done
+			if p.err == nil {
+				p.err = ch.err
+			}
+			p.fault = p.fault || ch.fault
+			if ch.queueWait > p.queueWait {
+				p.queueWait = ch.queueWait
+			}
+			p.crossCost += ch.crossCost
+			if ch.completeAt > p.completeAt {
+				p.completeAt = ch.completeAt
+			}
+		}
+		close(p.done)
+	}
+	// Inline transports resolve children during submission: finalize
+	// synchronously so the handle is deterministically settled on return.
+	allDone := true
+	for _, ch := range children {
+		select {
+		case <-ch.done:
+		default:
+			allDone = false
+		}
+		if !allDone {
+			break
+		}
+	}
+	if allDone {
+		fanIn()
+	} else {
+		go fanIn()
+	}
+	return p
+}
+
+// Done returns a channel closed when the completion resolves.
+func (c *Completion) Done() <-chan struct{} { return c.done }
+
+// Err blocks until the completion resolves and returns the call's error
+// (nil, the call's own error, a *UserFault, or a queue/abort error).
+func (c *Completion) Err() error {
+	<-c.done
+	return c.err
+}
+
+// Faulted blocks until resolution and reports whether the decaf side
+// panicked: the fault was contained and failed only this completion.
+func (c *Completion) Faulted() bool {
+	<-c.done
+	return c.fault
+}
+
+// QueueWait blocks until resolution and reports the virtual time the
+// submission waited behind earlier work before its crossing started.
+func (c *Completion) QueueWait() time.Duration {
+	<-c.done
+	return c.queueWait
+}
+
+// CrossLatency blocks until resolution and reports this call's share of the
+// crossing's virtual cost (transition, marshaling, execution).
+func (c *Completion) CrossLatency() time.Duration {
+	<-c.done
+	return c.crossCost
+}
+
+// Latency blocks until resolution and reports queue wait plus crossing cost.
+func (c *Completion) Latency() time.Duration {
+	<-c.done
+	return c.queueWait + c.crossCost
+}
+
+// CompleteAt blocks until resolution and reports the virtual-clock instant
+// the crossing completed. Inline transports complete at submit time (the
+// cost was already charged to the submitter); async transports complete in
+// the caller's future.
+func (c *Completion) CompleteAt() time.Duration {
+	<-c.done
+	return c.completeAt
+}
+
+// Settled reports, without blocking, whether the completion has resolved
+// and its virtual completion instant has been reached at the given clock
+// reading. Drivers poll this to reap async flushes at their due time.
+func (c *Completion) Settled(now time.Duration) bool {
+	select {
+	case <-c.done:
+	default:
+		return false
+	}
+	return c.completeAt <= now
+}
+
+// Wait blocks until the completion resolves, charges ctx the caller-visible
+// stall — the part of the completion's latency not yet covered by virtual
+// time that passed since submission — and returns the call's error.
+//
+// Under an inline transport the crossing already charged the submitting
+// context, so Wait charges nothing. Under an async transport a caller that
+// waits immediately stalls the full latency (Upcall/Downcall sugar), while
+// a caller that produced work in the meantime stalls only the remainder.
+func (c *Completion) Wait(ctx *kernel.Context) error {
+	<-c.done
+	if ctx != nil && c.r != nil {
+		c.r.chargeCatchUp(ctx, c.name, c.completeAt)
+	}
+	return c.err
+}
+
+// chargeCatchUp stalls ctx until the waiter's timeline reaches the virtual
+// instant target: the portion of target beyond both the clock and the wait
+// frontier is charged as sleep, recorded as caller-visible stall, and the
+// frontier advances so consecutive waits on the same backlog each pay only
+// the increment.
+func (r *Runtime) chargeCatchUp(ctx *kernel.Context, name string, target time.Duration) {
+	now := r.Kernel.Clock().Now()
+	if f := r.waitFrontier(); f > now {
+		now = f
+	}
+	if stall := target - now; stall > 0 {
+		ctx.Sleep(stall)
+		r.noteStall(name, stall)
+		r.advanceWaitFrontier(target)
+	}
+}
+
+// Admit prepares submissions for transport: it creates missing Completion
+// handles, stamps the submit instant, and bumps the submission counters and
+// in-flight gauge. Every Transport implementation calls Admit before
+// queueing or crossing; a transport must then resolve every admitted
+// completion exactly once.
+func (r *Runtime) Admit(subs []*Submission) {
+	now := r.Kernel.Clock().Now()
+	for _, sub := range subs {
+		if sub.Completion == nil {
+			sub.Completion = newCompletion(r, sub.Call.Name, sub.Call.Up)
+		}
+		sub.Completion.submitClock = now
+		r.noteSubmission(sub.Call.Name)
+		r.inFlight.Add(1)
+	}
+}
+
+// waitFrontier is the latest virtual instant any waiter has already stalled
+// to. Consecutive waits on an async backlog each charge only the additional
+// catch-up, not the whole backlog again.
+func (r *Runtime) waitFrontier() time.Duration {
+	return time.Duration(r.frontier.Load())
+}
+
+// WaitFrontier reports the latest virtual instant a waiter has stalled to.
+// Harnesses advance the global clock to it after initialization (probe,
+// open) so the wall-clock time those waited-for crossings consumed is
+// reflected before a measurement phase begins — otherwise an async
+// transport's service timeline starts a phase ahead of the clock and the
+// gap reads as phantom queue wait.
+func (r *Runtime) WaitFrontier() time.Duration { return r.waitFrontier() }
+
+func (r *Runtime) advanceWaitFrontier(t time.Duration) {
+	for {
+		cur := r.frontier.Load()
+		if int64(t) <= cur || r.frontier.CompareAndSwap(cur, int64(t)) {
+			return
+		}
+	}
+}

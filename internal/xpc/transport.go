@@ -25,29 +25,41 @@ type Call struct {
 	Data []byte
 }
 
-// Transport performs user/kernel crossings on behalf of a Runtime. It owns
-// the policy of how queued calls map onto physical crossings: a synchronous
-// transport pays one full crossing per call, a batched transport coalesces
-// up to MaxBatch calls into one crossing that pays the kernel/user
-// transition once. The mechanics of a crossing (IRQ masking, object
-// synchronization, fault containment, accounting) live on the Runtime; the
-// Transport decides how many calls share each crossing and what it costs.
+// Transport moves submissions across the user/kernel boundary on behalf of a
+// Runtime. The API is submission/completion: Submit hands over a slice of
+// submissions and returns once they are accepted; each submission's
+// Completion resolves — immediately for inline transports, later for
+// asynchronous ones — with the call's result, latency split and
+// fault-containment outcome. Drain blocks until every accepted submission
+// has completed.
 //
-// The interface is the seam for future deployment modes — a true
-// process-separated transport would implement Cross with real IPC.
+// The transport owns the policy of how submissions map onto physical
+// crossings (one per call, coalesced batches, a queue serviced by a
+// dedicated goroutine) and which execution timeline pays the crossing cost.
+// The mechanics of a crossing (object synchronization, fault containment,
+// accounting) live on the Runtime.
 type Transport interface {
 	// Name identifies the transport in benchmark output.
 	Name() string
 	// MaxBatch is the largest number of calls one crossing may coalesce;
 	// 1 for synchronous transports. Batch builders auto-flush at this size.
 	MaxBatch() int
-	// Cross delivers the calls to the far side, performing one or more
-	// physical crossings.
-	Cross(r *Runtime, ctx *kernel.Context, calls []*Call) error
+	// Submit accepts the submissions for crossing. Every submission's
+	// Completion is guaranteed to resolve exactly once, even on failure
+	// paths (queue full, transport closed, aborted flush). The returned
+	// error is the first synchronously-known failure: inline transports
+	// report the first call error, asynchronous ones only admission
+	// failures — later errors surface through the Completions.
+	Submit(r *Runtime, ctx *kernel.Context, subs []*Submission) error
+	// Drain blocks until every submission accepted so far has completed,
+	// charging ctx any catch-up stall. Inline transports complete within
+	// Submit, so their Drain is a no-op.
+	Drain(r *Runtime, ctx *kernel.Context) error
 }
 
-// SyncTransport is the seed behavior: every call is its own crossing, paying
-// the full kernel/user transition and both marshaling legs.
+// SyncTransport is the seed behavior: every submission is its own crossing,
+// executed inline on the submitting context, which pays the full
+// kernel/user transition and both marshaling legs before Submit returns.
 type SyncTransport struct{}
 
 // Name implements Transport.
@@ -56,24 +68,36 @@ func (SyncTransport) Name() string { return "per-call" }
 // MaxBatch implements Transport: synchronous crossings never coalesce.
 func (SyncTransport) MaxBatch() int { return 1 }
 
-// Cross implements Transport by performing one crossing per call.
-func (SyncTransport) Cross(r *Runtime, ctx *kernel.Context, calls []*Call) error {
-	for _, c := range calls {
-		if err := r.crossOne(ctx, c); err != nil {
-			return err
+// Submit implements Transport by performing one inline crossing per
+// submission. The first error stops execution; later submissions resolve
+// with ErrCrossingAborted without running, preserving call order semantics.
+func (SyncTransport) Submit(r *Runtime, ctx *kernel.Context, subs []*Submission) error {
+	r.Admit(subs)
+	var first error
+	for i, sub := range subs {
+		if first != nil {
+			sub.Completion.resolve(ErrCrossingAborted, false, 0)
+			continue
+		}
+		if err := r.crossSubmissions(ctx, subs[i:i+1], inlineCrossOptions); err != nil {
+			first = err
 		}
 	}
-	return nil
+	return first
 }
+
+// Drain implements Transport: inline crossings complete within Submit.
+func (SyncTransport) Drain(*Runtime, *kernel.Context) error { return nil }
 
 // DefaultBatchSize is the batch size a zero-valued BatchTransport uses.
 const DefaultBatchSize = 16
 
-// BatchTransport coalesces up to N calls into one crossing: the kernel/user
-// transition (LatencyModel.KernelUserBase) is paid once per batch, while each
-// call still pays its language-boundary transition and per-byte marshaling.
-// This is the §4.2 batching optimization: for a ring of packets, crossings
-// per packet drop from ~1 to ~1/N.
+// BatchTransport coalesces up to N submissions into one inline crossing: the
+// kernel/user transition (LatencyModel.KernelUserBase) is paid once per
+// crossing, while each call still pays its language-boundary transition and
+// per-byte marshaling. This is the §4.2 batching optimization: for a ring of
+// packets, crossings per packet drop from ~1 to ~1/N. Completions resolve
+// before Submit returns; the submitting context pays the crossing cost.
 type BatchTransport struct {
 	// N is the maximum calls per crossing; <1 means DefaultBatchSize.
 	N int
@@ -92,22 +116,41 @@ func (t BatchTransport) Name() string { return fmt.Sprintf("batched(%d)", t.size
 // MaxBatch implements Transport.
 func (t BatchTransport) MaxBatch() int { return t.size() }
 
-// Cross implements Transport by splitting the calls into chunks of at most N
-// and performing one crossing per chunk.
-func (t BatchTransport) Cross(r *Runtime, ctx *kernel.Context, calls []*Call) error {
-	n := t.size()
-	for len(calls) > 0 {
-		chunk := calls
+// Submit implements Transport by splitting the submissions into chunks of at
+// most N and performing one inline crossing per chunk. A failing chunk stops
+// the remaining chunks, whose submissions resolve with ErrCrossingAborted.
+func (t BatchTransport) Submit(r *Runtime, ctx *kernel.Context, subs []*Submission) error {
+	r.Admit(subs)
+	return r.crossChunked(ctx, subs, t.size(), inlineCrossOptions)
+}
+
+// crossChunked performs inline crossings over already-admitted submissions
+// in chunks of at most n, aborting the remaining chunks (ErrCrossingAborted)
+// after the first failure and returning it. Shared by BatchTransport and
+// the async transport's decaf-side inline path.
+func (r *Runtime) crossChunked(ctx *kernel.Context, subs []*Submission, n int, opt crossOptions) error {
+	var first error
+	for len(subs) > 0 {
+		chunk := subs
 		if len(chunk) > n {
-			chunk = calls[:n]
+			chunk = subs[:n]
 		}
-		calls = calls[len(chunk):]
-		if err := r.crossBatch(ctx, chunk); err != nil {
-			return err
+		subs = subs[len(chunk):]
+		if first != nil {
+			for _, sub := range chunk {
+				sub.Completion.resolve(ErrCrossingAborted, false, 0)
+			}
+			continue
+		}
+		if err := r.crossSubmissions(ctx, chunk, opt); err != nil {
+			first = err
 		}
 	}
-	return nil
+	return first
 }
+
+// Drain implements Transport: inline crossings complete within Submit.
+func (BatchTransport) Drain(*Runtime, *kernel.Context) error { return nil }
 
 // Transport returns the runtime's crossing transport (SyncTransport when none
 // was selected).
@@ -119,5 +162,20 @@ func (r *Runtime) Transport() Transport {
 }
 
 // SetTransport selects the crossing transport; nil restores the default
-// synchronous transport. Swap transports only while the driver is quiescent.
-func (r *Runtime) SetTransport(t Transport) { r.transport = t }
+// synchronous transport. A previously installed transport that owns
+// resources (AsyncTransport's service goroutine) is closed. Swap transports
+// only while the driver is quiescent.
+func (r *Runtime) SetTransport(t Transport) {
+	if old := r.transport; old != nil && old != t {
+		if c, ok := old.(interface{ Close() error }); ok {
+			_ = c.Close()
+		}
+	}
+	r.transport = t
+}
+
+// DrainCrossings blocks until every submission accepted by the current
+// transport has completed, charging ctx any catch-up stall.
+func (r *Runtime) DrainCrossings(ctx *kernel.Context) error {
+	return r.Transport().Drain(r, ctx)
+}

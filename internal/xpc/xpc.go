@@ -19,21 +19,48 @@
 // Control transfer reuses the calling thread, the optimization the paper
 // permits when the decaf driver and driver library share a process.
 //
-// # Transports and batching
+// # Transports: submission and completion
 //
-// The mechanics of a crossing are pluggable through the Transport interface.
-// The default SyncTransport performs one full crossing per Upcall/Downcall,
-// the seed behavior. BatchTransport implements the §4.2 batching
-// optimization: calls queued through Runtime.Batch coalesce into crossings
-// of up to N calls, paying the kernel/user transition (the dominant fixed
-// cost) once per crossing while each call still pays its language-boundary
-// transition and per-byte marshaling. Hot paths written against the Batch
-// builder are transport-agnostic: under SyncTransport each queued call still
-// crosses individually.
+// The mechanics of a crossing are pluggable through the Transport
+// interface, whose API is asynchronous submit/complete: a Submission pairs
+// a Call with a Completion handle carrying the call's result, its latency
+// split into queue wait and crossing cost, its virtual completion instant,
+// and the fault-containment outcome. Transport.Submit accepts submissions;
+// Transport.Drain blocks until everything accepted has completed.
+// Runtime.Upcall and Runtime.Downcall are sugar — Submit plus an immediate
+// Wait — so the seed call-and-return semantics are a degenerate use of the
+// asynchronous API, not a separate path.
+//
+// Three transports implement the interface:
+//
+//   - SyncTransport (default): every submission is its own inline crossing,
+//     completing before Submit returns — the paper's measured
+//     configuration.
+//   - BatchTransport: the §4.2 batching optimization. Submissions coalesce
+//     into inline crossings of up to N calls, paying the kernel/user
+//     transition (the dominant fixed cost) once per crossing while each
+//     call still pays its language-boundary transition and per-byte
+//     marshaling.
+//   - AsyncTransport: the §4.2 asynchrony. Submissions enqueue onto a
+//     bounded ring serviced by a dedicated decaf-side goroutine with its
+//     own execution timeline; the kernel side submits and continues.
+//     Completions resolve at definite virtual instants on that timeline,
+//     so a caller that keeps producing hides the crossing latency and only
+//     a caller that waits early pays it (Completion.Wait charges exactly
+//     the un-overlapped remainder). A full ring applies a configurable
+//     backpressure policy (block or fail fast), and ordered FIFO
+//     completion holds per direction.
+//
+// Hot paths written against the Batch builder are transport-agnostic:
+// Batch.Flush waits for its calls under any transport, while
+// Batch.FlushAsync returns an aggregate Completion the driver can pipeline
+// against, overlapping packet production with crossing execution.
 //
 // Crossing statistics are kept in sharded atomic counters: the fast path of
 // a crossing acquires no mutex, so concurrent crossings of different entry
-// points never contend (see counters.go).
+// points never contend (see counters.go). The counters separate
+// caller-visible stall from queue wait and decaf-side crossing time, and
+// gauge submissions in flight and ring occupancy.
 package xpc
 
 import (
@@ -41,6 +68,7 @@ import (
 	"reflect"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"decafdrivers/internal/kernel"
 	"decafdrivers/internal/objtrack"
@@ -137,6 +165,17 @@ type Runtime struct {
 	// counters is the current statistics epoch (sharded atomics; see
 	// counters.go). ResetCounters swaps the pointer.
 	counters atomic.Pointer[counterState]
+
+	// Submission gauges. Unlike the epoch counters these track live state
+	// (submissions in flight, async ring occupancy), so ResetCounters does
+	// not zero them.
+	inFlight  atomic.Int64
+	queueLen  atomic.Int64
+	queuePeak atomic.Int64
+
+	// frontier is the latest virtual instant any waiter has stalled to
+	// (see Completion.Wait).
+	frontier atomic.Int64
 
 	// mu guards the shared-object registry only; the crossing fast path
 	// never takes it.
@@ -370,25 +409,40 @@ func (f *UserFault) Error() string {
 // and back after. In ModeNative, fn simply runs in the calling kernel
 // context with no crossing, cost or counter.
 //
+// Upcall is sugar for Submit followed by an immediate Wait on the
+// submission's Completion: under an inline transport that is exactly the
+// seed call-and-return crossing; under an async transport the caller stalls
+// the submission's full latency, preserving blocking semantics.
+//
 // The nuclear runtime masks the driver's interrupts for the duration and
 // converts a panic in fn into a *UserFault error rather than a kernel crash
 // (driver isolation).
 func (r *Runtime) Upcall(ctx *kernel.Context, name string, fn func(uctx *kernel.Context) error, objs ...any) error {
-	if r.Mode == ModeNative {
-		return fn(ctx)
-	}
-	return r.Transport().Cross(r, ctx, []*Call{{Name: name, Up: true, Fn: fn, Objs: objs}})
+	return r.submitAndWait(ctx, &Call{Name: name, Up: true, Fn: fn, Objs: objs})
 }
 
 // Downcall transfers control from the decaf driver into the kernel — the
 // stub path of Figure 2 (snd_card_register and friends). objs are shared
 // objects whose decaf state must be visible to the kernel function and whose
 // kernel state is synchronized back after. In ModeNative fn runs directly.
+// Like Upcall, Downcall is Submit + immediate Wait.
 func (r *Runtime) Downcall(uctx *kernel.Context, name string, fn func(kctx *kernel.Context) error, objs ...any) error {
+	return r.submitAndWait(uctx, &Call{Name: name, Up: false, Fn: fn, Objs: objs})
+}
+
+// submitAndWait is the blocking sugar shared by Upcall and Downcall.
+func (r *Runtime) submitAndWait(ctx *kernel.Context, c *Call) error {
 	if r.Mode == ModeNative {
-		return fn(uctx)
+		return c.Fn(ctx)
 	}
-	return r.Transport().Cross(r, uctx, []*Call{{Name: name, Up: false, Fn: fn, Objs: objs}})
+	sub := &Submission{Call: c}
+	err := r.Transport().Submit(r, ctx, []*Submission{sub})
+	if sub.Completion == nil {
+		// A transport that failed before admission; Submit's error is all
+		// there is.
+		return err
+	}
+	return sub.Completion.Wait(ctx)
 }
 
 // maskIRQs disables the runtime's listed interrupt lines and returns the
@@ -491,80 +545,193 @@ func (r *Runtime) runUser(ctx *kernel.Context, name string, fn func(uctx *kernel
 	return err
 }
 
-// crossOne performs one full crossing for a single call: the seed
-// Upcall/Downcall semantics.
-func (r *Runtime) crossOne(ctx *kernel.Context, c *Call) error {
-	if c.Up {
-		ctx.AssertMayBlock("XPC upcall " + c.Name)
-		defer r.maskIRQs()()
+// crossOptions selects the crossing engine's policy for one physical
+// crossing.
+type crossOptions struct {
+	// inline marks a crossing executed on the submitting context: costs are
+	// charged to ctx directly, completions resolve at the submit instant,
+	// and the sleep portion of the charge is recorded as caller stall.
+	inline bool
+	// maskIRQs masks the driver's interrupts for upcall crossings. Inline
+	// transports mask (the calling kernel thread is inside the driver);
+	// the async service does not — the kernel side keeps running and the
+	// queue itself serializes decaf execution, so the §3.1.3 reentrancy
+	// hazard the mask exists for cannot arise.
+	maskIRQs bool
+	// abortOnFailure reproduces the inline batch semantics: a user fault
+	// aborts the crossing without copying any state back, and an ordinary
+	// error stops execution of the remaining calls. Without it (the async
+	// service), every submission runs and a fault fails only its own
+	// Completion.
+	abortOnFailure bool
+	// noteStall records the crossing's sleep as caller-visible stall.
+	// True for kernel-side inline crossings; false for crossings the async
+	// service performs on the decaf timeline (including the decaf side's
+	// own nested downcalls), whose cost rolls into crossing time instead.
+	noteStall bool
+	// start is the virtual instant the crossing begins on the performing
+	// timeline; completions of non-inline crossings resolve at start plus
+	// the cumulative crossing cost.
+	start time.Duration
+}
+
+var (
+	inlineCrossOptions = crossOptions{inline: true, maskIRQs: true, abortOnFailure: true, noteStall: true}
+	// decafSideCrossOptions are for crossings the decaf side performs
+	// synchronously on its own timeline while an async transport is
+	// installed: nested downcalls out of upcall bodies (the decaf runtime
+	// thread blocks on its own downcalls rather than queueing to itself,
+	// which would deadlock the service loop).
+	decafSideCrossOptions = crossOptions{inline: true, abortOnFailure: true}
+)
+
+// crossSubmissions performs ONE physical crossing delivering every
+// submission (the Batch builder only produces single-direction lists; a
+// mixed list is counted and masked by its first call's direction). The
+// kernel/user transition is paid once for the whole chunk, each call still
+// pays its language-boundary transition, object synchronization and
+// per-byte payload cost, and every submission's Completion resolves before
+// the function returns. It returns the first error for inline submitters.
+func (r *Runtime) crossSubmissions(ctx *kernel.Context, subs []*Submission, opt crossOptions) error {
+	if len(subs) == 0 {
+		return nil
+	}
+	first := subs[0].Call
+	if first.Up {
+		ctx.AssertMayBlock("XPC upcall " + first.Name)
+		if opt.maskIRQs {
+			defer r.maskIRQs()()
+		}
 	} else {
-		ctx.AssertMayBlock("XPC downcall " + c.Name)
+		ctx.AssertMayBlock("XPC downcall " + first.Name)
 	}
-	if err := r.syncIn(ctx, c); err != nil {
-		return err
+
+	startElapsed, startBusy := ctx.Elapsed(), ctx.Busy()
+	if len(subs) == 1 {
+		r.countTrip(first.Name, first.Up)
+		r.Latency.chargeTrip(ctx)
+	} else {
+		calls := make([]*Call, len(subs))
+		for i, sub := range subs {
+			calls[i] = sub.Call
+		}
+		r.countBatch(calls)
+		r.Latency.chargeBatchTrip(ctx, len(subs))
 	}
-	r.countTrip(c.Name, c.Up)
-	r.Latency.chargeTrip(ctx)
-	err := r.execute(ctx, c)
-	if _, isFault := err.(*UserFault); isFault {
-		// The user process is suspect: do not copy its state back.
-		return err
+
+	var err error
+	if opt.abortOnFailure {
+		err = r.runChunkAborting(ctx, subs, opt, startElapsed)
+	} else {
+		r.runChunkIsolated(ctx, subs, opt, startElapsed)
 	}
-	if serr := r.syncOut(ctx, c); serr != nil && err == nil {
-		err = serr
+
+	if opt.noteStall {
+		// The sleep portion of what this crossing charged the submitting
+		// context is the caller-visible stall the async transport exists to
+		// hide; record it so benchmarks can compare transports.
+		slept := (ctx.Elapsed() - startElapsed) - (ctx.Busy() - startBusy)
+		if slept > 0 {
+			r.noteStall(first.Name, slept)
+		}
 	}
 	return err
 }
 
-// crossBatch performs ONE crossing delivering every call: for upcall
-// batches interrupts are masked once, the kernel/user transition is paid
-// once, and each call still pays its language-boundary transition, object
-// synchronization and per-byte payload cost. A user fault aborts the batch
-// without copying any state back; an ordinary error stops execution of the
-// remaining calls but the completed calls' objects still synchronize back.
-//
-// The Batch builder only produces single-direction batches (a direction
-// change flushes); a mixed list handed to a Transport directly is counted
-// and masked by its first call's direction.
-func (r *Runtime) crossBatch(ctx *kernel.Context, calls []*Call) error {
-	switch len(calls) {
-	case 0:
-		return nil
-	case 1:
-		return r.crossOne(ctx, calls[0])
+// resolveAt resolves a submission with its share of the crossing cost. For
+// inline crossings the cost was already charged to the submitter, so the
+// completion's virtual instant is its submit time; for async crossings it
+// is the crossing start plus the cumulative cost so far, giving ordered
+// completion instants along the service timeline.
+func resolveAt(sub *Submission, opt crossOptions, cum time.Duration, prev time.Duration, err error, fault bool) {
+	c := sub.Completion
+	if opt.inline {
+		c.completeAt = c.submitClock
+	} else {
+		c.completeAt = opt.start + cum
 	}
-	ctx.AssertMayBlock("XPC batched crossing " + calls[0].Name)
-	if calls[0].Up {
-		// Downcall batches run kernel-side code and, like single
-		// downcalls, never mask the driver's interrupts.
-		defer r.maskIRQs()()
-	}
+	c.resolve(err, fault, cum-prev)
+}
 
-	r.countBatch(calls)
-	r.Latency.chargeBatchTrip(ctx, len(calls))
-
-	executed := 0
+// runChunkAborting executes the chunk with the inline batch semantics: a
+// user fault aborts the crossing and nothing synchronizes back (the user
+// process is suspect); an ordinary error stops execution of the remaining
+// calls but the already-executed calls' objects still synchronize back.
+// Returns the first error.
+func (r *Runtime) runChunkAborting(ctx *kernel.Context, subs []*Submission, opt crossOptions, baseElapsed time.Duration) error {
+	executed, reached := 0, 0
+	errs := make([]error, len(subs))
+	marks := make([]time.Duration, len(subs))
 	var err error
-	for _, c := range calls {
-		if serr := r.syncIn(ctx, c); serr != nil {
+	for i, sub := range subs {
+		if serr := r.syncIn(ctx, sub.Call); serr != nil {
 			err = serr
+			errs[i] = serr
+			marks[i] = ctx.Elapsed() - baseElapsed
+			reached = i + 1
 			break
 		}
-		err = r.execute(ctx, c)
+		err = r.execute(ctx, sub.Call)
+		errs[i] = err
+		marks[i] = ctx.Elapsed() - baseElapsed
 		executed++
+		reached = i + 1
 		if err != nil {
 			break
 		}
 	}
-	if _, isFault := err.(*UserFault); isFault {
-		return err
-	}
-	for _, c := range calls[:executed] {
-		if serr := r.syncOut(ctx, c); serr != nil && err == nil {
-			err = serr
+	_, faulted := err.(*UserFault)
+	if !faulted {
+		for i, sub := range subs[:executed] {
+			if serr := r.syncOut(ctx, sub.Call); serr != nil {
+				if errs[i] == nil {
+					errs[i] = serr
+				}
+				if err == nil {
+					err = serr
+				}
+			}
 		}
 	}
+	var prev time.Duration
+	for i, sub := range subs {
+		if i >= reached {
+			// Never reached: aborted by an earlier failure.
+			resolveAt(sub, opt, prev, prev, ErrCrossingAborted, false)
+			continue
+		}
+		_, f := errs[i].(*UserFault)
+		resolveAt(sub, opt, marks[i], prev, errs[i], f)
+		prev = marks[i]
+	}
 	return err
+}
+
+// runChunkIsolated executes every submission with per-call fault
+// containment — the async queue semantics: the submissions are independent
+// requests, so a panic or error in one fails only its own Completion and
+// the rest still run and synchronize back.
+func (r *Runtime) runChunkIsolated(ctx *kernel.Context, subs []*Submission, opt crossOptions, baseElapsed time.Duration) {
+	var prev time.Duration
+	for _, sub := range subs {
+		inErr := r.syncIn(ctx, sub.Call)
+		err := inErr
+		if err == nil {
+			err = r.execute(ctx, sub.Call)
+		}
+		_, faulted := err.(*UserFault)
+		// No sync-back after a fault (the user process is suspect) or a
+		// failed sync-in (the decaf copy is stale) — matching the inline
+		// crossing semantics.
+		if !faulted && inErr == nil {
+			if serr := r.syncOut(ctx, sub.Call); serr != nil && err == nil {
+				err = serr
+			}
+		}
+		cum := ctx.Elapsed() - baseElapsed
+		resolveAt(sub, opt, cum, prev, err, faulted)
+		prev = cum
+	}
 }
 
 // LibraryCall models a direct cross-language call from the decaf driver into
