@@ -1,7 +1,7 @@
 // Command decafbench regenerates the paper's evaluation: Tables 1-4, the
-// E1000 case study (§5), the batched-XPC-transport comparison (§4.2), and
-// the async submit/complete comparison, printing measured values next to
-// the published ones.
+// E1000 case study (§5), the batched-XPC-transport comparison (§4.2), the
+// async submit/complete comparison, and the zero-copy payload-ring
+// comparison, printing measured values next to the published ones.
 //
 // Usage:
 //
@@ -10,6 +10,8 @@
 //	decafbench -table casestudy
 //	decafbench -table batch -batch 8,32 -transport all
 //	decafbench -table async -transport async -queue 256 -rate 2.5
+//	decafbench -table zerocopy -slots 256
+//	decafbench -table zerocopy -json        # machine-readable rows (CI baseline)
 package main
 
 import (
@@ -26,8 +28,9 @@ import (
 // validTables and validTransports are the accepted flag values; anything
 // else is rejected with a message listing them.
 var (
-	validTables     = []string{"1", "2", "3", "4", "casestudy", "batch", "async", "all"}
+	validTables     = []string{"1", "2", "3", "4", "casestudy", "batch", "async", "zerocopy", "all"}
 	validTransports = []string{"all", "per-call", "sync", "batched", "batch", "async"}
+	jsonTables      = []string{"batch", "async", "zerocopy"}
 )
 
 func oneOf(value string, valid []string) bool {
@@ -65,8 +68,10 @@ func main() {
 	mouse := flag.Duration("mouse", 30*time.Second, "virtual duration of the mouse workload")
 	transport := flag.String("transport", "all", "transports for the batch/async tables: "+strings.Join(validTransports, ", "))
 	batch := flag.String("batch", "8,32", "comma-separated batch sizes for the batch table (the largest also sizes the async table's coalescing)")
-	queue := flag.Int("queue", 0, "async submission-ring depth for the async table (0 = default)")
-	rate := flag.Float64("rate", 0, "offered load in Mb/s for the async table (0 = default)")
+	queue := flag.Int("queue", 0, "async submission-ring depth for the async/zerocopy tables (0 = default)")
+	rate := flag.Float64("rate", 0, "offered load in Mb/s for the async/zerocopy tables (0 = default)")
+	slots := flag.Int("slots", 0, "payload-ring slots for the zerocopy table (0 = default; small values exercise the copy fallback)")
+	jsonOut := flag.Bool("json", false, "emit machine-readable JSON rows instead of the rendered table ("+strings.Join(jsonTables, ", ")+" only)")
 	flag.Parse()
 
 	if !oneOf(*tableFlag, validTables) {
@@ -77,11 +82,16 @@ func main() {
 		fmt.Fprintf(os.Stderr, "decafbench: unknown transport %q (valid: %s)\n", *transport, strings.Join(validTransports, ", "))
 		os.Exit(2)
 	}
-	// Only the async table has async rows: reject the combination for any
-	// other table (including the default "all", whose batch table would
-	// otherwise render empty) instead of silently selecting nothing.
-	if *transport == "async" && *tableFlag != "async" {
-		fmt.Fprintf(os.Stderr, "decafbench: -transport async requires -table async (-table %s has no async rows)\n", *tableFlag)
+	// Only the async and zerocopy tables have async rows: reject the
+	// combination for any other table (including the default "all", whose
+	// batch table would otherwise render empty) instead of silently
+	// selecting nothing.
+	if *transport == "async" && *tableFlag != "async" && *tableFlag != "zerocopy" {
+		fmt.Fprintf(os.Stderr, "decafbench: -transport async requires -table async or zerocopy (-table %s has no async rows)\n", *tableFlag)
+		os.Exit(2)
+	}
+	if *jsonOut && !oneOf(*tableFlag, jsonTables) {
+		fmt.Fprintf(os.Stderr, "decafbench: -json supports -table %s (got %q)\n", strings.Join(jsonTables, ", "), *tableFlag)
 		os.Exit(2)
 	}
 
@@ -117,12 +127,22 @@ func main() {
 			asyncCfg.BatchN = n
 		}
 	}
+	// The zerocopy table shares the async table's coalescing size (the
+	// largest -batch value), so rows at the same flags stay comparable.
+	zcCfg := bench.ZeroCopyTableConfig{
+		QueueDepth:  *queue,
+		OfferedMbps: asyncCfg.OfferedMbps,
+		BatchN:      asyncCfg.BatchN,
+		RingSlots:   *slots,
+		Transports:  *transport,
+	}
 	// The batch table defaults to shorter runs than Table 3 (the per-packet
 	// ratios are duration-independent), but an explicit -netperf wins.
 	flag.Visit(func(f *flag.Flag) {
 		if f.Name == "netperf" {
 			batchCfg.NetperfDuration = *netperf
 			asyncCfg.NetperfDuration = *netperf
+			zcCfg.NetperfDuration = *netperf
 		}
 	})
 
@@ -146,9 +166,23 @@ func main() {
 	case "casestudy":
 		run("case study", func() error { return bench.PrintCaseStudy(os.Stdout) })
 	case "batch":
+		if *jsonOut {
+			run("batch table", func() error { return bench.PrintBatchTableJSON(os.Stdout, batchCfg) })
+			break
+		}
 		run("batch table", func() error { return bench.PrintBatchTable(os.Stdout, batchCfg) })
 	case "async":
+		if *jsonOut {
+			run("async table", func() error { return bench.PrintAsyncTableJSON(os.Stdout, asyncCfg) })
+			break
+		}
 		run("async table", func() error { return bench.PrintAsyncTable(os.Stdout, asyncCfg) })
+	case "zerocopy":
+		if *jsonOut {
+			run("zerocopy table", func() error { return bench.PrintZeroCopyTableJSON(os.Stdout, zcCfg) })
+			break
+		}
+		run("zerocopy table", func() error { return bench.PrintZeroCopyTable(os.Stdout, zcCfg) })
 	case "all":
 		run("table 1", func() error { return bench.PrintTable1(os.Stdout, *root) })
 		run("table 2", func() error { return bench.PrintTable2(os.Stdout) })
@@ -157,5 +191,6 @@ func main() {
 		run("case study", func() error { return bench.PrintCaseStudy(os.Stdout) })
 		run("batch table", func() error { return bench.PrintBatchTable(os.Stdout, batchCfg) })
 		run("async table", func() error { return bench.PrintAsyncTable(os.Stdout, asyncCfg) })
+		run("zerocopy table", func() error { return bench.PrintZeroCopyTable(os.Stdout, zcCfg) })
 	}
 }

@@ -1,0 +1,46 @@
+package bench
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// writeTableJSON emits one table's metrics as a machine-readable envelope:
+// {"table": <name>, "rows": [...]}. Durations marshal as nanoseconds. CI
+// runs `decafbench -table zerocopy -json` as a smoke check, so perf PRs
+// inherit a parseable baseline.
+func writeTableJSON(w io.Writer, name string, rows any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		Table string `json:"table"`
+		Rows  any    `json:"rows"`
+	}{Table: name, Rows: rows})
+}
+
+// PrintBatchTableJSON runs the batched-crossing comparison and emits JSON.
+func PrintBatchTableJSON(w io.Writer, cfg BatchTableConfig) error {
+	rows, err := RunBatchTable(cfg)
+	if err != nil {
+		return err
+	}
+	return writeTableJSON(w, "batch", rows)
+}
+
+// PrintAsyncTableJSON runs the submit/complete comparison and emits JSON.
+func PrintAsyncTableJSON(w io.Writer, cfg AsyncTableConfig) error {
+	rows, err := RunAsyncTable(cfg)
+	if err != nil {
+		return err
+	}
+	return writeTableJSON(w, "async", rows)
+}
+
+// PrintZeroCopyTableJSON runs the zero-copy comparison and emits JSON.
+func PrintZeroCopyTableJSON(w io.Writer, cfg ZeroCopyTableConfig) error {
+	rows, err := RunZeroCopyTable(cfg.fill())
+	if err != nil {
+		return err
+	}
+	return writeTableJSON(w, "zerocopy", rows)
+}

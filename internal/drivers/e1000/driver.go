@@ -15,6 +15,15 @@ import (
 // executes every two seconds" (§3.1.3).
 const WatchdogPeriod = 2 * time.Second
 
+// flight is one in-flight decaf-data-path flush: the frames it carried and
+// the staged payloads (ring slots or copy fallbacks) they crossed in.
+type flight = xpc.Flight[*knet.Packet]
+
+// pktData feeds frame bytes to xpc.StageFlight — staging a frame lands its
+// bytes in a pre-registered ring buffer, the model of DMA into shared
+// memory.
+func pktData(p *knet.Packet) []byte { return p.Data }
+
 // Driver is one bound E1000 instance: nucleus + decaf driver + XPC runtime.
 type Driver struct {
 	kern    *kernel.Kernel
@@ -39,9 +48,11 @@ type Driver struct {
 	// txInFlight/rxInFlight hold flushes submitted through FlushAsync
 	// whose frames await the decaf-side completion (nucleus transmit for
 	// TX, stack delivery for RX); under an async transport they overlap
-	// packet production with crossing execution.
-	txInFlight xpc.FlushPipeline[[]*knet.Packet]
-	rxInFlight xpc.FlushPipeline[[]*knet.Packet]
+	// packet production with crossing execution. Each flight carries the
+	// payload-ring slots its frames crossed in; the slots recycle when the
+	// flush settles (slot lifetime = completion lifetime).
+	txInFlight xpc.FlushPipeline[flight]
+	rxInFlight xpc.FlushPipeline[flight]
 
 	// Adapter is the kernel-side shared structure; DecafAdapter is the
 	// user-side copy (the same object in native mode).
@@ -224,8 +235,8 @@ func (o *e1000Ops) Stop(ctx *kernel.Context) error {
 	d := (*Driver)(o)
 	d.txTimer.Stop()
 	d.txFlushArmed = false
-	_ = d.rxInFlight.Drain(ctx, func(frames []*knet.Packet) {
-		d.dropRxFrames(frames, nil)
+	_ = d.rxInFlight.Drain(ctx, func(f flight) {
+		d.dropRxFrames(f, nil)
 	}, d.dropRxFrames)
 	_ = d.Quiesce(ctx)
 	return d.rt.Upcall(ctx, "e1000_close", func(uctx *kernel.Context) error {
@@ -304,15 +315,16 @@ func (d *Driver) FlushTx(ctx *kernel.Context) error {
 			d.txTimer.Stop()
 			d.txFlushArmed = false
 		}
+		fl := xpc.StageFlight(d.rt, pending, pktData)
 		b := d.rt.Batch(ctx)
-		for _, pkt := range pending {
+		for i, pkt := range pending {
 			p := pkt
-			b.UpcallData("e1000_xmit_frame", p.Data, func(uctx *kernel.Context) error {
+			b.UpcallPayload("e1000_xmit_frame", fl.Payloads[i], func(uctx *kernel.Context) error {
 				d.dcf.xmitFrame(uctx, p)
 				return nil
 			})
 		}
-		d.txInFlight.Push(b.FlushAsync(), pending)
+		d.txInFlight.Push(b.FlushAsync(), fl)
 	}
 	return d.reapTx(ctx, d.txInFlight.Len() >= maxTxInFlight)
 }
@@ -320,30 +332,36 @@ func (d *Driver) FlushTx(ctx *kernel.Context) error {
 // txCallbacks builds the TX pipeline's deliver/drop pair: successful
 // flushes hand their frames to the nucleus (the first transmit error lands
 // in *errp), failed or faulted flushes drop theirs into TxErrors — the
-// kernel survives.
-func (d *Driver) txCallbacks(ctx *kernel.Context, errp *error) (deliver func([]*knet.Packet), drop func([]*knet.Packet, error)) {
-	deliver = func(frames []*knet.Packet) {
-		for _, pkt := range frames {
+// kernel survives. Both arms recycle the flight's payload slots: the flush
+// has settled, so slot lifetime ends here.
+func (d *Driver) txCallbacks(ctx *kernel.Context, errp *error) (deliver func(flight), drop func(flight, error)) {
+	deliver = func(f flight) {
+		for _, pkt := range f.Items {
 			if xerr := d.nuc.xmitFrame(ctx, pkt); xerr != nil && *errp == nil {
 				*errp = xerr
 			}
 		}
+		f.Release(d.rt)
 	}
-	drop = func(frames []*knet.Packet, _ error) {
-		d.Adapter.Stats.TxErrors += uint64(len(frames))
+	drop = func(f flight, _ error) {
+		d.Adapter.Stats.TxErrors += uint64(len(f.Items))
+		f.Release(d.rt)
 	}
 	return deliver, drop
 }
 
-// deliverRxFrames/dropRxFrames are the RX pipeline's deliver/drop pair.
-func (d *Driver) deliverRxFrames(frames []*knet.Packet) {
-	for _, pkt := range frames {
+// deliverRxFrames/dropRxFrames are the RX pipeline's deliver/drop pair;
+// both recycle the flight's payload slots.
+func (d *Driver) deliverRxFrames(f flight) {
+	for _, pkt := range f.Items {
 		d.netdev.Receive(pkt)
 	}
+	f.Release(d.rt)
 }
 
-func (d *Driver) dropRxFrames(frames []*knet.Packet, _ error) {
-	d.Adapter.Stats.RxDropped += uint64(len(frames))
+func (d *Driver) dropRxFrames(f flight, _ error) {
+	d.Adapter.Stats.RxDropped += uint64(len(f.Items))
+	f.Release(d.rt)
 }
 
 // reapTx transmits the frames of every settled in-flight flush; with force,
@@ -397,15 +415,16 @@ func (d *Driver) deliverRx(frames []*knet.Packet) {
 		return
 	}
 	d.kern.DeferToWork(func(wctx *kernel.Context) {
+		fl := xpc.StageFlight(d.rt, frames, pktData)
 		b := d.rt.Batch(wctx)
-		for _, f := range frames {
+		for i, f := range frames {
 			p := f
-			b.UpcallData("e1000_rx_frame", p.Data, func(uctx *kernel.Context) error {
+			b.UpcallPayload("e1000_rx_frame", fl.Payloads[i], func(uctx *kernel.Context) error {
 				d.dcf.rxFrame(uctx, p)
 				return nil
 			})
 		}
-		d.rxInFlight.Push(b.FlushAsync(), frames)
+		d.rxInFlight.Push(b.FlushAsync(), fl)
 		d.reapRx(wctx, d.rxInFlight.Len() >= maxRxInFlight)
 	})
 }

@@ -68,8 +68,12 @@ type Config struct {
 	// transport.
 	DataPath xpc.DataPath
 	// RxCoalesceWindow bounds how long a drained frame may wait for its
-	// batch to fill; 0 means the 2 ms default. Harnesses running at low
-	// offered loads widen it so batches still fill.
+	// batch to fill. 0 (the default) self-tunes: the window tracks an EWMA
+	// of observed frame interarrival, scaled to the transport's batch size
+	// and clamped to [100µs, 2ms], so it widens at low offered loads (a
+	// batch can still fill) and narrows at high rates (frames are not held
+	// longer than the traffic warrants). A positive value is an explicit
+	// override and disables the self-tuning.
 	RxCoalesceWindow time.Duration
 }
 
@@ -98,6 +102,9 @@ type Driver struct {
 	// coalescing timer closes the window.
 	rxPending     []*knet.Packet
 	rxWindow      time.Duration
+	rxAdaptive    bool
+	rxEwma        time.Duration // EWMA of frame interarrival (adaptive mode)
+	rxLastFrameAt time.Duration
 	rxTimer       *kernel.KTimer
 	rxFlushArmed  bool
 	rxFlushQueued bool
@@ -105,9 +112,14 @@ type Driver struct {
 	// await the decaf-side completion before delivery up the stack. Inline
 	// transports settle during submission (pipeline depth one, the seed
 	// behavior); an async transport overlaps the crossing with further
-	// interrupt drains.
-	rxInFlight xpc.FlushPipeline[[]*knet.Packet]
+	// interrupt drains. Each flight carries the payload-ring slots its
+	// frames crossed in, recycled when the flush settles.
+	rxInFlight xpc.FlushPipeline[rxFlight]
 }
+
+// rxFlight is one in-flight RX flush: the frames it carried and the staged
+// payloads they crossed in.
+type rxFlight = xpc.Flight[*knet.Packet]
 
 // maxRxInFlight bounds the RX pipeline depth under an async transport.
 const maxRxInFlight = 4
@@ -123,6 +135,7 @@ func New(k *kernel.Kernel, net *knet.Subsystem, dev *rtl8139hw.Device, ioBase ui
 	}
 	if d.rxWindow <= 0 {
 		d.rxWindow = rxCoalesceWindow
+		d.rxAdaptive = true
 	}
 	d.rt = xpc.NewRuntime(k, "8139too", cfg.Mode, FieldMask())
 	d.rt.DisableIRQs = []int{cfg.IRQ}
@@ -287,8 +300,52 @@ func (d *Driver) rxInterrupt(ctx *kernel.Context) {
 // rxCoalesceWindow bounds how long a decaf-data-path frame may wait for its
 // batch to fill before the timer flushes the queue — the driver-level
 // analogue of NIC interrupt coalescing, needed because the 8139 interrupts
-// per frame.
-const rxCoalesceWindow = 2 * time.Millisecond
+// per frame. In adaptive mode it is the initial window and the clamp
+// ceiling; rxCoalesceMin is the clamp floor.
+const (
+	rxCoalesceWindow = 2 * time.Millisecond
+	rxCoalesceMin    = 100 * time.Microsecond
+)
+
+// observeRxInterarrival feeds n freshly drained frames into the EWMA of
+// frame interarrival (α = 1/8), the signal the adaptive coalescing window
+// tunes from — as modern NICs self-tune their interrupt moderation.
+func (d *Driver) observeRxInterarrival(n int) {
+	now := d.kern.Clock().Now()
+	if d.rxLastFrameAt > 0 && now > d.rxLastFrameAt {
+		delta := (now - d.rxLastFrameAt) / time.Duration(n)
+		if d.rxEwma == 0 {
+			d.rxEwma = delta
+		} else {
+			d.rxEwma += (delta - d.rxEwma) / 8
+		}
+	}
+	d.rxLastFrameAt = now
+}
+
+// coalesceWindow is the current RX coalescing window. With an explicit
+// RxCoalesceWindow it is fixed; in adaptive mode it is sized so a transport
+// batch can fill at the observed arrival rate (EWMA interarrival × batch ×
+// 25% headroom), clamped to [rxCoalesceMin, rxCoalesceWindow] — low rates
+// hold frames no longer than 2 ms, high rates flush partial batches in
+// hundreds of microseconds instead of milliseconds.
+func (d *Driver) coalesceWindow() time.Duration {
+	if !d.rxAdaptive || d.rxEwma == 0 {
+		return d.rxWindow
+	}
+	w := d.rxEwma * time.Duration(d.rt.Transport().MaxBatch()) * 5 / 4
+	if w < rxCoalesceMin {
+		w = rxCoalesceMin
+	}
+	if w > rxCoalesceWindow {
+		w = rxCoalesceWindow
+	}
+	return w
+}
+
+// RxCoalesceWindow reports the coalescing window currently in effect
+// (fixed, or the adaptive window's present value).
+func (d *Driver) RxCoalesceWindow() time.Duration { return d.coalesceWindow() }
 
 // deliverRx hands drained frames up the stack. In the decaf data path the
 // frames accumulate until a transport batch fills (or the coalescing window
@@ -304,12 +361,13 @@ func (d *Driver) deliverRx(frames []*knet.Packet) {
 		}
 		return
 	}
+	d.observeRxInterarrival(len(frames))
 	d.rxPending = append(d.rxPending, frames...)
 	if len(d.rxPending) >= d.rt.Transport().MaxBatch() {
 		d.scheduleRxFlush()
 	} else if !d.rxFlushArmed && !d.rxFlushQueued {
 		d.rxFlushArmed = true
-		d.rxTimer.Schedule(d.rxWindow)
+		d.rxTimer.Schedule(d.coalesceWindow())
 	}
 }
 
@@ -339,28 +397,32 @@ func (d *Driver) flushRx(wctx *kernel.Context) {
 		d.rxFlushArmed = false
 	}
 	if len(frames) > 0 {
+		fl := xpc.StageFlight(d.rt, frames, func(p *knet.Packet) []byte { return p.Data })
 		b := d.rt.Batch(wctx)
-		for _, f := range frames {
+		for i, f := range frames {
 			p := f
-			b.UpcallData("rtl8139_rx_frame", p.Data, func(uctx *kernel.Context) error {
+			b.UpcallPayload("rtl8139_rx_frame", fl.Payloads[i], func(uctx *kernel.Context) error {
 				d.rxFrameDecaf(uctx, p)
 				return nil
 			})
 		}
-		d.rxInFlight.Push(b.FlushAsync(), frames)
+		d.rxInFlight.Push(b.FlushAsync(), fl)
 	}
 	d.reapRx(wctx, d.rxInFlight.Len() >= maxRxInFlight)
 }
 
-// deliverFrames/dropFrames are the RX pipeline's deliver/drop pair.
-func (d *Driver) deliverFrames(frames []*knet.Packet) {
-	for _, pkt := range frames {
+// deliverFrames/dropFrames are the RX pipeline's deliver/drop pair; both
+// recycle the flight's payload slots (the flush has settled).
+func (d *Driver) deliverFrames(f rxFlight) {
+	for _, pkt := range f.Items {
 		d.netdev.Receive(pkt)
 	}
+	f.Release(d.rt)
 }
 
-func (d *Driver) dropFrames(frames []*knet.Packet, _ error) {
-	d.Adapter.Stats.RxDropped += uint64(len(frames))
+func (d *Driver) dropFrames(f rxFlight, _ error) {
+	d.Adapter.Stats.RxDropped += uint64(len(f.Items))
+	f.Release(d.rt)
 }
 
 // reapRx delivers the frames of every settled in-flight flush; with force,
@@ -585,8 +647,8 @@ func (o *rtlOps) Stop(ctx *kernel.Context) error {
 		d.rxPending = nil
 		d.Adapter.Stats.RxDropped += uint64(n)
 	}
-	_ = d.rxInFlight.Drain(ctx, func(frames []*knet.Packet) {
-		d.dropFrames(frames, nil)
+	_ = d.rxInFlight.Drain(ctx, func(f rxFlight) {
+		d.dropFrames(f, nil)
 	}, d.dropFrames)
 	return d.rt.Upcall(ctx, "rtl8139_close", func(uctx *kernel.Context) error {
 		return decaf.ToError(decaf.Try(func() { d.closeDecaf(uctx) }))

@@ -103,9 +103,19 @@ type NetOptions struct {
 	// QueueDepth bounds the async submission ring; <1 means
 	// xpc.DefaultQueueDepth. Ignored unless Async is set.
 	QueueDepth int
-	// CoalesceWindow overrides the drivers' 2 ms batch-coalescing windows;
+	// CoalesceWindow overrides the drivers' batch-coalescing windows;
 	// harnesses running below line rate widen it so batches still fill.
+	// For rtl8139 a zero value selects the adaptive window (EWMA of frame
+	// interarrival, clamped to [100µs, 2ms]).
 	CoalesceWindow time.Duration
+	// ZeroCopy registers a PayloadRing with the transport at boot (one
+	// crossing): data-carrying calls then reference ring slots by
+	// descriptor instead of marshaling payload bytes — the §4.2 direct
+	// transfer. Exhaustion degrades to the copy path.
+	ZeroCopy bool
+	// RingSlots sizes the payload ring; <1 means xpc.DefaultRingSlots.
+	// Ignored unless ZeroCopy is set.
+	RingSlots int
 }
 
 func (o NetOptions) transport() xpc.Transport {
@@ -116,6 +126,17 @@ func (o NetOptions) transport() xpc.Transport {
 		return xpc.BatchTransport{N: o.BatchN}
 	}
 	return nil
+}
+
+// registerRing performs the one-time payload-ring registration when
+// ZeroCopy is requested: the runtime-init crossing after which
+// data-carrying calls reference ring slots.
+func (o NetOptions) registerRing(tb *Testbed) error {
+	if !o.ZeroCopy {
+		return nil
+	}
+	ring := xpc.NewPayloadRing(o.RingSlots, xpc.DefaultRingSlotSize)
+	return tb.Runtime.RegisterPayloadRing(tb.Kernel.NewContext("ring-init"), ring)
 }
 
 // NewE1000 boots a machine with an E1000 adapter, loads the driver and
@@ -139,6 +160,9 @@ func NewE1000With(mode xpc.Mode, opts NetOptions) (*Testbed, error) {
 	})
 	tb.Runtime = tb.E1000.Runtime()
 	tb.Runtime.SetTransport(opts.transport())
+	if err := opts.registerRing(tb); err != nil {
+		return nil, err
+	}
 	if err := tb.load(tb.E1000.Module()); err != nil {
 		return nil, err
 	}
@@ -169,6 +193,9 @@ func NewRTL8139With(mode xpc.Mode, opts NetOptions) (*Testbed, error) {
 	})
 	tb.Runtime = tb.RTL.Runtime()
 	tb.Runtime.SetTransport(opts.transport())
+	if err := opts.registerRing(tb); err != nil {
+		return nil, err
+	}
 	if err := tb.load(tb.RTL.Module()); err != nil {
 		return nil, err
 	}

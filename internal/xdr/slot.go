@@ -1,0 +1,68 @@
+package xdr
+
+// SlotDescriptor is the wire form of a zero-copy payload reference: instead
+// of marshaling payload bytes across the boundary, a data-carrying call
+// encodes the (index, length, generation) of a buffer in a payload ring that
+// both sides registered at initialization — the direct-transfer optimization
+// the paper proposes in §4.2 for the driver data path. The descriptor is
+// twelve bytes on the wire regardless of payload size.
+//
+// Generation 0 is never issued by a ring, so the zero SlotDescriptor means
+// "no slot" and a call carrying it falls back to full payload marshaling.
+type SlotDescriptor struct {
+	// Index is the slot's position in the registered ring.
+	Index uint32
+	// Length is the payload's length in bytes (<= the ring's slot size).
+	Length uint32
+	// Generation is the slot's allocation generation; a receiver rejects a
+	// descriptor whose generation does not match the slot's current one
+	// (stale reference: the slot was recycled).
+	Generation uint32
+}
+
+// SlotDescriptorWireSize is the encoded size of a SlotDescriptor: three XDR
+// unsigned ints.
+const SlotDescriptorWireSize = 12
+
+// Valid reports whether the descriptor references a slot (rings never issue
+// generation 0).
+func (s SlotDescriptor) Valid() bool { return s.Generation != 0 }
+
+// PutSlotDescriptor encodes a slot descriptor.
+func (e *Encoder) PutSlotDescriptor(s SlotDescriptor) {
+	e.PutUint32(s.Index)
+	e.PutUint32(s.Length)
+	e.PutUint32(s.Generation)
+}
+
+// SlotDescriptor decodes a slot descriptor.
+func (d *Decoder) SlotDescriptor() (SlotDescriptor, error) {
+	var s SlotDescriptor
+	var err error
+	if s.Index, err = d.Uint32(); err != nil {
+		return SlotDescriptor{}, err
+	}
+	if s.Length, err = d.Uint32(); err != nil {
+		return SlotDescriptor{}, err
+	}
+	if s.Generation, err = d.Uint32(); err != nil {
+		return SlotDescriptor{}, err
+	}
+	return s, nil
+}
+
+// AppendSlotDescriptor encodes s without a reflection walk, appending to dst
+// — the descriptor is the zero-copy fast path, so its encode cost must not
+// scale with anything. Field masks do not apply: every descriptor field is
+// load-bearing.
+func (c *Codec) AppendSlotDescriptor(dst []byte, s SlotDescriptor) []byte {
+	e := Encoder{buf: dst}
+	e.PutSlotDescriptor(s)
+	return e.buf
+}
+
+// DecodeSlotDescriptor decodes the descriptor at the start of data.
+func (c *Codec) DecodeSlotDescriptor(data []byte) (SlotDescriptor, error) {
+	d := Decoder{buf: data}
+	return d.SlotDescriptor()
+}

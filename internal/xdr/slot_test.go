@@ -1,0 +1,75 @@
+package xdr
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestSlotDescriptorRoundTrip(t *testing.T) {
+	c := &Codec{}
+	s := SlotDescriptor{Index: 7, Length: 1462, Generation: 3}
+	wire := c.AppendSlotDescriptor(nil, s)
+	if len(wire) != SlotDescriptorWireSize {
+		t.Fatalf("wire size = %d, want %d", len(wire), SlotDescriptorWireSize)
+	}
+	got, err := c.DecodeSlotDescriptor(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != s {
+		t.Fatalf("round trip = %+v, want %+v", got, s)
+	}
+}
+
+func TestSlotDescriptorAppendPreservesPrefix(t *testing.T) {
+	c := &Codec{}
+	prefix := []byte{0xAA, 0xBB, 0xCC, 0xDD}
+	wire := c.AppendSlotDescriptor(append([]byte(nil), prefix...), SlotDescriptor{Index: 1, Length: 2, Generation: 3})
+	if len(wire) != len(prefix)+SlotDescriptorWireSize {
+		t.Fatalf("len = %d", len(wire))
+	}
+	for i, b := range prefix {
+		if wire[i] != b {
+			t.Fatalf("prefix clobbered at %d", i)
+		}
+	}
+	got, err := c.DecodeSlotDescriptor(wire[len(prefix):])
+	if err != nil || got.Generation != 3 {
+		t.Fatalf("decode after prefix: %+v, %v", got, err)
+	}
+}
+
+func TestSlotDescriptorShortBuffer(t *testing.T) {
+	c := &Codec{}
+	wire := c.AppendSlotDescriptor(nil, SlotDescriptor{Index: 1, Length: 2, Generation: 3})
+	for n := 0; n < len(wire); n++ {
+		if _, err := c.DecodeSlotDescriptor(wire[:n]); !errors.Is(err, ErrShortBuffer) {
+			t.Fatalf("truncated at %d: err = %v, want ErrShortBuffer", n, err)
+		}
+	}
+}
+
+func TestSlotDescriptorValidity(t *testing.T) {
+	if (SlotDescriptor{}).Valid() {
+		t.Fatal("zero descriptor must be invalid (generation 0 is reserved)")
+	}
+	if !(SlotDescriptor{Generation: 1}).Valid() {
+		t.Fatal("generation 1 descriptor must be valid")
+	}
+}
+
+func TestSlotDescriptorEncoderPrimitives(t *testing.T) {
+	e := NewEncoder()
+	e.PutSlotDescriptor(SlotDescriptor{Index: 9, Length: 64, Generation: 2})
+	d := NewDecoder(e.Bytes())
+	got, err := d.SlotDescriptor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Index != 9 || got.Length != 64 || got.Generation != 2 {
+		t.Fatalf("got %+v", got)
+	}
+	if d.Remaining() != 0 {
+		t.Fatalf("descriptor left %d bytes undecoded", d.Remaining())
+	}
+}

@@ -67,9 +67,29 @@ func (b *Batch) Upcall(name string, fn func(uctx *kernel.Context) error, objs ..
 }
 
 // UpcallData queues a kernel→user call carrying an opaque payload (packet
-// bytes) transferred directly with the call.
+// bytes) transferred with the call.
+//
+// Ownership rule: the slice is aliased into the queued Call, not copied —
+// it belongs to the batch from this call until the submission's Completion
+// resolves, and the caller must not mutate or reuse it in that window. The
+// crossing engine reads only the slice header (its length prices the
+// transfer), so a violating mutation cannot corrupt an in-flight batch or
+// race the async service goroutine — but what the decaf side observes
+// through its own references is then undefined. Callers that need
+// content-stable payloads under an async transport stage them through
+// Runtime.AcquirePayload and UpcallPayload instead: a ring slot snapshots
+// the bytes at acquire time.
 func (b *Batch) UpcallData(name string, data []byte, fn func(uctx *kernel.Context) error, objs ...any) *Batch {
 	return b.add(&Call{Name: name, Up: true, Fn: fn, Objs: objs, Data: data})
+}
+
+// UpcallPayload queues a kernel→user call carrying a staged payload: a ring
+// slot on the zero-copy fast path (only its descriptor crosses), or the raw
+// bytes when the payload fell back to the copy path. The payload's slot, if
+// any, must stay acquired until the flush's completion settles; drivers
+// release it with Runtime.ReleasePayload when they reap the flush.
+func (b *Batch) UpcallPayload(name string, p Payload, fn func(uctx *kernel.Context) error, objs ...any) *Batch {
+	return b.add(&Call{Name: name, Up: true, Fn: fn, Objs: objs, Data: p.Data, Slot: p.Slot})
 }
 
 // Downcall queues a user→kernel call.
@@ -77,9 +97,16 @@ func (b *Batch) Downcall(name string, fn func(kctx *kernel.Context) error, objs 
 	return b.add(&Call{Name: name, Up: false, Fn: fn, Objs: objs})
 }
 
-// DowncallData queues a user→kernel call carrying an opaque payload.
+// DowncallData queues a user→kernel call carrying an opaque payload. The
+// slice is aliased under the same ownership rule as UpcallData.
 func (b *Batch) DowncallData(name string, data []byte, fn func(kctx *kernel.Context) error, objs ...any) *Batch {
 	return b.add(&Call{Name: name, Up: false, Fn: fn, Objs: objs, Data: data})
+}
+
+// DowncallPayload queues a user→kernel call carrying a staged payload,
+// the downcall twin of UpcallPayload.
+func (b *Batch) DowncallPayload(name string, p Payload, fn func(kctx *kernel.Context) error, objs ...any) *Batch {
+	return b.add(&Call{Name: name, Up: false, Fn: fn, Objs: objs, Data: p.Data, Slot: p.Slot})
 }
 
 // Len reports the calls queued and not yet submitted.

@@ -48,12 +48,40 @@ type Counters struct {
 	// timeline's load, the cost that moved off the callers.
 	CrossTime time.Duration
 
+	// BytesPayloadCopied is the total opaque payload bytes that crossed by
+	// copy (no registered ring, ring exhausted, or oversized payload) —
+	// counted once per payload however many legs it was charged.
+	BytesPayloadCopied uint64
+	// BytesPayloadDirect is the total payload bytes that crossed by slot
+	// reference: resident in the registered ring, only their twelve-byte
+	// descriptors marshaled.
+	BytesPayloadDirect uint64
+	// CopiedTransfers / DirectTransfers count the payloads behind those two
+	// byte totals.
+	CopiedTransfers uint64
+	DirectTransfers uint64
+
 	// InFlight is a gauge: submissions admitted but not yet completed.
 	InFlight int64
 	// QueueLen is a gauge: submissions currently in the async ring.
 	QueueLen int64
 	// QueuePeak is the high-water mark of QueueLen.
 	QueuePeak int64
+
+	// Payload-ring state, populated when a ring is registered. Like the
+	// gauges above these track live ring state, not the counter epoch:
+	// ResetCounters does not zero them.
+	//
+	// RingCapacity and RingInUse are the registered ring's slot count and
+	// current occupancy; RingPeak is the occupancy high-water mark;
+	// RingExhausted counts acquisitions that fell back to the copy path;
+	// RingStale counts descriptor validation failures (zero in a correct
+	// driver).
+	RingCapacity  int64
+	RingInUse     int64
+	RingPeak      int64
+	RingExhausted uint64
+	RingStale     uint64
 }
 
 // Trips reports total user/kernel call/return trips (upcalls + downcalls),
@@ -101,6 +129,10 @@ type counterCell struct {
 	stallNs         atomic.Uint64
 	queueWaitNs     atomic.Uint64
 	crossNs         atomic.Uint64
+	bytesCopied     atomic.Uint64
+	bytesDirect     atomic.Uint64
+	copiedTransfers atomic.Uint64
+	directTransfers atomic.Uint64
 	_               [32]byte
 }
 
@@ -223,6 +255,22 @@ func (r *Runtime) noteEnqueued(n int) {
 
 func (r *Runtime) noteDequeued(n int) { r.queueLen.Add(int64(-n)) }
 
+// noteCopied records one payload of n bytes crossing by copy (the
+// fallback path).
+func (r *Runtime) noteCopied(name string, n int) {
+	c := r.state().cell(name)
+	c.bytesCopied.Add(uint64(n))
+	c.copiedTransfers.Add(1)
+}
+
+// noteDirect records one payload of n bytes crossing by slot reference
+// (the zero-copy fast path).
+func (r *Runtime) noteDirect(name string, n int) {
+	c := r.state().cell(name)
+	c.bytesDirect.Add(uint64(n))
+	c.directTransfers.Add(1)
+}
+
 // addBytes accumulates marshaled byte counts on the shard keyed by name
 // (an entry-point or shared-object type name).
 func (r *Runtime) addBytes(name string, ku, cj int) {
@@ -253,10 +301,21 @@ func (r *Runtime) Counters() Counters {
 		snap.Stall += time.Duration(c.stallNs.Load())
 		snap.QueueWait += time.Duration(c.queueWaitNs.Load())
 		snap.CrossTime += time.Duration(c.crossNs.Load())
+		snap.BytesPayloadCopied += c.bytesCopied.Load()
+		snap.BytesPayloadDirect += c.bytesDirect.Load()
+		snap.CopiedTransfers += c.copiedTransfers.Load()
+		snap.DirectTransfers += c.directTransfers.Load()
 	}
 	snap.InFlight = r.inFlight.Load()
 	snap.QueueLen = r.queueLen.Load()
 	snap.QueuePeak = r.queuePeak.Load()
+	if ring := r.payloadRing.Load(); ring != nil {
+		snap.RingCapacity = int64(ring.Slots())
+		snap.RingInUse = ring.InUse()
+		snap.RingPeak = ring.Peak()
+		snap.RingExhausted = ring.Exhausted()
+		snap.RingStale = ring.Stale()
+	}
 	snap.PerCall = make(map[string]uint64)
 	s.perCall.Range(func(k, v any) bool {
 		snap.PerCall[k.(string)] = v.(*atomic.Uint64).Load()

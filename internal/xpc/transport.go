@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"decafdrivers/internal/kernel"
+	"decafdrivers/internal/xdr"
 )
 
 // Call is one crossing request: a named entry point, the direction it
@@ -20,9 +21,15 @@ type Call struct {
 	// Objs are shared objects synchronized before and after Fn.
 	Objs []any
 	// Data is an opaque payload carried with the call. It pays per-byte
-	// marshaling cost but no reflection walk, modeling the direct data
-	// transfer the paper proposes for the fast path.
+	// marshaling cost but no reflection walk. The slice is aliased, not
+	// copied: it belongs to the batch from queueing until the call's
+	// Completion resolves (see Batch.UpcallData for the ownership rule).
 	Data []byte
+	// Slot references a payload staged in the runtime's registered
+	// PayloadRing: the zero-copy fast path. When valid, only the
+	// twelve-byte descriptor crosses and Data is not consulted; the zero
+	// value selects the Data copy path.
+	Slot xdr.SlotDescriptor
 }
 
 // Transport moves submissions across the user/kernel boundary on behalf of a
@@ -89,6 +96,10 @@ func (SyncTransport) Submit(r *Runtime, ctx *kernel.Context, subs []*Submission)
 // Drain implements Transport: inline crossings complete within Submit.
 func (SyncTransport) Drain(*Runtime, *kernel.Context) error { return nil }
 
+// SupportsDirectPayload implements DirectPayloadTransport: inline crossings
+// run on the submitting thread, which can always reach the ring.
+func (SyncTransport) SupportsDirectPayload() bool { return true }
+
 // DefaultBatchSize is the batch size a zero-valued BatchTransport uses.
 const DefaultBatchSize = 16
 
@@ -151,6 +162,9 @@ func (r *Runtime) crossChunked(ctx *kernel.Context, subs []*Submission, n int, o
 
 // Drain implements Transport: inline crossings complete within Submit.
 func (BatchTransport) Drain(*Runtime, *kernel.Context) error { return nil }
+
+// SupportsDirectPayload implements DirectPayloadTransport.
+func (BatchTransport) SupportsDirectPayload() bool { return true }
 
 // Transport returns the runtime's crossing transport (SyncTransport when none
 // was selected).

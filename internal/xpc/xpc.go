@@ -56,6 +56,23 @@
 // Batch.FlushAsync returns an aggregate Completion the driver can pipeline
 // against, overlapping packet production with crossing execution.
 //
+// # Zero-copy payloads
+//
+// After batching and asynchrony, the remaining data-path tax is copying
+// payload bytes across the boundary. A PayloadRing removes it: a pool of
+// fixed-size buffers is registered with the transport once at
+// initialization (Runtime.RegisterPayloadRing, one crossing), after which
+// drivers stage frames with Runtime.AcquirePayload and queue them through
+// Batch.UpcallPayload/DowncallPayload — the crossing then carries a
+// twelve-byte slot descriptor (index, length, generation; see
+// xdr.SlotDescriptor) instead of the frame, and the cost model charges
+// per-byte copy only on the fallback. Slot lifetime equals completion
+// lifetime: drivers release slots when the carrying flush settles, so
+// inline and async transports both recycle correctly. An exhausted ring —
+// or a transport without DirectPayloadTransport support — degrades to the
+// full-payload marshal: never a block, never a drop, always visible in the
+// ring counters.
+//
 // Crossing statistics are kept in sharded atomic counters: the fast path of
 // a crossing acquires no mutex, so concurrent crossings of different entry
 // points never contend (see counters.go). The counters separate
@@ -176,6 +193,10 @@ type Runtime struct {
 	// frontier is the latest virtual instant any waiter has stalled to
 	// (see Completion.Wait).
 	frontier atomic.Int64
+
+	// payloadRing is the pre-registered zero-copy payload pool, nil until
+	// RegisterPayloadRing succeeds (see ring.go).
+	payloadRing atomic.Pointer[PayloadRing]
 
 	// mu guards the shared-object registry only; the crossing fast path
 	// never takes it.
@@ -493,22 +514,57 @@ func (r *Runtime) syncOut(ctx *kernel.Context, c *Call) error {
 	return nil
 }
 
-// transferData accounts a call's opaque payload: per-byte marshaling cost
-// with no reflection walk. Without DirectTransfer the payload crosses both
-// legs (kernel→library, library→decaf) and is charged twice, reproducing the
-// double-marshal; with it, once.
+// transferData accounts a call's opaque payload. A slot-backed call takes
+// the zero-copy fast path: only its twelve-byte descriptor crosses (encoded
+// by the codec, resolved against the registered ring on the far side) and
+// no per-byte cost scales with the payload. Otherwise the payload bytes
+// cross by copy: per-byte marshaling cost with no reflection walk, and
+// without DirectTransfer the payload crosses both legs (kernel→library,
+// library→decaf) and is charged twice, reproducing the double-marshal.
 func (r *Runtime) transferData(ctx *kernel.Context, c *Call) {
+	if c.Slot.Valid() {
+		r.transferSlot(ctx, c)
+		return
+	}
 	if len(c.Data) == 0 {
 		return
 	}
 	n := len(c.Data) + 4 // XDR opaque: payload plus length prefix
 	r.Latency.chargeData(ctx, n)
+	r.noteCopied(c.Name, n)
 	if r.DirectTransfer {
 		r.addBytes(c.Name, n, 0)
 		return
 	}
 	r.Latency.chargeData(ctx, n)
 	r.addBytes(c.Name, n, n)
+}
+
+// transferSlot crosses a slot descriptor instead of payload bytes: the
+// kernel side encodes (index, length, generation), the far side decodes and
+// resolves it against the registered ring. The per-byte charge covers the
+// descriptor only — the payload stays in the shared ring, which is the
+// point. A descriptor that fails to resolve (stale slot: released before
+// its crossing settled) is counted by the ring and transfers nothing.
+func (r *Runtime) transferSlot(ctx *kernel.Context, c *Call) {
+	cod := r.codec()
+	bp := marshalBufPool.Get().(*[]byte)
+	wire := cod.AppendSlotDescriptor((*bp)[:0], c.Slot)
+	desc, err := cod.DecodeSlotDescriptor(wire)
+	n := len(wire)
+	*bp = wire[:0]
+	marshalBufPool.Put(bp)
+	r.Latency.chargeData(ctx, n)
+	r.addBytes(c.Name, n, 0)
+	if err == nil {
+		if ring := r.payloadRing.Load(); ring != nil {
+			_, err = ring.Buffer(desc)
+		}
+	}
+	if err != nil {
+		return
+	}
+	r.noteDirect(c.Name, int(c.Slot.Length))
 }
 
 // execute runs a call's body on the far side, charging the far side's
