@@ -12,6 +12,7 @@
 //	decafbench -table async -transport async -queue 256 -rate 2.5
 //	decafbench -table zerocopy -slots 256
 //	decafbench -table zerocopy -json        # machine-readable rows (CI baseline)
+//	decafbench -table recovery -faults 40 -restart-policy backoff
 package main
 
 import (
@@ -28,9 +29,9 @@ import (
 // validTables and validTransports are the accepted flag values; anything
 // else is rejected with a message listing them.
 var (
-	validTables     = []string{"1", "2", "3", "4", "casestudy", "batch", "async", "zerocopy", "all"}
+	validTables     = []string{"1", "2", "3", "4", "casestudy", "batch", "async", "zerocopy", "recovery", "all"}
 	validTransports = []string{"all", "per-call", "sync", "batched", "batch", "async"}
-	jsonTables      = []string{"batch", "async", "zerocopy"}
+	jsonTables      = []string{"batch", "async", "zerocopy", "recovery"}
 )
 
 func oneOf(value string, valid []string) bool {
@@ -71,6 +72,8 @@ func main() {
 	queue := flag.Int("queue", 0, "async submission-ring depth for the async/zerocopy tables (0 = default)")
 	rate := flag.Float64("rate", 0, "offered load in Mb/s for the async/zerocopy tables (0 = default)")
 	slots := flag.Int("slots", 0, "payload-ring slots for the zerocopy table (0 = default; small values exercise the copy fallback)")
+	faults := flag.Uint64("faults", 0, "recovery table: inject a decaf-side panic on the Nth data-path upcall (0 = default)")
+	restartPolicy := flag.String("restart-policy", "", "recovery table: restart policy, one of "+strings.Join(bench.RestartPolicies, ", "))
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON rows instead of the rendered table ("+strings.Join(jsonTables, ", ")+" only)")
 	flag.Parse()
 
@@ -82,18 +85,30 @@ func main() {
 		fmt.Fprintf(os.Stderr, "decafbench: unknown transport %q (valid: %s)\n", *transport, strings.Join(validTransports, ", "))
 		os.Exit(2)
 	}
-	// Only the async and zerocopy tables have async rows: reject the
-	// combination for any other table (including the default "all", whose
-	// batch table would otherwise render empty) instead of silently
+	// Only the async, zerocopy and recovery tables have async rows: reject
+	// the combination for any other table (including the default "all",
+	// whose batch table would otherwise render empty) instead of silently
 	// selecting nothing.
-	if *transport == "async" && *tableFlag != "async" && *tableFlag != "zerocopy" {
-		fmt.Fprintf(os.Stderr, "decafbench: -transport async requires -table async or zerocopy (-table %s has no async rows)\n", *tableFlag)
+	if *transport == "async" && *tableFlag != "async" && *tableFlag != "zerocopy" && *tableFlag != "recovery" {
+		fmt.Fprintf(os.Stderr, "decafbench: -transport async requires -table async, zerocopy or recovery (-table %s has no async rows)\n", *tableFlag)
 		os.Exit(2)
 	}
 	if *jsonOut && !oneOf(*tableFlag, jsonTables) {
 		fmt.Fprintf(os.Stderr, "decafbench: -json supports -table %s (got %q)\n", strings.Join(jsonTables, ", "), *tableFlag)
 		os.Exit(2)
 	}
+	if *restartPolicy != "" && !oneOf(*restartPolicy, bench.RestartPolicies) {
+		fmt.Fprintf(os.Stderr, "decafbench: unknown restart policy %q (valid: %s)\n", *restartPolicy, strings.Join(bench.RestartPolicies, ", "))
+		os.Exit(2)
+	}
+	// The fault-injection flags shape only the recovery table: reject them
+	// elsewhere instead of silently ignoring them.
+	flag.Visit(func(f *flag.Flag) {
+		if (f.Name == "faults" || f.Name == "restart-policy") && *tableFlag != "recovery" {
+			fmt.Fprintf(os.Stderr, "decafbench: -%s requires -table recovery (got -table %s)\n", f.Name, *tableFlag)
+			os.Exit(2)
+		}
+	})
 
 	cfg := bench.Table3Config{
 		NetperfDuration: *netperf,
@@ -136,6 +151,14 @@ func main() {
 		RingSlots:   *slots,
 		Transports:  *transport,
 	}
+	recCfg := bench.RecoveryTableConfig{
+		QueueDepth:  *queue,
+		OfferedMbps: asyncCfg.OfferedMbps,
+		BatchN:      asyncCfg.BatchN,
+		FaultNth:    *faults,
+		Policy:      *restartPolicy,
+		Transports:  *transport,
+	}
 	// The batch table defaults to shorter runs than Table 3 (the per-packet
 	// ratios are duration-independent), but an explicit -netperf wins.
 	flag.Visit(func(f *flag.Flag) {
@@ -143,6 +166,7 @@ func main() {
 			batchCfg.NetperfDuration = *netperf
 			asyncCfg.NetperfDuration = *netperf
 			zcCfg.NetperfDuration = *netperf
+			recCfg.NetperfDuration = *netperf
 		}
 	})
 
@@ -183,6 +207,12 @@ func main() {
 			break
 		}
 		run("zerocopy table", func() error { return bench.PrintZeroCopyTable(os.Stdout, zcCfg) })
+	case "recovery":
+		if *jsonOut {
+			run("recovery table", func() error { return bench.PrintRecoveryTableJSON(os.Stdout, recCfg) })
+			break
+		}
+		run("recovery table", func() error { return bench.PrintRecoveryTable(os.Stdout, recCfg) })
 	case "all":
 		run("table 1", func() error { return bench.PrintTable1(os.Stdout, *root) })
 		run("table 2", func() error { return bench.PrintTable2(os.Stdout) })
@@ -192,5 +222,6 @@ func main() {
 		run("batch table", func() error { return bench.PrintBatchTable(os.Stdout, batchCfg) })
 		run("async table", func() error { return bench.PrintAsyncTable(os.Stdout, asyncCfg) })
 		run("zerocopy table", func() error { return bench.PrintZeroCopyTable(os.Stdout, zcCfg) })
+		run("recovery table", func() error { return bench.PrintRecoveryTable(os.Stdout, recCfg) })
 	}
 }

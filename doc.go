@@ -14,6 +14,20 @@
 // marshaling payload bytes, falling back to the copy path on exhaustion).
 // The decafbench batch, async and zerocopy tables quantify each step.
 //
+// On top of fault containment, internal/recovery adds a shadow-driver-style
+// recovery subsystem: a Supervisor consumes the runtime's fault
+// notifications, quiesces the crashed driver, rebuilds its decaf-side state
+// (fresh shared objects, a re-registered payload ring), and replays a
+// StateJournal of configuration-establishing crossings under a restart
+// policy (immediate, exponential backoff, fail-stop on an exhausted
+// budget). During recovery the kernel-facing surface makes the device look
+// slow, not dead: knet.NetDevice holds and replays transmit frames with
+// explicit accounting, and the sound driver's PCM ops journal their intent
+// and defer. Journaling is kernel-side bookkeeping, so steady-state
+// crossings per packet are unchanged until a fault actually fires; the
+// decafbench recovery table verifies exactly that, next to recovery latency
+// and the dropped-versus-replayed split.
+//
 // See README.md for the architecture overview, DESIGN.md for the system
 // inventory and substitution notes, and EXPERIMENTS.md for paper-vs-measured
 // results. The root package exists to host the repository-level benchmarks

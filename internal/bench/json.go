@@ -44,3 +44,12 @@ func PrintZeroCopyTableJSON(w io.Writer, cfg ZeroCopyTableConfig) error {
 	}
 	return writeTableJSON(w, "zerocopy", rows)
 }
+
+// PrintRecoveryTableJSON runs the fault-tolerance comparison and emits JSON.
+func PrintRecoveryTableJSON(w io.Writer, cfg RecoveryTableConfig) error {
+	rows, err := RunRecoveryTable(cfg.fill())
+	if err != nil {
+		return err
+	}
+	return writeTableJSON(w, "recovery", rows)
+}

@@ -1,6 +1,7 @@
 package e1000
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -8,6 +9,7 @@ import (
 	"decafdrivers/internal/hw/e1000hw"
 	"decafdrivers/internal/kernel"
 	"decafdrivers/internal/knet"
+	"decafdrivers/internal/recovery"
 	"decafdrivers/internal/xpc"
 )
 
@@ -64,6 +66,14 @@ type Driver struct {
 	netdev *knet.NetDevice
 
 	watchdog *kernel.KTimer
+
+	// Recovery supervision state (EnableRecovery): journal records the
+	// configuration-establishing crossings a restart replays; recovering
+	// gates the watchdog and marks the outage window; holdLimit bounds the
+	// net-device proxy's held-frame queue.
+	journal    *recovery.StateJournal
+	recovering bool
+	holdLimit  int
 }
 
 // Config configures a driver instance.
@@ -169,6 +179,7 @@ func (m *e1000Module) Init(ctx *kernel.Context) error {
 	}
 	nd.MAC = d.Adapter.MAC
 	d.netdev = nd
+	d.journalProbe()
 
 	// The watchdog runs from a kernel timer; timers execute at high
 	// priority, so the timer body only enqueues a work item, and the work
@@ -198,7 +209,15 @@ func (m *e1000Module) Exit(ctx *kernel.Context) {
 }
 
 func (d *Driver) scheduleWatchdogWork() {
+	// During a recovery outage the decaf driver is suspect (or mid-rebuild):
+	// the watchdog skips its upcall and resumes on the next period.
+	if d.recovering {
+		return
+	}
 	d.kern.DeferToWork(func(wctx *kernel.Context) {
+		if d.recovering {
+			return
+		}
 		_ = d.rt.Upcall(wctx, "e1000_watchdog", func(uctx *kernel.Context) error {
 			return decaf.ToError(decaf.Try(func() { d.dcf.watchdog(uctx) }))
 		}, d.Adapter)
@@ -210,9 +229,15 @@ func (d *Driver) scheduleWatchdogWork() {
 // stays in the nucleus (critical root).
 type e1000Ops Driver
 
-// Open implements knet.DeviceOps by upcalling e1000_open.
+// Open implements knet.DeviceOps by upcalling e1000_open. During a recovery
+// outage the decaf driver is suspect or mid-rebuild, so control-plane ops
+// refuse (EBUSY-style) rather than crossing — only the supervisor's journal
+// replay touches the decaf side until resume.
 func (o *e1000Ops) Open(ctx *kernel.Context) error {
 	d := (*Driver)(o)
+	if d.recovering {
+		return fmt.Errorf("e1000: open while the driver is recovering")
+	}
 	err := d.rt.Upcall(ctx, "e1000_open", func(uctx *kernel.Context) error {
 		return decaf.ToError(decaf.Try(func() { d.dcf.open(uctx) }))
 	}, d.Adapter)
@@ -224,6 +249,7 @@ func (o *e1000Ops) Open(ctx *kernel.Context) error {
 		d.Adapter.LinkUp = true
 		d.netdev.CarrierOn()
 	}
+	d.journalOpen()
 	return nil
 }
 
@@ -233,12 +259,18 @@ func (o *e1000Ops) Open(ctx *kernel.Context) error {
 // closing interface, matching the rtl8139 purge-on-stop semantics.
 func (o *e1000Ops) Stop(ctx *kernel.Context) error {
 	d := (*Driver)(o)
+	if d.recovering {
+		return fmt.Errorf("e1000: stop while the driver is recovering")
+	}
 	d.txTimer.Stop()
 	d.txFlushArmed = false
 	_ = d.rxInFlight.Drain(ctx, func(f flight) {
 		d.dropRxFrames(f, nil)
 	}, d.dropRxFrames)
 	_ = d.Quiesce(ctx)
+	if d.journal != nil {
+		d.journal.Remove("ifup")
+	}
 	return d.rt.Upcall(ctx, "e1000_close", func(uctx *kernel.Context) error {
 		return decaf.ToError(decaf.Try(func() { d.dcf.close(uctx) }))
 	}, d.Adapter)
@@ -326,7 +358,23 @@ func (d *Driver) FlushTx(ctx *kernel.Context) error {
 		}
 		d.txInFlight.Push(b.FlushAsync(), fl)
 	}
-	return d.reapTx(ctx, d.txInFlight.Len() >= maxTxInFlight)
+	return d.absorbContainedFault(d.reapTx(ctx, d.txInFlight.Len() >= maxTxInFlight))
+}
+
+// absorbContainedFault maps a fault-contained flush outcome to success when
+// a recovery supervisor is attached: the flush's frames were already dropped
+// with accounting, the supervisor owns the restart, and the shadow-driver
+// contract is that kernel callers see a slow device, never a decaf crash.
+// Without supervision (or for ordinary errors) the outcome propagates as
+// before.
+func (d *Driver) absorbContainedFault(err error) error {
+	if err == nil || d.journal == nil {
+		return err
+	}
+	if xpc.IsUserFault(err) || errors.Is(err, xpc.ErrCrossingAborted) {
+		return nil
+	}
+	return err
 }
 
 // txCallbacks builds the TX pipeline's deliver/drop pair: successful

@@ -1,0 +1,145 @@
+package e1000
+
+import (
+	"decafdrivers/internal/decaf"
+	"decafdrivers/internal/kernel"
+	"decafdrivers/internal/recovery"
+	"decafdrivers/internal/xpc"
+)
+
+// DefaultTxHoldLimit bounds the frames the net-device recovery proxy holds
+// for replay during an outage (roughly one transmit ring's worth): beyond
+// it, frames drop with accounting rather than queueing without bound.
+const DefaultTxHoldLimit = 256
+
+// EnableRecovery attaches the shadow-driver state journal and arms the
+// driver for supervision: configuration-establishing crossings (probe,
+// ifup) are journaled for replay, the TX path absorbs fault-contained flush
+// outcomes (the supervisor owns the restart), and the net-device proxy
+// holds up to holdLimit frames during an outage (<=0 selects
+// DefaultTxHoldLimit). Call before LoadModule so the probe is journaled.
+func (d *Driver) EnableRecovery(j *recovery.StateJournal, holdLimit int) {
+	if holdLimit <= 0 {
+		holdLimit = DefaultTxHoldLimit
+	}
+	d.journal = j
+	d.holdLimit = holdLimit
+}
+
+// journalProbe records the probe as the first replayable configuration
+// crossing. The closure resolves d.dcf at replay time — recovery recreates
+// the decaf driver instance before replaying.
+func (d *Driver) journalProbe() {
+	if d.journal == nil {
+		return
+	}
+	d.journal.Record(recovery.Entry{
+		Key:  "probe",
+		Name: "e1000_probe",
+		Replay: func(ctx *kernel.Context) error {
+			return d.rt.Upcall(ctx, "e1000_probe", func(uctx *kernel.Context) error {
+				return decaf.ToError(decaf.Try(func() { d.dcf.probe(uctx, d.opts) }))
+			}, d.Adapter)
+		},
+	})
+}
+
+// journalOpen records the interface bring-up (resource allocation, IRQ,
+// device up); Stop removes it, so a recovery of a downed interface replays
+// probe only.
+func (d *Driver) journalOpen() {
+	if d.journal == nil {
+		return
+	}
+	d.journal.Record(recovery.Entry{
+		Key:  "ifup",
+		Name: "e1000_open",
+		Replay: func(ctx *kernel.Context) error {
+			err := d.rt.Upcall(ctx, "e1000_open", func(uctx *kernel.Context) error {
+				return decaf.ToError(decaf.Try(func() { d.dcf.open(uctx) }))
+			}, d.Adapter)
+			if err != nil {
+				return err
+			}
+			if d.dev.LinkUp() {
+				d.Adapter.LinkUp = true
+				d.netdev.CarrierOn()
+			}
+			return nil
+		},
+	})
+}
+
+// RecoveryName implements recovery.Target.
+func (d *Driver) RecoveryName() string { return "e1000" }
+
+// BeginOutage implements recovery.Target: the net device holds TX frames
+// (slow, not dead) and the watchdog stops crossing to the suspect decaf
+// driver. Idempotent for retried restarts.
+func (d *Driver) BeginOutage(ctx *kernel.Context) {
+	d.recovering = true
+	d.netdev.BeginRecovery(d.holdLimit)
+}
+
+// TeardownForRecovery implements recovery.Target: quiesce the pipelines
+// (settled flushes deliver, faulted ones drop — both release their payload
+// slots), then release the kernel-side data-path resources directly. The
+// decaf side is suspect, so the nuclear runtime tears down without
+// crossings; the journal replay of ifup rebuilds everything.
+func (d *Driver) TeardownForRecovery(ctx *kernel.Context) error {
+	d.txTimer.Stop()
+	d.txFlushArmed = false
+	// Frames queued but never submitted are casualties of the crash.
+	if n := len(d.txQueue); n > 0 {
+		d.txQueue = nil
+		d.Adapter.Stats.TxErrors += uint64(n)
+	}
+	var xmitErr error
+	deliver, drop := d.txCallbacks(ctx, &xmitErr)
+	_ = d.txInFlight.Drain(ctx, deliver, drop)
+	_ = d.rxInFlight.Drain(ctx, d.deliverRxFrames, d.dropRxFrames)
+	_ = d.rt.DrainCrossings(ctx)
+
+	d.nuc.down(ctx)
+	d.nuc.freeIRQ(ctx)
+	d.nuc.freeTxResources(ctx)
+	d.nuc.freeRxResources(ctx)
+	return nil
+}
+
+// ResetDecafState implements recovery.Target: discard the decaf-side half —
+// a fresh shared adapter copy re-associated with the object trackers and a
+// fresh decaf driver instance. The kernel-side adapter (the authoritative
+// configuration the replayed probe re-synchronizes from) is untouched.
+func (d *Driver) ResetDecafState(ctx *kernel.Context) error {
+	if d.rt.Mode != xpc.ModeDecaf {
+		return nil
+	}
+	d.rt.Unshare(d.Adapter)
+	d.DecafAdapter = &Adapter{}
+	if _, err := d.rt.Share(d.Adapter, d.DecafAdapter); err != nil {
+		return err
+	}
+	d.dcf = newDecafDriver(d)
+	return nil
+}
+
+// ResumeFromRecovery implements recovery.Target: disarm the proxy and
+// replay the held frames through the restarted driver.
+func (d *Driver) ResumeFromRecovery(ctx *kernel.Context) (replayed, dropped uint64) {
+	d.recovering = false
+	rep, drp := d.netdev.EndRecovery(ctx)
+	return uint64(rep), uint64(drp)
+}
+
+// FailStop implements recovery.Target: restart budget exhausted — the
+// device goes explicitly dead. Held frames drop, the carrier goes off (so
+// Transmit now errors), and the watchdog stops; d.recovering stays set so
+// no further decaf crossings are attempted.
+func (d *Driver) FailStop(ctx *kernel.Context) {
+	if d.watchdog != nil {
+		d.watchdog.Stop()
+	}
+	d.netdev.AbortRecovery()
+	d.Adapter.LinkUp = false
+}

@@ -9,6 +9,7 @@
 package ens1371
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -17,6 +18,7 @@ import (
 	"decafdrivers/internal/hw/es1371hw"
 	"decafdrivers/internal/kernel"
 	"decafdrivers/internal/ksound"
+	"decafdrivers/internal/recovery"
 	"decafdrivers/internal/xdr"
 	"decafdrivers/internal/xpc"
 )
@@ -80,6 +82,56 @@ type Driver struct {
 	card   *ksound.Card
 	buf    hw.DMAAddr
 	stream *ksound.Substream
+
+	// Recovery supervision state (EnableRecovery): during an outage the PCM
+	// ops act as the kernel-facing proxy — they journal their intent and
+	// defer the crossing to the journal replay instead of reaching the
+	// suspect decaf driver, so the card looks slow, not dead. deferredOps
+	// counts ops absorbed that way. failed marks a fail-stopped device:
+	// every PCM op then errors explicitly instead of silently deferring.
+	journal     *recovery.StateJournal
+	recovering  bool
+	failed      bool
+	deferredOps uint64
+}
+
+// errFailStopped is what every PCM op returns once the restart budget is
+// exhausted: the card is explicitly dead, not slow.
+var errFailStopped = errors.New("ens1371: device fail-stopped (recovery budget exhausted)")
+
+// proxyOp runs one kernel-facing PCM op under the recovery proxy. A
+// fail-stopped device errors explicitly. During an outage the op defers:
+// deferred runs (journal the intent, apply kernel-side effects) and the
+// caller sees success — slow, not dead. Otherwise the op crosses; on
+// success record runs (journal the established state), and a contained
+// decaf fault under supervision is absorbed the same way as an outage (the
+// supervisor owns the restart; the journal replay applies the intent).
+func (d *Driver) proxyOp(record, deferred func(), op func() error) error {
+	if d.failed {
+		return errFailStopped
+	}
+	if d.recovering {
+		if deferred != nil {
+			deferred()
+		}
+		d.deferredOps++
+		return nil
+	}
+	err := op()
+	if err == nil {
+		if record != nil {
+			record()
+		}
+		return nil
+	}
+	if d.journal != nil && xpc.IsUserFault(err) {
+		if deferred != nil {
+			deferred()
+		}
+		d.deferredOps++
+		return nil
+	}
+	return err
 }
 
 // New binds the driver to a device model.
@@ -191,8 +243,46 @@ func (d *Driver) stopDAC2(ctx *kernel.Context) {
 // --- decaf driver ---
 
 // probeDecaf initializes the SRC and codec — the crossing-heavy path that
-// dominates Table 3's 237 init crossings and 6.34 s latency.
+// dominates Table 3's 237 init crossings and 6.34 s latency — then registers
+// the mixer controls and the card with the sound core.
 func (d *Driver) probeDecaf(uctx *kernel.Context) {
+	c := d.DecafChip
+	d.initChipConfig(uctx)
+
+	// Register mixer controls with the sound core, one downcall each.
+	names := []string{
+		"Master Playback Volume", "Master Playback Switch",
+		"PCM Playback Volume", "PCM Playback Switch",
+		"CD Playback Volume", "CD Playback Switch",
+		"Line Playback Volume", "Line Playback Switch",
+		"Mic Playback Volume", "Mic Playback Switch",
+		"Aux Playback Volume", "Capture Volume", "Capture Switch",
+		"PC Speaker Playback Volume", "Phone Playback Volume",
+		"Video Playback Volume", "Mono Playback Volume", "3D Control - Switch",
+	}
+	for _, name := range names {
+		n := name
+		_ = d.rt.Downcall(uctx, "snd_ctl_add", func(kctx *kernel.Context) error {
+			d.card.AddControl(n, 0x0808)
+			return nil
+		})
+	}
+	c.MixerCtls = int32(len(names))
+	c.Name = "ens1371"
+	d.helpers.Msleep(uctx, 750) // codec ready wait, as the C driver sleeps
+
+	if err := d.rt.Downcall(uctx, "snd_card_register", func(kctx *kernel.Context) error {
+		return d.snd.Register(d.card)
+	}); err != nil {
+		decaf.ThrowCause(HWException, err, "snd_card_register")
+	}
+}
+
+// initChipConfig programs the device-level configuration — SRC RAM, AC'97
+// codec bring-up, mixer register file. It is the replayable hardware half of
+// probe: recovery re-runs it against a restarted decaf driver, while the
+// kernel-object registrations (controls, card) persist and are not replayed.
+func (d *Driver) initChipConfig(uctx *kernel.Context) {
 	c := d.DecafChip
 
 	// Initialize the sample-rate converter RAM, one entry per downcall.
@@ -240,34 +330,6 @@ func (d *Driver) probeDecaf(uctx *kernel.Context) {
 			return nil
 		})
 	}
-
-	// Register mixer controls with the sound core, one downcall each.
-	names := []string{
-		"Master Playback Volume", "Master Playback Switch",
-		"PCM Playback Volume", "PCM Playback Switch",
-		"CD Playback Volume", "CD Playback Switch",
-		"Line Playback Volume", "Line Playback Switch",
-		"Mic Playback Volume", "Mic Playback Switch",
-		"Aux Playback Volume", "Capture Volume", "Capture Switch",
-		"PC Speaker Playback Volume", "Phone Playback Volume",
-		"Video Playback Volume", "Mono Playback Volume", "3D Control - Switch",
-	}
-	for _, name := range names {
-		n := name
-		_ = d.rt.Downcall(uctx, "snd_ctl_add", func(kctx *kernel.Context) error {
-			d.card.AddControl(n, 0x0808)
-			return nil
-		})
-	}
-	c.MixerCtls = int32(len(names))
-	c.Name = "ens1371"
-	d.helpers.Msleep(uctx, 750) // codec ready wait, as the C driver sleeps
-
-	if err := d.rt.Downcall(uctx, "snd_card_register", func(kctx *kernel.Context) error {
-		return d.snd.Register(d.card)
-	}); err != nil {
-		decaf.ThrowCause(HWException, err, "snd_card_register")
-	}
 }
 
 // pcmOps implements ksound.PCMOps: every operation except the data copy
@@ -275,9 +337,17 @@ func (d *Driver) probeDecaf(uctx *kernel.Context) {
 // playback start and end".
 type pcmOps Driver
 
-// Open implements ksound.PCMOps via the decaf driver.
+// Open implements ksound.PCMOps via the decaf driver. Under recovery
+// supervision a contained fault (or an in-progress outage) defers the
+// buffer allocation to the journal replay instead of erroring.
 func (o *pcmOps) Open(ctx *kernel.Context) error {
 	d := (*Driver)(o)
+	return d.proxyOp(d.journalPCMOpen, d.journalPCMOpen, func() error {
+		return d.openUpcall(ctx)
+	})
+}
+
+func (d *Driver) openUpcall(ctx *kernel.Context) error {
 	return d.rt.Upcall(ctx, "snd_ens1371_playback_open", func(uctx *kernel.Context) error {
 		return decaf.ToError(decaf.Try(func() {
 			if err := d.rt.Downcall(uctx, "snd_dma_alloc", func(kctx *kernel.Context) error {
@@ -289,9 +359,17 @@ func (o *pcmOps) Open(ctx *kernel.Context) error {
 	}, d.Chip)
 }
 
-// HWParams implements ksound.PCMOps via the decaf driver.
+// HWParams implements ksound.PCMOps via the decaf driver, journaling the
+// configuration so a recovery replays it.
 func (o *pcmOps) HWParams(ctx *kernel.Context, rate, channels, periodFrames int) error {
 	d := (*Driver)(o)
+	journal := func() { d.journalHWParams(rate, channels, periodFrames) }
+	return d.proxyOp(journal, journal, func() error {
+		return d.hwParamsUpcall(ctx, rate, channels, periodFrames)
+	})
+}
+
+func (d *Driver) hwParamsUpcall(ctx *kernel.Context, rate, channels, periodFrames int) error {
 	return d.rt.Upcall(ctx, "snd_ens1371_hw_params", func(uctx *kernel.Context) error {
 		return decaf.ToError(decaf.Try(func() {
 			c := d.DecafChip
@@ -311,22 +389,35 @@ func (o *pcmOps) HWParams(ctx *kernel.Context, rate, channels, periodFrames int)
 	}, d.Chip)
 }
 
-// Prepare implements ksound.PCMOps via the decaf driver.
+// Prepare implements ksound.PCMOps via the decaf driver. Its whole effect
+// is the kernel-side pointer reset, so the recovery proxy applies that
+// directly when deferring (transient state: nothing to journal).
 func (o *pcmOps) Prepare(ctx *kernel.Context) error {
 	d := (*Driver)(o)
-	return d.rt.Upcall(ctx, "snd_ens1371_prepare", func(uctx *kernel.Context) error {
-		return decaf.ToError(decaf.Try(func() {
-			_ = d.rt.Downcall(uctx, "snd_es1371_reset_pointer", func(kctx *kernel.Context) error {
-				d.Chip.HWPos = 0
-				return nil
-			})
-		}))
-	}, d.Chip)
+	return d.proxyOp(nil, func() { d.Chip.HWPos = 0 }, func() error {
+		return d.rt.Upcall(ctx, "snd_ens1371_prepare", func(uctx *kernel.Context) error {
+			return decaf.ToError(decaf.Try(func() {
+				_ = d.rt.Downcall(uctx, "snd_es1371_reset_pointer", func(kctx *kernel.Context) error {
+					d.Chip.HWPos = 0
+					return nil
+				})
+			}))
+		}, d.Chip)
+	})
 }
 
-// Trigger implements ksound.PCMOps via the decaf driver.
+// Trigger implements ksound.PCMOps via the decaf driver, journaling the
+// engine state so a recovery replays it (a stream started before the fault
+// is running again after the restart).
 func (o *pcmOps) Trigger(ctx *kernel.Context, start bool) error {
 	d := (*Driver)(o)
+	journal := func() { d.journalTrigger(start) }
+	return d.proxyOp(journal, journal, func() error {
+		return d.triggerUpcall(ctx, start)
+	})
+}
+
+func (d *Driver) triggerUpcall(ctx *kernel.Context, start bool) error {
 	return d.rt.Upcall(ctx, "snd_ens1371_trigger", func(uctx *kernel.Context) error {
 		return decaf.ToError(decaf.Try(func() {
 			c := d.DecafChip
@@ -368,17 +459,26 @@ func (o *pcmOps) CopyAudio(ctx *kernel.Context, frameOff uint32, data []byte) er
 	return nil
 }
 
-// Close implements ksound.PCMOps via the decaf driver.
+// Close implements ksound.PCMOps via the decaf driver. During an outage (or
+// on a contained fault) the kernel side releases the buffer directly and
+// drops the stream's journal entries — a closed stream is configuration torn
+// down, not configuration to replay.
 func (o *pcmOps) Close(ctx *kernel.Context) error {
 	d := (*Driver)(o)
-	return d.rt.Upcall(ctx, "snd_ens1371_playback_close", func(uctx *kernel.Context) error {
-		return decaf.ToError(decaf.Try(func() {
-			_ = d.rt.Downcall(uctx, "snd_dma_free", func(kctx *kernel.Context) error {
-				d.freeBuffer(kctx)
-				return nil
-			})
-		}))
-	}, d.Chip)
+	deferred := func() {
+		d.unjournalStream()
+		d.freeBuffer(ctx)
+	}
+	return d.proxyOp(d.unjournalStream, deferred, func() error {
+		return d.rt.Upcall(ctx, "snd_ens1371_playback_close", func(uctx *kernel.Context) error {
+			return decaf.ToError(decaf.Try(func() {
+				_ = d.rt.Downcall(uctx, "snd_dma_free", func(kctx *kernel.Context) error {
+					d.freeBuffer(kctx)
+					return nil
+				})
+			}))
+		}, d.Chip)
+	})
 }
 
 // --- module glue ---
@@ -404,6 +504,7 @@ func (m *ensModule) Init(ctx *kernel.Context) error {
 	if err != nil {
 		return fmt.Errorf("ens1371: probe: %w", err)
 	}
+	d.journalProbe()
 	d.card.SetPCMOps((*pcmOps)(d))
 	if err := d.kern.RequestIRQ(d.irq, "ens1371", d.intr, d.Chip); err != nil {
 		return err

@@ -1,0 +1,146 @@
+package ens1371
+
+import (
+	"decafdrivers/internal/decaf"
+	"decafdrivers/internal/kernel"
+	"decafdrivers/internal/recovery"
+	"decafdrivers/internal/xpc"
+)
+
+// EnableRecovery attaches the shadow-driver state journal and arms the
+// driver for supervision: the probe's hardware configuration and the PCM
+// stream state (open, hw_params, trigger) are journaled for replay, and the
+// PCM ops act as the kernel-facing proxy during an outage (journal intent,
+// defer the crossing, report success — slow, not dead). Call before
+// LoadModule so the probe is journaled.
+func (d *Driver) EnableRecovery(j *recovery.StateJournal) {
+	d.journal = j
+}
+
+// DeferredOps reports PCM operations absorbed by the recovery proxy
+// (journaled and deferred to replay instead of crossing).
+func (d *Driver) DeferredOps() uint64 { return d.deferredOps }
+
+// journalProbe records the device-level half of probe (SRC RAM, codec,
+// mixer registers). Kernel-object registrations — controls, the card, the
+// IRQ — persist across a restart and are not replayed.
+func (d *Driver) journalProbe() {
+	if d.journal == nil {
+		return
+	}
+	d.journal.Record(recovery.Entry{
+		Key:  "probe",
+		Name: "snd_ens1371_probe(config)",
+		Replay: func(ctx *kernel.Context) error {
+			return d.rt.Upcall(ctx, "snd_ens1371_probe", func(uctx *kernel.Context) error {
+				return decaf.ToError(decaf.Try(func() {
+					d.initChipConfig(uctx)
+					d.helpers.Msleep(uctx, 750) // codec ready wait, as at probe
+				}))
+			}, d.Chip)
+		},
+	})
+}
+
+// journalPCMOpen records the playback buffer allocation.
+func (d *Driver) journalPCMOpen() {
+	if d.journal == nil {
+		return
+	}
+	d.journal.Record(recovery.Entry{
+		Key:  "pcm/open",
+		Name: "snd_ens1371_playback_open",
+		Replay: func(ctx *kernel.Context) error {
+			if d.buf != 0 {
+				return nil // buffer survived (kernel-side state)
+			}
+			return d.openUpcall(ctx)
+		},
+	})
+}
+
+// journalHWParams records the stream configuration (rate, channels, period).
+func (d *Driver) journalHWParams(rate, channels, periodFrames int) {
+	if d.journal == nil {
+		return
+	}
+	d.journal.Record(recovery.Entry{
+		Key:  "pcm/params",
+		Name: "snd_ens1371_hw_params",
+		Replay: func(ctx *kernel.Context) error {
+			return d.hwParamsUpcall(ctx, rate, channels, periodFrames)
+		},
+	})
+}
+
+// journalTrigger records the DAC2 engine state.
+func (d *Driver) journalTrigger(start bool) {
+	if d.journal == nil {
+		return
+	}
+	d.journal.Record(recovery.Entry{
+		Key:  "pcm/trigger",
+		Name: "snd_ens1371_trigger",
+		Replay: func(ctx *kernel.Context) error {
+			return d.triggerUpcall(ctx, start)
+		},
+	})
+}
+
+// unjournalStream drops the stream's journal entries on close.
+func (d *Driver) unjournalStream() {
+	if d.journal == nil {
+		return
+	}
+	d.journal.Remove("pcm/trigger")
+	d.journal.Remove("pcm/params")
+	d.journal.Remove("pcm/open")
+}
+
+// RecoveryName implements recovery.Target.
+func (d *Driver) RecoveryName() string { return "ens1371" }
+
+// BeginOutage implements recovery.Target: PCM ops defer to the journal
+// until resume. Idempotent for retried restarts.
+func (d *Driver) BeginOutage(ctx *kernel.Context) {
+	d.recovering = true
+}
+
+// TeardownForRecovery implements recovery.Target: silence the engine and
+// drain in-flight crossings. The playback buffer, IRQ registration, card and
+// mixer controls are kernel-side state and survive; the journal replay
+// reprograms the device.
+func (d *Driver) TeardownForRecovery(ctx *kernel.Context) error {
+	d.stopDAC2(ctx)
+	return d.rt.DrainCrossings(ctx)
+}
+
+// ResetDecafState implements recovery.Target: a fresh shared chip copy.
+func (d *Driver) ResetDecafState(ctx *kernel.Context) error {
+	if d.rt.Mode != xpc.ModeDecaf {
+		return nil
+	}
+	d.rt.Unshare(d.Chip)
+	d.DecafChip = &Chip{}
+	if _, err := d.rt.Share(d.Chip, d.DecafChip); err != nil {
+		return err
+	}
+	return nil
+}
+
+// ResumeFromRecovery implements recovery.Target: the deferred-op count is
+// the held work the proxy absorbed (the journal replay already applied it).
+func (d *Driver) ResumeFromRecovery(ctx *kernel.Context) (replayed, dropped uint64) {
+	d.recovering = false
+	n := d.deferredOps
+	d.deferredOps = 0
+	return n, 0
+}
+
+// FailStop implements recovery.Target: the engine goes silent and every
+// further PCM op returns an explicit error — the card is dead, not slow,
+// and callers learn it.
+func (d *Driver) FailStop(ctx *kernel.Context) {
+	d.failed = true
+	d.stopDAC2(ctx)
+}

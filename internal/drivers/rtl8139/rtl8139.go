@@ -15,6 +15,7 @@ import (
 	"decafdrivers/internal/hw/rtl8139hw"
 	"decafdrivers/internal/kernel"
 	"decafdrivers/internal/knet"
+	"decafdrivers/internal/recovery"
 	"decafdrivers/internal/xdr"
 	"decafdrivers/internal/xpc"
 )
@@ -115,6 +116,11 @@ type Driver struct {
 	// interrupt drains. Each flight carries the payload-ring slots its
 	// frames crossed in, recycled when the flush settles.
 	rxInFlight xpc.FlushPipeline[rxFlight]
+
+	// Recovery supervision state (EnableRecovery).
+	journal    *recovery.StateJournal
+	recovering bool
+	holdLimit  int
 }
 
 // rxFlight is one in-flight RX flush: the frames it carried and the staged
@@ -600,6 +606,7 @@ func (m *rtlModule) Init(ctx *kernel.Context) error {
 	}
 	nd.MAC = d.Adapter.MAC
 	d.netdev = nd
+	d.journalProbe()
 	return nil
 }
 
@@ -619,9 +626,14 @@ func (m *rtlModule) Exit(ctx *kernel.Context) {
 
 type rtlOps Driver
 
-// Open implements knet.DeviceOps via the decaf driver.
+// Open implements knet.DeviceOps via the decaf driver. During a recovery
+// outage control-plane ops refuse (EBUSY-style) rather than crossing into
+// the suspect or mid-rebuild decaf driver.
 func (o *rtlOps) Open(ctx *kernel.Context) error {
 	d := (*Driver)(o)
+	if d.recovering {
+		return fmt.Errorf("8139too: open while the driver is recovering")
+	}
 	err := d.rt.Upcall(ctx, "rtl8139_open", func(uctx *kernel.Context) error {
 		return decaf.ToError(decaf.Try(func() { d.openDecaf(uctx) }))
 	}, d.Adapter)
@@ -631,6 +643,7 @@ func (o *rtlOps) Open(ctx *kernel.Context) error {
 	if d.dev.LinkUp() {
 		d.netdev.CarrierOn()
 	}
+	d.journalOpen()
 	return nil
 }
 
@@ -640,6 +653,9 @@ func (o *rtlOps) Open(ctx *kernel.Context) error {
 // delivered into a closing interface).
 func (o *rtlOps) Stop(ctx *kernel.Context) error {
 	d := (*Driver)(o)
+	if d.recovering {
+		return fmt.Errorf("8139too: stop while the driver is recovering")
+	}
 	d.rxTimer.Stop()
 	d.rxFlushArmed = false
 	d.rxFlushQueued = false
@@ -650,6 +666,9 @@ func (o *rtlOps) Stop(ctx *kernel.Context) error {
 	_ = d.rxInFlight.Drain(ctx, func(f rxFlight) {
 		d.dropFrames(f, nil)
 	}, d.dropFrames)
+	if d.journal != nil {
+		d.journal.Remove("ifup")
+	}
 	return d.rt.Upcall(ctx, "rtl8139_close", func(uctx *kernel.Context) error {
 		return decaf.ToError(decaf.Try(func() { d.closeDecaf(uctx) }))
 	}, d.Adapter)

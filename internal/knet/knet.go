@@ -61,6 +61,16 @@ type Stats struct {
 	RxPackets uint64
 	RxBytes   uint64
 	RxDropped uint64
+
+	// Recovery-proxy accounting (shadow-driver style): while the driver is
+	// being recovered the device looks slow, not dead — Transmit holds
+	// frames instead of erroring. TxHeld counts every frame that arrived
+	// during an outage, TxReplayed the held frames transmitted at resume,
+	// and TxHeldDropped the rest (hold limit reached, replay failure, or
+	// fail-stop); TxHeld == TxReplayed + TxHeldDropped once recovery ends.
+	TxHeld        uint64
+	TxReplayed    uint64
+	TxHeldDropped uint64
 }
 
 // NetDevice is the net_device analogue.
@@ -79,6 +89,12 @@ type NetDevice struct {
 	up      bool
 	stats   Stats
 	rxSink  func(*Packet)
+
+	// Recovery proxy state: while recovering, Transmit holds up to
+	// holdLimit frames for replay at resume (see BeginRecovery).
+	recovering bool
+	heldTx     []*Packet
+	holdLimit  int
 }
 
 // Subsystem is the network core: the registry of interfaces.
@@ -183,10 +199,26 @@ func (d *NetDevice) IsUp() bool {
 }
 
 // Transmit pushes one frame down the stack into the driver (dev_queue_xmit).
+// During a driver recovery the frame is held (or, past the hold limit,
+// dropped) with accounting and the call succeeds: the shadow-driver proxy
+// makes the device look slow, not dead.
 func (d *NetDevice) Transmit(ctx *kernel.Context, pkt *Packet) error {
 	if !d.IsUp() {
 		return fmt.Errorf("knet: %s is down", d.Name)
 	}
+	d.mu.Lock()
+	if d.recovering {
+		if d.holdLimit <= 0 || len(d.heldTx) < d.holdLimit {
+			d.heldTx = append(d.heldTx, pkt)
+			d.stats.TxHeld++
+		} else {
+			d.stats.TxHeld++
+			d.stats.TxHeldDropped++
+		}
+		d.mu.Unlock()
+		return nil
+	}
+	d.mu.Unlock()
 	if !d.CarrierOK() {
 		d.mu.Lock()
 		d.stats.TxErrors++
@@ -228,6 +260,75 @@ func (d *NetDevice) SetRxSink(sink func(*Packet)) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.rxSink = sink
+}
+
+// BeginRecovery arms the recovery proxy: until EndRecovery (or
+// AbortRecovery), Transmit holds up to limit frames — accounted in TxHeld —
+// instead of reaching the driver, so callers see a slow device rather than
+// a dead one. limit <= 0 holds without bound. Idempotent: a retried
+// recovery keeps the frames already held.
+func (d *NetDevice) BeginRecovery(limit int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.recovering = true
+	d.holdLimit = limit
+}
+
+// InRecovery reports whether the recovery proxy is armed.
+func (d *NetDevice) InRecovery() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.recovering
+}
+
+// HeldTx reports the frames currently held by the recovery proxy.
+func (d *NetDevice) HeldTx() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.heldTx)
+}
+
+// EndRecovery disarms the proxy and replays the held frames through the
+// (restarted) driver in arrival order, reporting how many transmitted vs
+// dropped. A frame the driver rejects counts as both a TX error and a held
+// drop — the invariant TxHeld == TxReplayed + TxHeldDropped holds.
+func (d *NetDevice) EndRecovery(ctx *kernel.Context) (replayed, dropped int) {
+	d.mu.Lock()
+	held := d.heldTx
+	d.heldTx = nil
+	d.recovering = false
+	d.mu.Unlock()
+	for _, pkt := range held {
+		if err := d.ops.StartXmit(ctx, pkt); err != nil {
+			dropped++
+			d.mu.Lock()
+			d.stats.TxErrors++
+			d.stats.TxHeldDropped++
+			d.mu.Unlock()
+			continue
+		}
+		replayed++
+		d.mu.Lock()
+		d.stats.TxReplayed++
+		d.stats.TxPackets++
+		d.stats.TxBytes += uint64(pkt.Len())
+		d.mu.Unlock()
+	}
+	return replayed, dropped
+}
+
+// AbortRecovery disarms the proxy dropping every held frame and turns the
+// carrier off — the fail-stop outcome: the device is explicitly dead, not
+// slow. It reports the frames dropped.
+func (d *NetDevice) AbortRecovery() (dropped int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	dropped = len(d.heldTx)
+	d.stats.TxHeldDropped += uint64(dropped)
+	d.heldTx = nil
+	d.recovering = false
+	d.carrier = false
+	return dropped
 }
 
 // CarrierOn signals link-up (netif_carrier_on); drivers call it from their

@@ -200,3 +200,116 @@ func TestNewPacketLayout(t *testing.T) {
 		t.Fatal("ethertype misplaced")
 	}
 }
+
+// TestRecoveryProxyHoldsAndReplays: during a recovery the device looks
+// slow, not dead — Transmit succeeds, frames queue up to the hold limit
+// (the rest drop with accounting), and EndRecovery replays them in order.
+func TestRecoveryProxyHoldsAndReplays(t *testing.T) {
+	s, k := newNet(t)
+	ops := &fakeOps{}
+	dev, _ := s.Register("eth0", 1500, ops)
+	ctx := k.NewContext("t")
+	if err := dev.Up(ctx); err != nil {
+		t.Fatal(err)
+	}
+	dev.CarrierOn()
+
+	dev.BeginRecovery(3)
+	if !dev.InRecovery() {
+		t.Fatal("proxy not armed")
+	}
+	var pkts []*Packet
+	for i := 0; i < 5; i++ {
+		p := NewPacket([6]byte{1}, [6]byte{2}, 0x0800, 10+i)
+		pkts = append(pkts, p)
+		if err := dev.Transmit(ctx, p); err != nil {
+			t.Fatalf("Transmit during recovery errored: %v", err)
+		}
+	}
+	if len(ops.sent) != 0 {
+		t.Fatal("frames reached the driver during the outage")
+	}
+	if dev.HeldTx() != 3 {
+		t.Fatalf("HeldTx = %d, want the hold limit", dev.HeldTx())
+	}
+	st := dev.Stats()
+	if st.TxHeld != 5 || st.TxHeldDropped != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+
+	replayed, dropped := dev.EndRecovery(ctx)
+	if replayed != 3 || dropped != 0 {
+		t.Fatalf("EndRecovery = %d, %d", replayed, dropped)
+	}
+	if dev.InRecovery() || dev.HeldTx() != 0 {
+		t.Fatal("proxy still armed after EndRecovery")
+	}
+	// Replay preserved arrival order and counted the transmits.
+	if len(ops.sent) != 3 || ops.sent[0] != pkts[0] || ops.sent[2] != pkts[2] {
+		t.Fatalf("replayed %d frames out of order", len(ops.sent))
+	}
+	st = dev.Stats()
+	if st.TxReplayed != 3 || st.TxPackets != 3 {
+		t.Fatalf("stats after replay = %+v", st)
+	}
+	if st.TxHeld != st.TxReplayed+st.TxHeldDropped {
+		t.Fatalf("held invariant broken: %+v", st)
+	}
+	// Normal transmission resumes.
+	if err := dev.Transmit(ctx, pkts[0]); err != nil {
+		t.Fatal(err)
+	}
+	if len(ops.sent) != 4 {
+		t.Fatal("post-recovery transmit did not reach the driver")
+	}
+}
+
+// TestRecoveryProxyReplayFailureCountsDrops: frames the restarted driver
+// rejects at replay count as errors and held drops, keeping the invariant.
+func TestRecoveryProxyReplayFailureCountsDrops(t *testing.T) {
+	s, k := newNet(t)
+	ops := &fakeOps{}
+	dev, _ := s.Register("eth0", 1500, ops)
+	ctx := k.NewContext("t")
+	_ = dev.Up(ctx)
+	dev.CarrierOn()
+	dev.BeginRecovery(0) // unbounded hold
+	for i := 0; i < 4; i++ {
+		_ = dev.Transmit(ctx, NewPacket([6]byte{1}, [6]byte{2}, 0x0800, 10))
+	}
+	ops.xmitErr = errors.New("ring gone")
+	replayed, dropped := dev.EndRecovery(ctx)
+	if replayed != 0 || dropped != 4 {
+		t.Fatalf("EndRecovery = %d, %d", replayed, dropped)
+	}
+	st := dev.Stats()
+	if st.TxHeld != 4 || st.TxHeldDropped != 4 || st.TxErrors != 4 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestAbortRecoveryFailsStop: fail-stop drops the held frames and kills the
+// carrier, so Transmit errors explicitly afterwards.
+func TestAbortRecoveryFailsStop(t *testing.T) {
+	s, k := newNet(t)
+	dev, _ := s.Register("eth0", 1500, &fakeOps{})
+	ctx := k.NewContext("t")
+	_ = dev.Up(ctx)
+	dev.CarrierOn()
+	dev.BeginRecovery(8)
+	for i := 0; i < 3; i++ {
+		_ = dev.Transmit(ctx, NewPacket([6]byte{1}, [6]byte{2}, 0x0800, 10))
+	}
+	if dropped := dev.AbortRecovery(); dropped != 3 {
+		t.Fatalf("AbortRecovery dropped %d, want 3", dropped)
+	}
+	if dev.CarrierOK() {
+		t.Fatal("carrier still on after abort")
+	}
+	if err := dev.Transmit(ctx, NewPacket([6]byte{1}, [6]byte{2}, 0x0800, 10)); err == nil {
+		t.Fatal("Transmit succeeded on a fail-stopped device")
+	}
+	if st := dev.Stats(); st.TxHeldDropped != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+}

@@ -1,0 +1,99 @@
+package recovery
+
+import (
+	"fmt"
+	"time"
+)
+
+// Policy decides whether — and after what delay — a crashed driver restarts.
+// Attempts are counted cumulatively over the driver's lifetime, the shadow
+// driver convention: a driver that keeps crashing eventually fail-stops
+// instead of flapping forever.
+type Policy interface {
+	// Name identifies the policy in benchmark output.
+	Name() string
+	// NextDelay returns the delay before restart attempt n (1-based) and
+	// whether the restart should happen at all; ok=false selects fail-stop.
+	NextDelay(attempt int) (delay time.Duration, ok bool)
+}
+
+// Immediate restarts with no delay. MaxRestarts bounds the attempts
+// (0 = unbounded); past the bound the driver fail-stops.
+type Immediate struct {
+	MaxRestarts int
+}
+
+// Name implements Policy.
+func (p Immediate) Name() string {
+	if p.MaxRestarts > 0 {
+		return fmt.Sprintf("immediate(max%d)", p.MaxRestarts)
+	}
+	return "immediate"
+}
+
+// NextDelay implements Policy.
+func (p Immediate) NextDelay(attempt int) (time.Duration, bool) {
+	if p.MaxRestarts > 0 && attempt > p.MaxRestarts {
+		return 0, false
+	}
+	return 0, true
+}
+
+// Backoff defaults.
+const (
+	DefaultBackoffBase = 10 * time.Millisecond
+	DefaultBackoffMax  = 200 * time.Millisecond
+)
+
+// Backoff restarts after an exponentially growing delay: Base on the first
+// attempt, doubling per attempt, clamped to Max. MaxRestarts bounds the
+// attempts (0 = unbounded). The delay is virtual time during which the
+// kernel-facing proxy keeps the device looking slow, not dead.
+type Backoff struct {
+	// Base is the first attempt's delay; <=0 means DefaultBackoffBase.
+	Base time.Duration
+	// Max clamps the delay; <=0 means DefaultBackoffMax.
+	Max time.Duration
+	// MaxRestarts bounds the attempts; 0 means unbounded.
+	MaxRestarts int
+}
+
+func (p Backoff) base() time.Duration {
+	if p.Base <= 0 {
+		return DefaultBackoffBase
+	}
+	return p.Base
+}
+
+func (p Backoff) max() time.Duration {
+	if p.Max <= 0 {
+		return DefaultBackoffMax
+	}
+	return p.Max
+}
+
+// Name implements Policy.
+func (p Backoff) Name() string {
+	if p.MaxRestarts > 0 {
+		return fmt.Sprintf("backoff(%v,max%d)", p.base(), p.MaxRestarts)
+	}
+	return fmt.Sprintf("backoff(%v)", p.base())
+}
+
+// NextDelay implements Policy.
+func (p Backoff) NextDelay(attempt int) (time.Duration, bool) {
+	if p.MaxRestarts > 0 && attempt > p.MaxRestarts {
+		return 0, false
+	}
+	d := p.base()
+	for i := 1; i < attempt; i++ {
+		d *= 2
+		if d >= p.max() {
+			return p.max(), true
+		}
+	}
+	if d > p.max() {
+		d = p.max()
+	}
+	return d, true
+}

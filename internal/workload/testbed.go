@@ -6,6 +6,7 @@
 package workload
 
 import (
+	"sync/atomic"
 	"time"
 
 	"decafdrivers/internal/core"
@@ -26,6 +27,7 @@ import (
 	"decafdrivers/internal/ksound"
 	"decafdrivers/internal/ktime"
 	"decafdrivers/internal/kusb"
+	"decafdrivers/internal/recovery"
 	"decafdrivers/internal/xpc"
 )
 
@@ -41,6 +43,9 @@ type Testbed struct {
 	Runtime *xpc.Runtime
 	// Load is the insmod report (Table 3 init latency).
 	Load kernel.LoadReport
+	// Sup is the recovery supervisor, non-nil when NetOptions.Recovery
+	// armed shadow-driver supervision for the driver under test.
+	Sup *recovery.Supervisor
 
 	// Subsystems (populated as needed per driver).
 	Net   *knet.Subsystem
@@ -116,6 +121,52 @@ type NetOptions struct {
 	// RingSlots sizes the payload ring; <1 means xpc.DefaultRingSlots.
 	// Ignored unless ZeroCopy is set.
 	RingSlots int
+	// Recovery arms shadow-driver supervision: a recovery.Supervisor
+	// (Testbed.Sup) watches the driver's fault outcomes, journals its
+	// configuration crossings, and on a decaf-side fault restarts the
+	// driver transparently — the net device holds TX frames during the
+	// outage instead of erroring.
+	Recovery bool
+	// RestartPolicy selects the restart cadence; nil means
+	// recovery.Immediate{}. Ignored unless Recovery is set.
+	RestartPolicy recovery.Policy
+	// TxHoldLimit bounds the net-device proxy's held-frame queue during an
+	// outage; <=0 selects the driver default. Ignored unless Recovery is
+	// set.
+	TxHoldLimit int
+	// Faults arms the decaf-side fault injector after boot (boot crossings
+	// never count toward Nth).
+	Faults FaultPlan
+}
+
+// FaultPlan arms the XPC fault injector: the decaf side panics — inside the
+// fault-containment region, exactly like a real crash — on the Nth call
+// matching Call ("" matches any decaf-side call). With Repeat, every
+// matching call from the Nth on faults, modeling a persistently broken
+// driver (the fail-stop scenario). Nth == 0 disables injection.
+type FaultPlan struct {
+	Call   string
+	Nth    uint64
+	Repeat bool
+}
+
+// Injector builds the counting matcher installed via
+// xpc.Runtime.SetFaultInjector. Safe for concurrent use.
+func (p FaultPlan) Injector() func(call string) bool {
+	var n atomic.Uint64
+	return func(call string) bool {
+		if p.Nth == 0 {
+			return false
+		}
+		if p.Call != "" && call != p.Call {
+			return false
+		}
+		c := n.Add(1)
+		if p.Repeat {
+			return c >= p.Nth
+		}
+		return c == p.Nth
+	}
 }
 
 func (o NetOptions) transport() xpc.Transport {
@@ -137,6 +188,20 @@ func (o NetOptions) registerRing(tb *Testbed) error {
 	}
 	ring := xpc.NewPayloadRing(o.RingSlots, xpc.DefaultRingSlotSize)
 	return tb.Runtime.RegisterPayloadRing(tb.Kernel.NewContext("ring-init"), ring)
+}
+
+// armSupervision finishes the recovery/fault wiring after boot: the
+// supervisor attaches to the runtime's fault notifier and the fault
+// injector arms (so initialization crossings never consume an injection
+// count).
+func (o NetOptions) armSupervision(tb *Testbed, target recovery.Target, journal *recovery.StateJournal) {
+	if o.Recovery {
+		tb.Sup = recovery.NewSupervisor(tb.Kernel, target, journal, recovery.Config{Policy: o.RestartPolicy})
+		tb.Sup.Attach()
+	}
+	if o.Faults.Nth > 0 {
+		tb.Runtime.SetFaultInjector(o.Faults.Injector())
+	}
 }
 
 // NewE1000 boots a machine with an E1000 adapter, loads the driver and
@@ -163,6 +228,11 @@ func NewE1000With(mode xpc.Mode, opts NetOptions) (*Testbed, error) {
 	if err := opts.registerRing(tb); err != nil {
 		return nil, err
 	}
+	var journal *recovery.StateJournal
+	if opts.Recovery {
+		journal = recovery.NewStateJournal()
+		tb.E1000.EnableRecovery(journal, opts.TxHoldLimit)
+	}
 	if err := tb.load(tb.E1000.Module()); err != nil {
 		return nil, err
 	}
@@ -174,6 +244,7 @@ func NewE1000With(mode xpc.Mode, opts NetOptions) (*Testbed, error) {
 	// clock past them so a following measurement phase starts with the
 	// async service timeline and the clock in step.
 	tb.Clock.AdvanceTo(tb.Runtime.WaitFrontier())
+	opts.armSupervision(tb, tb.E1000, journal)
 	return tb, nil
 }
 
@@ -196,6 +267,11 @@ func NewRTL8139With(mode xpc.Mode, opts NetOptions) (*Testbed, error) {
 	if err := opts.registerRing(tb); err != nil {
 		return nil, err
 	}
+	var journal *recovery.StateJournal
+	if opts.Recovery {
+		journal = recovery.NewStateJournal()
+		tb.RTL.EnableRecovery(journal, opts.TxHoldLimit)
+	}
 	if err := tb.load(tb.RTL.Module()); err != nil {
 		return nil, err
 	}
@@ -204,6 +280,7 @@ func NewRTL8139With(mode xpc.Mode, opts NetOptions) (*Testbed, error) {
 		return nil, err
 	}
 	tb.Clock.AdvanceTo(tb.Runtime.WaitFrontier())
+	opts.armSupervision(tb, tb.RTL, journal)
 	return tb, nil
 }
 
@@ -260,14 +337,40 @@ func (tb *Testbed) drainDeferredWork() {
 	tb.Sys.DrainDeferredWork()
 }
 
+// InRecovery reports whether the driver under test is between fault
+// detection and resume (or fail-stopped): the outage window in which the
+// kernel-facing proxy holds or drops work.
+func (tb *Testbed) InRecovery() bool {
+	return tb.Sup != nil && tb.Sup.InOutage()
+}
+
+// settleRecovery completes an in-flight recovery before the testbed
+// quiesces: a backoff restart waits on a kernel timer, so the clock advances
+// to pending deadlines and the deferred restart work drains. A fail-stopped
+// driver stays down.
+func (tb *Testbed) settleRecovery() {
+	for i := 0; i < 64; i++ {
+		if tb.Sup == nil || !tb.Sup.InOutage() || tb.Sup.State() == recovery.StateFailed {
+			return
+		}
+		dl, ok := tb.Clock.NextDeadline()
+		if !ok {
+			return
+		}
+		tb.Clock.AdvanceTo(dl)
+		tb.drainDeferredWork()
+	}
+}
+
 // Settle quiesces the testbed's crossing pipelines: deferred work drains,
-// the drivers reap their in-flight async flushes, and the transport's queue
-// empties, charging ctx any residual catch-up stall. Workloads call it
-// before closing a measurement phase so crossing counters and deliveries
-// are complete; under inline transports it is a no-op beyond the work-queue
-// drain.
+// any in-flight recovery completes (or fail-stops), the drivers reap their
+// in-flight async flushes, and the transport's queue empties, charging ctx
+// any residual catch-up stall. Workloads call it before closing a
+// measurement phase so crossing counters and deliveries are complete; under
+// inline transports it is a no-op beyond the work-queue drain.
 func (tb *Testbed) Settle(ctx *kernel.Context) {
 	tb.drainDeferredWork()
+	tb.settleRecovery()
 	if tb.E1000 != nil {
 		_ = tb.E1000.Quiesce(ctx)
 	}

@@ -35,6 +35,12 @@ type Counters struct {
 	// Faults counts contained decaf-side panics (each failed only its own
 	// Completion under the async transport).
 	Faults uint64
+	// FaultsInjected counts faults thrown by the installed fault injector —
+	// a subset of Faults. Zero unless a test or benchmark armed injection.
+	FaultsInjected uint64
+	// FaultsByCall breaks Faults down per entry-point name, the signal a
+	// recovery supervisor uses to attribute crashes.
+	FaultsByCall map[string]uint64
 	// Stall is the caller-visible crossing stall: virtual time submitting
 	// contexts slept inside inline crossings plus what waiters were charged
 	// catching up to async completions. This is the cost the async
@@ -126,6 +132,7 @@ type counterCell struct {
 	batchedCalls    atomic.Uint64
 	submissions     atomic.Uint64
 	faults          atomic.Uint64
+	faultsInjected  atomic.Uint64
 	stallNs         atomic.Uint64
 	queueWaitNs     atomic.Uint64
 	crossNs         atomic.Uint64
@@ -144,6 +151,9 @@ type counterState struct {
 	// perCall maps entry-point name -> *atomic.Uint64. sync.Map is
 	// lock-free on the steady-state hit path.
 	perCall sync.Map
+	// faultsByCall maps entry-point name -> *atomic.Uint64 of contained
+	// faults. Touched only on the fault path, never on a healthy crossing.
+	faultsByCall sync.Map
 }
 
 // shardIndex hashes an entry-point name to a counter cell (FNV-1a).
@@ -230,7 +240,18 @@ func (r *Runtime) noteCompletion(name string, queueWait, crossCost time.Duration
 	}
 	if fault {
 		c.faults.Add(1)
+		s := r.state()
+		v, ok := s.faultsByCall.Load(name)
+		if !ok {
+			v, _ = s.faultsByCall.LoadOrStore(name, new(atomic.Uint64))
+		}
+		v.(*atomic.Uint64).Add(1)
 	}
+}
+
+// noteInjected records one fault thrown by the installed injector.
+func (r *Runtime) noteInjected(name string) {
+	r.state().cell(name).faultsInjected.Add(1)
 }
 
 // noteStall records caller-visible crossing stall: sleep charged to a
@@ -298,6 +319,7 @@ func (r *Runtime) Counters() Counters {
 		snap.BatchedCalls += c.batchedCalls.Load()
 		snap.Submissions += c.submissions.Load()
 		snap.Faults += c.faults.Load()
+		snap.FaultsInjected += c.faultsInjected.Load()
 		snap.Stall += time.Duration(c.stallNs.Load())
 		snap.QueueWait += time.Duration(c.queueWaitNs.Load())
 		snap.CrossTime += time.Duration(c.crossNs.Load())
@@ -319,6 +341,11 @@ func (r *Runtime) Counters() Counters {
 	snap.PerCall = make(map[string]uint64)
 	s.perCall.Range(func(k, v any) bool {
 		snap.PerCall[k.(string)] = v.(*atomic.Uint64).Load()
+		return true
+	})
+	snap.FaultsByCall = make(map[string]uint64)
+	s.faultsByCall.Range(func(k, v any) bool {
+		snap.FaultsByCall[k.(string)] = v.(*atomic.Uint64).Load()
 		return true
 	})
 	return snap

@@ -280,6 +280,17 @@ func (r *Runtime) PayloadRing() *PayloadRing {
 	return r.payloadRing.Load()
 }
 
+// UnregisterPayloadRing detaches and returns the registered ring (nil if
+// none), after which data-carrying calls fall back to the copy path until a
+// fresh ring registers. This is the recovery-time teardown: the decaf side
+// is suspect and its shared mapping is discarded kernel-side, so the
+// detach itself performs no crossing. Outstanding descriptors into the old
+// ring become unresolvable — callers must have quiesced in-flight flushes
+// (releasing their slots) first.
+func (r *Runtime) UnregisterPayloadRing() *PayloadRing {
+	return r.payloadRing.Swap(nil)
+}
+
 // DirectPayloadTransport marks a Transport whose crossing engine can
 // resolve pre-registered payload rings on the far side. All built-in
 // transports support it (inline transports cross on the submitting thread

@@ -44,6 +44,21 @@ func (r *Runtime) NewSubmission(c *Call) *Submission {
 	return &Submission{Call: c, Completion: newCompletion(r, c.Name, c.Up)}
 }
 
+// FaultEvent describes one contained decaf-side fault, delivered to the
+// runtime's fault notifier (SetFaultNotifier) as the faulted submission's
+// Completion resolves. A recovery supervisor treats it as the crash signal:
+// the kernel survived, the call failed, and the decaf driver is suspect.
+type FaultEvent struct {
+	// Call is the entry point whose body faulted.
+	Call string
+	// Up reports the crossing direction (true for upcalls).
+	Up bool
+	// Err is the *UserFault the completion resolved with.
+	Err error
+	// At is the virtual instant the faulted crossing completed.
+	At time.Duration
+}
+
 // Completion is the handle for one submitted crossing. It resolves exactly
 // once, carrying the call's result (error or contained fault), its cost
 // split into queue wait and crossing time, and the virtual-clock instant the
@@ -90,6 +105,9 @@ func newSettledCompletion(r *Runtime, name string, err error, at time.Duration) 
 
 // resolve publishes the outcome. queueWait and completeAt must already be
 // stamped by the transport; crossCost is this call's share of the crossing.
+// A fault outcome is additionally delivered to the runtime's fault notifier
+// (after the channel close, so a notifier that inspects the completion sees
+// it settled).
 func (c *Completion) resolve(err error, fault bool, crossCost time.Duration) {
 	c.err = err
 	c.fault = fault
@@ -99,6 +117,11 @@ func (c *Completion) resolve(err error, fault bool, crossCost time.Duration) {
 		c.r.inFlight.Add(-1)
 	}
 	close(c.done)
+	if fault && c.r != nil {
+		if fp := c.r.faultNotifier.Load(); fp != nil {
+			(*fp)(FaultEvent{Call: c.name, Up: c.up, Err: err, At: c.completeAt})
+		}
+	}
 }
 
 // aggregate builds a completion that resolves when the last child does,

@@ -81,6 +81,7 @@
 package xpc
 
 import (
+	"errors"
 	"fmt"
 	"reflect"
 	"sync"
@@ -197,6 +198,14 @@ type Runtime struct {
 	// payloadRing is the pre-registered zero-copy payload pool, nil until
 	// RegisterPayloadRing succeeds (see ring.go).
 	payloadRing atomic.Pointer[PayloadRing]
+
+	// faultNotifier, when set, observes every contained decaf-side fault as
+	// its Completion resolves — the hook a recovery supervisor attaches to.
+	faultNotifier atomic.Pointer[func(FaultEvent)]
+	// faultInjector, when set, is consulted at the top of every decaf-side
+	// call body; returning true throws an *InjectedFault inside the
+	// fault-containment region (test and benchmark fault injection).
+	faultInjector atomic.Pointer[func(call string) bool]
 
 	// mu guards the shared-object registry only; the crossing fast path
 	// never takes it.
@@ -424,6 +433,57 @@ func (f *UserFault) Error() string {
 	return fmt.Sprintf("xpc: user-level fault in %s: %v", f.Call, f.Cause)
 }
 
+// IsUserFault reports whether err is (or wraps) a contained decaf-side
+// fault. Drivers under recovery supervision use it to absorb data-path fault
+// outcomes — the frames were dropped with accounting and the supervisor owns
+// the restart — instead of surfacing them to kernel callers.
+func IsUserFault(err error) bool {
+	var f *UserFault
+	return errors.As(err, &f)
+}
+
+// InjectedFault is the panic value the fault injector throws inside the
+// fault-containment region: it surfaces as a *UserFault whose Cause is this
+// value, indistinguishable from a real decaf-side crash to everything above
+// the injector.
+type InjectedFault struct {
+	// Call is the entry point the fault was injected into.
+	Call string
+}
+
+func (f *InjectedFault) String() string {
+	return fmt.Sprintf("injected fault in %s", f.Call)
+}
+
+// SetFaultNotifier installs (or, with nil, removes) the observer invoked for
+// every contained decaf-side fault as its Completion resolves. The notifier
+// runs on whatever goroutine resolves the completion — the submitting
+// context under inline transports, the service goroutine under an async
+// transport — so it must only record and defer (a recovery supervisor
+// enqueues a work item; it never crosses from the notifier).
+func (r *Runtime) SetFaultNotifier(fn func(FaultEvent)) {
+	if fn == nil {
+		r.faultNotifier.Store(nil)
+		return
+	}
+	r.faultNotifier.Store(&fn)
+}
+
+// SetFaultInjector installs (or, with nil, removes) the decaf-side fault
+// injector: fn is consulted with the entry-point name at the top of every
+// decaf call body, and returning true panics an *InjectedFault inside the
+// containment region — the call fails with a *UserFault exactly as a real
+// decaf crash would, and the injection is counted (Counters.FaultsInjected).
+// fn must be safe for concurrent use (the async service goroutine executes
+// call bodies).
+func (r *Runtime) SetFaultInjector(fn func(call string) bool) {
+	if fn == nil {
+		r.faultInjector.Store(nil)
+		return
+	}
+	r.faultInjector.Store(&fn)
+}
+
 // Upcall transfers control from the kernel to a user-level driver function:
 // the stub path of Figure 1. objs are the shared objects the function
 // accesses; their kernel state is synchronized to user level before fn runs
@@ -584,7 +644,9 @@ func (r *Runtime) execute(ctx *kernel.Context, c *Call) error {
 
 // runUser runs fn in the decaf context, converting a panic into a *UserFault
 // (driver isolation) and charging the user execution's elapsed time to the
-// caller as wait time.
+// caller as wait time. An installed fault injector may panic before the body
+// runs — inside the containment region, so the injection is exactly a real
+// decaf-side crash.
 func (r *Runtime) runUser(ctx *kernel.Context, name string, fn func(uctx *kernel.Context) error) (err error) {
 	userStart := r.decafCtx.Elapsed()
 	func() {
@@ -593,6 +655,10 @@ func (r *Runtime) runUser(ctx *kernel.Context, name string, fn func(uctx *kernel
 				err = &UserFault{Call: name, Cause: p}
 			}
 		}()
+		if ip := r.faultInjector.Load(); ip != nil && (*ip)(name) {
+			r.noteInjected(name)
+			panic(&InjectedFault{Call: name})
+		}
 		err = fn(r.decafCtx)
 	}()
 	if d := r.decafCtx.Elapsed() - userStart; d > 0 {
