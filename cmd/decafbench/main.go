@@ -13,6 +13,7 @@
 //	decafbench -table zerocopy -slots 256
 //	decafbench -table zerocopy -json        # machine-readable rows (CI baseline)
 //	decafbench -table recovery -faults 40 -restart-policy backoff
+//	decafbench -table recovery -transport proc -json   # real process-separated boundary
 package main
 
 import (
@@ -24,13 +25,14 @@ import (
 	"time"
 
 	"decafdrivers/internal/bench"
+	"decafdrivers/internal/xpc"
 )
 
 // validTables and validTransports are the accepted flag values; anything
 // else is rejected with a message listing them.
 var (
 	validTables     = []string{"1", "2", "3", "4", "casestudy", "batch", "async", "zerocopy", "recovery", "all"}
-	validTransports = []string{"all", "per-call", "sync", "batched", "batch", "async"}
+	validTransports = []string{"all", "per-call", "sync", "batched", "batch", "async", "proc"}
 	jsonTables      = []string{"batch", "async", "zerocopy", "recovery"}
 )
 
@@ -61,6 +63,11 @@ func parseBatchSizes(s string) ([]int, error) {
 }
 
 func main() {
+	// A ProcTransport re-execs this binary as its decaf worker process;
+	// the hook must run before flag parsing and never returns in worker
+	// mode.
+	xpc.MaybeRunWorker()
+
 	tableFlag := flag.String("table", "all", "which table to regenerate: "+strings.Join(validTables, ", "))
 	root := flag.String("root", ".", "repository root (for Table 1 line counting)")
 	netperf := flag.Duration("netperf", 10*time.Second, "virtual duration of each netperf run")
@@ -85,12 +92,13 @@ func main() {
 		fmt.Fprintf(os.Stderr, "decafbench: unknown transport %q (valid: %s)\n", *transport, strings.Join(validTransports, ", "))
 		os.Exit(2)
 	}
-	// Only the async, zerocopy and recovery tables have async rows: reject
-	// the combination for any other table (including the default "all",
-	// whose batch table would otherwise render empty) instead of silently
-	// selecting nothing.
-	if *transport == "async" && *tableFlag != "async" && *tableFlag != "zerocopy" && *tableFlag != "recovery" {
-		fmt.Fprintf(os.Stderr, "decafbench: -transport async requires -table async, zerocopy or recovery (-table %s has no async rows)\n", *tableFlag)
+	// Only the async, zerocopy and recovery tables have async or proc rows:
+	// reject the combination for any other table (including the default
+	// "all", whose batch table would otherwise render empty) instead of
+	// silently selecting nothing.
+	if (*transport == "async" || *transport == "proc") &&
+		*tableFlag != "async" && *tableFlag != "zerocopy" && *tableFlag != "recovery" {
+		fmt.Fprintf(os.Stderr, "decafbench: -transport %s requires -table async, zerocopy or recovery (-table %s has no %[1]s rows)\n", *transport, *tableFlag)
 		os.Exit(2)
 	}
 	if *jsonOut && !oneOf(*tableFlag, jsonTables) {

@@ -7,6 +7,7 @@
 //
 //	decafrun -driver e1000 -mode decaf -dur 10s
 //	decafrun -driver psmouse -mode native
+//	decafrun -driver e1000 -transport proc -batch 16   # decaf side in a real worker process
 package main
 
 import (
@@ -19,11 +20,23 @@ import (
 	"decafdrivers/internal/xpc"
 )
 
+// netTransports are the -transport values; only the network drivers have a
+// configurable decaf data path, so the flag is rejected elsewhere.
+const netTransports = "sync, batch, async, proc"
+
 func main() {
+	// A ProcTransport re-execs this binary as its decaf worker process;
+	// the hook must run before flag parsing and never returns in worker
+	// mode.
+	xpc.MaybeRunWorker()
+
 	driver := flag.String("driver", "e1000", "driver: 8139too, e1000, ens1371, uhci-hcd, psmouse")
 	modeFlag := flag.String("mode", "decaf", "deployment: native or decaf")
 	dur := flag.Duration("dur", 10*time.Second, "virtual workload duration (tar uses -tar bytes instead)")
 	tarBytes := flag.Int("tar", 2<<20, "archive bytes for the uhci-hcd tar workload")
+	transport := flag.String("transport", "sync", "XPC transport for the network drivers' decaf data path: "+netTransports)
+	batch := flag.Int("batch", 16, "calls coalesced per crossing for -transport batch/async/proc")
+	queue := flag.Int("queue", 0, "submission-ring depth for -transport async (0 = default)")
 	flag.Parse()
 
 	var mode xpc.Mode
@@ -37,6 +50,25 @@ func main() {
 		os.Exit(2)
 	}
 
+	opts := workload.NetOptions{}
+	switch *transport {
+	case "sync":
+	case "batch":
+		opts = workload.NetOptions{DataPath: xpc.DataPathDecaf, BatchN: *batch}
+	case "async":
+		opts = workload.NetOptions{DataPath: xpc.DataPathDecaf, BatchN: *batch, Async: true, QueueDepth: *queue}
+	case "proc":
+		opts = workload.NetOptions{DataPath: xpc.DataPathDecaf, BatchN: *batch, Proc: true, ZeroCopy: true}
+	default:
+		fmt.Fprintf(os.Stderr, "decafrun: unknown transport %q (valid: %s)\n", *transport, netTransports)
+		os.Exit(2)
+	}
+	isNet := *driver == "e1000" || *driver == "8139too"
+	if *transport != "sync" && !isNet {
+		fmt.Fprintf(os.Stderr, "decafrun: -transport %s requires a network driver (e1000, 8139too)\n", *transport)
+		os.Exit(2)
+	}
+
 	var (
 		tb  *workload.Testbed
 		res workload.Result
@@ -44,12 +76,12 @@ func main() {
 	)
 	switch *driver {
 	case "e1000":
-		tb, err = workload.NewE1000(mode)
+		tb, err = workload.NewE1000With(mode, opts)
 		if err == nil {
 			res, err = workload.NetperfSend(tb, tb.E1000.NetDevice(), workload.GigabitMbps, *dur)
 		}
 	case "8139too":
-		tb, err = workload.NewRTL8139(mode)
+		tb, err = workload.NewRTL8139With(mode, opts)
 		if err == nil {
 			res, err = workload.NetperfSend(tb, tb.RTL.NetDevice(), workload.FastEtherMbps, *dur)
 		}
@@ -76,8 +108,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "decafrun:", err)
 		os.Exit(1)
 	}
+	defer tb.Shutdown()
 
 	fmt.Printf("driver:          %s (%s deployment)\n", *driver, mode)
+	fmt.Printf("transport:       %s\n", tb.Runtime.Transport().Name())
 	fmt.Printf("init latency:    %v (%d user/kernel crossings)\n",
 		tb.Load.InitLatency, tb.InitCrossings())
 	fmt.Printf("workload:        %s over %v of virtual time\n", res.Workload, res.Elapsed)
@@ -91,6 +125,10 @@ func main() {
 	fmt.Printf("total crossings: %d upcalls, %d downcalls, %d library calls\n",
 		c.Upcalls, c.Downcalls, c.LibraryCalls)
 	fmt.Printf("marshaled bytes: %d kernel/user, %d C/Java\n", c.BytesKernelUser, c.BytesCJava)
+	if c.SyscallCrossings > 0 {
+		fmt.Printf("wire (worker process): %d syscall crossings, %d B out, %d B in, %d respawns\n",
+			c.SyscallCrossings, c.WireBytesOut, c.WireBytesIn, c.WorkerRespawns)
+	}
 	if names := c.CallNames(); len(names) > 0 {
 		fmt.Println("entry points crossed:")
 		for _, n := range names {

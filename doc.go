@@ -14,6 +14,24 @@
 // marshaling payload bytes, falling back to the copy path on exhaustion).
 // The decafbench batch, async and zerocopy tables quantify each step.
 //
+// The transports differ in crossings, copies and isolation:
+//
+//	sync   1 crossing per call, inline; contained panic (recover)
+//	batch  1 crossing per ≤N calls, inline; fault aborts the flush
+//	async  1 crossing per ≤N calls on the decaf goroutine's timeline;
+//	       a fault fails only its own completion
+//	proc   1 crossing per ≤N calls, plus a real syscall round trip into a
+//	       forked worker process (xpc.ProcTransport): crossings framed by
+//	       xdr.Frame over a socketpair, payload rings in mmap-shared
+//	       memory the worker checksums through its own mapping, and
+//	       physical fault containment — a decaf panic SIGKILLs the worker
+//	       and recovery respawns a process that actually died
+//
+// The proc transport keeps the virtual cost model identical to batch (call
+// bodies are Go closures and execute kernel-side), so crossings per packet
+// are comparable across all four while Counters.SyscallCrossings and
+// WireBytesOut/In meter the real boundary.
+//
 // On top of fault containment, internal/recovery adds a shadow-driver-style
 // recovery subsystem: a Supervisor consumes the runtime's fault
 // notifications, quiesces the crashed driver, rebuilds its decaf-side state

@@ -55,12 +55,14 @@ type AsyncTableConfig struct {
 	BatchN int
 	// QueueDepth bounds the async submission ring.
 	QueueDepth int
-	// Transports filters rows: "all", "per-call", "batched", or "async".
+	// Transports filters rows: "all" (the in-process transports),
+	// "per-call", "batched", "async", or "proc". "all" never includes
+	// proc — spawning real worker processes must be requested explicitly.
 	Transports string
 }
 
-// DefaultAsyncTableConfig compares the three transports at a sustainable
-// offered load.
+// DefaultAsyncTableConfig compares the in-process transports at a
+// sustainable offered load.
 var DefaultAsyncTableConfig = AsyncTableConfig{
 	NetperfDuration: 10 * time.Second,
 	OfferedMbps:     2.5,
@@ -89,13 +91,19 @@ func (cfg AsyncTableConfig) fill() AsyncTableConfig {
 func (cfg AsyncTableConfig) wants(kind string) bool {
 	switch cfg.Transports {
 	case "", "all":
-		return true
+		// "all" covers the in-process transports. The process-separated
+		// transport spawns real worker processes, so it only runs when
+		// explicitly requested (-transport proc) — harnesses that cannot
+		// host the hidden worker mode would otherwise fork themselves.
+		return kind != "proc"
 	case "per-call", "sync":
 		return kind == "per-call"
 	case "batched", "batch":
 		return kind == "batched"
 	case "async":
 		return kind == "async"
+	case "proc":
+		return kind == "proc"
 	default:
 		// An unrecognized filter selects nothing rather than everything;
 		// the CLI rejects unknown values before they reach here.
@@ -213,6 +221,15 @@ func RunAsyncTable(cfg AsyncTableConfig) ([]AsyncRow, error) {
 			row, err := runAsyncCase(c,
 				workload.NetOptions{DataPath: xpc.DataPathDecaf, BatchN: cfg.BatchN, Async: true, QueueDepth: cfg.QueueDepth},
 				fmt.Sprintf("async(q%d,b%d)", cfg.QueueDepth, cfg.BatchN), cfg)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, row)
+		}
+		if cfg.wants("proc") {
+			row, err := runAsyncCase(c,
+				workload.NetOptions{DataPath: xpc.DataPathDecaf, BatchN: cfg.BatchN, Proc: true},
+				fmt.Sprintf("proc(b%d)", cfg.BatchN), cfg)
 			if err != nil {
 				return nil, err
 			}

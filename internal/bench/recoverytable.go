@@ -61,6 +61,16 @@ type RecoveryRow struct {
 	// SlotsReclaimed counts payload-ring slots the supervisor had to
 	// force-release at the ring swap (zero when quiesce released all).
 	SlotsReclaimed uint64
+	// SyscallCrossings counts real wire round trips into the decaf worker
+	// process during the phase, and WireBytes the framed bytes both ways —
+	// non-zero only under the process-separated transport, where the
+	// boundary is physical.
+	SyscallCrossings uint64
+	WireBytes        uint64
+	// WorkerRespawns counts fresh decaf worker processes started after
+	// boot: under the proc transport a recovery is a process that actually
+	// died (SIGKILL) and was actually restarted.
+	WorkerRespawns uint64
 }
 
 // RecoveryTableConfig sizes and scopes the fault-tolerance comparison.
@@ -80,7 +90,8 @@ type RecoveryTableConfig struct {
 	// Policy selects the restart policy: "immediate" or "backoff" (the
 	// default — its delay opens an observable outage window).
 	Policy string
-	// Transports filters rows: "all", "per-call", "batched", or "async".
+	// Transports filters rows: "all" (the in-process transports),
+	// "per-call", "batched", "async", or "proc" (never part of "all").
 	Transports string
 }
 
@@ -186,24 +197,30 @@ func runRecoveryCase(c recoveryCase, opts workload.NetOptions, transport, scenar
 	nd := c.netdev(tb)
 	ndBefore := nd.Stats()
 	rxBefore := c.rxDropped(tb)
+	before := tb.Runtime.Counters()
 	res, err := c.run(tb, cfg.OfferedMbps, cfg.NetperfDuration)
 	if err != nil {
 		return RecoveryRow{}, fmt.Errorf("%s/%s %s/%s: %w", c.driver, c.workload, transport, scenario, err)
 	}
 	ndAfter := nd.Stats()
+	after := tb.Runtime.Counters()
 	row := RecoveryRow{
-		Driver:         c.driver,
-		Workload:       res.Workload,
-		Transport:      transport,
-		Scenario:       scenario,
-		ThroughputMbps: res.ThroughputMbps,
-		Packets:        res.Units,
-		Crossings:      res.Crossings,
-		WireDrops:      res.WireDrops,
-		RxDroppedDelta: c.rxDropped(tb) - rxBefore,
-		TxHeld:         ndAfter.TxHeld - ndBefore.TxHeld,
-		TxReplayed:     ndAfter.TxReplayed - ndBefore.TxReplayed,
-		TxHeldDropped:  ndAfter.TxHeldDropped - ndBefore.TxHeldDropped,
+		Driver:           c.driver,
+		Workload:         res.Workload,
+		Transport:        transport,
+		Scenario:         scenario,
+		ThroughputMbps:   res.ThroughputMbps,
+		Packets:          res.Units,
+		Crossings:        res.Crossings,
+		WireDrops:        res.WireDrops,
+		RxDroppedDelta:   c.rxDropped(tb) - rxBefore,
+		TxHeld:           ndAfter.TxHeld - ndBefore.TxHeld,
+		TxReplayed:       ndAfter.TxReplayed - ndBefore.TxReplayed,
+		TxHeldDropped:    ndAfter.TxHeldDropped - ndBefore.TxHeldDropped,
+		SyscallCrossings: after.SyscallCrossings - before.SyscallCrossings,
+		WireBytes: (after.WireBytesOut - before.WireBytesOut) +
+			(after.WireBytesIn - before.WireBytesIn),
+		WorkerRespawns: after.WorkerRespawns,
 	}
 	if res.Units > 0 {
 		row.XPerPacket = float64(res.Crossings) / float64(res.Units)
@@ -277,7 +294,7 @@ func PrintRecoveryTable(w io.Writer, cfg RecoveryTableConfig) error {
 	fmt.Fprintln(w)
 	header := []string{"Driver", "Workload", "Transport", "Scenario", "Policy",
 		"Mb/s", "Packets", "X/pkt", "Faults", "Recov", "Lat(ms)", "Replayed",
-		"Held", "HeldReplay", "HeldDrop", "WireDrop", "RxDrop", "Reclaimed"}
+		"Held", "HeldReplay", "HeldDrop", "WireDrop", "RxDrop", "Reclaimed", "Respawn"}
 	var out [][]string
 	for _, r := range rows {
 		out = append(out, []string{
@@ -295,6 +312,7 @@ func PrintRecoveryTable(w io.Writer, cfg RecoveryTableConfig) error {
 			fmt.Sprintf("%d", r.WireDrops),
 			fmt.Sprintf("%d", r.RxDroppedDelta),
 			fmt.Sprintf("%d", r.SlotsReclaimed),
+			fmt.Sprintf("%d", r.WorkerRespawns),
 		})
 	}
 	table(w, header, out)

@@ -43,6 +43,13 @@ type ZeroCopyRow struct {
 	// RingExhausted counts acquisitions that fell back to the copy path
 	// during the phase (direct rows only).
 	RingExhausted uint64
+	// SyscallCrossings counts real wire round trips into the decaf worker
+	// process during the phase, and WireBytes the framed bytes both ways —
+	// non-zero only under the process-separated transport. The CI gate
+	// asserts them on proc rows, so a proc leg that silently ran
+	// in-process cannot pass.
+	SyscallCrossings uint64
+	WireBytes        uint64
 }
 
 // ZeroCopyTableConfig sizes and scopes the zero-copy comparison.
@@ -60,7 +67,8 @@ type ZeroCopyTableConfig struct {
 	// xpc.DefaultRingSlots. Deliberately tiny values exercise the
 	// exhaustion fallback.
 	RingSlots int
-	// Transports filters rows: "all", "per-call", "batched", or "async".
+	// Transports filters rows: "all" (the in-process transports),
+	// "per-call", "batched", "async", or "proc" (never part of "all").
 	Transports string
 }
 
@@ -115,6 +123,10 @@ func (cfg ZeroCopyTableConfig) transports() []zcTransport {
 			workload.NetOptions{DataPath: xpc.DataPathDecaf, BatchN: cfg.BatchN,
 				Async: true, QueueDepth: cfg.QueueDepth}})
 	}
+	if acfg.wants("proc") {
+		out = append(out, zcTransport{fmt.Sprintf("proc(b%d)", cfg.BatchN),
+			workload.NetOptions{DataPath: xpc.DataPathDecaf, BatchN: cfg.BatchN, Proc: true}})
+	}
 	return out
 }
 
@@ -132,16 +144,19 @@ func runZeroCopyCase(c asyncCase, opts workload.NetOptions, transport, payload s
 	}
 	after := tb.Runtime.Counters()
 	row := ZeroCopyRow{
-		Driver:         c.driver,
-		Workload:       res.Workload,
-		Transport:      transport,
-		Payload:        payload,
-		ThroughputMbps: res.ThroughputMbps,
-		CPUUtil:        res.CPUUtil,
-		Packets:        res.Units,
-		Crossings:      res.Crossings,
-		RingPeak:       after.RingPeak,
-		RingExhausted:  after.RingExhausted - before.RingExhausted,
+		Driver:           c.driver,
+		Workload:         res.Workload,
+		Transport:        transport,
+		Payload:          payload,
+		ThroughputMbps:   res.ThroughputMbps,
+		CPUUtil:          res.CPUUtil,
+		Packets:          res.Units,
+		Crossings:        res.Crossings,
+		RingPeak:         after.RingPeak,
+		RingExhausted:    after.RingExhausted - before.RingExhausted,
+		SyscallCrossings: after.SyscallCrossings - before.SyscallCrossings,
+		WireBytes: (after.WireBytesOut - before.WireBytesOut) +
+			(after.WireBytesIn - before.WireBytesIn),
 	}
 	if res.Units > 0 {
 		row.XPerPacket = float64(res.Crossings) / float64(res.Units)

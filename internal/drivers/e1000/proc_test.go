@@ -1,0 +1,102 @@
+//go:build unix
+
+package e1000
+
+import (
+	"os"
+	"testing"
+
+	"decafdrivers/internal/hw"
+	"decafdrivers/internal/hw/e1000hw"
+	"decafdrivers/internal/kernel"
+	"decafdrivers/internal/knet"
+	"decafdrivers/internal/ktime"
+	"decafdrivers/internal/recovery"
+	"decafdrivers/internal/xpc"
+)
+
+// TestMain routes the re-exec'd test binary into the decaf worker loop for
+// the process-separated transport fixtures below.
+func TestMain(m *testing.M) {
+	xpc.MaybeRunWorker()
+	os.Exit(m.Run())
+}
+
+// newProcPathRig is newDecafPathRig with the decaf side in a real worker
+// process.
+func newProcPathRig(t *testing.T, batchN int) (*rig, *xpc.ProcTransport) {
+	t.Helper()
+	clock := ktime.NewClock()
+	bus := hw.NewBus(clock, 8<<20)
+	kern := kernel.New(clock, bus)
+	net := knet.New(kern)
+	dev := e1000hw.New(bus, 9, [6]byte{0x00, 0x1B, 0x21, 0xAA, 0xBB, 0xCC})
+	dev.SetLink(true)
+	drv := New(kern, net, dev, Config{
+		Mode: xpc.ModeDecaf, IRQ: 9,
+		DataPath: xpc.DataPathDecaf, TxQueueDepth: batchN,
+	})
+	pt, err := xpc.NewProcTransport(xpc.ProcConfig{Batch: batchN})
+	if err != nil {
+		t.Fatal(err)
+	}
+	drv.Runtime().SetTransport(pt)
+	t.Cleanup(func() { drv.Runtime().SetTransport(nil) })
+	return &rig{clock: clock, kern: kern, net: net, dev: dev, drv: drv}, pt
+}
+
+// TestProcRecoveryRestoresConfigAfterDataPathFault is the process-separated
+// twin of the recovery fixture: the injected TX fault SIGKILLs the worker
+// process, the supervisor respawns it and replays the journal over the real
+// boundary, and the rebuilt configuration matches the pre-fault one.
+func TestProcRecoveryRestoresConfigAfterDataPathFault(t *testing.T) {
+	const batchN = 4
+	r, pt := newProcPathRig(t, batchN)
+	j := recovery.NewStateJournal()
+	r.drv.EnableRecovery(j, 0)
+	r.load(t)
+	r.up(t)
+	sup := recovery.NewSupervisor(r.kern, r.drv, j, recovery.Config{})
+	sup.Attach()
+
+	bootPID := pt.WorkerPID()
+	if bootPID == 0 {
+		t.Fatal("no worker after boot crossings")
+	}
+	pre := *r.drv.Adapter
+	r.drv.Runtime().SetFaultInjector(workloadFaultNth("e1000_xmit_frame", 2))
+
+	ctx := r.kern.NewContext("xmit")
+	pkt := knet.NewPacket([6]byte{1, 2, 3, 4, 5, 6}, r.drv.Adapter.MAC, 0x0800, 100)
+	for i := 0; i < batchN; i++ {
+		if err := r.drv.NetDevice().Transmit(ctx, pkt); err != nil {
+			t.Fatalf("fault surfaced to kernel caller: %v", err)
+		}
+	}
+	r.kern.DefaultWorkqueue().Drain()
+
+	st := sup.Stats()
+	if st.Recoveries != 1 || st.State != recovery.StateMonitoring || st.Replayed != 2 {
+		t.Fatalf("supervisor stats = %+v", st)
+	}
+	c := r.drv.Runtime().Counters()
+	if c.WorkerDeaths < 1 || c.WorkerRespawns < 1 || !c.WorkerAlive {
+		t.Fatalf("worker deaths=%d respawns=%d alive=%v: the restart was not physical",
+			c.WorkerDeaths, c.WorkerRespawns, c.WorkerAlive)
+	}
+	if pid := pt.WorkerPID(); pid == bootPID {
+		t.Fatalf("worker pid %d unchanged across recovery", pid)
+	}
+	a := r.drv.Adapter
+	if a.MAC != pre.MAC || a.TxRingSize != pre.TxRingSize || a.EEPROM != pre.EEPROM || a.PhyID != pre.PhyID {
+		t.Fatalf("post-recovery config differs:\npre  %+v\npost %+v", pre, *a)
+	}
+	for i := 0; i < batchN; i++ {
+		if err := r.drv.NetDevice().Transmit(ctx, pkt); err != nil {
+			t.Fatalf("transmit after recovery: %v", err)
+		}
+	}
+	if r.drv.Adapter.Stats.TxPackets == 0 {
+		t.Fatal("no frames transmitted after recovery")
+	}
+}

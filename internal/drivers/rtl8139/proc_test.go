@@ -1,0 +1,112 @@
+//go:build unix
+
+package rtl8139
+
+import (
+	"os"
+	"testing"
+
+	"decafdrivers/internal/hw"
+	"decafdrivers/internal/hw/rtl8139hw"
+	"decafdrivers/internal/kernel"
+	"decafdrivers/internal/knet"
+	"decafdrivers/internal/ktime"
+	"decafdrivers/internal/recovery"
+	"decafdrivers/internal/xpc"
+)
+
+// TestMain routes the re-exec'd test binary into the decaf worker loop for
+// the process-separated transport fixtures below.
+func TestMain(m *testing.M) {
+	xpc.MaybeRunWorker()
+	os.Exit(m.Run())
+}
+
+// newProcPathRig is newDecafPathRig with the decaf side in a real worker
+// process.
+func newProcPathRig(t *testing.T, batchN int) (*rig, *xpc.ProcTransport) {
+	t.Helper()
+	clock := ktime.NewClock()
+	bus := hw.NewBus(clock, 4<<20)
+	kern := kernel.New(clock, bus)
+	net := knet.New(kern)
+	dev := rtl8139hw.New(bus, 11, 0xC000, [6]byte{0x00, 0xE0, 0x4C, 0x39, 0x13, 0x9A})
+	drv := New(kern, net, dev, 0xC000, Config{
+		Mode: xpc.ModeDecaf, IRQ: 11, DataPath: xpc.DataPathDecaf,
+	})
+	pt, err := xpc.NewProcTransport(xpc.ProcConfig{Batch: batchN})
+	if err != nil {
+		t.Fatal(err)
+	}
+	drv.Runtime().SetTransport(pt)
+	t.Cleanup(func() { drv.Runtime().SetTransport(nil) })
+	return &rig{clock: clock, kern: kern, net: net, dev: dev, drv: drv}, pt
+}
+
+// TestProcExternalKillRecoversRxPath: the worker process dies by an
+// external SIGKILL (nothing inside the simulation knows); the next RX flush
+// hits the dead wire, surfaces as a contained fault, and the supervisor
+// restarts the driver — respawned worker, replayed journal, frames
+// delivering again.
+func TestProcExternalKillRecoversRxPath(t *testing.T) {
+	const batchN = 4
+	r, pt := newProcPathRig(t, batchN)
+	j := recovery.NewStateJournal()
+	r.drv.EnableRecovery(j, 0)
+	r.loadAndUp(t)
+	sup := recovery.NewSupervisor(r.kern, r.drv, j, recovery.Config{})
+	sup.Attach()
+
+	received := 0
+	r.drv.NetDevice().SetRxSink(func(p *knet.Packet) { received++ })
+	frame := knet.NewPacket(r.drv.Adapter.MAC, [6]byte{9, 8, 7, 6, 5, 4}, 0x0800, 200)
+	for i := 0; i < batchN; i++ {
+		if !r.dev.InjectRx(frame.Data) {
+			t.Fatalf("warmup inject %d failed", i)
+		}
+	}
+	r.kern.DefaultWorkqueue().Drain()
+	if received != batchN {
+		t.Fatalf("warmup delivered %d frames, want %d", received, batchN)
+	}
+
+	bootPID := pt.WorkerPID()
+	if !pt.KillWorker() {
+		t.Fatal("no worker to kill")
+	}
+	// The next full batch flushes into the dead worker: the flush faults,
+	// its frames drop with accounting, and the supervisor recovers.
+	for i := 0; i < batchN; i++ {
+		if !r.dev.InjectRx(frame.Data) {
+			t.Fatalf("inject %d into dead-worker window failed", i)
+		}
+	}
+	r.kern.DefaultWorkqueue().Drain()
+	if received != batchN {
+		t.Fatalf("frames delivered through a dead worker: %d", received)
+	}
+	if got := r.drv.Adapter.Stats.RxDropped; got != batchN {
+		t.Fatalf("RxDropped = %d, want the whole faulted flush (%d)", got, batchN)
+	}
+	st := sup.Stats()
+	if st.Faults < 1 || st.Recoveries != 1 || st.Replayed != 2 {
+		t.Fatalf("supervisor stats = %+v", st)
+	}
+	c := r.drv.Runtime().Counters()
+	if c.WorkerRespawns < 1 || !c.WorkerAlive {
+		t.Fatalf("respawns=%d alive=%v after recovery", c.WorkerRespawns, c.WorkerAlive)
+	}
+	if pid := pt.WorkerPID(); pid == bootPID {
+		t.Fatal("worker pid unchanged across recovery")
+	}
+	// The restarted driver delivers again.
+	for i := 0; i < batchN; i++ {
+		if !r.dev.InjectRx(frame.Data) {
+			t.Fatalf("post-recovery inject %d failed", i)
+		}
+	}
+	r.kern.DefaultWorkqueue().Drain()
+	if received != 2*batchN {
+		t.Fatalf("received %d frames after recovery, want %d", received, 2*batchN)
+	}
+}

@@ -248,6 +248,13 @@ func (s *Supervisor) teardownWork(wctx *kernel.Context) {
 	base := wctx.Elapsed()
 	s.target.BeginOutage(wctx)
 	_ = s.target.TeardownForRecovery(wctx)
+	// A process-separated transport's decaf process died with the fault:
+	// respawn it before anything crosses again, so the decaf reset, ring
+	// registration and journal replay land on a driver process that was
+	// actually restarted.
+	if wr, ok := s.target.Runtime().Transport().(xpc.WorkerRespawner); ok {
+		_ = wr.RespawnWorker()
+	}
 	_ = s.target.ResetDecafState(wctx)
 	s.swapPayloadRing(wctx)
 
@@ -285,7 +292,13 @@ func (s *Supervisor) swapPayloadRing(wctx *kernel.Context) {
 	s.mu.Lock()
 	s.stats.SlotsReclaimed += uint64(old.InUse())
 	s.mu.Unlock()
-	fresh := xpc.NewPayloadRing(old.Slots(), old.SlotSize())
+	// NewRing keeps the backing appropriate for the transport: a mapped
+	// ring (shared with the respawned worker process) under ProcTransport,
+	// heap memory otherwise.
+	fresh, err := rt.NewRing(old.Slots(), old.SlotSize())
+	if err != nil {
+		return
+	}
 	_ = rt.RegisterPayloadRing(wctx, fresh)
 }
 

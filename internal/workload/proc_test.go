@@ -1,0 +1,128 @@
+//go:build unix
+
+package workload
+
+import (
+	"os"
+	"testing"
+	"time"
+
+	"decafdrivers/internal/xpc"
+)
+
+// TestMain routes the re-exec'd test binary into the decaf worker loop for
+// the process-separated transport tests below.
+func TestMain(m *testing.M) {
+	xpc.MaybeRunWorker()
+	os.Exit(m.Run())
+}
+
+// TestProcTransportNetperf: the decaf data path over a real process
+// boundary — every crossing framed through the worker socketpair, payloads
+// resident in the mmap-shared ring — carries a netperf run with the same
+// crossing accounting as the in-process batched transport.
+func TestProcTransportNetperf(t *testing.T) {
+	opts := NetOptions{DataPath: xpc.DataPathDecaf, BatchN: 8, Proc: true, ZeroCopy: true}
+	tb, err := NewE1000With(xpc.ModeDecaf, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tb.Shutdown()
+	res, err := NetperfSend(tb, tb.E1000.NetDevice(), 5, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Units == 0 || res.Crossings == 0 {
+		t.Fatalf("units=%d crossings=%d", res.Units, res.Crossings)
+	}
+	c := tb.Runtime.Counters()
+	if c.SyscallCrossings == 0 || c.WireBytesOut == 0 || c.WireBytesIn == 0 {
+		t.Fatalf("no wire traffic: syscalls=%d out=%d in=%d", c.SyscallCrossings, c.WireBytesOut, c.WireBytesIn)
+	}
+	if c.BytesPayloadDirect == 0 {
+		t.Fatal("no payload bytes rode the shared ring")
+	}
+	if c.BytesPayloadCopied != 0 {
+		t.Fatalf("BytesPayloadCopied = %d with a fresh mapped ring", c.BytesPayloadCopied)
+	}
+	if !c.WorkerAlive {
+		t.Fatal("worker not alive after the run")
+	}
+}
+
+// TestProcTransportRecoveryEndToEnd: an injected decaf fault under the
+// process-separated transport SIGKILLs the worker; the supervisor detects
+// it through the ordinary fault notification, respawns the worker process,
+// re-registers the shared ring and replays the journal — and traffic
+// resumes with no error ever surfacing to the kernel-side workload.
+func TestProcTransportRecoveryEndToEnd(t *testing.T) {
+	opts := NetOptions{
+		DataPath: xpc.DataPathDecaf, BatchN: 8, Proc: true, ZeroCopy: true,
+		Recovery: true,
+		Faults:   FaultPlan{Call: "e1000_xmit_frame", Nth: 20},
+	}
+	tb, err := NewE1000With(xpc.ModeDecaf, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tb.Shutdown()
+	res, err := NetperfSend(tb, tb.E1000.NetDevice(), 5, 2*time.Second)
+	if err != nil {
+		t.Fatalf("the fault leaked to the workload: %v", err)
+	}
+	if res.Units == 0 {
+		t.Fatal("no packets carried")
+	}
+	st := tb.Sup.Stats()
+	if st.Faults < 1 || st.Recoveries < 1 || st.FailStops != 0 {
+		t.Fatalf("supervisor stats = %+v, want a detected fault and a successful recovery", st)
+	}
+	if st.Replayed < 2 {
+		t.Fatalf("journal replayed %d entries, want probe+ifup", st.Replayed)
+	}
+	c := tb.Runtime.Counters()
+	if c.WorkerDeaths < 1 {
+		t.Fatalf("WorkerDeaths = %d: the fault did not kill the worker process", c.WorkerDeaths)
+	}
+	if c.WorkerRespawns < 1 {
+		t.Fatalf("WorkerRespawns = %d: recovery did not restart the worker process", c.WorkerRespawns)
+	}
+	if !c.WorkerAlive {
+		t.Fatal("worker not alive after recovery")
+	}
+	if st.SlotsReclaimed != 0 {
+		t.Fatalf("quiesce stranded %d ring slots", st.SlotsReclaimed)
+	}
+}
+
+// TestProcSteadyStateMatchesBatched: armed-vs-off aside, the proc transport
+// must not change the modeled crossing economics — crossings for the same
+// workload equal the batched transport's, with the wire counters riding on
+// top. This is the invariant the CI perf gate asserts per scenario.
+func TestProcSteadyStateMatchesBatched(t *testing.T) {
+	run := func(proc bool) (Result, xpc.Counters) {
+		opts := NetOptions{DataPath: xpc.DataPathDecaf, BatchN: 8, Proc: proc}
+		tb, err := NewE1000With(xpc.ModeDecaf, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer tb.Shutdown()
+		res, err := NetperfSend(tb, tb.E1000.NetDevice(), 5, time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, tb.Runtime.Counters()
+	}
+	batched, bc := run(false)
+	proc, pc := run(true)
+	if batched.Units != proc.Units || batched.Crossings != proc.Crossings {
+		t.Fatalf("proc perturbed the modeled timeline: batched %d pkts/%d x, proc %d pkts/%d x",
+			batched.Units, batched.Crossings, proc.Units, proc.Crossings)
+	}
+	if bc.SyscallCrossings != 0 {
+		t.Fatalf("batched transport counted %d syscall crossings", bc.SyscallCrossings)
+	}
+	if pc.SyscallCrossings == 0 {
+		t.Fatal("proc transport counted no syscall crossings")
+	}
+}

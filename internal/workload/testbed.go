@@ -105,6 +105,12 @@ type NetOptions struct {
 	// ring serviced by a dedicated decaf-side goroutine, so crossings
 	// overlap with packet production instead of stalling the caller.
 	Async bool
+	// Proc installs a ProcTransport: the decaf side of the boundary is a
+	// real forked worker process reached over a socketpair, with payload
+	// rings in genuinely shared mmap memory and fault containment enforced
+	// by actual process death. Coalescing follows BatchN. Takes precedence
+	// over Async.
+	Proc bool
 	// QueueDepth bounds the async submission ring; <1 means
 	// xpc.DefaultQueueDepth. Ignored unless Async is set.
 	QueueDepth int
@@ -169,24 +175,41 @@ func (p FaultPlan) Injector() func(call string) bool {
 	}
 }
 
-func (o NetOptions) transport() xpc.Transport {
+func (o NetOptions) transport() (xpc.Transport, error) {
+	if o.Proc {
+		return xpc.NewProcTransport(xpc.ProcConfig{Batch: o.BatchN})
+	}
 	if o.Async {
-		return xpc.NewAsyncTransport(xpc.AsyncConfig{Depth: o.QueueDepth, Batch: o.BatchN})
+		return xpc.NewAsyncTransport(xpc.AsyncConfig{Depth: o.QueueDepth, Batch: o.BatchN}), nil
 	}
 	if o.BatchN > 1 {
-		return xpc.BatchTransport{N: o.BatchN}
+		return xpc.BatchTransport{N: o.BatchN}, nil
 	}
+	return nil, nil
+}
+
+// installTransport selects and installs the testbed's transport.
+func (o NetOptions) installTransport(tb *Testbed) error {
+	tr, err := o.transport()
+	if err != nil {
+		return err
+	}
+	tb.Runtime.SetTransport(tr)
 	return nil
 }
 
 // registerRing performs the one-time payload-ring registration when
 // ZeroCopy is requested: the runtime-init crossing after which
-// data-carrying calls reference ring slots.
+// data-carrying calls reference ring slots. The ring's backing follows the
+// transport: shared mmap memory under a ProcTransport, heap otherwise.
 func (o NetOptions) registerRing(tb *Testbed) error {
 	if !o.ZeroCopy {
 		return nil
 	}
-	ring := xpc.NewPayloadRing(o.RingSlots, xpc.DefaultRingSlotSize)
+	ring, err := tb.Runtime.NewRing(o.RingSlots, xpc.DefaultRingSlotSize)
+	if err != nil {
+		return err
+	}
 	return tb.Runtime.RegisterPayloadRing(tb.Kernel.NewContext("ring-init"), ring)
 }
 
@@ -224,7 +247,9 @@ func NewE1000With(mode xpc.Mode, opts NetOptions) (*Testbed, error) {
 		TxCoalesceWindow: opts.CoalesceWindow,
 	})
 	tb.Runtime = tb.E1000.Runtime()
-	tb.Runtime.SetTransport(opts.transport())
+	if err := opts.installTransport(tb); err != nil {
+		return nil, err
+	}
 	if err := opts.registerRing(tb); err != nil {
 		return nil, err
 	}
@@ -263,7 +288,9 @@ func NewRTL8139With(mode xpc.Mode, opts NetOptions) (*Testbed, error) {
 		RxCoalesceWindow: opts.CoalesceWindow,
 	})
 	tb.Runtime = tb.RTL.Runtime()
-	tb.Runtime.SetTransport(opts.transport())
+	if err := opts.installTransport(tb); err != nil {
+		return nil, err
+	}
 	if err := opts.registerRing(tb); err != nil {
 		return nil, err
 	}

@@ -1,0 +1,214 @@
+package xdr
+
+import (
+	"errors"
+	"fmt"
+)
+
+// FrameKind discriminates the messages of the process-separated XPC wire
+// protocol: the frames a ProcTransport exchanges with its decaf worker
+// process over the socketpair. The codec is reflection-free — every field is
+// encoded by hand with the XDR primitives — because the frame is the
+// per-crossing hot path of a real process boundary.
+type FrameKind uint8
+
+// Wire frame kinds.
+const (
+	// FrameSubmit carries one crossing request to the worker: entry-point
+	// name, direction, and either a payload-ring slot descriptor (zero-copy
+	// fast path: the bytes stay in the shared mapping) or the payload bytes
+	// themselves (copy fallback).
+	FrameSubmit FrameKind = 1 + iota
+	// FrameComplete acknowledges one frame by ID: Status is zero on
+	// success, and Aux carries the worker's FNV-64a checksum of the payload
+	// it observed — the kernel side compares it against its own view, which
+	// only matches if the two address spaces really share the bytes.
+	FrameComplete
+	// FrameRingRegister publishes a payload ring's geometry to the worker:
+	// Aux packs slots<<32 | slotSize. The ring's buffers are the shared
+	// memory region the worker mapped at startup.
+	FrameRingRegister
+	// FrameRingRelease withdraws the ring registration (recovery teardown).
+	FrameRingRelease
+	// FramePing / FramePong are the liveness probe pair.
+	FramePing
+	FramePong
+	// FrameShutdown asks the worker to exit cleanly; it is not acknowledged.
+	FrameShutdown
+)
+
+func (k FrameKind) valid() bool { return k >= FrameSubmit && k <= FrameShutdown }
+
+func (k FrameKind) String() string {
+	switch k {
+	case FrameSubmit:
+		return "submit"
+	case FrameComplete:
+		return "complete"
+	case FrameRingRegister:
+		return "ring-register"
+	case FrameRingRelease:
+		return "ring-release"
+	case FramePing:
+		return "ping"
+	case FramePong:
+		return "pong"
+	case FrameShutdown:
+		return "shutdown"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Frame is one message of the process-separated XPC wire protocol.
+type Frame struct {
+	Kind FrameKind
+	// ID sequences frames; a FrameComplete echoes the ID it acknowledges.
+	ID uint64
+	// Up is the crossing direction for submit frames (true = upcall).
+	Up bool
+	// Name is the entry-point name for submit frames, or an error message
+	// on a non-zero-Status completion.
+	Name string
+	// Slot references a payload resident in the shared ring (zero value:
+	// no slot, see SlotDescriptor.Valid).
+	Slot SlotDescriptor
+	// Data is the copy-path payload (nil when the payload rides the ring).
+	Data []byte
+	// Status is the completion outcome: 0 ok, non-zero a worker-side error.
+	Status uint32
+	// Aux is kind-specific: payload checksum on FrameComplete, packed ring
+	// geometry (slots<<32 | slotSize) on FrameRingRegister.
+	Aux uint64
+}
+
+// Wire-format limits. Decoders reject frames exceeding them before
+// allocating, so a corrupt or hostile length prefix cannot balloon memory.
+const (
+	// MaxFrameName bounds the entry-point / error string.
+	MaxFrameName = 255
+	// MaxFramePayload bounds a copy-path payload (comfortably above the
+	// largest slot size a ring would otherwise carry).
+	MaxFramePayload = 1 << 20
+	// frameFixedSize is the encoded size of the fixed fields: kind(1) +
+	// flags(1) + nameLen(2) + id(8) + status(4) + aux(8) + slot(12) +
+	// dataLen(4).
+	frameFixedSize = 40
+	// MaxFrameSize bounds one whole frame on the wire (length prefix
+	// excluded).
+	MaxFrameSize = frameFixedSize + MaxFrameName + 3 + MaxFramePayload + 3
+)
+
+// Frame codec errors.
+var (
+	// ErrFrameTooBig rejects encoding a frame whose name or payload
+	// exceeds the wire limits.
+	ErrFrameTooBig = errors.New("xdr: frame exceeds wire limits")
+	// ErrFrameCorrupt rejects a frame that is structurally invalid:
+	// unknown kind, reserved flag bits, or a length prefix that does not
+	// match its contents. Truncated input surfaces as ErrShortBuffer.
+	ErrFrameCorrupt = errors.New("xdr: corrupt frame")
+)
+
+const frameFlagUp = 0x01
+
+// AppendFrame encodes f with a length prefix, appending to dst. The name
+// and payload bytes are copied into the output, so the frame does not alias
+// caller memory once encoded — mutating the source slice afterwards cannot
+// corrupt a frame already on (or headed for) the wire.
+func AppendFrame(dst []byte, f Frame) ([]byte, error) {
+	if !f.Kind.valid() {
+		return dst, fmt.Errorf("%w: kind %d", ErrFrameCorrupt, f.Kind)
+	}
+	if len(f.Name) > MaxFrameName || len(f.Data) > MaxFramePayload {
+		return dst, fmt.Errorf("%w: name %dB, payload %dB", ErrFrameTooBig, len(f.Name), len(f.Data))
+	}
+	var flags byte
+	if f.Up {
+		flags |= frameFlagUp
+	}
+	body := frameFixedSize + len(f.Name) + pad(len(f.Name)) + len(f.Data) + pad(len(f.Data))
+	e := Encoder{buf: dst}
+	e.PutUint32(uint32(body))
+	e.buf = append(e.buf, byte(f.Kind), flags, byte(len(f.Name)>>8), byte(len(f.Name)))
+	e.PutUint64(f.ID)
+	e.PutUint32(f.Status)
+	e.PutUint64(f.Aux)
+	e.PutSlotDescriptor(f.Slot)
+	e.PutUint32(uint32(len(f.Data)))
+	e.PutFixedOpaque([]byte(f.Name))
+	e.PutFixedOpaque(f.Data)
+	return e.buf, nil
+}
+
+// DecodeFrame decodes one length-prefixed frame from the start of data,
+// returning the frame and the bytes consumed. The decode is strict — the
+// length prefix must match the frame's contents exactly, unknown kinds and
+// reserved flag bits are rejected — and never panics on truncated or corrupt
+// input. Name and Data are copied out of the input buffer.
+func DecodeFrame(data []byte) (Frame, int, error) {
+	d := Decoder{buf: data}
+	body, err := d.Uint32()
+	if err != nil {
+		return Frame{}, 0, err
+	}
+	if body > MaxFrameSize {
+		return Frame{}, 0, fmt.Errorf("%w: length %d exceeds max %d", ErrFrameCorrupt, body, MaxFrameSize)
+	}
+	if int(body) < frameFixedSize {
+		return Frame{}, 0, fmt.Errorf("%w: length %d below fixed size %d", ErrFrameCorrupt, body, frameFixedSize)
+	}
+	if d.Remaining() < int(body) {
+		return Frame{}, 0, fmt.Errorf("%w: frame needs %d bytes, have %d", ErrShortBuffer, body, d.Remaining())
+	}
+	hdr, _ := d.take(4)
+	var f Frame
+	f.Kind = FrameKind(hdr[0])
+	if !f.Kind.valid() {
+		return Frame{}, 0, fmt.Errorf("%w: kind %d", ErrFrameCorrupt, hdr[0])
+	}
+	flags := hdr[1]
+	if flags&^byte(frameFlagUp) != 0 {
+		return Frame{}, 0, fmt.Errorf("%w: reserved flag bits %#x", ErrFrameCorrupt, flags)
+	}
+	f.Up = flags&frameFlagUp != 0
+	nameLen := int(hdr[2])<<8 | int(hdr[3])
+	if nameLen > MaxFrameName {
+		return Frame{}, 0, fmt.Errorf("%w: name length %d", ErrFrameCorrupt, nameLen)
+	}
+	if f.ID, err = d.Uint64(); err != nil {
+		return Frame{}, 0, err
+	}
+	if f.Status, err = d.Uint32(); err != nil {
+		return Frame{}, 0, err
+	}
+	if f.Aux, err = d.Uint64(); err != nil {
+		return Frame{}, 0, err
+	}
+	if f.Slot, err = d.SlotDescriptor(); err != nil {
+		return Frame{}, 0, err
+	}
+	dataLen, err := d.Uint32()
+	if err != nil {
+		return Frame{}, 0, err
+	}
+	if dataLen > MaxFramePayload {
+		return Frame{}, 0, fmt.Errorf("%w: payload length %d", ErrFrameCorrupt, dataLen)
+	}
+	want := frameFixedSize + nameLen + pad(nameLen) + int(dataLen) + pad(int(dataLen))
+	if int(body) != want {
+		return Frame{}, 0, fmt.Errorf("%w: length prefix %d, contents need %d", ErrFrameCorrupt, body, want)
+	}
+	name, err := d.FixedOpaque(nameLen)
+	if err != nil {
+		return Frame{}, 0, err
+	}
+	f.Name = string(name)
+	if f.Data, err = d.FixedOpaque(int(dataLen)); err != nil {
+		return Frame{}, 0, err
+	}
+	if dataLen == 0 {
+		f.Data = nil
+	}
+	return f, d.off, nil
+}

@@ -67,6 +67,18 @@ type Counters struct {
 	CopiedTransfers uint64
 	DirectTransfers uint64
 
+	// SyscallCrossings counts physical wire round trips a process-separated
+	// transport performed: real write/read syscalls into a worker process,
+	// one per coalesced crossing. Zero under the in-process transports —
+	// the column that separates a simulated boundary from a real one.
+	SyscallCrossings uint64
+	// WireBytesOut / WireBytesIn total the framed bytes a process-separated
+	// transport moved over its socketpair (submit frames out, completion
+	// frames in). Zero-copy payloads are absent from both by design: only
+	// their twelve-byte descriptors ride the frames.
+	WireBytesOut uint64
+	WireBytesIn  uint64
+
 	// InFlight is a gauge: submissions admitted but not yet completed.
 	InFlight int64
 	// QueueLen is a gauge: submissions currently in the async ring.
@@ -88,6 +100,18 @@ type Counters struct {
 	RingPeak      int64
 	RingExhausted uint64
 	RingStale     uint64
+
+	// Worker-process state, populated when the transport runs the decaf
+	// side in a separate process (ProcTransport). Live transport-lifetime
+	// gauges, like the ring fields: ResetCounters does not zero them.
+	//
+	// WorkerRespawns counts fresh worker processes started after the first
+	// spawn (each one a physical driver restart); WorkerDeaths counts
+	// worker processes observed dead or killed; WorkerAlive reports whether
+	// a worker is currently running.
+	WorkerRespawns uint64
+	WorkerDeaths   uint64
+	WorkerAlive    bool
 }
 
 // Trips reports total user/kernel call/return trips (upcalls + downcalls),
@@ -112,6 +136,12 @@ func (c Counters) CallNames() []string {
 	}
 	sort.Strings(names)
 	return names
+}
+
+// workerStatser is the snapshot hook a transport owning an external worker
+// process implements (ProcTransport): transport-lifetime worker gauges.
+type workerStatser interface {
+	workerStats() (respawns, deaths uint64, alive bool)
 }
 
 // counterShards is the number of independently updated counter cells. Distinct
@@ -140,6 +170,9 @@ type counterCell struct {
 	bytesDirect     atomic.Uint64
 	copiedTransfers atomic.Uint64
 	directTransfers atomic.Uint64
+	syscallCross    atomic.Uint64
+	wireBytesOut    atomic.Uint64
+	wireBytesIn     atomic.Uint64
 	_               [32]byte
 }
 
@@ -292,6 +325,23 @@ func (r *Runtime) noteDirect(name string, n int) {
 	c.directTransfers.Add(1)
 }
 
+// noteSyscallCrossing records one physical wire round trip into the worker
+// process (a process-separated transport's crossing).
+func (r *Runtime) noteSyscallCrossing(name string) {
+	r.state().cell(name).syscallCross.Add(1)
+}
+
+// noteWire accumulates framed bytes moved over the worker socketpair.
+func (r *Runtime) noteWire(name string, out, in int) {
+	c := r.state().cell(name)
+	if out > 0 {
+		c.wireBytesOut.Add(uint64(out))
+	}
+	if in > 0 {
+		c.wireBytesIn.Add(uint64(in))
+	}
+}
+
 // addBytes accumulates marshaled byte counts on the shard keyed by name
 // (an entry-point or shared-object type name).
 func (r *Runtime) addBytes(name string, ku, cj int) {
@@ -327,10 +377,16 @@ func (r *Runtime) Counters() Counters {
 		snap.BytesPayloadDirect += c.bytesDirect.Load()
 		snap.CopiedTransfers += c.copiedTransfers.Load()
 		snap.DirectTransfers += c.directTransfers.Load()
+		snap.SyscallCrossings += c.syscallCross.Load()
+		snap.WireBytesOut += c.wireBytesOut.Load()
+		snap.WireBytesIn += c.wireBytesIn.Load()
 	}
 	snap.InFlight = r.inFlight.Load()
 	snap.QueueLen = r.queueLen.Load()
 	snap.QueuePeak = r.queuePeak.Load()
+	if wt, ok := r.Transport().(workerStatser); ok {
+		snap.WorkerRespawns, snap.WorkerDeaths, snap.WorkerAlive = wt.workerStats()
+	}
 	if ring := r.payloadRing.Load(); ring != nil {
 		snap.RingCapacity = int64(ring.Slots())
 		snap.RingInUse = ring.InUse()

@@ -1,0 +1,629 @@
+//go:build unix
+
+package xpc
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"os"
+	"os/exec"
+	"sync"
+	"time"
+
+	"decafdrivers/internal/kernel"
+	"decafdrivers/internal/xdr"
+)
+
+// DefaultProcShmBytes sizes the shared payload region a zero ProcConfig
+// gets: room for the default payload ring with headroom for larger
+// geometries.
+const DefaultProcShmBytes = 8 << 20
+
+// MaxProcBatch caps a ProcTransport's coalescing size. The wire protocol
+// writes a whole chunk before reading its completions, so the worker's
+// accumulated completion frames (~44 bytes each) must fit the socketpair's
+// reverse buffer while the parent is still writing — otherwise both sides
+// block in write and deadlock. 1024 completions stay far below any
+// platform's default AF_UNIX buffer.
+const MaxProcBatch = 1024
+
+// procWireTimeout bounds every parent-side wire operation. A dead worker
+// surfaces immediately as EOF/EPIPE; this deadline is the backstop for a
+// wedged one (stopped, swapped out, livelocked), which would otherwise
+// block a crossing — and, through the transport mutex, Close — forever.
+// On expiry the worker is killed and the crossing fails as a WorkerDeath.
+const procWireTimeout = 30 * time.Second
+
+// errProcEncode marks a kernel-side frame-encoding failure: nothing was
+// written, the wire stream is still in sync, and the worker is healthy —
+// the submission fails without killing or respawning anything.
+var errProcEncode = errors.New("xpc: proc frame encode failed")
+
+// ProcConfig sizes a ProcTransport.
+type ProcConfig struct {
+	// Batch is the most calls one wire crossing may coalesce; <1 means
+	// DefaultBatchSize.
+	Batch int
+	// ShmBytes sizes the shared memory region backing mapped payload
+	// rings; <1 means DefaultProcShmBytes.
+	ShmBytes int
+}
+
+// ProcTransport is the process-separated XPC transport: the decaf side of
+// the boundary is a real child process — a re-exec of the current binary in
+// its hidden worker mode (see MaybeRunWorker) — reached over a socketpair,
+// with payload rings backed by a genuinely shared mmap region. Where the
+// in-process transports simulate the user/kernel boundary, ProcTransport
+// makes its mechanics physical:
+//
+//   - Every crossing is framed through internal/xdr's reflection-free wire
+//     codec and travels through real write/read syscalls (counted as
+//     Counters.SyscallCrossings, with Counters.WireBytesOut/In).
+//   - Zero-copy payloads stay zero-copy across address spaces: a slot
+//     descriptor crosses the wire and the worker resolves it against its
+//     own mapping of the shared region, returning a checksum of the bytes
+//     it can actually see; the kernel side verifies it, so a broken mapping
+//     is an error, not a silent simulation.
+//   - Fault containment is physical. A decaf-side panic (real or injected)
+//     SIGKILLs the worker; a worker that dies externally (kill -9, crash)
+//     is detected on the next wire operation. Either way the failure
+//     surfaces as a contained *UserFault whose cause is a *WorkerDeath,
+//     flowing through SetFaultNotifier to a recovery.Supervisor, which
+//     respawns the worker (WorkerRespawner), re-registers the shared ring
+//     and replays the state journal against a process that actually died.
+//
+// Call bodies (Go closures) still execute in the parent — they cannot
+// cross a process boundary — so the virtual cost model matches
+// BatchTransport exactly: crossings per packet, stall and marshaling
+// charges are identical, and the wire adds real-world counters on top
+// rather than perturbing the modeled timeline. The worker's job is the
+// boundary itself: framing, payload residency, liveness.
+//
+// A ProcTransport binds to the first Runtime that submits through it and
+// must be Closed (directly, or by SetTransport replacing it) to stop the
+// worker process and release the shared region.
+type ProcTransport struct {
+	cfg ProcConfig
+
+	mu     sync.Mutex
+	r      *Runtime
+	shm    *shmRegion
+	worker *procWorker
+	closed bool
+	nextID uint64
+	encBuf []byte
+
+	// geoms maps rings created by NewMappedRing to their geometry; reg is
+	// the geometry currently registered with the worker (re-sent on
+	// respawn).
+	geoms map[*PayloadRing]ringGeom
+	reg   *ringGeom
+
+	spawns uint64
+	deaths uint64
+}
+
+type ringGeom struct {
+	slots    uint32
+	slotSize uint32
+}
+
+// procWorker is one live worker process.
+type procWorker struct {
+	cmd    *exec.Cmd
+	sock   *os.File
+	br     *bufio.Reader
+	exited chan struct{}
+}
+
+// NewProcTransport creates a process-separated transport. The worker
+// process is spawned lazily on first use and respawned on demand after a
+// death, so construction itself cannot fail on platforms that support the
+// transport.
+func NewProcTransport(cfg ProcConfig) (*ProcTransport, error) {
+	if cfg.Batch < 1 {
+		cfg.Batch = DefaultBatchSize
+	}
+	if cfg.Batch > MaxProcBatch {
+		cfg.Batch = MaxProcBatch
+	}
+	if cfg.ShmBytes < 1 {
+		cfg.ShmBytes = DefaultProcShmBytes
+	}
+	return &ProcTransport{cfg: cfg, geoms: make(map[*PayloadRing]ringGeom)}, nil
+}
+
+// Name implements Transport.
+func (t *ProcTransport) Name() string { return fmt.Sprintf("proc(b%d)", t.cfg.Batch) }
+
+// MaxBatch implements Transport.
+func (t *ProcTransport) MaxBatch() int { return t.cfg.Batch }
+
+// SupportsDirectPayload implements DirectPayloadTransport: rings created
+// through NewMappedRing live in memory both processes map.
+func (t *ProcTransport) SupportsDirectPayload() bool { return true }
+
+// bind attaches the transport to its runtime on first use.
+func (t *ProcTransport) bind(r *Runtime) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.bindLocked(r)
+}
+
+func (t *ProcTransport) bindLocked(r *Runtime) error {
+	if t.closed {
+		return ErrTransportClosed
+	}
+	if t.r == nil {
+		t.r = r
+		return nil
+	}
+	if t.r != r {
+		return ErrTransportBound
+	}
+	return nil
+}
+
+// Submit implements Transport: chunk like a BatchTransport, push each chunk
+// through the wire to the worker (one write syscall per crossing, one
+// completion frame per call), then execute the call bodies inline with the
+// standard crossing engine. The wire trip precedes body execution, so the
+// worker has acknowledged the frames — including reading any shared-ring
+// payloads — before completions resolve.
+func (t *ProcTransport) Submit(r *Runtime, ctx *kernel.Context, subs []*Submission) error {
+	if len(subs) == 0 {
+		return nil
+	}
+	r.Admit(subs)
+	if err := t.bind(r); err != nil {
+		for _, sub := range subs {
+			sub.Completion.resolve(err, false, 0)
+		}
+		return err
+	}
+	var first error
+	for len(subs) > 0 {
+		chunk := subs
+		if len(chunk) > t.cfg.Batch {
+			chunk = subs[:t.cfg.Batch]
+		}
+		subs = subs[len(chunk):]
+		if first != nil {
+			for _, sub := range chunk {
+				sub.Completion.resolve(ErrCrossingAborted, false, 0)
+			}
+			continue
+		}
+		if err := t.crossChunk(r, ctx, chunk); err != nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// crossChunk performs one crossing: wire round trip, then inline execution.
+// A wire failure means the decaf process is dead or suspect: the chunk's
+// first submission resolves as a contained fault (firing the runtime's
+// fault notifier, the recovery trigger) and the rest abort — mirroring the
+// inline batch abort semantics for an in-process decaf crash. A local
+// encode failure is not a fault: nothing crossed and the worker is fine,
+// so the chunk just fails. A fault raised by the call bodies themselves
+// makes the containment physical by SIGKILLing the worker.
+func (t *ProcTransport) crossChunk(r *Runtime, ctx *kernel.Context, chunk []*Submission) error {
+	if werr := t.wireCross(r, chunk); werr != nil {
+		abortRest := func(first error, fault bool) {
+			resolveAt(chunk[0], inlineCrossOptions, 0, 0, first, fault)
+			for _, sub := range chunk[1:] {
+				sub.Completion.resolve(ErrCrossingAborted, false, 0)
+			}
+		}
+		if errors.Is(werr, errProcEncode) {
+			abortRest(werr, false)
+			return werr
+		}
+		fault := &UserFault{Call: chunk[0].Call.Name, Cause: werr}
+		abortRest(fault, true)
+		return fault
+	}
+	err := r.crossSubmissions(ctx, chunk, inlineCrossOptions)
+	if _, faulted := err.(*UserFault); faulted {
+		// The decaf driver crashed: its process dies with it. The next
+		// crossing (or the recovery supervisor) respawns a fresh worker.
+		t.killWorkerOnFault()
+	}
+	return err
+}
+
+// wireCross frames the chunk over the socketpair and awaits the worker's
+// acknowledgements, verifying payload checksums. Any failure leaves the
+// worker dead (reaped and cleared) and returns the death or protocol error.
+func (t *ProcTransport) wireCross(r *Runtime, chunk []*Submission) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return ErrTransportClosed
+	}
+	// Encode the whole chunk before touching the worker: an encode failure
+	// is a kernel-side problem and must not cost a healthy process.
+	name := chunk[0].Call.Name
+	ring := r.payloadRing.Load()
+	buf := t.encBuf[:0]
+	defer func() { t.encBuf = buf[:0] }()
+	ids := make([]uint64, len(chunk))
+	sums := make([]uint64, len(chunk))
+	for i, sub := range chunk {
+		c := sub.Call
+		t.nextID++
+		ids[i] = t.nextID
+		f := xdr.Frame{Kind: xdr.FrameSubmit, ID: ids[i], Up: c.Up, Name: c.Name}
+		if c.Slot.Valid() && ring != nil && t.reg != nil {
+			// Zero-copy: only the descriptor crosses; checksum the bytes
+			// through the kernel side's mapping for comparison against what
+			// the worker reads through its own. A stale descriptor (slot
+			// released before its crossing) transfers nothing, matching the
+			// in-process transferSlot semantics — the ring's stale counter
+			// records it.
+			if payload, berr := ring.Buffer(c.Slot); berr == nil {
+				f.Slot = c.Slot
+				sums[i] = payloadSum(payload)
+			}
+		}
+		if !f.Slot.Valid() && len(c.Data) > 0 {
+			// A payload beyond the frame codec's limit cannot cross this
+			// boundary; fail loudly rather than send an unverifiable frame
+			// (no driver payload approaches 1 MiB).
+			if len(c.Data) > xdr.MaxFramePayload {
+				return fmt.Errorf("%w: %q payload %dB exceeds the wire limit %dB",
+					errProcEncode, c.Name, len(c.Data), xdr.MaxFramePayload)
+			}
+			f.Data = c.Data
+			sums[i] = payloadSum(c.Data)
+		}
+		var err error
+		if buf, err = xdr.AppendFrame(buf, f); err != nil {
+			return fmt.Errorf("%w: %q: %v", errProcEncode, c.Name, err)
+		}
+	}
+	w, err := t.ensureWorkerLocked()
+	if err != nil {
+		return err
+	}
+	_ = w.sock.SetDeadline(time.Now().Add(procWireTimeout))
+	if _, err := w.sock.Write(buf); err != nil {
+		return t.workerDiedLocked(w, err)
+	}
+	r.noteSyscallCrossing(name)
+	r.noteWire(name, len(buf), 0)
+	for i := range chunk {
+		resp, n, err := readWireFrame(w.br)
+		if err != nil {
+			return t.workerDiedLocked(w, err)
+		}
+		r.noteWire(chunk[i].Call.Name, 0, n)
+		switch {
+		case resp.Kind != xdr.FrameComplete || resp.ID != ids[i]:
+			return t.protocolFailLocked(w, fmt.Errorf("xpc: proc worker protocol: got %v id %d, want complete id %d",
+				resp.Kind, resp.ID, ids[i]))
+		case resp.Status != wireStatusOK:
+			return t.protocolFailLocked(w, fmt.Errorf("xpc: proc worker rejected %q: status %d %s",
+				chunk[i].Call.Name, resp.Status, resp.Name))
+		case resp.Aux != sums[i]:
+			return t.protocolFailLocked(w, fmt.Errorf("xpc: payload checksum mismatch on %q: worker saw %#x, kernel staged %#x",
+				chunk[i].Call.Name, resp.Aux, sums[i]))
+		}
+	}
+	_ = w.sock.SetDeadline(time.Time{})
+	return nil
+}
+
+// Drain implements Transport: crossings complete within Submit.
+func (*ProcTransport) Drain(*Runtime, *kernel.Context) error { return nil }
+
+// NewMappedRing implements MappedRingTransport: the ring's slot buffers
+// slice the shared region, so the worker resolves descriptors against the
+// same physical pages.
+func (t *ProcTransport) NewMappedRing(slots, slotSize int) (*PayloadRing, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return nil, ErrTransportClosed
+	}
+	if err := t.ensureShmLocked(); err != nil {
+		return nil, err
+	}
+	need := slots * slotSize
+	if slots < 1 || slotSize < 1 || need > len(t.shm.mem) {
+		return nil, fmt.Errorf("xpc: mapped ring %dx%dB exceeds the %dB shared region",
+			slots, slotSize, len(t.shm.mem))
+	}
+	ring, err := NewPayloadRingOver(t.shm.mem[:need], slots, slotSize)
+	if err != nil {
+		return nil, err
+	}
+	t.geoms[ring] = ringGeom{slots: uint32(slots), slotSize: uint32(slotSize)}
+	return ring, nil
+}
+
+// RegisterRing implements ringRegistrar: publish the ring's geometry to the
+// worker. Only rings created by NewMappedRing are accepted — a heap-backed
+// ring would be invisible to the worker's address space.
+func (t *ProcTransport) RegisterRing(r *Runtime, ring *PayloadRing) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.bindLocked(r); err != nil {
+		return err
+	}
+	geom, ok := t.geoms[ring]
+	if !ok {
+		return fmt.Errorf("xpc: ProcTransport requires a shared-memory ring (Runtime.NewRing / NewMappedRing)")
+	}
+	w, err := t.ensureWorkerLocked()
+	if err != nil {
+		return err
+	}
+	if err := t.sendRingRegisterLocked(w, geom); err != nil {
+		return err
+	}
+	t.reg = &geom
+	return nil
+}
+
+// UnregisterRing implements ringRegistrar: withdraw the registration,
+// best-effort — the usual caller is recovery teardown, where the worker is
+// already dead.
+func (t *ProcTransport) UnregisterRing(r *Runtime, ring *PayloadRing) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.reg = nil
+	delete(t.geoms, ring)
+	if t.worker == nil || t.closed {
+		return
+	}
+	t.nextID++
+	f := xdr.Frame{Kind: xdr.FrameRingRelease, ID: t.nextID}
+	if _, err := t.roundTripLocked(t.worker, f); err != nil {
+		_ = t.workerDiedLocked(t.worker, err)
+	}
+}
+
+// sendRingRegisterLocked publishes geometry to w and awaits the ack.
+func (t *ProcTransport) sendRingRegisterLocked(w *procWorker, geom ringGeom) error {
+	t.nextID++
+	f := xdr.Frame{
+		Kind: xdr.FrameRingRegister,
+		ID:   t.nextID,
+		Aux:  uint64(geom.slots)<<32 | uint64(geom.slotSize),
+	}
+	resp, err := t.roundTripLocked(w, f)
+	if err != nil {
+		return t.workerDiedLocked(w, err)
+	}
+	if resp.Kind != xdr.FrameComplete || resp.ID != f.ID || resp.Status != wireStatusOK {
+		return t.protocolFailLocked(w, fmt.Errorf("xpc: worker refused ring registration: %v status %d", resp.Kind, resp.Status))
+	}
+	return nil
+}
+
+// roundTripLocked writes one control frame and reads one response.
+func (t *ProcTransport) roundTripLocked(w *procWorker, f xdr.Frame) (xdr.Frame, error) {
+	wire, err := xdr.AppendFrame(t.encBuf[:0], f)
+	if err != nil {
+		return xdr.Frame{}, err
+	}
+	t.encBuf = wire[:0]
+	_ = w.sock.SetDeadline(time.Now().Add(procWireTimeout))
+	defer func() { _ = w.sock.SetDeadline(time.Time{}) }()
+	if _, err := w.sock.Write(wire); err != nil {
+		return xdr.Frame{}, err
+	}
+	if t.r != nil {
+		t.r.noteWire(f.Kind.String(), len(wire), 0)
+	}
+	resp, n, err := readWireFrame(w.br)
+	if err != nil {
+		return xdr.Frame{}, err
+	}
+	if t.r != nil {
+		t.r.noteWire(f.Kind.String(), 0, n)
+	}
+	return resp, nil
+}
+
+// ensureShmLocked creates and maps the shared region on first need.
+func (t *ProcTransport) ensureShmLocked() error {
+	if t.shm != nil {
+		return nil
+	}
+	shm, err := newShmRegion(t.cfg.ShmBytes)
+	if err != nil {
+		return err
+	}
+	t.shm = shm
+	return nil
+}
+
+// ensureWorkerLocked returns the live worker, spawning one if none exists:
+// a re-exec of the current binary in worker mode, with the socketpair child
+// end and the shared region's descriptor inherited at fixed fd numbers. A
+// registered ring's geometry is replayed to a fresh worker before it serves
+// crossings.
+func (t *ProcTransport) ensureWorkerLocked() (*procWorker, error) {
+	if t.worker != nil {
+		return t.worker, nil
+	}
+	if err := t.ensureShmLocked(); err != nil {
+		return nil, err
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		return nil, fmt.Errorf("xpc: locate executable for worker re-exec: %w", err)
+	}
+	parent, child, err := socketPair()
+	if err != nil {
+		return nil, err
+	}
+	cmd := exec.Command(exe)
+	cmd.Env = append(os.Environ(), workerEnv+"=1")
+	cmd.ExtraFiles = []*os.File{child, t.shm.file} // fd 3, fd 4
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		parent.Close()
+		child.Close()
+		return nil, fmt.Errorf("xpc: spawn decaf worker: %w", err)
+	}
+	child.Close()
+	w := &procWorker{cmd: cmd, sock: parent, br: bufio.NewReader(parent), exited: make(chan struct{})}
+	go func() {
+		_ = cmd.Wait()
+		close(w.exited)
+	}()
+	t.worker = w
+	if t.reg != nil {
+		if err := t.sendRingRegisterLocked(w, *t.reg); err != nil {
+			return nil, err
+		}
+	}
+	// Count the spawn only once the worker is serviceable (geometry
+	// replayed): a worker that died during its own setup never served a
+	// crossing and must not inflate the respawn metric the CI gate pins.
+	t.spawns++
+	return w, nil
+}
+
+// workerDiedLocked handles an observed worker death: reap the process,
+// clear the slot, and wrap the wire failure as a *WorkerDeath.
+func (t *ProcTransport) workerDiedLocked(w *procWorker, cause error) error {
+	pid := t.reapLocked(w)
+	return &WorkerDeath{PID: pid, Err: cause}
+}
+
+// protocolFailLocked handles a live-but-suspect worker (protocol violation,
+// checksum mismatch): kill it and surface the error.
+func (t *ProcTransport) protocolFailLocked(w *procWorker, err error) error {
+	t.reapLocked(w)
+	return err
+}
+
+// reapLocked force-kills and reaps w, counting the death. Safe when the
+// process already exited.
+func (t *ProcTransport) reapLocked(w *procWorker) (pid int) {
+	if w.cmd.Process != nil {
+		pid = w.cmd.Process.Pid
+		_ = w.cmd.Process.Kill()
+	}
+	<-w.exited
+	_ = w.sock.Close()
+	t.deaths++
+	if t.worker == w {
+		t.worker = nil
+	}
+	return pid
+}
+
+// killWorkerOnFault makes an in-parent decaf fault physical: the worker
+// process is SIGKILLed, exactly as the crashed decaf driver's process would
+// die.
+func (t *ProcTransport) killWorkerOnFault() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.worker != nil {
+		t.reapLocked(t.worker)
+	}
+}
+
+// KillWorker SIGKILLs the worker process without telling the transport —
+// the external `kill -9` scenario. The death is detected on the next wire
+// operation, which surfaces it as a contained fault. Tests and chaos
+// harnesses use it; it reports whether a worker was running.
+func (t *ProcTransport) KillWorker() bool {
+	t.mu.Lock()
+	w := t.worker
+	t.mu.Unlock()
+	if w == nil || w.cmd.Process == nil {
+		return false
+	}
+	_ = w.cmd.Process.Kill()
+	<-w.exited
+	return true
+}
+
+// RespawnWorker implements WorkerRespawner: discard any current worker and
+// start a fresh one, replaying ring registration. The recovery supervisor
+// calls it between teardown and journal replay, so the replayed crossings
+// land on a process that was actually restarted.
+func (t *ProcTransport) RespawnWorker() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return ErrTransportClosed
+	}
+	if t.worker != nil {
+		t.reapLocked(t.worker)
+	}
+	_, err := t.ensureWorkerLocked()
+	return err
+}
+
+// WorkerPID reports the live worker's process id (0 when none is running).
+func (t *ProcTransport) WorkerPID() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.worker == nil || t.worker.cmd.Process == nil {
+		return 0
+	}
+	return t.worker.cmd.Process.Pid
+}
+
+// workerStats implements the counters snapshot hook: respawns beyond the
+// first spawn, observed deaths, and current liveness.
+func (t *ProcTransport) workerStats() (respawns, deaths uint64, alive bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.spawns > 0 {
+		respawns = t.spawns - 1
+	}
+	return respawns, t.deaths, t.worker != nil
+}
+
+// Close stops the worker (a polite shutdown frame, then SIGKILL after a
+// grace period) and releases the shared region. Close is idempotent;
+// SetTransport calls it when replacing the transport.
+func (t *ProcTransport) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return nil
+	}
+	t.closed = true
+	if w := t.worker; w != nil {
+		t.nextID++
+		_ = w.sock.SetWriteDeadline(time.Now().Add(procWireTimeout))
+		if wire, err := xdr.AppendFrame(nil, xdr.Frame{Kind: xdr.FrameShutdown, ID: t.nextID}); err == nil {
+			_, _ = w.sock.Write(wire)
+		}
+		select {
+		case <-w.exited:
+		case <-time.After(2 * time.Second):
+			if w.cmd.Process != nil {
+				_ = w.cmd.Process.Kill()
+			}
+			<-w.exited
+		}
+		_ = w.sock.Close()
+		t.worker = nil
+	}
+	if len(t.geoms) == 0 && t.reg == nil {
+		err := t.shm.Close()
+		t.shm = nil
+		return err
+	}
+	// Mapped rings sliced from the region may still be referenced by the
+	// runtime (SetTransport(nil) in a shutdown path replaces the transport
+	// without unregistering the ring): unmapping here would turn any late
+	// slot access into a SIGSEGV. Release only the descriptor; the pages
+	// go with the process.
+	t.shm.closeFile()
+	t.shm = nil
+	return nil
+}

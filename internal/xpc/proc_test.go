@@ -1,0 +1,306 @@
+//go:build unix
+
+package xpc
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"testing"
+
+	"decafdrivers/internal/kernel"
+)
+
+// TestMain routes the re-exec'd test binary into the decaf worker loop: a
+// ProcTransport under test spawns the current executable, and without this
+// hook the child would run the test suite instead of serving the wire
+// protocol.
+func TestMain(m *testing.M) {
+	MaybeRunWorker()
+	os.Exit(m.Run())
+}
+
+// newProcRig builds a runtime with a ProcTransport installed, plus a
+// cleanup that releases the worker and shared region.
+func newProcRig(t *testing.T, batch int) (*kernel.Kernel, *Runtime, *ProcTransport) {
+	t.Helper()
+	k := newTestKernel()
+	r := newDecafRuntime(k)
+	pt, err := NewProcTransport(ProcConfig{Batch: batch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.SetTransport(pt)
+	t.Cleanup(func() { r.SetTransport(nil) }) // SetTransport closes the old transport
+	return k, r, pt
+}
+
+func TestProcUpcallCrossesRealProcess(t *testing.T) {
+	k, r, pt := newProcRig(t, 1)
+	ctx := k.NewContext("test")
+	ran := false
+	if err := r.Upcall(ctx, "probe", func(uctx *kernel.Context) error { ran = true; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Fatal("upcall body did not run")
+	}
+	if pid := pt.WorkerPID(); pid <= 0 || pid == os.Getpid() {
+		t.Fatalf("worker pid = %d, want a live separate process", pid)
+	}
+	c := r.Counters()
+	if c.Upcalls != 1 {
+		t.Fatalf("Upcalls = %d", c.Upcalls)
+	}
+	if c.SyscallCrossings != 1 {
+		t.Fatalf("SyscallCrossings = %d, want 1", c.SyscallCrossings)
+	}
+	if c.WireBytesOut == 0 || c.WireBytesIn == 0 {
+		t.Fatalf("wire bytes out/in = %d/%d, want both > 0", c.WireBytesOut, c.WireBytesIn)
+	}
+	if !c.WorkerAlive {
+		t.Fatal("worker not alive after a crossing")
+	}
+}
+
+func TestProcBatchCoalescesIntoOneWireCrossing(t *testing.T) {
+	const n = 4
+	k, r, _ := newProcRig(t, n)
+	ctx := k.NewContext("test")
+	b := r.Batch(ctx)
+	for i := 0; i < n; i++ {
+		b.Upcall("tx", func(uctx *kernel.Context) error { return nil })
+	}
+	if err := b.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	c := r.Counters()
+	if c.Upcalls != 1 || c.Batches != 1 || c.BatchedCalls != n {
+		t.Fatalf("Upcalls=%d Batches=%d BatchedCalls=%d, want 1/1/%d", c.Upcalls, c.Batches, c.BatchedCalls, n)
+	}
+	if c.SyscallCrossings != 1 {
+		t.Fatalf("SyscallCrossings = %d: the chunk split into multiple wire trips", c.SyscallCrossings)
+	}
+}
+
+func TestProcNestedDowncallFromUpcallBody(t *testing.T) {
+	k, r, _ := newProcRig(t, 4)
+	ctx := k.NewContext("test")
+	inner := false
+	err := r.Upcall(ctx, "configure", func(uctx *kernel.Context) error {
+		return r.Downcall(uctx, "register_netdev", func(kctx *kernel.Context) error {
+			inner = true
+			return nil
+		})
+	})
+	if err != nil || !inner {
+		t.Fatalf("nested downcall: err=%v inner=%v", err, inner)
+	}
+	c := r.Counters()
+	if c.Upcalls != 1 || c.Downcalls != 1 || c.SyscallCrossings != 2 {
+		t.Fatalf("Upcalls=%d Downcalls=%d SyscallCrossings=%d", c.Upcalls, c.Downcalls, c.SyscallCrossings)
+	}
+}
+
+// TestProcMappedRingZeroCopy: payload bytes staged into a mapped ring cross
+// as a 12-byte descriptor, and the worker — a separate address space —
+// checksums the slot contents through its own mapping. A flush succeeding
+// at all means the checksums matched: the memory really is shared.
+func TestProcMappedRingZeroCopy(t *testing.T) {
+	k, r, _ := newProcRig(t, 4)
+	ctx := k.NewContext("test")
+	ring, err := r.NewRing(8, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.RegisterPayloadRing(ctx, ring); err != nil {
+		t.Fatal(err)
+	}
+	frame := bytes.Repeat([]byte{0xA5, 0x5A, 0x3C}, 100)
+	p := r.AcquirePayload(frame)
+	if !p.Direct() {
+		t.Fatal("payload fell back to the copy path with a fresh mapped ring")
+	}
+	if err := r.Batch(ctx).UpcallPayload("rx_frame", p, func(uctx *kernel.Context) error { return nil }).Flush(); err != nil {
+		t.Fatalf("slot crossing failed (checksum mismatch would mean the mapping is not shared): %v", err)
+	}
+	r.ReleasePayload(p)
+	c := r.Counters()
+	if c.DirectTransfers != 1 || c.BytesPayloadDirect != uint64(len(frame)) {
+		t.Fatalf("DirectTransfers=%d BytesPayloadDirect=%d, want 1/%d", c.DirectTransfers, c.BytesPayloadDirect, len(frame))
+	}
+	if c.BytesPayloadCopied != 0 {
+		t.Fatalf("BytesPayloadCopied = %d on the direct path", c.BytesPayloadCopied)
+	}
+}
+
+// TestProcRejectsHeapRing: a ring the worker cannot see must be refused at
+// registration, not fail silently per payload.
+func TestProcRejectsHeapRing(t *testing.T) {
+	k, r, _ := newProcRig(t, 4)
+	ctx := k.NewContext("test")
+	if err := r.RegisterPayloadRing(ctx, NewPayloadRing(8, 512)); err == nil {
+		t.Fatal("heap-backed ring registered under a process-separated transport")
+	}
+	if r.PayloadRing() != nil {
+		t.Fatal("failed registration left the ring installed")
+	}
+}
+
+// TestProcExternalSigkillDetectedAsFault: a worker killed externally
+// (kill -9) is detected on the next crossing, surfaces as a contained
+// *UserFault caused by *WorkerDeath, fires the fault notifier, and the
+// transport respawns a fresh worker for the crossing after that.
+func TestProcExternalSigkillDetectedAsFault(t *testing.T) {
+	k, r, pt := newProcRig(t, 1)
+	ctx := k.NewContext("test")
+	var events []FaultEvent
+	r.SetFaultNotifier(func(ev FaultEvent) { events = append(events, ev) })
+	if err := r.Upcall(ctx, "warmup", func(uctx *kernel.Context) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	oldPID := pt.WorkerPID()
+	if !pt.KillWorker() {
+		t.Fatal("no worker to kill")
+	}
+	err := r.Upcall(ctx, "tx", func(uctx *kernel.Context) error { return nil })
+	if !IsUserFault(err) {
+		t.Fatalf("crossing into a SIGKILLed worker returned %v, want a contained UserFault", err)
+	}
+	var death *WorkerDeath
+	if !errors.As(err, &death) || death.PID != oldPID {
+		t.Fatalf("fault cause = %v, want WorkerDeath of pid %d", err, oldPID)
+	}
+	if len(events) != 1 || events[0].Call != "tx" {
+		t.Fatalf("fault notifier events = %+v", events)
+	}
+	// The boundary heals: the next crossing runs on a respawned worker.
+	if err := r.Upcall(ctx, "tx", func(uctx *kernel.Context) error { return nil }); err != nil {
+		t.Fatalf("crossing after respawn: %v", err)
+	}
+	if pid := pt.WorkerPID(); pid == 0 || pid == oldPID {
+		t.Fatalf("worker pid = %d after respawn, want a fresh process (old %d)", pid, oldPID)
+	}
+	c := r.Counters()
+	if c.WorkerRespawns < 1 || c.WorkerDeaths < 1 {
+		t.Fatalf("WorkerRespawns=%d WorkerDeaths=%d, want >= 1 each", c.WorkerRespawns, c.WorkerDeaths)
+	}
+}
+
+// TestProcInjectedFaultKillsWorker: an injected decaf-side panic is
+// contained as usual — and under the process-separated transport the
+// containment is physical: the worker process is SIGKILLed with the crash.
+func TestProcInjectedFaultKillsWorker(t *testing.T) {
+	k, r, pt := newProcRig(t, 1)
+	ctx := k.NewContext("test")
+	armed := true
+	r.SetFaultInjector(func(call string) bool {
+		if call == "tx" && armed {
+			armed = false
+			return true
+		}
+		return false
+	})
+	if err := r.Upcall(ctx, "warmup", func(uctx *kernel.Context) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	oldPID := pt.WorkerPID()
+	err := r.Upcall(ctx, "tx", func(uctx *kernel.Context) error { return nil })
+	if !IsUserFault(err) {
+		t.Fatalf("injected fault returned %v", err)
+	}
+	if c := r.Counters(); c.FaultsInjected != 1 || c.WorkerAlive {
+		t.Fatalf("FaultsInjected=%d WorkerAlive=%v, want 1/false (the crash killed the process)", c.FaultsInjected, c.WorkerAlive)
+	}
+	if err := r.Upcall(ctx, "tx", func(uctx *kernel.Context) error { return nil }); err != nil {
+		t.Fatalf("crossing after fault: %v", err)
+	}
+	if pid := pt.WorkerPID(); pid == oldPID {
+		t.Fatal("worker process survived a decaf-side fault")
+	}
+}
+
+// TestProcDataAliasingRule: the UpcallData/DowncallData ownership rule must
+// hold across the real boundary — the wire frame copies the payload at
+// encode time, so mutating the caller's slice once the flush's completion
+// has resolved (or even mid-window, a rule violation) cannot corrupt a
+// frame already on the wire or wedge the protocol.
+func TestProcDataAliasingRule(t *testing.T) {
+	k, r, _ := newProcRig(t, 2)
+	ctx := k.NewContext("test")
+	data := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	b := r.Batch(ctx)
+	b.UpcallData("tx", data, func(uctx *kernel.Context) error { return nil })
+	// Rule violation: mutate between staging and flush. The checksum is
+	// computed over the same bytes the frame copies, so the wire stays
+	// self-consistent and the flush must still succeed.
+	data[0] = 0xFF
+	if err := b.Flush(); err != nil {
+		t.Fatalf("flush after pre-flush mutation: %v", err)
+	}
+	// Legal mutation: the completion resolved with Flush (inline
+	// transport), so the caller owns the slice again. The next crossing
+	// must be completely unaffected.
+	for i := range data {
+		data[i] = 0xEE
+	}
+	b.UpcallData("tx", []byte{9, 9, 9}, func(uctx *kernel.Context) error { return nil })
+	if err := b.Flush(); err != nil {
+		t.Fatalf("flush after post-completion mutation of the previous payload: %v", err)
+	}
+	if c := r.Counters(); c.CopiedTransfers != 2 || c.Faults != 0 {
+		t.Fatalf("CopiedTransfers=%d Faults=%d, want 2/0", c.CopiedTransfers, c.Faults)
+	}
+}
+
+func TestProcSubmitAfterCloseFails(t *testing.T) {
+	k := newTestKernel()
+	r := newDecafRuntime(k)
+	pt, err := NewProcTransport(ProcConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.SetTransport(pt)
+	ctx := k.NewContext("test")
+	if err := r.Upcall(ctx, "probe", func(uctx *kernel.Context) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := pt.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := pt.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	err = r.Upcall(ctx, "probe", func(uctx *kernel.Context) error { return nil })
+	if !errors.Is(err, ErrTransportClosed) {
+		t.Fatalf("submit after close = %v", err)
+	}
+	r.SetTransport(nil)
+}
+
+// TestProcSupervisedRecoveryRespawn: the WorkerRespawner seam the recovery
+// supervisor drives — respawn must yield a live worker and replay ring
+// registration so post-restart crossings resolve slots again.
+func TestProcRespawnReplaysRingRegistration(t *testing.T) {
+	k, r, pt := newProcRig(t, 4)
+	ctx := k.NewContext("test")
+	ring, err := r.NewRing(8, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.RegisterPayloadRing(ctx, ring); err != nil {
+		t.Fatal(err)
+	}
+	pt.KillWorker()
+	if err := pt.RespawnWorker(); err != nil {
+		t.Fatal(err)
+	}
+	p := r.AcquirePayload([]byte("post-respawn payload"))
+	if !p.Direct() {
+		t.Fatal("payload not staged in the ring")
+	}
+	if err := r.Batch(ctx).UpcallPayload("rx", p, func(uctx *kernel.Context) error { return nil }).Flush(); err != nil {
+		t.Fatalf("slot crossing after respawn (ring geometry not replayed?): %v", err)
+	}
+	r.ReleasePayload(p)
+}

@@ -76,18 +76,33 @@ func NewPayloadRing(n, slotSize int) *PayloadRing {
 	if slotSize < 1 {
 		slotSize = DefaultRingSlotSize
 	}
+	p, err := NewPayloadRingOver(make([]byte, n*slotSize), n, slotSize)
+	if err != nil {
+		// Unreachable: the backing is sized to fit by construction.
+		panic(err)
+	}
+	return p
+}
+
+// NewPayloadRingOver builds a ring whose slot buffers slice backing instead
+// of allocating — the shared-memory-mapped case, where the backing is an
+// mmap region both sides of a real process boundary see. backing must hold
+// n*slotSize bytes.
+func NewPayloadRingOver(backing []byte, n, slotSize int) (*PayloadRing, error) {
+	if n < 1 || slotSize < 1 || len(backing) < n*slotSize {
+		return nil, fmt.Errorf("xpc: payload ring %dx%dB does not fit %dB backing", n, slotSize, len(backing))
+	}
 	p := &PayloadRing{
 		slotSize: slotSize,
 		slots:    make([]ringSlot, n),
 		free:     make([]uint32, 0, n),
 	}
-	backing := make([]byte, n*slotSize)
 	for i := range p.slots {
 		p.slots[i].buf = backing[i*slotSize : (i+1)*slotSize]
 		p.slots[i].gen = 1
 		p.free = append(p.free, uint32(n-1-i)) // pop order 0,1,2,...
 	}
-	return p
+	return p, nil
 }
 
 // Slots reports the ring's capacity in slots.
@@ -284,22 +299,66 @@ func (r *Runtime) PayloadRing() *PayloadRing {
 // none), after which data-carrying calls fall back to the copy path until a
 // fresh ring registers. This is the recovery-time teardown: the decaf side
 // is suspect and its shared mapping is discarded kernel-side, so the
-// detach itself performs no crossing. Outstanding descriptors into the old
-// ring become unresolvable — callers must have quiesced in-flight flushes
-// (releasing their slots) first.
+// detach itself performs no crossing (a process-separated transport is told
+// best-effort, in case its worker still lives). Outstanding descriptors
+// into the old ring become unresolvable — callers must have quiesced
+// in-flight flushes (releasing their slots) first.
 func (r *Runtime) UnregisterPayloadRing() *PayloadRing {
-	return r.payloadRing.Swap(nil)
+	ring := r.payloadRing.Swap(nil)
+	if ring != nil {
+		if reg, ok := r.Transport().(ringRegistrar); ok {
+			reg.UnregisterRing(r, ring)
+		}
+	}
+	return ring
 }
 
 // DirectPayloadTransport marks a Transport whose crossing engine can
 // resolve pre-registered payload rings on the far side. All built-in
-// transports support it (inline transports cross on the submitting thread
-// and the async service shares the simulated memory); a transport that does
-// not implement the interface — a future process-separated one would need a
-// real shared mapping first — rejects registration, and every payload then
-// takes the copy fallback.
+// transports support it: inline transports cross on the submitting thread,
+// the async service shares the simulated memory, and the process-separated
+// ProcTransport backs its rings with a real mmap-shared region (see
+// MappedRingTransport). A transport that does not implement the interface
+// rejects registration, and every payload then takes the copy fallback.
 type DirectPayloadTransport interface {
 	SupportsDirectPayload() bool
+}
+
+// MappedRingTransport is a transport that backs payload rings with memory
+// genuinely shared with its far side — ProcTransport's mmap region. Rings
+// for such a transport must come from NewMappedRing (Runtime.NewRing does
+// this automatically); a heap-backed ring would be invisible to the worker
+// process's address space.
+type MappedRingTransport interface {
+	NewMappedRing(slots, slotSize int) (*PayloadRing, error)
+}
+
+// ringRegistrar is a transport that must observe ring registration itself —
+// ProcTransport publishes the geometry to its worker process so descriptors
+// resolve on the far side of the real boundary. RegisterRing runs before
+// the registration upcall; UnregisterRing is best-effort (the usual caller
+// is recovery teardown, where the worker is already dead).
+type ringRegistrar interface {
+	RegisterRing(r *Runtime, ring *PayloadRing) error
+	UnregisterRing(r *Runtime, ring *PayloadRing)
+}
+
+// NewRing builds a payload ring suitable for the runtime's transport:
+// backed by the transport's shared mapping when it provides one
+// (MappedRingTransport), heap-backed otherwise. Values < 1 select the
+// defaults. Harnesses and the recovery supervisor use it so the same
+// wiring works across every transport.
+func (r *Runtime) NewRing(n, slotSize int) (*PayloadRing, error) {
+	if n < 1 {
+		n = DefaultRingSlots
+	}
+	if slotSize < 1 {
+		slotSize = DefaultRingSlotSize
+	}
+	if m, ok := r.Transport().(MappedRingTransport); ok {
+		return m.NewMappedRing(n, slotSize)
+	}
+	return NewPayloadRing(n, slotSize), nil
 }
 
 // RegisterPayloadRing registers ring with the runtime and its transport:
@@ -324,6 +383,15 @@ func (r *Runtime) RegisterPayloadRing(ctx *kernel.Context, ring *PayloadRing) er
 	}
 	if !r.payloadRing.CompareAndSwap(nil, ring) {
 		return ErrPayloadRingRegistered
+	}
+	// A process-separated transport publishes the geometry to its worker
+	// first, so the registration upcall below — and every slot descriptor
+	// after it — resolves on the far side of the real boundary.
+	if reg, ok := r.Transport().(ringRegistrar); ok {
+		if err := reg.RegisterRing(r, ring); err != nil {
+			r.payloadRing.Store(nil)
+			return err
+		}
 	}
 	// The one-time registration crossing: the kernel side publishes the
 	// ring's buffers to the decaf runtime, which records the shared mapping.

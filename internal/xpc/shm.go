@@ -1,0 +1,93 @@
+//go:build unix
+
+package xpc
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// shmRegion is a file-backed shared memory mapping: the kernel side creates
+// and maps it, and passes the (already unlinked) file descriptor to the
+// worker process, which maps the same pages into its own address space. The
+// region backs the payload ring under a ProcTransport, so zero-copy slot
+// descriptors resolve to the same physical bytes on both sides of a real
+// process boundary.
+type shmRegion struct {
+	file *os.File
+	mem  []byte
+}
+
+// newShmRegion creates and maps an anonymous (unlinked) shared file of n
+// bytes.
+func newShmRegion(n int) (*shmRegion, error) {
+	f, err := os.CreateTemp("", "decaf-xpc-shm-*")
+	if err != nil {
+		return nil, fmt.Errorf("xpc: shm create: %w", err)
+	}
+	// Unlink immediately: the region lives exactly as long as the mapped
+	// descriptors do, in this process and the workers that inherit it.
+	_ = os.Remove(f.Name())
+	if err := f.Truncate(int64(n)); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("xpc: shm truncate: %w", err)
+	}
+	mem, err := mapShared(f, n)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &shmRegion{file: f, mem: mem}, nil
+}
+
+func (s *shmRegion) Close() error {
+	if s == nil {
+		return nil
+	}
+	if s.mem != nil {
+		_ = syscall.Munmap(s.mem)
+		s.mem = nil
+	}
+	s.closeFile()
+	return nil
+}
+
+// closeFile releases the descriptor but leaves the mapping intact — for
+// teardown paths where rings sliced from the mapping may still be
+// referenced (unmapping under them would turn a late access into a
+// SIGSEGV; the pages are reclaimed at process exit).
+func (s *shmRegion) closeFile() {
+	if s != nil && s.file != nil {
+		_ = s.file.Close()
+		s.file = nil
+	}
+}
+
+// mapShared maps n bytes of f MAP_SHARED read/write.
+func mapShared(f *os.File, n int) ([]byte, error) {
+	mem, err := syscall.Mmap(int(f.Fd()), 0, n, syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, fmt.Errorf("xpc: shm mmap %d bytes: %w", n, err)
+	}
+	return mem, nil
+}
+
+// socketPair returns a connected AF_UNIX stream pair as files: the parent
+// end stays in this process, the child end is handed to the worker via
+// ExtraFiles.
+func socketPair() (parent, child *os.File, err error) {
+	fds, err := syscall.Socketpair(syscall.AF_UNIX, syscall.SOCK_STREAM, 0)
+	if err != nil {
+		return nil, nil, fmt.Errorf("xpc: socketpair: %w", err)
+	}
+	syscall.CloseOnExec(fds[0])
+	syscall.CloseOnExec(fds[1])
+	// The parent end goes nonblocking before os.NewFile so it registers
+	// with the runtime poller: that is what makes SetDeadline work, the
+	// guard against a wedged (alive but unresponsive) worker blocking a
+	// crossing forever. The child end stays blocking for the worker's
+	// simple sequential loop.
+	_ = syscall.SetNonblock(fds[0], true)
+	return os.NewFile(uintptr(fds[0]), "xpc-proc-parent"), os.NewFile(uintptr(fds[1]), "xpc-proc-child"), nil
+}

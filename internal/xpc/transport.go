@@ -166,6 +166,31 @@ func (BatchTransport) Drain(*Runtime, *kernel.Context) error { return nil }
 // SupportsDirectPayload implements DirectPayloadTransport.
 func (BatchTransport) SupportsDirectPayload() bool { return true }
 
+// WorkerDeath is the fault cause recorded when a process-separated
+// transport's decaf worker process died under a crossing: SIGKILLed,
+// crashed, or unreachable over the wire. It surfaces wrapped in a
+// *UserFault, so IsUserFault holds and recovery supervision treats it
+// exactly like an in-process decaf crash.
+type WorkerDeath struct {
+	// PID is the dead worker's process id.
+	PID int
+	// Err is the wire-level failure that exposed the death.
+	Err error
+}
+
+func (d *WorkerDeath) Error() string {
+	return fmt.Sprintf("xpc: decaf worker process %d died: %v", d.PID, d.Err)
+}
+
+func (d *WorkerDeath) Unwrap() error { return d.Err }
+
+// WorkerRespawner is a transport whose decaf side is an external process a
+// recovery supervisor must respawn during driver restart, before the
+// journal replay crosses again (ProcTransport implements it).
+type WorkerRespawner interface {
+	RespawnWorker() error
+}
+
 // Transport returns the runtime's crossing transport (SyncTransport when none
 // was selected).
 func (r *Runtime) Transport() Transport {

@@ -1,0 +1,190 @@
+//go:build unix
+
+package xpc
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"os"
+
+	"decafdrivers/internal/xdr"
+)
+
+// The hidden worker mode: a ProcTransport re-execs the current binary with
+// workerEnv set and the socketpair/shm descriptors at these fixed numbers.
+// Binaries that may host a ProcTransport (decafrun, decafbench, test
+// binaries via TestMain) call MaybeRunWorker first thing in main.
+const (
+	workerEnv     = "DECAF_XPC_PROC_WORKER"
+	workerSockFD  = 3
+	workerShmFD   = 4
+	workerOKExit  = 0
+	workerErrExit = 3
+)
+
+// Worker-side completion statuses (Frame.Status).
+const (
+	wireStatusOK uint32 = iota
+	wireStatusNoRing
+	wireStatusBadSlot
+)
+
+// MaybeRunWorker turns the current process into a decaf XPC worker and never
+// returns when the worker environment variable is set; otherwise it is a
+// no-op. Every binary that can host a ProcTransport must call it before any
+// other work (including flag parsing): the transport re-execs the running
+// binary to obtain the decaf-side process, and this hook is what makes the
+// re-exec land in the worker loop instead of the program's own main.
+func MaybeRunWorker() {
+	if os.Getenv(workerEnv) != "1" {
+		return
+	}
+	os.Exit(runWorker())
+}
+
+// runWorker is the decaf-side process: it maps the shared payload region,
+// then serves the wire protocol — decode each frame, resolve slot
+// descriptors against its own mapping (checksumming the payload bytes it
+// can actually see, which is the proof the mapping is shared), and
+// acknowledge. It exits 0 on FrameShutdown or a clean EOF (the parent died
+// or closed), non-zero on a protocol violation.
+func runWorker() int {
+	sock := os.NewFile(workerSockFD, "xpc-worker-sock")
+	shmf := os.NewFile(workerShmFD, "xpc-worker-shm")
+	if sock == nil || shmf == nil {
+		fmt.Fprintln(os.Stderr, "xpc worker: missing inherited descriptors")
+		return workerErrExit
+	}
+	st, err := shmf.Stat()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "xpc worker: shm stat:", err)
+		return workerErrExit
+	}
+	mem, err := mapShared(shmf, int(st.Size()))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "xpc worker:", err)
+		return workerErrExit
+	}
+	defer func() { _ = shmf.Close() }()
+
+	br := bufio.NewReader(sock)
+	bw := bufio.NewWriter(sock)
+	var (
+		ringSlots    uint32
+		ringSlotSize uint32
+		ringOK       bool
+	)
+	reply := func(f xdr.Frame) error {
+		wire, err := xdr.AppendFrame(nil, f)
+		if err != nil {
+			return err
+		}
+		if _, err := bw.Write(wire); err != nil {
+			return err
+		}
+		// Flush only when no further request is already buffered, so a
+		// batched submit gets one response write instead of one per call.
+		if br.Buffered() == 0 {
+			return bw.Flush()
+		}
+		return nil
+	}
+	for {
+		f, _, err := readWireFrame(br)
+		if err == io.EOF {
+			return workerOKExit
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "xpc worker: read:", err)
+			return workerErrExit
+		}
+		switch f.Kind {
+		case xdr.FrameShutdown:
+			_ = bw.Flush()
+			return workerOKExit
+		case xdr.FramePing:
+			err = reply(xdr.Frame{Kind: xdr.FramePong, ID: f.ID})
+		case xdr.FrameRingRegister:
+			ringSlots = uint32(f.Aux >> 32)
+			ringSlotSize = uint32(f.Aux)
+			ringOK = ringSlots > 0 && ringSlotSize > 0 &&
+				int64(ringSlots)*int64(ringSlotSize) <= int64(len(mem))
+			status := wireStatusOK
+			if !ringOK {
+				status = wireStatusBadSlot
+			}
+			err = reply(xdr.Frame{Kind: xdr.FrameComplete, ID: f.ID, Status: status})
+		case xdr.FrameRingRelease:
+			ringOK = false
+			err = reply(xdr.Frame{Kind: xdr.FrameComplete, ID: f.ID})
+		case xdr.FrameSubmit:
+			ack := xdr.Frame{Kind: xdr.FrameComplete, ID: f.ID}
+			switch {
+			case f.Slot.Valid():
+				if !ringOK {
+					ack.Status = wireStatusNoRing
+					break
+				}
+				off := int64(f.Slot.Index) * int64(ringSlotSize)
+				end := off + int64(f.Slot.Length)
+				if f.Slot.Index >= ringSlots || f.Slot.Length > ringSlotSize || end > int64(len(mem)) {
+					ack.Status = wireStatusBadSlot
+					break
+				}
+				// The payload never crossed the wire: read it out of the
+				// shared mapping, exactly as a real decaf driver would.
+				ack.Aux = payloadSum(mem[off:end])
+			case len(f.Data) > 0:
+				ack.Aux = payloadSum(f.Data)
+			}
+			err = reply(ack)
+		default:
+			fmt.Fprintf(os.Stderr, "xpc worker: unexpected %v frame\n", f.Kind)
+			return workerErrExit
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "xpc worker: reply:", err)
+			return workerErrExit
+		}
+	}
+}
+
+// payloadSum is the FNV-64a checksum both sides compute over a crossing's
+// payload: the kernel side over the bytes it staged, the worker over the
+// bytes visible in its own address space. Equality is the wire-level proof
+// that payload transfer (shared mapping or copied frame) actually delivered
+// the bytes.
+func payloadSum(b []byte) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write(b)
+	return h.Sum64()
+}
+
+// readWireFrame reads one length-prefixed frame from r, returning the frame
+// and total bytes consumed.
+func readWireFrame(r *bufio.Reader) (xdr.Frame, int, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			err = io.EOF
+		}
+		return xdr.Frame{}, 0, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > xdr.MaxFrameSize {
+		return xdr.Frame{}, 0, fmt.Errorf("frame length %d exceeds max %d", n, xdr.MaxFrameSize)
+	}
+	buf := make([]byte, 4+int(n))
+	copy(buf, hdr[:])
+	if _, err := io.ReadFull(r, buf[4:]); err != nil {
+		return xdr.Frame{}, 0, err
+	}
+	f, used, err := xdr.DecodeFrame(buf)
+	if err != nil {
+		return xdr.Frame{}, 0, err
+	}
+	return f, used, nil
+}

@@ -31,7 +31,7 @@
 // Wait — so the seed call-and-return semantics are a degenerate use of the
 // asynchronous API, not a separate path.
 //
-// Three transports implement the interface:
+// Four transports implement the interface:
 //
 //   - SyncTransport (default): every submission is its own inline crossing,
 //     completing before Submit returns — the paper's measured
@@ -50,6 +50,15 @@
 //     the un-overlapped remainder). A full ring applies a configurable
 //     backpressure policy (block or fail fast), and ordered FIFO
 //     completion holds per direction.
+//   - ProcTransport: the decaf side in a real separate process — the
+//     paper's actual deployment shape. A re-exec of the current binary
+//     serves a wire protocol (xdr.Frame over a socketpair); payload rings
+//     live in mmap-shared memory the worker resolves through its own
+//     mapping; and fault containment is physical (a decaf panic kills the
+//     worker process, recovery respawns it). Virtual costs match
+//     BatchTransport; the real boundary is metered separately
+//     (Counters.SyscallCrossings, WireBytesOut/In). See proc.go and
+//     MaybeRunWorker.
 //
 // Hot paths written against the Batch builder are transport-agnostic:
 // Batch.Flush waits for its calls under any transport, while
@@ -431,6 +440,16 @@ type UserFault struct {
 
 func (f *UserFault) Error() string {
 	return fmt.Sprintf("xpc: user-level fault in %s: %v", f.Call, f.Cause)
+}
+
+// Unwrap exposes the fault's cause when it is itself an error — a
+// *WorkerDeath under the process-separated transport — so errors.Is/As see
+// through the containment. Panic values that are not errors unwrap to nil.
+func (f *UserFault) Unwrap() error {
+	if err, ok := f.Cause.(error); ok {
+		return err
+	}
+	return nil
 }
 
 // IsUserFault reports whether err is (or wraps) a contained decaf-side

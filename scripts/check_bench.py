@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Machine-readable perf gate over decafbench -json output.
+
+Usage:
+    decafbench -table zerocopy -json | scripts/check_bench.py zerocopy
+    decafbench -table recovery -transport proc -json | scripts/check_bench.py recovery bench.json
+
+The checks are the CI acceptance bar for the zero-copy payload ring and the
+shadow-driver recovery subsystem, across every transport — including the
+process-separated one, whose rows must additionally show real wire traffic
+and a worker process that died and was respawned. Keeping them in a
+checked-in script (rather than inline YAML) makes the gate runnable locally
+and diffable in review.
+"""
+
+import json
+import sys
+
+
+def is_proc(row):
+    """Rows from the process-separated transport ("proc(bN)")."""
+    return row["Transport"].startswith("proc")
+
+
+def check_zerocopy(rows):
+    assert rows, "zerocopy table emitted no rows"
+    direct = [r for r in rows if r["Payload"] == "direct"]
+    assert direct, "no direct rows"
+    for r in direct:
+        assert r["CopiedBPerPkt"] == 0, f"direct row copied bytes: {r}"
+        assert r["DirectBPerPkt"] > 0, f"direct row moved nothing through the ring: {r}"
+    proc = [r for r in rows if is_proc(r)]
+    for r in proc:
+        # The process-separated boundary must be real: every proc row shows
+        # framed syscall traffic, so a proc leg that silently fell back to
+        # an in-process path cannot pass.
+        assert r["SyscallCrossings"] > 0, f"proc row crossed nothing over the wire: {r}"
+        assert r["WireBytes"] > 0, f"proc row framed no wire bytes: {r}"
+    return (f"{len(rows)} rows, {len(direct)} direct rows copy 0 B/pkt, "
+            f"{len(proc)} process-separated")
+
+
+def check_recovery(rows):
+    assert rows, "recovery table emitted no rows"
+    cells = {}
+    for r in rows:
+        cells.setdefault((r["Driver"], r["Workload"], r["Transport"]), {})[r["Scenario"]] = r
+    for key, c in cells.items():
+        assert set(c) == {"off", "armed", "fault"}, f"{key}: missing scenarios {set(c)}"
+        off, armed, fault = c["off"], c["armed"], c["fault"]
+        # Steady-state journaling overhead is zero: identical crossings.
+        assert (off["Crossings"], off["Packets"]) == (armed["Crossings"], armed["Packets"]), \
+            f"{key}: supervision changed steady state: {off} vs {armed}"
+        # The injected fault recovered transparently and boundedly.
+        assert fault["Faults"] >= 1 and fault["Recoveries"] >= 1, f"{key}: no recovery: {fault}"
+        assert fault["FailStops"] == 0, f"{key}: fail-stopped: {fault}"
+        assert 0 < fault["RecoveryLatencyMs"] < 10000, f"{key}: unbounded latency: {fault}"
+        assert fault["JournalReplayed"] >= 2, f"{key}: journal not replayed: {fault}"
+        assert fault["TxHeld"] == fault["TxReplayed"] + fault["TxHeldDropped"], \
+            f"{key}: held accounting broken: {fault}"
+        assert fault["SlotsReclaimed"] == 0, f"{key}: quiesce stranded ring slots: {fault}"
+        if is_proc(fault):
+            # The process-separated boundary must be real: framed syscall
+            # traffic in every scenario, and the fault scenario's recovery
+            # must have SIGKILLed and respawned an actual worker process.
+            for scenario, row in c.items():
+                assert row["SyscallCrossings"] > 0, f"{key}/{scenario}: no wire crossings: {row}"
+                assert row["WireBytes"] > 0, f"{key}/{scenario}: no wire bytes: {row}"
+            assert fault["WorkerRespawns"] >= 1, \
+                f"{key}: fault recovered without respawning the worker process: {fault}"
+            assert off["WorkerRespawns"] == 0 and armed["WorkerRespawns"] == 0, \
+                f"{key}: worker respawned without a fault: {off} / {armed}"
+    proc_cells = sum(1 for (_, _, t) in cells if t.startswith("proc"))
+    return (f"{len(rows)} rows across {len(cells)} cells ({proc_cells} process-separated); "
+            "faults recovered, steady state unchanged")
+
+
+CHECKS = {"zerocopy": check_zerocopy, "recovery": check_recovery}
+
+
+def main(argv):
+    if len(argv) < 2 or argv[1] not in CHECKS:
+        print(f"usage: {argv[0]} <{'|'.join(CHECKS)}> [bench.json]", file=sys.stderr)
+        return 2
+    table = argv[1]
+    source = open(argv[2]) if len(argv) > 2 and argv[2] != "-" else sys.stdin
+    with source:
+        doc = json.load(source)
+    assert doc.get("table") == table, f"expected a {table} table, got {doc.get('table')!r}"
+    summary = CHECKS[table](doc["rows"])
+    print(f"ok ({table}): {summary}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
