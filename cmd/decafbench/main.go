@@ -28,23 +28,6 @@ import (
 	"decafdrivers/internal/xpc"
 )
 
-// validTables and validTransports are the accepted flag values; anything
-// else is rejected with a message listing them.
-var (
-	validTables     = []string{"1", "2", "3", "4", "casestudy", "batch", "async", "zerocopy", "recovery", "all"}
-	validTransports = []string{"all", "per-call", "sync", "batched", "batch", "async", "proc"}
-	jsonTables      = []string{"batch", "async", "zerocopy", "recovery"}
-)
-
-func oneOf(value string, valid []string) bool {
-	for _, v := range valid {
-		if value == v {
-			return true
-		}
-	}
-	return false
-}
-
 // parseBatchSizes parses the -batch flag ("8,32" -> []int{8, 32}).
 func parseBatchSizes(s string) ([]int, error) {
 	var out []int
@@ -84,39 +67,24 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON rows instead of the rendered table ("+strings.Join(jsonTables, ", ")+" only)")
 	flag.Parse()
 
-	if !oneOf(*tableFlag, validTables) {
-		fmt.Fprintf(os.Stderr, "decafbench: unknown table %q (valid: %s)\n", *tableFlag, strings.Join(validTables, ", "))
+	flags := benchFlags{
+		Table:         *tableFlag,
+		Transport:     *transport,
+		JSON:          *jsonOut,
+		RestartPolicy: *restartPolicy,
+		Set:           map[string]bool{},
+	}
+	flag.Visit(func(f *flag.Flag) { flags.Set[f.Name] = true })
+	if err := flags.validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "decafbench: %v\n", err)
 		os.Exit(2)
 	}
-	if !oneOf(*transport, validTransports) {
-		fmt.Fprintf(os.Stderr, "decafbench: unknown transport %q (valid: %s)\n", *transport, strings.Join(validTransports, ", "))
-		os.Exit(2)
+	// The proc transport only runs when asked for: say so instead of letting
+	// "-transport all" look like full coverage. The note goes to stderr so
+	// -json output stays a clean envelope.
+	if note := flags.transportNote(); note != "" {
+		fmt.Fprintln(os.Stderr, note)
 	}
-	// Only the async, zerocopy and recovery tables have async or proc rows:
-	// reject the combination for any other table (including the default
-	// "all", whose batch table would otherwise render empty) instead of
-	// silently selecting nothing.
-	if (*transport == "async" || *transport == "proc") &&
-		*tableFlag != "async" && *tableFlag != "zerocopy" && *tableFlag != "recovery" {
-		fmt.Fprintf(os.Stderr, "decafbench: -transport %s requires -table async, zerocopy or recovery (-table %s has no %[1]s rows)\n", *transport, *tableFlag)
-		os.Exit(2)
-	}
-	if *jsonOut && !oneOf(*tableFlag, jsonTables) {
-		fmt.Fprintf(os.Stderr, "decafbench: -json supports -table %s (got %q)\n", strings.Join(jsonTables, ", "), *tableFlag)
-		os.Exit(2)
-	}
-	if *restartPolicy != "" && !oneOf(*restartPolicy, bench.RestartPolicies) {
-		fmt.Fprintf(os.Stderr, "decafbench: unknown restart policy %q (valid: %s)\n", *restartPolicy, strings.Join(bench.RestartPolicies, ", "))
-		os.Exit(2)
-	}
-	// The fault-injection flags shape only the recovery table: reject them
-	// elsewhere instead of silently ignoring them.
-	flag.Visit(func(f *flag.Flag) {
-		if (f.Name == "faults" || f.Name == "restart-policy") && *tableFlag != "recovery" {
-			fmt.Fprintf(os.Stderr, "decafbench: -%s requires -table recovery (got -table %s)\n", f.Name, *tableFlag)
-			os.Exit(2)
-		}
-	})
 
 	cfg := bench.Table3Config{
 		NetperfDuration: *netperf,

@@ -125,9 +125,11 @@ func main() {
 	fmt.Printf("total crossings: %d upcalls, %d downcalls, %d library calls\n",
 		c.Upcalls, c.Downcalls, c.LibraryCalls)
 	fmt.Printf("marshaled bytes: %d kernel/user, %d C/Java\n", c.BytesKernelUser, c.BytesCJava)
-	if c.SyscallCrossings > 0 {
+	if c.SyscallCrossings > 0 || c.RingCrossings > 0 {
 		fmt.Printf("wire (worker process): %d syscall crossings, %d B out, %d B in, %d respawns\n",
 			c.SyscallCrossings, c.WireBytesOut, c.WireBytesIn, c.WorkerRespawns)
+		fmt.Printf("descriptor rings: %d ring crossings, %d doorbell wakeups, peak %d/%d slots\n",
+			c.RingCrossings, c.DoorbellWakeups, c.DescRingPeak, c.DescRingEntries)
 	}
 	if names := c.CallNames(); len(names) > 0 {
 		fmt.Println("entry points crossed:")

@@ -20,17 +20,25 @@
 //	batch  1 crossing per ≤N calls, inline; fault aborts the flush
 //	async  1 crossing per ≤N calls on the decaf goroutine's timeline;
 //	       a fault fails only its own completion
-//	proc   1 crossing per ≤N calls, plus a real syscall round trip into a
-//	       forked worker process (xpc.ProcTransport): crossings framed by
-//	       xdr.Frame over a socketpair, payload rings in mmap-shared
+//	proc   1 crossing per ≤N calls into a forked worker process
+//	       (xpc.ProcTransport): steady state rides SPSC shared-memory
+//	       descriptor rings — frames encoded in place in the mmap
+//	       mapping, published with one atomic store, zero syscalls and
+//	       zero allocations per crossing — with a park/doorbell wakeup
+//	       protocol and the socketpair demoted to control frames and
+//	       oversized-payload fallback; payload rings are mmap-shared
 //	       memory the worker checksums through its own mapping, and
-//	       physical fault containment — a decaf panic SIGKILLs the worker
-//	       and recovery respawns a process that actually died
+//	       fault containment is physical — a decaf panic SIGKILLs the
+//	       worker and recovery respawns a process that actually died
 //
 // The proc transport keeps the virtual cost model identical to batch (call
 // bodies are Go closures and execute kernel-side), so crossings per packet
-// are comparable across all four while Counters.SyscallCrossings and
-// WireBytesOut/In meter the real boundary.
+// are comparable across all four while Counters.RingCrossings,
+// DoorbellWakeups, SyscallCrossings and WireBytesOut/In meter the real
+// boundary: descriptor-ring traffic, doorbell syscalls, and socketpair
+// control/fallback trips. decafbench's async and zerocopy rows add
+// caller-visible p50/p99/p999 completion latency and GC pause/cycle
+// columns, banded in CI against the committed BENCH_*.json baselines.
 //
 // On top of fault containment, internal/recovery adds a shadow-driver-style
 // recovery subsystem: a Supervisor consumes the runtime's fault

@@ -39,6 +39,22 @@ type AsyncRow struct {
 	DecafPerPkt time.Duration
 	// QueuePeak is the submission ring's high-water mark (async only).
 	QueuePeak int64
+	// P50Us/P99Us/P999Us are caller-visible completion-latency percentiles
+	// in microseconds of virtual time (queue wait + crossing cost per
+	// submission) — deterministic, so baselines band them.
+	P50Us  float64
+	P99Us  float64
+	P999Us float64
+	// GCCycles/GCPauseTotalMs/GCPauseMaxMs are the Go collector's activity
+	// during the phase (wall-clock; excluded from baseline bands).
+	GCCycles       uint64
+	GCPauseTotalMs float64
+	GCPauseMaxMs   float64
+	// RingCrossings counts chunks that crossed on the shared-memory
+	// descriptor rings and DoorbellWakeups the park/wake doorbell syscalls
+	// (proc rows only).
+	RingCrossings   uint64
+	DoorbellWakeups uint64
 }
 
 // AsyncTableConfig sizes and scopes the submit/complete comparison.
@@ -167,21 +183,34 @@ func runAsyncCase(c asyncCase, opts workload.NetOptions, transport string, cfg A
 		return AsyncRow{}, fmt.Errorf("%s/%s %s: boot: %w", c.driver, c.workload, transport, err)
 	}
 	defer tb.Shutdown()
+	hist, detach := observeLatency(tb.Runtime)
+	defer detach()
+	var gc gcMeter
+	gc.start()
 	before := tb.Runtime.Counters()
 	res, err := c.run(tb, cfg.OfferedMbps, cfg.NetperfDuration)
 	if err != nil {
 		return AsyncRow{}, fmt.Errorf("%s/%s %s: %w", c.driver, c.workload, transport, err)
 	}
 	after := tb.Runtime.Counters()
+	gcCycles, gcTotal, gcMax := gc.stop()
 	row := AsyncRow{
-		Driver:         c.driver,
-		Workload:       res.Workload,
-		Transport:      transport,
-		ThroughputMbps: res.ThroughputMbps,
-		CPUUtil:        res.CPUUtil,
-		Packets:        res.Units,
-		Crossings:      res.Crossings,
-		QueuePeak:      after.QueuePeak,
+		Driver:          c.driver,
+		Workload:        res.Workload,
+		Transport:       transport,
+		ThroughputMbps:  res.ThroughputMbps,
+		CPUUtil:         res.CPUUtil,
+		Packets:         res.Units,
+		Crossings:       res.Crossings,
+		QueuePeak:       after.QueuePeak,
+		P50Us:           hist.quantileUs(0.50),
+		P99Us:           hist.quantileUs(0.99),
+		P999Us:          hist.quantileUs(0.999),
+		GCCycles:        gcCycles,
+		GCPauseTotalMs:  float64(gcTotal) / float64(time.Millisecond),
+		GCPauseMaxMs:    float64(gcMax) / float64(time.Millisecond),
+		RingCrossings:   after.RingCrossings - before.RingCrossings,
+		DoorbellWakeups: after.DoorbellWakeups - before.DoorbellWakeups,
 	}
 	if res.Units > 0 {
 		n := time.Duration(res.Units)
@@ -250,7 +279,8 @@ func PrintAsyncTable(w io.Writer, cfg AsyncTableConfig) error {
 	fmt.Fprintln(w, "(decaf data path; batched and async rows share a coalescing size, so X/pkt is equal)")
 	fmt.Fprintln(w)
 	header := []string{"Driver", "Workload", "Transport",
-		"Mb/s", "CPU", "Packets", "X-ings", "X/pkt", "Stall/pkt", "Qwait/pkt", "Decaf/pkt", "Qpeak"}
+		"Mb/s", "CPU", "Packets", "X-ings", "X/pkt", "Stall/pkt", "Qwait/pkt", "Decaf/pkt", "Qpeak",
+		"p50µs", "p99µs", "p999µs"}
 	var out [][]string
 	for _, r := range rows {
 		out = append(out, []string{
@@ -264,6 +294,9 @@ func PrintAsyncTable(w io.Writer, cfg AsyncTableConfig) error {
 			fmt.Sprintf("%.3fms", float64(r.QueueWaitPerPkt)/float64(time.Millisecond)),
 			fmt.Sprintf("%.3fms", float64(r.DecafPerPkt)/float64(time.Millisecond)),
 			fmt.Sprintf("%d", r.QueuePeak),
+			fmt.Sprintf("%.0f", r.P50Us),
+			fmt.Sprintf("%.0f", r.P99Us),
+			fmt.Sprintf("%.0f", r.P999Us),
 		})
 	}
 	table(w, header, out)

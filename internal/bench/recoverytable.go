@@ -61,12 +61,19 @@ type RecoveryRow struct {
 	// SlotsReclaimed counts payload-ring slots the supervisor had to
 	// force-release at the ring swap (zero when quiesce released all).
 	SlotsReclaimed uint64
-	// SyscallCrossings counts real wire round trips into the decaf worker
-	// process during the phase, and WireBytes the framed bytes both ways —
-	// non-zero only under the process-separated transport, where the
-	// boundary is physical.
+	// SyscallCrossings counts the proc transport's real kernel entries
+	// during the phase (socketpair control/fallback round trips plus
+	// doorbell writes), and WireBytes the framed socketpair bytes both
+	// ways. Steady state rides the shared-memory descriptor rings, so the
+	// proc-row proof of a physical boundary is RingCrossings.
 	SyscallCrossings uint64
 	WireBytes        uint64
+	// RingCrossings counts chunks that crossed into the worker on the
+	// shared-memory descriptor rings, and DoorbellWakeups the park/wake
+	// doorbell syscalls — non-zero only under the process-separated
+	// transport. The CI gate asserts RingCrossings on proc rows.
+	RingCrossings   uint64
+	DoorbellWakeups uint64
 	// WorkerRespawns counts fresh decaf worker processes started after
 	// boot: under the proc transport a recovery is a process that actually
 	// died (SIGKILL) and was actually restarted.
@@ -220,7 +227,9 @@ func runRecoveryCase(c recoveryCase, opts workload.NetOptions, transport, scenar
 		SyscallCrossings: after.SyscallCrossings - before.SyscallCrossings,
 		WireBytes: (after.WireBytesOut - before.WireBytesOut) +
 			(after.WireBytesIn - before.WireBytesIn),
-		WorkerRespawns: after.WorkerRespawns,
+		RingCrossings:   after.RingCrossings - before.RingCrossings,
+		DoorbellWakeups: after.DoorbellWakeups - before.DoorbellWakeups,
+		WorkerRespawns:  after.WorkerRespawns,
 	}
 	if res.Units > 0 {
 		row.XPerPacket = float64(res.Crossings) / float64(res.Units)

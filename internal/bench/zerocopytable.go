@@ -43,13 +43,38 @@ type ZeroCopyRow struct {
 	// RingExhausted counts acquisitions that fell back to the copy path
 	// during the phase (direct rows only).
 	RingExhausted uint64
-	// SyscallCrossings counts real wire round trips into the decaf worker
-	// process during the phase, and WireBytes the framed bytes both ways —
-	// non-zero only under the process-separated transport. The CI gate
-	// asserts them on proc rows, so a proc leg that silently ran
-	// in-process cannot pass.
+	// SyscallCrossings counts the proc transport's real kernel entries
+	// during the phase: socketpair round trips on the control/fallback path
+	// plus doorbell writes. Steady state rides the shared-memory descriptor
+	// rings, so on proc rows this stays far below Packets; WireBytes counts
+	// the framed socketpair bytes both ways (control traffic only, once the
+	// rings are up).
 	SyscallCrossings uint64
 	WireBytes        uint64
+	// RingCrossings counts chunks that crossed into the worker on the
+	// shared-memory descriptor rings, and DoorbellWakeups the park/wake
+	// doorbell syscalls behind SyscallCrossings — non-zero only under the
+	// process-separated transport. The CI gate asserts RingCrossings on
+	// proc rows (a proc leg that silently ran in-process cannot pass) and
+	// bounds DoorbellWakeups per packet.
+	RingCrossings   uint64
+	DoorbellWakeups uint64
+	// DescRingPeak is the descriptor rings' occupancy high-water mark over
+	// the transport's lifetime (proc rows only).
+	DescRingPeak uint64
+	// P50Us/P99Us/P999Us are caller-visible completion-latency percentiles
+	// in microseconds: the virtual time each submission spent from submit
+	// to completion (queue wait + crossing cost). Virtual time makes them
+	// deterministic, so the baseline comparison bands them.
+	P50Us  float64
+	P99Us  float64
+	P999Us float64
+	// GCCycles/GCPauseTotalMs/GCPauseMaxMs are the Go collector's activity
+	// during the phase. Wall-clock facts about the harness process —
+	// excluded from baseline bands; CI only requires their presence.
+	GCCycles       uint64
+	GCPauseTotalMs float64
+	GCPauseMaxMs   float64
 }
 
 // ZeroCopyTableConfig sizes and scopes the zero-copy comparison.
@@ -137,12 +162,17 @@ func runZeroCopyCase(c asyncCase, opts workload.NetOptions, transport, payload s
 		return ZeroCopyRow{}, fmt.Errorf("%s/%s %s/%s: boot: %w", c.driver, c.workload, transport, payload, err)
 	}
 	defer tb.Shutdown()
+	hist, detach := observeLatency(tb.Runtime)
+	defer detach()
+	var gc gcMeter
+	gc.start()
 	before := tb.Runtime.Counters()
 	res, err := c.run(tb, cfg.OfferedMbps, cfg.NetperfDuration)
 	if err != nil {
 		return ZeroCopyRow{}, fmt.Errorf("%s/%s %s/%s: %w", c.driver, c.workload, transport, payload, err)
 	}
 	after := tb.Runtime.Counters()
+	gcCycles, gcTotal, gcMax := gc.stop()
 	row := ZeroCopyRow{
 		Driver:           c.driver,
 		Workload:         res.Workload,
@@ -157,6 +187,15 @@ func runZeroCopyCase(c asyncCase, opts workload.NetOptions, transport, payload s
 		SyscallCrossings: after.SyscallCrossings - before.SyscallCrossings,
 		WireBytes: (after.WireBytesOut - before.WireBytesOut) +
 			(after.WireBytesIn - before.WireBytesIn),
+		RingCrossings:   after.RingCrossings - before.RingCrossings,
+		DoorbellWakeups: after.DoorbellWakeups - before.DoorbellWakeups,
+		DescRingPeak:    after.DescRingPeak,
+		P50Us:           hist.quantileUs(0.50),
+		P99Us:           hist.quantileUs(0.99),
+		P999Us:          hist.quantileUs(0.999),
+		GCCycles:        gcCycles,
+		GCPauseTotalMs:  float64(gcTotal) / float64(time.Millisecond),
+		GCPauseMaxMs:    float64(gcMax) / float64(time.Millisecond),
 	}
 	if res.Units > 0 {
 		row.XPerPacket = float64(res.Crossings) / float64(res.Units)
@@ -207,7 +246,8 @@ func PrintZeroCopyTable(w io.Writer, cfg ZeroCopyTableConfig) error {
 	fmt.Fprintln(w, "(decaf data path; copy and direct rows share transport and coalescing, so X/pkt is equal)")
 	fmt.Fprintln(w)
 	header := []string{"Driver", "Workload", "Transport", "Payload",
-		"Mb/s", "CPU", "Packets", "X/pkt", "CopiedB/pkt", "DirectB/pkt", "RingPeak", "Exhausted"}
+		"Mb/s", "CPU", "Packets", "X/pkt", "CopiedB/pkt", "DirectB/pkt", "RingPeak", "Exhausted",
+		"p50µs", "p99µs", "p999µs", "RingX", "Bells"}
 	var out [][]string
 	for _, r := range rows {
 		out = append(out, []string{
@@ -220,10 +260,19 @@ func PrintZeroCopyTable(w io.Writer, cfg ZeroCopyTableConfig) error {
 			fmt.Sprintf("%.1f", r.DirectBPerPkt),
 			fmt.Sprintf("%d", r.RingPeak),
 			fmt.Sprintf("%d", r.RingExhausted),
+			fmt.Sprintf("%.0f", r.P50Us),
+			fmt.Sprintf("%.0f", r.P99Us),
+			fmt.Sprintf("%.0f", r.P999Us),
+			fmt.Sprintf("%d", r.RingCrossings),
+			fmt.Sprintf("%d", r.DoorbellWakeups),
 		})
 	}
 	table(w, header, out)
 	fmt.Fprintln(w)
+	fmt.Fprintln(w, "p50/p99/p999: caller-visible completion latency (virtual µs, submit to")
+	fmt.Fprintln(w, "completion). RingX/Bells: proc rows only — chunks that crossed on the")
+	fmt.Fprintln(w, "shared-memory descriptor rings vs doorbell syscalls spent waking a parked")
+	fmt.Fprintln(w, "peer; steady state keeps Bells ≪ RingX ≪ Packets.")
 	fmt.Fprintln(w, "CopiedB/pkt: payload bytes marshaled across the boundary per packet — the full")
 	fmt.Fprintln(w, "frame on the copy path, ~0 on the direct path, where frames live in the")
 	fmt.Fprintln(w, "pre-registered payload ring and only a 12-byte slot descriptor crosses")

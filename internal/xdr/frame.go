@@ -35,9 +35,15 @@ const (
 	FramePong
 	// FrameShutdown asks the worker to exit cleanly; it is not acknowledged.
 	FrameShutdown
+	// FrameDescRing publishes the shared-memory descriptor-ring geometry to
+	// the worker: Aux packs entries<<32 | slotSize. The two SPSC rings (one
+	// per direction) live at the tail of the shared region; once the worker
+	// acknowledges, steady-state submit/complete frames ride the rings and
+	// the socketpair is demoted to a doorbell/control slow path.
+	FrameDescRing
 )
 
-func (k FrameKind) valid() bool { return k >= FrameSubmit && k <= FrameShutdown }
+func (k FrameKind) valid() bool { return k >= FrameSubmit && k <= FrameDescRing }
 
 func (k FrameKind) String() string {
 	switch k {
@@ -55,6 +61,8 @@ func (k FrameKind) String() string {
 		return "pong"
 	case FrameShutdown:
 		return "shutdown"
+	case FrameDescRing:
+		return "desc-ring"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -112,6 +120,14 @@ var (
 
 const frameFlagUp = 0x01
 
+// FrameWireSize reports the exact bytes AppendFrame would emit for f,
+// including the 4-byte length prefix. Callers encoding into fixed-size
+// descriptor-ring slots use it to prove the encode cannot spill (and so
+// cannot reallocate) before touching the slot.
+func FrameWireSize(f Frame) int {
+	return 4 + frameFixedSize + len(f.Name) + pad(len(f.Name)) + len(f.Data) + pad(len(f.Data))
+}
+
 // AppendFrame encodes f with a length prefix, appending to dst. The name
 // and payload bytes are copied into the output, so the frame does not alias
 // caller memory once encoded — mutating the source slice afterwards cannot
@@ -136,7 +152,7 @@ func AppendFrame(dst []byte, f Frame) ([]byte, error) {
 	e.PutUint64(f.Aux)
 	e.PutSlotDescriptor(f.Slot)
 	e.PutUint32(uint32(len(f.Data)))
-	e.PutFixedOpaque([]byte(f.Name))
+	e.PutFixedString(f.Name)
 	e.PutFixedOpaque(f.Data)
 	return e.buf, nil
 }

@@ -23,6 +23,22 @@ func everyFrameKind() []Frame {
 		{Kind: FramePing, ID: 6},
 		{Kind: FramePong, ID: 6},
 		{Kind: FrameShutdown, ID: 7},
+		{Kind: FrameDescRing, ID: 8, Aux: 1024<<32 | 2048},
+	}
+}
+
+// TestFrameWireSize: the size predictor must match AppendFrame exactly for
+// every kind and field combination — the descriptor-ring fast path relies on
+// it to prove an encode into a fixed slot cannot spill.
+func TestFrameWireSize(t *testing.T) {
+	for _, f := range everyFrameKind() {
+		wire, err := AppendFrame(nil, f)
+		if err != nil {
+			t.Fatalf("%v: encode: %v", f.Kind, err)
+		}
+		if got := FrameWireSize(f); got != len(wire) {
+			t.Errorf("%v: FrameWireSize = %d, encoded %d bytes", f.Kind, got, len(wire))
+		}
 	}
 }
 

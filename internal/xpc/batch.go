@@ -2,6 +2,7 @@ package xpc
 
 import (
 	"decafdrivers/internal/kernel"
+	"decafdrivers/internal/xdr"
 )
 
 // Batch accumulates crossing requests and submits them through the runtime's
@@ -30,6 +31,18 @@ type Batch struct {
 	// auto-flushes, awaited by Flush or aggregated by FlushAsync.
 	outstanding []*Completion
 	err         error
+
+	// Call recycling: a driver pumping packets through one long-lived Batch
+	// must not allocate a Call per packet. newCall pops from callPool;
+	// submitted calls park on retired until Flush has waited their
+	// completions out (a transport may reference a Call until its
+	// completion resolves — the async service goroutine executes bodies
+	// after Submit returns), then return to callPool. FlushAsync hands its
+	// completions to the caller, so its retired calls are dropped rather
+	// than recycled. The Submission slice handed to Transport.Submit is NOT
+	// recycled: an async transport enqueues the slice itself on its ring.
+	callPool []*Call
+	retired  []*Call
 }
 
 // Batch starts a crossing batch bound to the calling context.
@@ -37,12 +50,29 @@ func (r *Runtime) Batch(ctx *kernel.Context) *Batch {
 	return &Batch{r: r, ctx: ctx}
 }
 
+// newCall returns a recycled (or fresh) Call populated with the given
+// fields; every other field is zeroed.
+func (b *Batch) newCall(name string, up bool, fn func(ctx *kernel.Context) error, objs []any, data []byte, slot xdr.SlotDescriptor) *Call {
+	var c *Call
+	if n := len(b.callPool); n > 0 {
+		c = b.callPool[n-1]
+		b.callPool[n-1] = nil
+		b.callPool = b.callPool[:n-1]
+	} else {
+		c = new(Call)
+	}
+	*c = Call{Name: name, Up: up, Fn: fn, Objs: objs, Data: data, Slot: slot}
+	return c
+}
+
 func (b *Batch) add(c *Call) *Batch {
 	if b.err != nil {
+		b.recycle(c)
 		return b
 	}
 	if b.r.Mode == ModeNative {
 		b.err = c.Fn(b.ctx)
+		b.recycle(c)
 		return b
 	}
 	// A crossing travels one direction: a direction change flushes the
@@ -50,6 +80,7 @@ func (b *Batch) add(c *Call) *Batch {
 	if len(b.calls) > 0 && b.calls[0].Up != c.Up {
 		if err := b.submit(); err != nil {
 			b.err = err
+			b.recycle(c)
 			return b
 		}
 	}
@@ -63,7 +94,7 @@ func (b *Batch) add(c *Call) *Batch {
 // Upcall queues a kernel→user call. objs are shared objects synchronized to
 // user level before the call body runs and back after.
 func (b *Batch) Upcall(name string, fn func(uctx *kernel.Context) error, objs ...any) *Batch {
-	return b.add(&Call{Name: name, Up: true, Fn: fn, Objs: objs})
+	return b.add(b.newCall(name, true, fn, objs, nil, xdr.SlotDescriptor{}))
 }
 
 // UpcallData queues a kernel→user call carrying an opaque payload (packet
@@ -80,7 +111,7 @@ func (b *Batch) Upcall(name string, fn func(uctx *kernel.Context) error, objs ..
 // Runtime.AcquirePayload and UpcallPayload instead: a ring slot snapshots
 // the bytes at acquire time.
 func (b *Batch) UpcallData(name string, data []byte, fn func(uctx *kernel.Context) error, objs ...any) *Batch {
-	return b.add(&Call{Name: name, Up: true, Fn: fn, Objs: objs, Data: data})
+	return b.add(b.newCall(name, true, fn, objs, data, xdr.SlotDescriptor{}))
 }
 
 // UpcallPayload queues a kernel→user call carrying a staged payload: a ring
@@ -89,24 +120,24 @@ func (b *Batch) UpcallData(name string, data []byte, fn func(uctx *kernel.Contex
 // any, must stay acquired until the flush's completion settles; drivers
 // release it with Runtime.ReleasePayload when they reap the flush.
 func (b *Batch) UpcallPayload(name string, p Payload, fn func(uctx *kernel.Context) error, objs ...any) *Batch {
-	return b.add(&Call{Name: name, Up: true, Fn: fn, Objs: objs, Data: p.Data, Slot: p.Slot})
+	return b.add(b.newCall(name, true, fn, objs, p.Data, p.Slot))
 }
 
 // Downcall queues a user→kernel call.
 func (b *Batch) Downcall(name string, fn func(kctx *kernel.Context) error, objs ...any) *Batch {
-	return b.add(&Call{Name: name, Up: false, Fn: fn, Objs: objs})
+	return b.add(b.newCall(name, false, fn, objs, nil, xdr.SlotDescriptor{}))
 }
 
 // DowncallData queues a user→kernel call carrying an opaque payload. The
 // slice is aliased under the same ownership rule as UpcallData.
 func (b *Batch) DowncallData(name string, data []byte, fn func(kctx *kernel.Context) error, objs ...any) *Batch {
-	return b.add(&Call{Name: name, Up: false, Fn: fn, Objs: objs, Data: data})
+	return b.add(b.newCall(name, false, fn, objs, data, xdr.SlotDescriptor{}))
 }
 
 // DowncallPayload queues a user→kernel call carrying a staged payload,
 // the downcall twin of UpcallPayload.
 func (b *Batch) DowncallPayload(name string, p Payload, fn func(kctx *kernel.Context) error, objs ...any) *Batch {
-	return b.add(&Call{Name: name, Up: false, Fn: fn, Objs: objs, Data: p.Data, Slot: p.Slot})
+	return b.add(b.newCall(name, false, fn, objs, p.Data, p.Slot))
 }
 
 // Len reports the calls queued and not yet submitted.
@@ -118,8 +149,17 @@ func (b *Batch) Outstanding() int { return len(b.outstanding) }
 // Err reports the sticky error, if any, without flushing.
 func (b *Batch) Err() error { return b.err }
 
+// recycle drops a Call back into the pool, clearing its references so the
+// pool does not pin payloads or closures.
+func (b *Batch) recycle(c *Call) {
+	*c = Call{}
+	b.callPool = append(b.callPool, c)
+}
+
 // submit hands the queued calls to the transport, retaining their
-// completions, and returns the first synchronously-known error.
+// completions, and returns the first synchronously-known error. The
+// submitted calls move to retired; Flush recycles them once their
+// completions have resolved.
 func (b *Batch) submit() error {
 	if len(b.calls) == 0 {
 		return nil
@@ -129,8 +169,16 @@ func (b *Batch) submit() error {
 		subs[i] = b.r.NewSubmission(c)
 		b.outstanding = append(b.outstanding, subs[i].Completion)
 	}
-	b.calls = nil
+	b.retired = append(b.retired, b.calls...)
+	clearCalls(b.calls)
+	b.calls = b.calls[:0]
 	return b.r.Transport().Submit(b.r, b.ctx, subs)
+}
+
+func clearCalls(cs []*Call) {
+	for i := range cs {
+		cs[i] = nil
+	}
 }
 
 // Flush submits every queued call, waits for every submitted call to
@@ -148,7 +196,17 @@ func (b *Batch) Flush() error {
 			b.err = werr
 		}
 	}
-	b.outstanding = nil
+	for i := range b.outstanding {
+		b.outstanding[i] = nil
+	}
+	b.outstanding = b.outstanding[:0]
+	// Every retired call's completion has resolved: no transport goroutine
+	// can still reference them, so they are safe to recycle.
+	for _, c := range b.retired {
+		b.recycle(c)
+	}
+	clearCalls(b.retired)
+	b.retired = b.retired[:0]
 	err := b.err
 	b.err = nil
 	return err
@@ -169,6 +227,10 @@ func (b *Batch) FlushAsync() *Completion {
 	}
 	outstanding := b.outstanding
 	b.outstanding = nil
+	// The completions escape to the caller, so the retired calls may still
+	// be referenced until an unknown instant: drop them for the collector
+	// instead of recycling.
+	b.retired = nil
 	stickyErr := b.err
 	b.err = nil
 	if len(outstanding) == 0 {

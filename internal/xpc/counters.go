@@ -67,15 +67,27 @@ type Counters struct {
 	CopiedTransfers uint64
 	DirectTransfers uint64
 
-	// SyscallCrossings counts physical wire round trips a process-separated
-	// transport performed: real write/read syscalls into a worker process,
-	// one per coalesced crossing. Zero under the in-process transports —
-	// the column that separates a simulated boundary from a real one.
+	// SyscallCrossings counts syscalls a process-separated transport spent
+	// moving crossings: socketpair round trips (one per coalesced chunk on
+	// the wire fallback path) plus doorbell writes (only when a parked peer
+	// needed waking). Zero under the in-process transports, and — the point
+	// of the descriptor rings — far below one per packet in a proc steady
+	// state, where chunks ride shared memory and the doorbell stays silent.
 	SyscallCrossings uint64
+	// RingCrossings counts coalesced chunks that crossed through the
+	// shared-memory descriptor rings instead of the socketpair: the
+	// syscall-free steady-state path.
+	RingCrossings uint64
+	// DoorbellWakeups counts doorbell syscalls — a byte written because the
+	// peer had declared itself parked (or a parked wait that a byte ended).
+	// The steady-state ratio DoorbellWakeups/RingCrossings is the measure of
+	// how often the rings actually needed the slow path.
+	DoorbellWakeups uint64
 	// WireBytesOut / WireBytesIn total the framed bytes a process-separated
 	// transport moved over its socketpair (submit frames out, completion
-	// frames in). Zero-copy payloads are absent from both by design: only
-	// their twelve-byte descriptors ride the frames.
+	// frames in). Ring crossings move no wire bytes; zero-copy payloads are
+	// absent from both by design: only their twelve-byte descriptors ride
+	// the frames.
 	WireBytesOut uint64
 	WireBytesIn  uint64
 
@@ -112,6 +124,15 @@ type Counters struct {
 	WorkerRespawns uint64
 	WorkerDeaths   uint64
 	WorkerAlive    bool
+
+	// Descriptor-ring state, populated when the transport crosses through
+	// shared-memory descriptor rings (ProcTransport). Transport-lifetime
+	// gauges like the worker fields: ResetCounters does not zero them.
+	//
+	// DescRingEntries is the configured slot count per direction;
+	// DescRingPeak is the submit ring's occupancy high-water mark.
+	DescRingEntries uint64
+	DescRingPeak    uint64
 }
 
 // Trips reports total user/kernel call/return trips (upcalls + downcalls),
@@ -144,6 +165,13 @@ type workerStatser interface {
 	workerStats() (respawns, deaths uint64, alive bool)
 }
 
+// descRingStatser is the snapshot hook a transport crossing through
+// shared-memory descriptor rings implements (ProcTransport): configured
+// entries per direction and the submit ring's occupancy high-water mark.
+type descRingStatser interface {
+	descRingStats() (entries, peak uint64)
+}
+
 // counterShards is the number of independently updated counter cells. Distinct
 // entry points hash to distinct cells, so concurrent crossings of different
 // calls never touch the same cache line.
@@ -171,9 +199,11 @@ type counterCell struct {
 	copiedTransfers atomic.Uint64
 	directTransfers atomic.Uint64
 	syscallCross    atomic.Uint64
+	ringCross       atomic.Uint64
+	doorbells       atomic.Uint64
 	wireBytesOut    atomic.Uint64
 	wireBytesIn     atomic.Uint64
-	_               [32]byte
+	_               [16]byte
 }
 
 // counterState is one epoch of statistics. ResetCounters swaps in a fresh
@@ -262,8 +292,11 @@ func (r *Runtime) noteSubmission(name string) {
 }
 
 // noteCompletion records a resolved submission's latency split and fault
-// outcome.
+// outcome, and feeds the completion observer when one is installed.
 func (r *Runtime) noteCompletion(name string, queueWait, crossCost time.Duration, fault bool) {
+	if ob := r.completionObserver.Load(); ob != nil {
+		(*ob)(name, queueWait, crossCost, fault)
+	}
 	c := r.state().cell(name)
 	if queueWait > 0 {
 		c.queueWaitNs.Add(uint64(queueWait))
@@ -331,6 +364,22 @@ func (r *Runtime) noteSyscallCrossing(name string) {
 	r.state().cell(name).syscallCross.Add(1)
 }
 
+// noteRingCrossing records one coalesced chunk crossing through the
+// shared-memory descriptor rings — the syscall-free steady-state path.
+func (r *Runtime) noteRingCrossing(name string) {
+	r.state().cell(name).ringCross.Add(1)
+}
+
+// noteDoorbells records n doorbell syscalls spent waking a parked peer (or
+// being woken). Each one is also a physical syscall the crossing paid, so
+// it feeds SyscallCrossings too — in a healthy steady state both stay near
+// zero while RingCrossings climbs.
+func (r *Runtime) noteDoorbells(name string, n int) {
+	c := r.state().cell(name)
+	c.doorbells.Add(uint64(n))
+	c.syscallCross.Add(uint64(n))
+}
+
 // noteWire accumulates framed bytes moved over the worker socketpair.
 func (r *Runtime) noteWire(name string, out, in int) {
 	c := r.state().cell(name)
@@ -378,6 +427,8 @@ func (r *Runtime) Counters() Counters {
 		snap.CopiedTransfers += c.copiedTransfers.Load()
 		snap.DirectTransfers += c.directTransfers.Load()
 		snap.SyscallCrossings += c.syscallCross.Load()
+		snap.RingCrossings += c.ringCross.Load()
+		snap.DoorbellWakeups += c.doorbells.Load()
 		snap.WireBytesOut += c.wireBytesOut.Load()
 		snap.WireBytesIn += c.wireBytesIn.Load()
 	}
@@ -386,6 +437,9 @@ func (r *Runtime) Counters() Counters {
 	snap.QueuePeak = r.queuePeak.Load()
 	if wt, ok := r.Transport().(workerStatser); ok {
 		snap.WorkerRespawns, snap.WorkerDeaths, snap.WorkerAlive = wt.workerStats()
+	}
+	if dt, ok := r.Transport().(descRingStatser); ok {
+		snap.DescRingEntries, snap.DescRingPeak = dt.descRingStats()
 	}
 	if ring := r.payloadRing.Load(); ring != nil {
 		snap.RingCapacity = int64(ring.Slots())

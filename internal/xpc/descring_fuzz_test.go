@@ -1,0 +1,79 @@
+package xpc
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzDescRing drives the SPSC ring through an arbitrary operation stream
+// against a FIFO model: values must come out in publication order, a full
+// ring must refuse reservations, occupancy must track the model exactly,
+// and the park flag must behave as a consume-once declaration. The
+// committed seed corpus under testdata/fuzz covers fill/drain, wrap-around,
+// full-ring backpressure and park interleavings; `go test -fuzz=FuzzDescRing`
+// grows it from there.
+func FuzzDescRing(f *testing.F) {
+	f.Add([]byte{0, 0, 0, 1, 1, 1})                // fill then drain
+	f.Add(bytes.Repeat([]byte{0, 1}, 16))          // lockstep wrap-around
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 3}) // overfill, drain, occupancy
+	f.Add([]byte{2, 0, 2, 1, 2, 3, 0, 0, 1, 2})    // park interleavings
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		const entries, slotSize = 4, 16
+		prod, cons := twoSides(t, entries, slotSize)
+		var model []uint64
+		var next uint64
+		for _, op := range ops {
+			switch op % 4 {
+			case 0: // produce
+				slot := prod.reserve()
+				if slot == nil {
+					if len(model) != entries {
+						t.Fatalf("reserve refused with %d of %d slots used", len(model), entries)
+					}
+					continue
+				}
+				if len(model) >= entries {
+					t.Fatal("reserve succeeded on a full ring")
+				}
+				if len(slot) != slotSize {
+					t.Fatalf("slot is %dB, want %d", len(slot), slotSize)
+				}
+				binary.BigEndian.PutUint64(slot, next)
+				prod.publish()
+				model = append(model, next)
+				next++
+			case 1: // consume
+				slot := cons.pending()
+				if slot == nil {
+					if len(model) != 0 {
+						t.Fatalf("pending nil with %d published slots", len(model))
+					}
+					continue
+				}
+				if len(model) == 0 {
+					t.Fatal("pending returned a slot from an empty ring")
+				}
+				if v := binary.BigEndian.Uint64(slot); v != model[0] {
+					t.Fatalf("slot carries %d, model head is %d: FIFO broken", v, model[0])
+				}
+				cons.advance()
+				model = model[1:]
+			case 2: // park is a consume-once declaration
+				cons.park()
+				if !prod.consumerParked() {
+					t.Fatal("park not observed by the producer")
+				}
+				if prod.consumerParked() {
+					t.Fatal("parked flag not consumed by the swap")
+				}
+			case 3: // occupancy tracks the model
+				if got := prod.occupancy(); got != uint64(len(model)) {
+					t.Fatalf("occupancy %d, model holds %d", got, len(model))
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,262 @@
+package xpc
+
+import (
+	"encoding/binary"
+	"errors"
+	"testing"
+	"time"
+	"unsafe"
+)
+
+// alignedRegion returns an 8-byte-aligned heap region for ring tests — the
+// same alignment guarantee an mmap mapping gives the real transport.
+func alignedRegion(n int) []byte {
+	buf := make([]uint64, (n+7)/8)
+	return unsafe.Slice((*byte)(unsafe.Pointer(&buf[0])), n)
+}
+
+// chanDoorbell is the in-process doorbell double: tests drive the
+// park/unpark handshake through a channel instead of a socketpair, so the
+// race detector sees the full protocol.
+type chanDoorbell struct {
+	ch chan struct{}
+}
+
+func newChanDoorbell() chanDoorbell { return chanDoorbell{ch: make(chan struct{}, 64)} }
+
+func (d chanDoorbell) ring() error {
+	select {
+	case d.ch <- struct{}{}:
+	default: // a pending wake already covers this ring
+	}
+	return nil
+}
+
+var errDoorbellTimeout = errors.New("doorbell wait timed out")
+
+func (d chanDoorbell) wait(deadline time.Time) error {
+	if deadline.IsZero() {
+		<-d.ch
+		return nil
+	}
+	timer := time.NewTimer(time.Until(deadline))
+	defer timer.Stop()
+	select {
+	case <-d.ch:
+		return nil
+	case <-timer.C:
+		return errDoorbellTimeout
+	}
+}
+
+// twoSides lays producer-side and consumer-side descRing views over the
+// same region, the way the parent and worker processes each construct their
+// own ring over the shared mapping.
+func twoSides(t testing.TB, entries, slotSize int) (prod, cons *descRing) {
+	t.Helper()
+	region := alignedRegion(descRingBytes(entries, slotSize))
+	var err error
+	if prod, err = newDescRing(region, entries, slotSize); err != nil {
+		t.Fatal(err)
+	}
+	if cons, err = newDescRing(region, entries, slotSize); err != nil {
+		t.Fatal(err)
+	}
+	return prod, cons
+}
+
+func TestDescRingValidation(t *testing.T) {
+	region := alignedRegion(descRingBytes(8, 64))
+	cases := []struct {
+		name          string
+		entries, slot int
+		region        []byte
+	}{
+		{"entries not power of two", 6, 64, region},
+		{"zero entries", 0, 64, region},
+		{"slot too small", 8, 4, region},
+		{"region too small", 8, 64, region[:len(region)-1]},
+		{"region misaligned", 8, 64, region[1:]},
+	}
+	for _, tc := range cases {
+		if _, err := newDescRing(tc.region, tc.entries, tc.slot); err == nil {
+			t.Errorf("%s: constructed successfully", tc.name)
+		}
+	}
+	if _, err := newDescRing(region, 8, 64); err != nil {
+		t.Fatalf("valid geometry rejected: %v", err)
+	}
+}
+
+// TestDescRingFIFOWrapAround: sequenced items must come out in order
+// through many wrap-arounds of a small ring.
+func TestDescRingFIFOWrapAround(t *testing.T) {
+	prod, cons := twoSides(t, 4, 16)
+	const total = 64
+	sent := 0
+	for got := 0; got < total; {
+		for sent < total {
+			slot := prod.reserve()
+			if slot == nil {
+				break // full: drain first
+			}
+			binary.BigEndian.PutUint64(slot, uint64(sent))
+			prod.publish()
+			sent++
+		}
+		slot := cons.pending()
+		if slot == nil {
+			t.Fatalf("ring empty with %d sent, %d consumed", sent, got)
+		}
+		if v := binary.BigEndian.Uint64(slot); v != uint64(got) {
+			t.Fatalf("slot %d carries %d", got, v)
+		}
+		cons.advance()
+		got++
+	}
+	if cons.pending() != nil || prod.occupancy() != 0 {
+		t.Fatal("ring not empty after draining everything")
+	}
+}
+
+// TestDescRingBackpressure: a full ring must refuse reservations until the
+// consumer advances, and never overwrite unconsumed slots.
+func TestDescRingBackpressure(t *testing.T) {
+	prod, cons := twoSides(t, 2, 16)
+	for i := 0; i < 2; i++ {
+		slot := prod.reserve()
+		if slot == nil {
+			t.Fatalf("reserve %d failed on an empty ring", i)
+		}
+		binary.BigEndian.PutUint64(slot, uint64(100+i))
+		prod.publish()
+	}
+	if prod.reserve() != nil {
+		t.Fatal("reserve succeeded on a full ring")
+	}
+	if got := binary.BigEndian.Uint64(cons.pending()); got != 100 {
+		t.Fatalf("head slot = %d, want 100", got)
+	}
+	cons.advance()
+	slot := prod.reserve()
+	if slot == nil {
+		t.Fatal("reserve failed after one advance")
+	}
+	binary.BigEndian.PutUint64(slot, 102)
+	prod.publish()
+	for want := uint64(101); want <= 102; want++ {
+		if got := binary.BigEndian.Uint64(cons.pending()); got != want {
+			t.Fatalf("drained %d, want %d", got, want)
+		}
+		cons.advance()
+	}
+}
+
+// TestDescRingConcurrentStress: a real producer goroutine against a real
+// consumer goroutine over the shared header, with parking on both sides —
+// run under -race this exercises the publication, reclamation and
+// no-lost-wakeup invariants documented in descring.go.
+func TestDescRingConcurrentStress(t *testing.T) {
+	prod, cons := twoSides(t, 8, 16)
+	bell := newChanDoorbell()
+	const total = 20000
+	deadline := time.Now().Add(30 * time.Second)
+	errc := make(chan error, 1)
+	go func() {
+		for i := 0; i < total; i++ {
+			slot := prod.reserve()
+			for slot == nil {
+				slot = prod.reserve()
+			}
+			binary.BigEndian.PutUint64(slot, uint64(i))
+			prod.publish()
+			if prod.consumerParked() {
+				_ = bell.ring()
+			}
+		}
+		errc <- nil
+	}()
+	for i := 0; i < total; i++ {
+		slot, _, err := cons.awaitSlot(bell, deadline)
+		if err != nil {
+			t.Fatalf("item %d: %v", i, err)
+		}
+		if v := binary.BigEndian.Uint64(slot); v != uint64(i) {
+			t.Fatalf("item %d carries %d: slots reordered or overwritten", i, v)
+		}
+		cons.advance()
+	}
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDescRingParkWakeRaces: force the park path on every item by keeping
+// the producer strictly behind the consumer, so each await parks and each
+// publish must win the no-lost-wakeup race.
+func TestDescRingParkWakeRaces(t *testing.T) {
+	prod, cons := twoSides(t, 4, 16)
+	bell := newChanDoorbell()
+	const total = 300
+	deadline := time.Now().Add(30 * time.Second)
+	ready := make(chan struct{})
+	go func() {
+		for i := 0; i < total; i++ {
+			<-ready // consumer is already waiting (usually parked)
+			slot := prod.reserve()
+			binary.BigEndian.PutUint64(slot, uint64(i))
+			prod.publish()
+			if prod.consumerParked() {
+				_ = bell.ring()
+			}
+		}
+	}()
+	wakes := 0
+	for i := 0; i < total; i++ {
+		ready <- struct{}{}
+		slot, w, err := cons.awaitSlot(bell, deadline)
+		if err != nil {
+			t.Fatalf("item %d: %v (lost wakeup?)", i, err)
+		}
+		wakes += w
+		if v := binary.BigEndian.Uint64(slot); v != uint64(i) {
+			t.Fatalf("item %d carries %d", i, v)
+		}
+		cons.advance()
+	}
+	t.Logf("%d doorbell wakes across %d forced-park items", wakes, total)
+}
+
+// TestDescRingAwaitDeadline: a parked consumer with no producer must fail
+// at its deadline, not hang — the wedged-worker backstop.
+func TestDescRingAwaitDeadline(t *testing.T) {
+	_, cons := twoSides(t, 4, 16)
+	bell := newChanDoorbell()
+	start := time.Now()
+	_, _, err := cons.awaitSlot(bell, start.Add(50*time.Millisecond))
+	if err == nil {
+		t.Fatal("awaitSlot returned a slot from an empty ring")
+	}
+	if time.Since(start) > 10*time.Second {
+		t.Fatal("deadline ignored")
+	}
+	if cons.hdr.parked.Load() != 0 {
+		t.Fatal("consumer left itself parked after a failed wait")
+	}
+}
+
+// TestDescRingReset: reset must restore a used ring to empty with no parked
+// flag, the state a freshly spawned worker expects.
+func TestDescRingReset(t *testing.T) {
+	prod, cons := twoSides(t, 4, 16)
+	for i := 0; i < 3; i++ {
+		binary.BigEndian.PutUint64(prod.reserve(), uint64(i))
+		prod.publish()
+	}
+	cons.advance()
+	cons.park()
+	prod.reset()
+	if prod.occupancy() != 0 || cons.pending() != nil || prod.consumerParked() {
+		t.Fatal("reset left state behind")
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"os"
 	"os/exec"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"decafdrivers/internal/kernel"
@@ -28,12 +29,20 @@ const DefaultProcShmBytes = 8 << 20
 // platform's default AF_UNIX buffer.
 const MaxProcBatch = 1024
 
-// procWireTimeout bounds every parent-side wire operation. A dead worker
-// surfaces immediately as EOF/EPIPE; this deadline is the backstop for a
-// wedged one (stopped, swapped out, livelocked), which would otherwise
-// block a crossing — and, through the transport mutex, Close — forever.
-// On expiry the worker is killed and the crossing fails as a WorkerDeath.
+// procWireTimeout bounds every parent-side wire operation — including a
+// parked doorbell wait on the ring fast path. A dead worker surfaces
+// immediately as EOF/EPIPE (the doorbell socketpair closes with it); this
+// deadline is the backstop for a wedged one (stopped, swapped out,
+// livelocked), which would otherwise block a crossing — and, through the
+// transport mutex, Close — forever. On expiry the worker is killed and the
+// crossing fails as a WorkerDeath.
 const procWireTimeout = 30 * time.Second
+
+// descSlotBytes sizes one descriptor-ring slot: room for an encoded submit
+// frame carrying a typical copy-path payload inline (a full 1462B ethernet
+// frame fits with headroom). A chunk with any larger frame falls back to
+// the framed socketpair.
+const descSlotBytes = 2048
 
 // errProcEncode marks a kernel-side frame-encoding failure: nothing was
 // written, the wire stream is still in sync, and the worker is healthy —
@@ -100,6 +109,23 @@ type ProcTransport struct {
 	geoms map[*PayloadRing]ringGeom
 	reg   *ringGeom
 
+	// Descriptor rings (see descring.go): the steady-state submit/complete
+	// path. They live at the tail of the shared region, past payloadLen
+	// bytes reserved for mapped payload rings, and are reset at each worker
+	// epoch. descEntries is the per-direction slot count (a power of two
+	// holding a full batch); descPeak is the submit ring's occupancy
+	// high-water mark, a transport-lifetime gauge.
+	subRing     *descRing
+	cmpRing     *descRing
+	payloadLen  int
+	descEntries int
+	descPeak    atomic.Uint64
+
+	// ids and sums are preallocated per-chunk scratch: the ring fast path
+	// performs zero heap allocations per crossing.
+	ids  []uint64
+	sums []uint64
+
 	spawns uint64
 	deaths uint64
 }
@@ -109,10 +135,13 @@ type ringGeom struct {
 	slotSize uint32
 }
 
-// procWorker is one live worker process.
+// procWorker is one live worker process. sock carries the framed control
+// protocol; bell is the parent end of the dedicated doorbell socketpair
+// (see descring.go's park/doorbell invariants).
 type procWorker struct {
 	cmd    *exec.Cmd
 	sock   *os.File
+	bell   *os.File
 	br     *bufio.Reader
 	exited chan struct{}
 }
@@ -131,7 +160,13 @@ func NewProcTransport(cfg ProcConfig) (*ProcTransport, error) {
 	if cfg.ShmBytes < 1 {
 		cfg.ShmBytes = DefaultProcShmBytes
 	}
-	return &ProcTransport{cfg: cfg, geoms: make(map[*PayloadRing]ringGeom)}, nil
+	return &ProcTransport{
+		cfg:         cfg,
+		geoms:       make(map[*PayloadRing]ringGeom),
+		descEntries: nextPow2(cfg.Batch),
+		ids:         make([]uint64, cfg.Batch),
+		sums:        make([]uint64, cfg.Batch),
+	}, nil
 }
 
 // Name implements Transport.
@@ -235,8 +270,12 @@ func (t *ProcTransport) crossChunk(r *Runtime, ctx *kernel.Context, chunk []*Sub
 	return err
 }
 
-// wireCross frames the chunk over the socketpair and awaits the worker's
-// acknowledgements, verifying payload checksums. Any failure leaves the
+// wireCross moves one chunk across the physical boundary and awaits the
+// worker's acknowledgements, verifying payload checksums. Steady-state
+// chunks whose frames all fit a descriptor slot ride the shared-memory
+// rings (ringCrossLocked) — no syscalls unless a side parked; anything else
+// (oversized payloads, names beyond the frame limit) falls back to the
+// framed socketpair (sockCrossLocked). Any boundary failure leaves the
 // worker dead (reaped and cleared) and returns the death or protocol error.
 func (t *ProcTransport) wireCross(r *Runtime, chunk []*Submission) error {
 	t.mu.Lock()
@@ -244,18 +283,136 @@ func (t *ProcTransport) wireCross(r *Runtime, chunk []*Submission) error {
 	if t.closed {
 		return ErrTransportClosed
 	}
+	if ringFits(chunk) {
+		return t.ringCrossLocked(r, chunk)
+	}
+	return t.sockCrossLocked(r, chunk)
+}
+
+// ringFits reports whether every frame of the chunk is guaranteed to encode
+// into one descriptor-ring slot. The check sizes each frame against its
+// copy-path form (Data counted even when a slot descriptor would cross), so
+// a stale zero-copy descriptor degrading to its Data fallback at encode
+// time cannot overflow the slot the chunk was admitted for — which is what
+// lets ringCrossLocked treat an encode failure as impossible rather than
+// unwinding a partially published ring.
+func ringFits(chunk []*Submission) bool {
+	for _, sub := range chunk {
+		c := sub.Call
+		if len(c.Name) > xdr.MaxFrameName {
+			return false
+		}
+		if xdr.FrameWireSize(xdr.Frame{Name: c.Name, Data: c.Data}) > descSlotBytes {
+			return false
+		}
+	}
+	return true
+}
+
+// ringCrossLocked is the steady-state fast path: encode each submit frame
+// directly into a submit-ring slot of the shared mapping, ring the doorbell
+// only if the worker parked, and collect the completion descriptors the
+// same way. Zero wire traffic and zero heap allocations per crossing — the
+// scratch arrays are pooled on the transport and the encode lands in the
+// mapping itself (ringFits proved it cannot spill, so AppendFrame never
+// grows the slot-backed slice).
+func (t *ProcTransport) ringCrossLocked(r *Runtime, chunk []*Submission) error {
+	name := chunk[0].Call.Name
+	ring := r.payloadRing.Load()
+	w, err := t.ensureWorkerLocked()
+	if err != nil {
+		return err
+	}
+	ids, sums := t.ids[:len(chunk)], t.sums[:len(chunk)]
+	for i, sub := range chunk {
+		c := sub.Call
+		t.nextID++
+		ids[i] = t.nextID
+		sums[i] = 0
+		f := xdr.Frame{Kind: xdr.FrameSubmit, ID: ids[i], Up: c.Up, Name: c.Name}
+		if c.Slot.Valid() && ring != nil && t.reg != nil {
+			// Zero-copy: only the descriptor crosses; see sockCrossLocked.
+			if payload, berr := ring.Buffer(c.Slot); berr == nil {
+				f.Slot = c.Slot
+				sums[i] = payloadSum(payload)
+			}
+		}
+		if !f.Slot.Valid() && len(c.Data) > 0 {
+			f.Data = c.Data
+			sums[i] = payloadSum(c.Data)
+		}
+		slot := t.subRing.reserve()
+		if slot == nil {
+			// Unreachable by construction: the ring holds a full batch and
+			// the previous chunk's submit descriptors were consumed before
+			// its completions were published (the worker advances before it
+			// acknowledges). A full ring therefore means a corrupted header.
+			return t.protocolFailLocked(w, fmt.Errorf("xpc: submit descriptor ring full at %d entries", t.descEntries))
+		}
+		if _, aerr := xdr.AppendFrame(slot[:0], f); aerr != nil {
+			// Unreachable: ringFits admitted the chunk. Nothing was
+			// published for this frame, but earlier frames of the chunk
+			// were — the worker is mid-chunk and must not survive it.
+			return t.protocolFailLocked(w, fmt.Errorf("xpc: descriptor encode %q: %v", c.Name, aerr))
+		}
+		t.subRing.publish()
+	}
+	if occ := t.subRing.occupancy(); occ > t.descPeak.Load() {
+		t.descPeak.Store(occ)
+	}
+	r.noteRingCrossing(name)
+	bell := fdDoorbell{f: w.bell}
+	if t.subRing.consumerParked() {
+		if err := bell.ring(); err != nil {
+			return t.workerDiedLocked(w, err)
+		}
+		r.noteDoorbells(name, 1)
+	}
+	deadline := time.Now().Add(procWireTimeout)
+	for i := range chunk {
+		slot, wakes, err := t.cmpRing.awaitSlot(bell, deadline)
+		if wakes > 0 {
+			r.noteDoorbells(chunk[i].Call.Name, wakes)
+		}
+		if err != nil {
+			return t.workerDiedLocked(w, err)
+		}
+		resp, _, derr := xdr.DecodeFrame(slot)
+		t.cmpRing.advance()
+		if derr != nil {
+			return t.protocolFailLocked(w, fmt.Errorf("xpc: corrupt completion descriptor: %v", derr))
+		}
+		switch {
+		case resp.Kind != xdr.FrameComplete || resp.ID != ids[i]:
+			return t.protocolFailLocked(w, fmt.Errorf("xpc: proc worker protocol: got %v id %d, want complete id %d",
+				resp.Kind, resp.ID, ids[i]))
+		case resp.Status != wireStatusOK:
+			return t.protocolFailLocked(w, fmt.Errorf("xpc: proc worker rejected %q: status %d %s",
+				chunk[i].Call.Name, resp.Status, resp.Name))
+		case resp.Aux != sums[i]:
+			return t.protocolFailLocked(w, fmt.Errorf("xpc: payload checksum mismatch on %q: worker saw %#x, kernel staged %#x",
+				chunk[i].Call.Name, resp.Aux, sums[i]))
+		}
+	}
+	return nil
+}
+
+// sockCrossLocked frames the chunk over the socketpair — the fallback for
+// frames a descriptor slot cannot hold. One write syscall carries the whole
+// chunk; the worker answers with one completion frame per call.
+func (t *ProcTransport) sockCrossLocked(r *Runtime, chunk []*Submission) error {
 	// Encode the whole chunk before touching the worker: an encode failure
 	// is a kernel-side problem and must not cost a healthy process.
 	name := chunk[0].Call.Name
 	ring := r.payloadRing.Load()
 	buf := t.encBuf[:0]
 	defer func() { t.encBuf = buf[:0] }()
-	ids := make([]uint64, len(chunk))
-	sums := make([]uint64, len(chunk))
+	ids, sums := t.ids[:len(chunk)], t.sums[:len(chunk)]
 	for i, sub := range chunk {
 		c := sub.Call
 		t.nextID++
 		ids[i] = t.nextID
+		sums[i] = 0
 		f := xdr.Frame{Kind: xdr.FrameSubmit, ID: ids[i], Up: c.Up, Name: c.Name}
 		if c.Slot.Valid() && ring != nil && t.reg != nil {
 			// Zero-copy: only the descriptor crosses; checksum the bytes
@@ -333,9 +490,9 @@ func (t *ProcTransport) NewMappedRing(slots, slotSize int) (*PayloadRing, error)
 		return nil, err
 	}
 	need := slots * slotSize
-	if slots < 1 || slotSize < 1 || need > len(t.shm.mem) {
-		return nil, fmt.Errorf("xpc: mapped ring %dx%dB exceeds the %dB shared region",
-			slots, slotSize, len(t.shm.mem))
+	if slots < 1 || slotSize < 1 || need > t.payloadLen {
+		return nil, fmt.Errorf("xpc: mapped ring %dx%dB exceeds the %dB payload area of the shared region",
+			slots, slotSize, t.payloadLen)
 	}
 	ring, err := NewPayloadRingOver(t.shm.mem[:need], slots, slotSize)
 	if err != nil {
@@ -430,16 +587,30 @@ func (t *ProcTransport) roundTripLocked(w *procWorker, f xdr.Frame) (xdr.Frame, 
 	return resp, nil
 }
 
-// ensureShmLocked creates and maps the shared region on first need.
+// ensureShmLocked creates and maps the shared region on first need:
+// payloadLen bytes for mapped payload rings, then the two descriptor rings
+// (submit, then complete) at the tail. The worker derives the identical
+// layout from the region size and the FrameDescRing geometry.
 func (t *ProcTransport) ensureShmLocked() error {
 	if t.shm != nil {
 		return nil
 	}
-	shm, err := newShmRegion(t.cfg.ShmBytes)
+	payload := (t.cfg.ShmBytes + 63) &^ 63
+	ringB := descRingBytes(t.descEntries, descSlotBytes)
+	shm, err := newShmRegion(payload + 2*ringB)
 	if err != nil {
 		return err
 	}
-	t.shm = shm
+	sub, err := newDescRing(shm.mem[payload:payload+ringB], t.descEntries, descSlotBytes)
+	if err == nil {
+		t.cmpRing, err = newDescRing(shm.mem[payload+ringB:], t.descEntries, descSlotBytes)
+	}
+	if err != nil {
+		_ = shm.Close()
+		t.cmpRing = nil
+		return err
+	}
+	t.shm, t.payloadLen, t.subRing = shm, payload, sub
 	return nil
 }
 
@@ -463,22 +634,38 @@ func (t *ProcTransport) ensureWorkerLocked() (*procWorker, error) {
 	if err != nil {
 		return nil, err
 	}
+	bellParent, bellChild, err := socketPair()
+	if err != nil {
+		parent.Close()
+		child.Close()
+		return nil, err
+	}
 	cmd := exec.Command(exe)
 	cmd.Env = append(os.Environ(), workerEnv+"=1")
-	cmd.ExtraFiles = []*os.File{child, t.shm.file} // fd 3, fd 4
+	cmd.ExtraFiles = []*os.File{child, t.shm.file, bellChild} // fd 3, 4, 5
 	cmd.Stderr = os.Stderr
 	if err := cmd.Start(); err != nil {
 		parent.Close()
 		child.Close()
+		bellParent.Close()
+		bellChild.Close()
 		return nil, fmt.Errorf("xpc: spawn decaf worker: %w", err)
 	}
 	child.Close()
-	w := &procWorker{cmd: cmd, sock: parent, br: bufio.NewReader(parent), exited: make(chan struct{})}
+	bellChild.Close()
+	w := &procWorker{cmd: cmd, sock: parent, bell: bellParent, br: bufio.NewReader(parent), exited: make(chan struct{})}
 	go func() {
 		_ = cmd.Wait()
 		close(w.exited)
 	}()
 	t.worker = w
+	// A fresh worker epoch: zero the ring positions a dead predecessor left
+	// behind before this worker's ring goroutine attaches to them.
+	t.subRing.reset()
+	t.cmpRing.reset()
+	if err := t.sendDescRingLocked(w); err != nil {
+		return nil, err
+	}
 	if t.reg != nil {
 		if err := t.sendRingRegisterLocked(w, *t.reg); err != nil {
 			return nil, err
@@ -489,6 +676,27 @@ func (t *ProcTransport) ensureWorkerLocked() (*procWorker, error) {
 	// crossing and must not inflate the respawn metric the CI gate pins.
 	t.spawns++
 	return w, nil
+}
+
+// sendDescRingLocked publishes the descriptor-ring geometry to a fresh
+// worker and awaits the ack; only then may crossings ride the rings. Sent
+// before any payload-ring replay, so the worker can bound payload
+// geometries by the region minus the descriptor area.
+func (t *ProcTransport) sendDescRingLocked(w *procWorker) error {
+	t.nextID++
+	f := xdr.Frame{
+		Kind: xdr.FrameDescRing,
+		ID:   t.nextID,
+		Aux:  uint64(t.descEntries)<<32 | uint64(descSlotBytes),
+	}
+	resp, err := t.roundTripLocked(w, f)
+	if err != nil {
+		return t.workerDiedLocked(w, err)
+	}
+	if resp.Kind != xdr.FrameComplete || resp.ID != f.ID || resp.Status != wireStatusOK {
+		return t.protocolFailLocked(w, fmt.Errorf("xpc: worker refused descriptor rings: %v status %d", resp.Kind, resp.Status))
+	}
+	return nil
 }
 
 // workerDiedLocked handles an observed worker death: reap the process,
@@ -514,6 +722,9 @@ func (t *ProcTransport) reapLocked(w *procWorker) (pid int) {
 	}
 	<-w.exited
 	_ = w.sock.Close()
+	if w.bell != nil {
+		_ = w.bell.Close()
+	}
 	t.deaths++
 	if t.worker == w {
 		t.worker = nil
@@ -586,6 +797,13 @@ func (t *ProcTransport) workerStats() (respawns, deaths uint64, alive bool) {
 	return respawns, t.deaths, t.worker != nil
 }
 
+// descRingStats implements the counters snapshot hook for the descriptor
+// rings: configured entries per direction and the submit ring's occupancy
+// high-water mark over the transport's lifetime.
+func (t *ProcTransport) descRingStats() (entries, peak uint64) {
+	return uint64(t.descEntries), t.descPeak.Load()
+}
+
 // Close stops the worker (a polite shutdown frame, then SIGKILL after a
 // grace period) and releases the shared region. Close is idempotent;
 // SetTransport calls it when replacing the transport.
@@ -611,6 +829,9 @@ func (t *ProcTransport) Close() error {
 			<-w.exited
 		}
 		_ = w.sock.Close()
+		if w.bell != nil {
+			_ = w.bell.Close()
+		}
 		t.worker = nil
 	}
 	if len(t.geoms) == 0 && t.reg == nil {

@@ -52,11 +52,21 @@ func TestProcUpcallCrossesRealProcess(t *testing.T) {
 	if c.Upcalls != 1 {
 		t.Fatalf("Upcalls = %d", c.Upcalls)
 	}
-	if c.SyscallCrossings != 1 {
-		t.Fatalf("SyscallCrossings = %d, want 1", c.SyscallCrossings)
+	if c.RingCrossings != 1 {
+		t.Fatalf("RingCrossings = %d, want 1 (steady-state crossings ride the descriptor rings)", c.RingCrossings)
 	}
+	// Syscalls are doorbell wakeups only now: the crossing itself moved
+	// through shared memory.
+	if c.SyscallCrossings != c.DoorbellWakeups {
+		t.Fatalf("SyscallCrossings = %d, DoorbellWakeups = %d: ring crossings must not write the wire", c.SyscallCrossings, c.DoorbellWakeups)
+	}
+	// Control traffic (descriptor-ring registration) still frames over the
+	// socketpair.
 	if c.WireBytesOut == 0 || c.WireBytesIn == 0 {
 		t.Fatalf("wire bytes out/in = %d/%d, want both > 0", c.WireBytesOut, c.WireBytesIn)
+	}
+	if c.DescRingEntries == 0 || c.DescRingPeak == 0 {
+		t.Fatalf("DescRingEntries=%d DescRingPeak=%d, want both > 0 after a ring crossing", c.DescRingEntries, c.DescRingPeak)
 	}
 	if !c.WorkerAlive {
 		t.Fatal("worker not alive after a crossing")
@@ -78,8 +88,11 @@ func TestProcBatchCoalescesIntoOneWireCrossing(t *testing.T) {
 	if c.Upcalls != 1 || c.Batches != 1 || c.BatchedCalls != n {
 		t.Fatalf("Upcalls=%d Batches=%d BatchedCalls=%d, want 1/1/%d", c.Upcalls, c.Batches, c.BatchedCalls, n)
 	}
-	if c.SyscallCrossings != 1 {
-		t.Fatalf("SyscallCrossings = %d: the chunk split into multiple wire trips", c.SyscallCrossings)
+	if c.RingCrossings != 1 {
+		t.Fatalf("RingCrossings = %d: the chunk split into multiple boundary trips", c.RingCrossings)
+	}
+	if c.DescRingPeak < n {
+		t.Fatalf("DescRingPeak = %d, want >= %d (the whole chunk was published before awaiting)", c.DescRingPeak, n)
 	}
 }
 
@@ -97,8 +110,89 @@ func TestProcNestedDowncallFromUpcallBody(t *testing.T) {
 		t.Fatalf("nested downcall: err=%v inner=%v", err, inner)
 	}
 	c := r.Counters()
-	if c.Upcalls != 1 || c.Downcalls != 1 || c.SyscallCrossings != 2 {
-		t.Fatalf("Upcalls=%d Downcalls=%d SyscallCrossings=%d", c.Upcalls, c.Downcalls, c.SyscallCrossings)
+	if c.Upcalls != 1 || c.Downcalls != 1 || c.RingCrossings != 2 {
+		t.Fatalf("Upcalls=%d Downcalls=%d RingCrossings=%d", c.Upcalls, c.Downcalls, c.RingCrossings)
+	}
+}
+
+// TestProcOversizedPayloadFallsBackToWire: a chunk containing a frame too
+// large for a descriptor slot must cross over the socketpair instead —
+// correctly, and visibly in the counters.
+func TestProcOversizedPayloadFallsBackToWire(t *testing.T) {
+	k, r, _ := newProcRig(t, 2)
+	ctx := k.NewContext("test")
+	big := bytes.Repeat([]byte{0x42}, descSlotBytes+1)
+	if err := r.Batch(ctx).UpcallData("jumbo", big, func(uctx *kernel.Context) error { return nil }).Flush(); err != nil {
+		t.Fatalf("oversized payload crossing: %v", err)
+	}
+	c := r.Counters()
+	if c.RingCrossings != 0 {
+		t.Fatalf("RingCrossings = %d: an oversized frame rode the rings", c.RingCrossings)
+	}
+	if c.SyscallCrossings == 0 || c.WireBytesOut < uint64(len(big)) {
+		t.Fatalf("SyscallCrossings=%d WireBytesOut=%d: fallback did not frame the payload over the wire", c.SyscallCrossings, c.WireBytesOut)
+	}
+	// The steady state resumes on the rings afterwards.
+	if err := r.Upcall(ctx, "small", func(uctx *kernel.Context) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if c := r.Counters(); c.RingCrossings != 1 {
+		t.Fatalf("RingCrossings = %d after fallback, want 1", c.RingCrossings)
+	}
+}
+
+// TestProcRingCrossingAllocFree: the boundary layer of a steady-state proc
+// crossing — encode into the submit ring, await and validate completions —
+// must perform zero heap allocations per chunk. This is the invariant the
+// CI allocation gate pins (see BenchmarkProcRingCrossing).
+func TestProcRingCrossingAllocFree(t *testing.T) {
+	k, r, pt := newProcRig(t, 4)
+	ctx := k.NewContext("test")
+	// Warm up: spawn the worker, register the rings, fault in the pools.
+	if err := r.Upcall(ctx, "warmup", func(uctx *kernel.Context) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte{0xA5}, 1462)
+	chunk := []*Submission{
+		r.NewSubmission(&Call{Name: "tx", Up: true, Data: payload}),
+		r.NewSubmission(&Call{Name: "tx", Up: true, Data: payload}),
+	}
+	if avg := testing.AllocsPerRun(200, func() {
+		if err := pt.wireCross(r, chunk); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Fatalf("ring crossing allocates %.1f objects per chunk, want 0", avg)
+	}
+}
+
+// BenchmarkProcRingCrossing measures the boundary layer of a steady-state
+// two-call chunk crossing the descriptor rings. CI runs it with -benchmem
+// and gates allocs/op at zero.
+func BenchmarkProcRingCrossing(b *testing.B) {
+	k := newTestKernel()
+	r := newDecafRuntime(k)
+	pt, err := NewProcTransport(ProcConfig{Batch: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	r.SetTransport(pt)
+	defer r.SetTransport(nil)
+	ctx := k.NewContext("bench")
+	if err := r.Upcall(ctx, "warmup", func(uctx *kernel.Context) error { return nil }); err != nil {
+		b.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte{0xA5}, 1462)
+	chunk := []*Submission{
+		r.NewSubmission(&Call{Name: "tx", Up: true, Data: payload}),
+		r.NewSubmission(&Call{Name: "tx", Up: true, Data: payload}),
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := pt.wireCross(r, chunk); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

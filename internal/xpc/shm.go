@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"os"
 	"syscall"
+	"time"
 )
 
 // shmRegion is a file-backed shared memory mapping: the kernel side creates
@@ -90,4 +91,30 @@ func socketPair() (parent, child *os.File, err error) {
 	// simple sequential loop.
 	_ = syscall.SetNonblock(fds[0], true)
 	return os.NewFile(uintptr(fds[0]), "xpc-proc-parent"), os.NewFile(uintptr(fds[1]), "xpc-proc-child"), nil
+}
+
+// fdDoorbell is the descriptor-ring doorbell over one end of the dedicated
+// doorbell socketpair (child fd 5): ring writes one byte to wake the parked
+// peer; wait blocks reading until a byte (or several — stale doorbells are
+// drained together) arrives. The peer's death closes its end, so a parked
+// wait also doubles as a fast worker-death detector: EOF, not a 30s
+// timeout. The struct is a single pointer, so passing it as the doorbell
+// interface stays allocation-free on the crossing hot path.
+type fdDoorbell struct {
+	f *os.File
+}
+
+func (d fdDoorbell) ring() error {
+	_, err := d.f.Write(doorbellByte[:])
+	return err
+}
+
+func (d fdDoorbell) wait(deadline time.Time) error {
+	// The parent end is nonblocking (poller-registered), so the deadline
+	// takes effect; the worker end is blocking and passes a zero deadline,
+	// where SetReadDeadline fails harmlessly and Read blocks indefinitely.
+	_ = d.f.SetReadDeadline(deadline)
+	var drain [64]byte
+	_, err := d.f.Read(drain[:])
+	return err
 }

@@ -6,21 +6,24 @@ import (
 	"bufio"
 	"encoding/binary"
 	"fmt"
-	"hash/fnv"
 	"io"
 	"os"
+	"runtime"
+	"sync/atomic"
+	"time"
 
 	"decafdrivers/internal/xdr"
 )
 
 // The hidden worker mode: a ProcTransport re-execs the current binary with
-// workerEnv set and the socketpair/shm descriptors at these fixed numbers.
-// Binaries that may host a ProcTransport (decafrun, decafbench, test
-// binaries via TestMain) call MaybeRunWorker first thing in main.
+// workerEnv set and the socketpair/shm/doorbell descriptors at these fixed
+// numbers. Binaries that may host a ProcTransport (decafrun, decafbench,
+// test binaries via TestMain) call MaybeRunWorker first thing in main.
 const (
 	workerEnv     = "DECAF_XPC_PROC_WORKER"
 	workerSockFD  = 3
 	workerShmFD   = 4
+	workerBellFD  = 5
 	workerOKExit  = 0
 	workerErrExit = 3
 )
@@ -30,6 +33,7 @@ const (
 	wireStatusOK uint32 = iota
 	wireStatusNoRing
 	wireStatusBadSlot
+	wireStatusBadFrame
 )
 
 // MaybeRunWorker turns the current process into a decaf XPC worker and never
@@ -54,7 +58,8 @@ func MaybeRunWorker() {
 func runWorker() int {
 	sock := os.NewFile(workerSockFD, "xpc-worker-sock")
 	shmf := os.NewFile(workerShmFD, "xpc-worker-shm")
-	if sock == nil || shmf == nil {
+	bell := os.NewFile(workerBellFD, "xpc-worker-bell")
+	if sock == nil || shmf == nil || bell == nil {
 		fmt.Fprintln(os.Stderr, "xpc worker: missing inherited descriptors")
 		return workerErrExit
 	}
@@ -72,11 +77,14 @@ func runWorker() int {
 
 	br := bufio.NewReader(sock)
 	bw := bufio.NewWriter(sock)
-	var (
-		ringSlots    uint32
-		ringSlotSize uint32
-		ringOK       bool
-	)
+	// geom is the registered payload-ring geometry, packed exactly as the
+	// FrameRingRegister Aux (slots<<32 | slotSize, zero = none). It is
+	// atomic because two goroutines resolve slot descriptors against it:
+	// this wire loop (socketpair fallback path) and the descriptor-ring
+	// server. descArea is the region tail the descriptor rings own; payload
+	// geometries must fit in front of it (wire-loop-only, plain var).
+	var geom atomic.Uint64
+	var descArea int
 	reply := func(f xdr.Frame) error {
 		wire, err := xdr.AppendFrame(nil, f)
 		if err != nil {
@@ -108,39 +116,48 @@ func runWorker() int {
 		case xdr.FramePing:
 			err = reply(xdr.Frame{Kind: xdr.FramePong, ID: f.ID})
 		case xdr.FrameRingRegister:
-			ringSlots = uint32(f.Aux >> 32)
-			ringSlotSize = uint32(f.Aux)
-			ringOK = ringSlots > 0 && ringSlotSize > 0 &&
-				int64(ringSlots)*int64(ringSlotSize) <= int64(len(mem))
+			slots, slotSize := uint32(f.Aux>>32), uint32(f.Aux)
 			status := wireStatusOK
-			if !ringOK {
+			if slots > 0 && slotSize > 0 &&
+				int64(slots)*int64(slotSize) <= int64(len(mem)-descArea) {
+				geom.Store(f.Aux)
+			} else {
 				status = wireStatusBadSlot
 			}
 			err = reply(xdr.Frame{Kind: xdr.FrameComplete, ID: f.ID, Status: status})
 		case xdr.FrameRingRelease:
-			ringOK = false
+			geom.Store(0)
 			err = reply(xdr.Frame{Kind: xdr.FrameComplete, ID: f.ID})
-		case xdr.FrameSubmit:
-			ack := xdr.Frame{Kind: xdr.FrameComplete, ID: f.ID}
+		case xdr.FrameDescRing:
+			entries, slotSize := int(f.Aux>>32), int(uint32(f.Aux))
+			status := wireStatusOK
 			switch {
-			case f.Slot.Valid():
-				if !ringOK {
-					ack.Status = wireStatusNoRing
-					break
+			case descArea != 0:
+				// The rings are registered once per worker process; a second
+				// geometry while the server goroutine runs is a protocol bug.
+				status = wireStatusBadFrame
+			case entries < 1 || entries > 1<<20 || slotSize < 8 || slotSize > 1<<20 ||
+				2*descRingBytes(entries, slotSize) > len(mem):
+				status = wireStatusBadSlot
+			default:
+				rb := descRingBytes(entries, slotSize)
+				payload := len(mem) - 2*rb
+				sub, serr := newDescRing(mem[payload:payload+rb], entries, slotSize)
+				var cmp *descRing
+				if serr == nil {
+					cmp, serr = newDescRing(mem[payload+rb:], entries, slotSize)
 				}
-				off := int64(f.Slot.Index) * int64(ringSlotSize)
-				end := off + int64(f.Slot.Length)
-				if f.Slot.Index >= ringSlots || f.Slot.Length > ringSlotSize || end > int64(len(mem)) {
-					ack.Status = wireStatusBadSlot
-					break
+				if serr != nil {
+					fmt.Fprintln(os.Stderr, "xpc worker: desc rings:", serr)
+					status = wireStatusBadSlot
+				} else {
+					descArea = 2 * rb
+					go serveDescRings(sub, cmp, mem, &geom, fdDoorbell{f: bell})
 				}
-				// The payload never crossed the wire: read it out of the
-				// shared mapping, exactly as a real decaf driver would.
-				ack.Aux = payloadSum(mem[off:end])
-			case len(f.Data) > 0:
-				ack.Aux = payloadSum(f.Data)
 			}
-			err = reply(ack)
+			err = reply(xdr.Frame{Kind: xdr.FrameComplete, ID: f.ID, Status: status})
+		case xdr.FrameSubmit:
+			err = reply(submitAck(f, mem, &geom))
 		default:
 			fmt.Fprintf(os.Stderr, "xpc worker: unexpected %v frame\n", f.Kind)
 			return workerErrExit
@@ -152,15 +169,101 @@ func runWorker() int {
 	}
 }
 
+// submitAck services one submit frame against this address space: resolve a
+// slot descriptor through the registered payload-ring geometry (geom packs
+// slots<<32 | slotSize; zero means no ring) and checksum the payload bytes
+// the worker can actually see — the proof the mapping is shared. Both the
+// socketpair fallback and the descriptor-ring server go through it.
+func submitAck(f xdr.Frame, mem []byte, geom *atomic.Uint64) xdr.Frame {
+	ack := xdr.Frame{Kind: xdr.FrameComplete, ID: f.ID}
+	switch {
+	case f.Slot.Valid():
+		g := geom.Load()
+		if g == 0 {
+			ack.Status = wireStatusNoRing
+			break
+		}
+		slots, slotSize := uint32(g>>32), uint32(g)
+		off := int64(f.Slot.Index) * int64(slotSize)
+		end := off + int64(f.Slot.Length)
+		if f.Slot.Index >= slots || f.Slot.Length > slotSize || end > int64(len(mem)) {
+			ack.Status = wireStatusBadSlot
+			break
+		}
+		// The payload never crossed the wire: read it out of the shared
+		// mapping, exactly as a real decaf driver would.
+		ack.Aux = payloadSum(mem[off:end])
+	case len(f.Data) > 0:
+		ack.Aux = payloadSum(f.Data)
+	}
+	return ack
+}
+
+// serveDescRings is the worker's steady-state loop, one goroutine per
+// worker process: consume submit descriptors from the sub ring, acknowledge
+// each into the cmp ring, and touch the doorbell only around parking (see
+// descring.go's invariants). It exits the process on a doorbell error — the
+// parent closed its end or died — or on a corrupt descriptor, which has no
+// recoverable framing.
+func serveDescRings(sub, cmp *descRing, mem []byte, geom *atomic.Uint64, bell fdDoorbell) {
+	for {
+		slot, _, err := sub.awaitSlot(bell, time.Time{})
+		if err != nil {
+			os.Exit(workerOKExit)
+		}
+		f, _, derr := xdr.DecodeFrame(slot)
+		// Advance the sub ring BEFORE publishing the completion: the parent
+		// assumes a fully acknowledged chunk has left the submit ring, so
+		// the next full-batch chunk always finds room (ringCrossLocked
+		// treats a full submit ring as corruption).
+		sub.advance()
+		if derr != nil {
+			fmt.Fprintln(os.Stderr, "xpc worker: corrupt submit descriptor:", derr)
+			os.Exit(workerErrExit)
+		}
+		var ack xdr.Frame
+		if f.Kind != xdr.FrameSubmit {
+			ack = xdr.Frame{Kind: xdr.FrameComplete, ID: f.ID, Status: wireStatusBadFrame, Name: f.Kind.String()}
+		} else {
+			ack = submitAck(f, mem, geom)
+		}
+		out := cmp.reserve()
+		for out == nil {
+			// Cannot persist: the parent drains completions of the chunk it
+			// is awaiting, and a chunk never exceeds the ring.
+			runtime.Gosched()
+			out = cmp.reserve()
+		}
+		if _, aerr := xdr.AppendFrame(out[:0], ack); aerr != nil {
+			fmt.Fprintln(os.Stderr, "xpc worker: encode completion:", aerr)
+			os.Exit(workerErrExit)
+		}
+		cmp.publish()
+		if cmp.consumerParked() {
+			if err := bell.ring(); err != nil {
+				os.Exit(workerOKExit)
+			}
+		}
+	}
+}
+
 // payloadSum is the FNV-64a checksum both sides compute over a crossing's
 // payload: the kernel side over the bytes it staged, the worker over the
 // bytes visible in its own address space. Equality is the wire-level proof
 // that payload transfer (shared mapping or copied frame) actually delivered
-// the bytes.
+// the bytes. The loop is hand-rolled rather than hash/fnv because the
+// kernel side computes it per crossing on the allocation-free ring fast
+// path (fnv.New64a allocates its state).
 func payloadSum(b []byte) uint64 {
-	h := fnv.New64a()
-	_, _ = h.Write(b)
-	return h.Sum64()
+	const (
+		fnvOffset = 14695981039346656037
+		fnvPrime  = 1099511628211
+	)
+	h := uint64(fnvOffset)
+	for _, c := range b {
+		h = (h ^ uint64(c)) * fnvPrime
+	}
+	return h
 }
 
 // readWireFrame reads one length-prefixed frame from r, returning the frame

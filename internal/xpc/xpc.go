@@ -51,14 +51,18 @@
 //     backpressure policy (block or fail fast), and ordered FIFO
 //     completion holds per direction.
 //   - ProcTransport: the decaf side in a real separate process — the
-//     paper's actual deployment shape. A re-exec of the current binary
-//     serves a wire protocol (xdr.Frame over a socketpair); payload rings
-//     live in mmap-shared memory the worker resolves through its own
-//     mapping; and fault containment is physical (a decaf panic kills the
-//     worker process, recovery respawns it). Virtual costs match
-//     BatchTransport; the real boundary is metered separately
-//     (Counters.SyscallCrossings, WireBytesOut/In). See proc.go and
-//     MaybeRunWorker.
+//     paper's actual deployment shape. Steady-state chunks cross through a
+//     pair of mmap-shared SPSC descriptor rings (encoded xdr.Frames written
+//     directly into shared slots; see descring.go for the park/doorbell
+//     handshake and its memory-ordering invariants), so a healthy crossing
+//     performs zero syscalls and zero heap allocations — the socketpair
+//     carries only control frames, oversized fallbacks, and the doorbell
+//     byte that wakes a parked peer. Payload rings live in the same shared
+//     region, resolved through the worker's own mapping; fault containment
+//     is physical (a decaf panic kills the worker process, recovery
+//     respawns it). Virtual costs match BatchTransport; the real boundary
+//     is metered separately (Counters.RingCrossings, DoorbellWakeups,
+//     SyscallCrossings, WireBytesOut/In). See proc.go and MaybeRunWorker.
 //
 // Hot paths written against the Batch builder are transport-agnostic:
 // Batch.Flush waits for its calls under any transport, while
@@ -215,6 +219,11 @@ type Runtime struct {
 	// call body; returning true throws an *InjectedFault inside the
 	// fault-containment region (test and benchmark fault injection).
 	faultInjector atomic.Pointer[func(call string) bool]
+	// completionObserver, when set, observes every resolved submission's
+	// latency split — the hook the benchmark harness uses to build
+	// caller-visible latency histograms without touching the crossing path
+	// when unset.
+	completionObserver atomic.Pointer[func(name string, queueWait, crossCost time.Duration, fault bool)]
 
 	// mu guards the shared-object registry only; the crossing fast path
 	// never takes it.
@@ -486,6 +495,21 @@ func (r *Runtime) SetFaultNotifier(fn func(FaultEvent)) {
 		return
 	}
 	r.faultNotifier.Store(&fn)
+}
+
+// SetCompletionObserver installs (or, with nil, removes) the observer
+// invoked for every resolved submission with its entry-point name, latency
+// split (queue wait and crossing cost, virtual time) and fault outcome. The
+// benchmark harness attaches here to build caller-visible latency
+// histograms. Like the fault notifier it runs on whatever goroutine
+// resolves the completion, so fn must be concurrency-safe and must only
+// record — never submit or wait.
+func (r *Runtime) SetCompletionObserver(fn func(name string, queueWait, crossCost time.Duration, fault bool)) {
+	if fn == nil {
+		r.completionObserver.Store(nil)
+		return
+	}
+	r.completionObserver.Store(&fn)
 }
 
 // SetFaultInjector installs (or, with nil, removes) the decaf-side fault
