@@ -1,0 +1,79 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"decafdrivers/internal/lint"
+)
+
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	root, err := lint.FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return root
+}
+
+// TestJSONRoundTrip pins the -json schema: findings decode into the schema
+// struct, carry module-relative paths, and re-encode byte-identically.
+func TestJSONRoundTrip(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-json", "internal/lint/testdata/erraudit/drv"}, moduleRoot(t), &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1 (findings); stderr: %s", code, errb.String())
+	}
+	var got []jsonFinding
+	if err := json.Unmarshal(out.Bytes(), &got); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(got) == 0 {
+		t.Fatal("no findings decoded")
+	}
+	for _, f := range got {
+		if f.Analyzer != "erraudit" {
+			t.Errorf("analyzer = %q, want erraudit", f.Analyzer)
+		}
+		if filepath.IsAbs(f.File) {
+			t.Errorf("file %q should be module-relative", f.File)
+		}
+		if f.Line <= 0 || f.Col <= 0 || f.Message == "" || f.Function == "" {
+			t.Errorf("incomplete finding: %+v", f)
+		}
+	}
+	reenc, err := json.MarshalIndent(got, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(reenc)+"\n" != out.String() {
+		t.Error("re-encoded JSON differs from decafvet output")
+	}
+}
+
+func TestCleanPackageExitsZero(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"internal/lint/testdata/boundary/good"}, moduleRoot(t), &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, want 0; out: %s stderr: %s", code, out.String(), errb.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("unexpected output: %s", out.String())
+	}
+}
+
+func TestListAnalyzers(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-list"}, moduleRoot(t), &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, want 0", code)
+	}
+	for _, name := range []string{"boundary", "hotpath", "sharedmem", "erraudit"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing %s", name)
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package analysis_test
+
+import (
+	"reflect"
+	"testing"
+
+	"decafdrivers/internal/analysis"
+	"decafdrivers/internal/lint"
+	"decafdrivers/internal/slicer"
+)
+
+// TestAuditsAgree pins the §5.1 audit semantics across both
+// implementations: the toy-IR audit (AuditErrorHandling over a slicer
+// Driver) and decafvet's Go-AST erraudit, run over a Go fixture that
+// mirrors the IR function for function, must produce the same defects in
+// the same format.
+func TestAuditsAgree(t *testing.T) {
+	site := func(callee string, checked, handled bool) slicer.ErrorSite {
+		return slicer.ErrorSite{Callee: callee, Checked: checked, HandledCorrectly: handled, CheckLines: 1}
+	}
+	fn := func(name string, sites ...slicer.ErrorSite) *slicer.Function {
+		return &slicer.Function{Name: name, File: "drv.go", LoC: 4, ErrorSites: sites}
+	}
+	// The IR twin of internal/lint/testdata/erraudit/drv: one function per
+	// defect shape, plus the clean idioms (which contribute no defects).
+	toy := &slicer.Driver{
+		Name: "drv",
+		Funcs: map[string]*slicer.Function{
+			"ignoredCall":     fn("ignoredCall", site("reset", false, false)),
+			"ignoredDefer":    fn("ignoredDefer", site("reset", false, false)),
+			"overwritten":     fn("overwritten", site("reset", false, false)),
+			"abandoned":       fn("abandoned", site("start", false, false)),
+			"misroutedEmpty":  fn("misroutedEmpty", site("reset", true, false)),
+			"misroutedNil":    fn("misroutedNil", site("reset", true, false)),
+			"explicitDiscard": fn("explicitDiscard", site("reset", true, true)),
+			"handled":         fn("handled", site("reset", true, true)),
+		},
+	}
+	irDefects := analysis.AuditErrorHandling(toy).Defects
+
+	root, err := lint.FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := lint.LoadModule(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := mod.Packages(root, "internal/lint/testdata/erraudit/drv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("loaded %d packages, want 1", len(pkgs))
+	}
+	astDefects := lint.ErrAuditDefects(pkgs[0])
+
+	if !reflect.DeepEqual(irDefects, astDefects) {
+		t.Errorf("audits disagree:\n toy IR: %v\n Go AST: %v", irDefects, astDefects)
+	}
+	// Both render through the shared Defect format.
+	for i := range irDefects {
+		if irDefects[i].String() != astDefects[i].String() {
+			t.Errorf("format mismatch: %q vs %q", irDefects[i], astDefects[i])
+		}
+	}
+}

@@ -23,6 +23,19 @@ type Defect struct {
 	Kind string
 }
 
+// String renders the defect in the audit's one-line format. The toy-IR
+// audit and decafvet's erraudit analyzer both report through this, so the
+// §5.1 numbers and the real-tree findings read identically.
+func (d Defect) String() string {
+	switch d.Kind {
+	case "ignored":
+		return fmt.Sprintf("%s: error from %s is ignored", d.Function, d.Callee)
+	case "misrouted":
+		return fmt.Sprintf("%s: error from %s is checked but mishandled", d.Function, d.Callee)
+	}
+	return fmt.Sprintf("%s: %s error from %s", d.Function, d.Kind, d.Callee)
+}
+
 // ErrorAudit is the result of the exception-conversion audit.
 type ErrorAudit struct {
 	// FunctionsConverted counts functions rewritten to checked exceptions

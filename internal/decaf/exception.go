@@ -6,6 +6,12 @@
 // is not expressible in a managed language (port I/O, msleep, sizeof; §5.3)
 // — plus the finalizer-based automatic release of shared objects that the
 // paper describes as future work (§3.1.2, §5.1).
+//
+// The whole package is decaf-side: it may reach kernel-side state only
+// through xpc.Runtime crossings, and decafvet's boundary analyzer enforces
+// that below.
+//
+//decaf:boundary
 package decaf
 
 import (

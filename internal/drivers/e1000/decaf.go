@@ -23,6 +23,8 @@ const (
 // watchdog, all written in the exception style of the case study. Its
 // methods operate on the decaf copy of the adapter and reach the kernel
 // through downcall stubs.
+//
+//decaf:boundary
 type decafDriver struct {
 	drv *Driver
 

@@ -36,6 +36,8 @@ type rxRing struct {
 // nucleus is the driver nucleus: the kernel-resident half of the split
 // driver. Its methods are the functions DriverSlicer's reachability pass
 // keeps in the kernel.
+//
+//decaf:nucleus
 type nucleus struct {
 	drv     *Driver
 	txLock  *kernel.SpinLock

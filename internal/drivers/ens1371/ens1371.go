@@ -245,6 +245,8 @@ func (d *Driver) stopDAC2(ctx *kernel.Context) {
 // probeDecaf initializes the SRC and codec — the crossing-heavy path that
 // dominates Table 3's 237 init crossings and 6.34 s latency — then registers
 // the mixer controls and the card with the sound core.
+//
+//decaf:boundary
 func (d *Driver) probeDecaf(uctx *kernel.Context) {
 	c := d.DecafChip
 	d.initChipConfig(uctx)
@@ -282,6 +284,8 @@ func (d *Driver) probeDecaf(uctx *kernel.Context) {
 // codec bring-up, mixer register file. It is the replayable hardware half of
 // probe: recovery re-runs it against a restarted decaf driver, while the
 // kernel-object registrations (controls, card) persist and are not replayed.
+//
+//decaf:boundary
 func (d *Driver) initChipConfig(uctx *kernel.Context) {
 	c := d.DecafChip
 

@@ -181,6 +181,8 @@ func (d *Driver) ps2Command(ctx *kernel.Context, cmd byte, arg *byte, respLen in
 
 // command wraps ps2Command in a downcall and converts failures to
 // exceptions.
+//
+//decaf:boundary
 func (d *Driver) command(uctx *kernel.Context, name string, cmd byte, arg *byte, respLen int) []byte {
 	var resp []byte
 	err := d.rt.Downcall(uctx, name, func(kctx *kernel.Context) error {
@@ -197,6 +199,8 @@ func (d *Driver) command(uctx *kernel.Context, name string, cmd byte, arg *byte,
 // probeDecaf is the decaf-driver body: reset, protocol detection (the
 // IntelliMouse rate knock), rate/resolution programming, and reporting
 // enable.
+//
+//decaf:boundary
 func (d *Driver) probeDecaf(uctx *kernel.Context) {
 	s := d.DecafState
 

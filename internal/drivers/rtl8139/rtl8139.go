@@ -479,6 +479,8 @@ const decafRxFrameCost = 900 * time.Nanosecond
 
 // rxFrameDecaf is the decaf-driver RX body in the decaf data path:
 // user-level inspection and accounting of one drained frame.
+//
+//decaf:boundary
 func (d *Driver) rxFrameDecaf(uctx *kernel.Context, pkt *knet.Packet) {
 	d.DecafAdapter.DecafRxFrames++
 	uctx.Charge(decafRxFrameCost)
@@ -487,6 +489,8 @@ func (d *Driver) rxFrameDecaf(uctx *kernel.Context, pkt *knet.Packet) {
 
 // probeDecaf identifies the chip and reads the MAC: the decaf-driver body
 // of rtl8139_init_board + read_eeprom.
+//
+//decaf:boundary
 func (d *Driver) probeDecaf(uctx *kernel.Context) {
 	if err := d.rt.Downcall(uctx, "rtl8139_reset_chip", func(kctx *kernel.Context) error {
 		return d.resetChip(kctx)
@@ -539,6 +543,8 @@ func (d *Driver) probeDecaf(uctx *kernel.Context) {
 }
 
 // openDecaf is the decaf-driver body of rtl8139_open, exception style.
+//
+//decaf:boundary
 func (d *Driver) openDecaf(uctx *kernel.Context) {
 	if err := d.rt.Downcall(uctx, "rtl8139_alloc_buffers", func(kctx *kernel.Context) error {
 		return d.allocBuffers(kctx)
@@ -565,6 +571,8 @@ func (d *Driver) openDecaf(uctx *kernel.Context) {
 }
 
 // closeDecaf tears the interface down.
+//
+//decaf:boundary
 func (d *Driver) closeDecaf(uctx *kernel.Context) {
 	_ = d.rt.Downcall(uctx, "rtl8139_hw_stop", func(kctx *kernel.Context) error {
 		d.stopChip(kctx)

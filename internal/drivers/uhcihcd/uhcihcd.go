@@ -108,6 +108,7 @@ func (d *Driver) Runtime() *xpc.Runtime { return d.rt }
 
 // --- nucleus ---
 
+func (d *Driver) outb(off uint16, v uint8)  { d.kern.Bus().Outb(d.ioBase+off, v) }
 func (d *Driver) outw(off uint16, v uint16) { d.kern.Bus().Outw(d.ioBase+off, v) }
 func (d *Driver) outl(off uint16, v uint32) { d.kern.Bus().Outl(d.ioBase+off, v) }
 func (d *Driver) inw(off uint16) uint16     { return d.kern.Bus().Inw(d.ioBase + off) }
@@ -260,6 +261,8 @@ func (d *Driver) linkAllFrames(v uint32) {
 
 // resetHCDecaf performs the controller global reset through register-level
 // downcalls.
+//
+//decaf:boundary
 func (d *Driver) resetHCDecaf(uctx *kernel.Context) {
 	for _, w := range []struct {
 		off uint16
@@ -292,6 +295,8 @@ func (d *Driver) resetHCDecaf(uctx *kernel.Context) {
 
 // configureHCDecaf programs the frame list, start-of-frame timing, and
 // interrupt enables, then resets and enables each root-hub port.
+//
+//decaf:boundary
 func (d *Driver) configureHCDecaf(uctx *kernel.Context) {
 	if err := d.rt.Downcall(uctx, "uhci_alloc_schedule", func(kctx *kernel.Context) error {
 		return d.allocSchedule(kctx)
@@ -310,7 +315,7 @@ func (d *Driver) configureHCDecaf(uctx *kernel.Context) {
 	}
 	for i := 0; i < 4; i++ {
 		_ = d.rt.Downcall(uctx, "uhci_sof_trim", func(kctx *kernel.Context) error {
-			d.kern.Bus().Outb(d.ioBase+uhcihw.RegSOFMOD, 64)
+			d.outb(uhcihw.RegSOFMOD, 64)
 			return nil
 		})
 	}
@@ -320,7 +325,7 @@ func (d *Driver) configureHCDecaf(uctx *kernel.Context) {
 	}{
 		{"flbaseadd", func(k *kernel.Context) { d.outl(uhcihw.RegFLBASEADD, st.FrameBase) }},
 		{"frnum", func(k *kernel.Context) { d.ioWrite16(k, uhcihw.RegFRNUM, 0) }},
-		{"sofmod", func(k *kernel.Context) { d.kern.Bus().Outb(d.ioBase+uhcihw.RegSOFMOD, 64) }},
+		{"sofmod", func(k *kernel.Context) { d.outb(uhcihw.RegSOFMOD, 64) }},
 		{"usbintr", func(k *kernel.Context) { d.ioWrite16(k, uhcihw.RegUSBINTR, 0xF) }},
 	}
 	for _, w := range writes {
@@ -401,6 +406,8 @@ func (d *Driver) configureHCDecaf(uctx *kernel.Context) {
 }
 
 // suspendDecaf is the third converted function: stop the controller.
+//
+//decaf:boundary
 func (d *Driver) suspendDecaf(uctx *kernel.Context) {
 	_ = d.rt.Downcall(uctx, "uhci_stop", func(kctx *kernel.Context) error {
 		d.ioWrite16(kctx, uhcihw.RegUSBCMD, 0)

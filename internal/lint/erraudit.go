@@ -1,0 +1,418 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"decafdrivers/internal/analysis"
+)
+
+// ErrAuditAnalyzer is the paper's §5.1 error-handling audit run over the
+// real Go tree instead of the toy driver IR. It reports through the same
+// analysis.Defect taxonomy, with two kinds:
+//
+//   - "ignored": an error return discarded invisibly — a bare call
+//     statement (including go/defer) whose last result is an error, or an
+//     error variable assigned and then overwritten or abandoned without ever
+//     being read. An explicit `_ = f()` is a deliberate, reviewable discard
+//     and is allowed; fmt's print family is excluded as idiom.
+//   - "misrouted": an error that was checked and then dropped — an
+//     `if err != nil` whose branch is empty or does nothing but return nil,
+//     the Go spelling of C's goto-to-the-wrong-label cleanup the paper
+//     counts.
+//
+// Scope is pinned to the audit's subjects — the driver packages and the
+// commands — via the analyzer's Match hook, mirroring how the paper audits
+// driver code rather than the whole kernel.
+var ErrAuditAnalyzer = &Analyzer{
+	Name: "erraudit",
+	Doc:  "ignored and misrouted error returns in drivers and commands",
+	Match: func(pkgPath string) bool {
+		return strings.Contains(pkgPath, "/internal/drivers/") ||
+			strings.Contains(pkgPath, "/cmd/") ||
+			strings.Contains(pkgPath, "testdata/erraudit")
+	},
+	Run: runErrAudit,
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+func isErrorType(t types.Type) bool { return t != nil && types.Identical(t, errorType) }
+
+// posDefect pairs a defect with the position it anchors to.
+type posDefect struct {
+	pos token.Pos
+	def analysis.Defect
+}
+
+func runErrAudit(p *Pass) {
+	p.eachFuncDecl(func(decl *ast.FuncDecl) {
+		for _, d := range auditFuncDecl(p.Pkg, decl) {
+			p.reportf(d.pos, "%s", d.def.String())
+		}
+	})
+}
+
+// ErrAuditDefects runs the error audit over every function in pkg and
+// returns the defects in the same order AuditErrorHandling uses (function,
+// then kind), so the toy-IR and Go-AST audits compare directly.
+func ErrAuditDefects(pkg *Package) []analysis.Defect {
+	var defects []analysis.Defect
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			for _, d := range auditFuncDecl(pkg, fd) {
+				defects = append(defects, d.def)
+			}
+		}
+	}
+	sort.Slice(defects, func(i, j int) bool {
+		if defects[i].Function != defects[j].Function {
+			return defects[i].Function < defects[j].Function
+		}
+		return defects[i].Kind < defects[j].Kind
+	})
+	return defects
+}
+
+func auditFuncDecl(pkg *Package, decl *ast.FuncDecl) []posDefect {
+	fname := decl.Name.Name
+	var out []posDefect
+	report := func(pos token.Pos, kind, callee string) {
+		out = append(out, posDefect{pos, analysis.Defect{Function: fname, Callee: callee, Kind: kind}})
+	}
+	auditBareCalls(pkg, decl.Body, report)
+	auditErrorVars(pkg, decl.Body, report)
+	auditMisrouted(pkg, decl.Body, report)
+	sort.Slice(out, func(i, j int) bool { return out[i].pos < out[j].pos })
+	return out
+}
+
+// auditBareCalls flags call statements that silently discard a trailing
+// error result.
+func auditBareCalls(pkg *Package, body *ast.BlockStmt, report func(token.Pos, string, string)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		var call *ast.CallExpr
+		switch s := n.(type) {
+		case *ast.ExprStmt:
+			call, _ = s.X.(*ast.CallExpr)
+		case *ast.GoStmt:
+			call = s.Call
+		case *ast.DeferStmt:
+			call = s.Call
+		}
+		if call == nil || !callReturnsError(pkg, call) {
+			return true
+		}
+		if fn := calleeFunc(pkg, call); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+			return true // print-family idiom
+		}
+		report(call.Pos(), "ignored", calleeName(pkg, call))
+		return true
+	})
+}
+
+// callReturnsError reports whether the call's last result is an error.
+func callReturnsError(pkg *Package, call *ast.CallExpr) bool {
+	tv, ok := pkg.Info.Types[call.Fun]
+	if !ok || tv.IsType() || tv.IsBuiltin() {
+		return false
+	}
+	sig, ok := tv.Type.(*types.Signature)
+	if !ok || sig.Results().Len() == 0 {
+		return false
+	}
+	return isErrorType(sig.Results().At(sig.Results().Len() - 1).Type())
+}
+
+func calleeName(pkg *Package, call *ast.CallExpr) string {
+	if fn := calleeFunc(pkg, call); fn != nil {
+		return fn.Name()
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return "call"
+}
+
+// errVarEvent is one textual occurrence of an error variable.
+type errVarEvent struct {
+	// key orders events; writes sort at their statement's end so a
+	// self-referential `err = wrap(err)` reads before it writes.
+	key token.Pos
+	// pos anchors a report.
+	pos token.Pos
+	// write is true for assignment targets.
+	write bool
+	// stmt is the assignment statement for writes (block identity).
+	stmt ast.Stmt
+	// callee names the RHS call for writes, "" otherwise.
+	callee string
+}
+
+// auditErrorVars flags error variables whose value is overwritten or
+// abandoned without ever being read — the invisible form of ignoring an
+// error that `_ =` makes visible. Variables captured by closures or having
+// their address taken are skipped (their dataflow is not positional).
+func auditErrorVars(pkg *Package, body *ast.BlockStmt, report func(token.Pos, string, string)) {
+	// Locals of type error declared in this body.
+	locals := make(map[*types.Var]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if v, ok := pkg.Info.Defs[id].(*types.Var); ok && isErrorType(v.Type()) && !v.IsField() {
+			locals[v] = true
+		}
+		return true
+	})
+	if len(locals) == 0 {
+		return
+	}
+	// Disqualify captured / address-taken variables.
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			ast.Inspect(n, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok {
+					if v, ok := pkg.Info.Uses[id].(*types.Var); ok {
+						delete(locals, v)
+					}
+				}
+				return true
+			})
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if id, ok := ast.Unparen(n.X).(*ast.Ident); ok {
+					if v, ok := pkg.Info.Uses[id].(*types.Var); ok {
+						delete(locals, v)
+					}
+				}
+			}
+		}
+		return true
+	})
+	if len(locals) == 0 {
+		return
+	}
+	parentBlock := stmtParents(body)
+	events := make(map[*types.Var][]errVarEvent)
+	addWrite := func(v *types.Var, id *ast.Ident, stmt ast.Stmt, callee string) {
+		events[v] = append(events[v], errVarEvent{key: stmt.End(), pos: id.Pos(), write: true, stmt: stmt, callee: callee})
+	}
+	// Classify every occurrence. Assignment targets are writes; everything
+	// else is a read.
+	writeIdents := make(map[*ast.Ident]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		callee := ""
+		if len(as.Rhs) == 1 {
+			if call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr); ok {
+				callee = calleeName(pkg, call)
+			}
+		}
+		for _, lhs := range as.Lhs {
+			id, ok := ast.Unparen(lhs).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			v, ok := objOf(pkg, id).(*types.Var)
+			if !ok || !locals[v] {
+				continue
+			}
+			writeIdents[id] = true
+			addWrite(v, id, as, callee)
+		}
+		return true
+	})
+	ast.Inspect(body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || writeIdents[id] {
+			return true
+		}
+		v, ok := pkg.Info.Uses[id].(*types.Var)
+		if !ok || !locals[v] {
+			return true
+		}
+		events[v] = append(events[v], errVarEvent{key: id.Pos(), pos: id.Pos()})
+		return true
+	})
+	for v, evs := range events {
+		sort.Slice(evs, func(i, j int) bool { return evs[i].key < evs[j].key })
+		for i, e := range evs {
+			if !e.write {
+				continue
+			}
+			callee := e.callee
+			if callee == "" {
+				callee = v.Name()
+			}
+			if i == len(evs)-1 {
+				// Final occurrence is a write: the value is abandoned.
+				report(e.pos, "ignored", callee)
+				continue
+			}
+			next := evs[i+1]
+			// Overwritten before any read, within the same statement list
+			// (cross-block pairs are usually if/else joins, not defects).
+			if next.write && e.stmt != nil && next.stmt != nil &&
+				parentBlock[e.stmt] != nil && parentBlock[e.stmt] == parentBlock[next.stmt] {
+				report(e.pos, "ignored", callee)
+			}
+		}
+	}
+}
+
+// stmtParents maps each statement to the statement list that directly holds
+// it (block, case clause, or comm clause).
+func stmtParents(body *ast.BlockStmt) map[ast.Stmt]ast.Node {
+	parents := make(map[ast.Stmt]ast.Node)
+	ast.Inspect(body, func(n ast.Node) bool {
+		var list []ast.Stmt
+		switch s := n.(type) {
+		case *ast.BlockStmt:
+			list = s.List
+		case *ast.CaseClause:
+			list = s.Body
+		case *ast.CommClause:
+			list = s.Body
+		default:
+			return true
+		}
+		for _, st := range list {
+			parents[st] = n
+		}
+		return true
+	})
+	return parents
+}
+
+func objOf(pkg *Package, id *ast.Ident) types.Object {
+	if o := pkg.Info.Defs[id]; o != nil {
+		return o
+	}
+	return pkg.Info.Uses[id]
+}
+
+// auditMisrouted flags `if err != nil` checks whose branch drops the error:
+// an empty body, or a body that only returns nil values.
+func auditMisrouted(pkg *Package, body *ast.BlockStmt, report func(token.Pos, string, string)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok {
+			return true
+		}
+		errExpr := nilCheckedError(pkg, ifs.Cond)
+		if errExpr == nil || !branchDropsError(ifs.Body) {
+			return true
+		}
+		report(ifs.Pos(), "misrouted", misroutedCallee(pkg, body, ifs, errExpr))
+		return true
+	})
+}
+
+// nilCheckedError returns the error-typed operand of an `x != nil`
+// condition, or nil.
+func nilCheckedError(pkg *Package, cond ast.Expr) ast.Expr {
+	b, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok || b.Op != token.NEQ {
+		return nil
+	}
+	for _, pair := range [][2]ast.Expr{{b.X, b.Y}, {b.Y, b.X}} {
+		operand, other := pair[0], pair[1]
+		if !isNilIdent(pkg, other) {
+			continue
+		}
+		if tv, ok := pkg.Info.Types[operand]; ok && isErrorType(tv.Type) {
+			return operand
+		}
+	}
+	return nil
+}
+
+func isNilIdent(pkg *Package, e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && pkg.Info.Uses[id] == types.Universe.Lookup("nil")
+}
+
+// branchDropsError reports whether the taken branch discards the checked
+// error: no statements, or a lone all-nil return.
+func branchDropsError(body *ast.BlockStmt) bool {
+	switch len(body.List) {
+	case 0:
+		return true
+	case 1:
+		ret, ok := body.List[0].(*ast.ReturnStmt)
+		if !ok || len(ret.Results) == 0 {
+			return false
+		}
+		for _, r := range ret.Results {
+			id, ok := ast.Unparen(r).(*ast.Ident)
+			if !ok || id.Name != "nil" {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// misroutedCallee attributes a misrouted check to the call that produced
+// the error: the if's own init statement, or the nearest preceding
+// assignment to the checked variable.
+func misroutedCallee(pkg *Package, body *ast.BlockStmt, ifs *ast.IfStmt, errExpr ast.Expr) string {
+	if as, ok := ifs.Init.(*ast.AssignStmt); ok && len(as.Rhs) == 1 {
+		if call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr); ok {
+			return calleeName(pkg, call)
+		}
+	}
+	id, ok := ast.Unparen(errExpr).(*ast.Ident)
+	if !ok {
+		return "check"
+	}
+	v, ok := pkg.Info.Uses[id].(*types.Var)
+	if !ok {
+		return id.Name
+	}
+	best := ""
+	var bestEnd token.Pos
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.End() >= ifs.Pos() || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			lid, ok := ast.Unparen(lhs).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if lv, _ := objOf(pkg, lid).(*types.Var); lv == v && as.End() > bestEnd {
+				bestEnd = as.End()
+				best = calleeName(pkg, call)
+			}
+		}
+		return true
+	})
+	if best != "" {
+		return best
+	}
+	return id.Name
+}

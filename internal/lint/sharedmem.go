@@ -1,0 +1,114 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// SharedMemAnalyzer guards the fields that live inside a mapped shared-memory
+// region — the descriptor-ring heads, tails, and park words both processes
+// poll. Those fields are annotated //decaf:shared, and every access must go
+// through sync/atomic: either the field's own sync/atomic type
+// (h.head.Load(), h.parked.Store(1)) or an atomic package call on its
+// address (atomic.AddUint64(&h.tail, 1)). A plain load, store, address
+// escape, or keyed composite-literal initialisation is a data race with the
+// peer process that -race cannot see, because the other side of the race is
+// in a different address space. This is the lint-time face of the crossing
+// protocol descring.go documents in prose.
+var SharedMemAnalyzer = &Analyzer{
+	Name: "sharedmem",
+	Doc:  "//decaf:shared fields may only be touched through sync/atomic",
+	Run:  runSharedMem,
+}
+
+func runSharedMem(p *Pass) {
+	if len(p.Pkg.Ann.SharedFields) == 0 {
+		return
+	}
+	allowed := collectAtomicUses(p.Pkg)
+	p.eachFuncDecl(func(decl *ast.FuncDecl) {
+		p.flagSharedAccesses(decl.Body, allowed)
+	})
+	// Package-level declarations (var blocks with composite literals).
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			if gd, ok := decl.(*ast.GenDecl); ok && gd.Tok == token.VAR {
+				p.flagSharedAccesses(gd, allowed)
+			}
+		}
+	}
+}
+
+// collectAtomicUses marks the shared-field selector expressions that are
+// legal: receivers of sync/atomic-typed method calls and addresses passed
+// to sync/atomic package functions.
+func collectAtomicUses(pkg *Package) map[*ast.SelectorExpr]bool {
+	allowed := make(map[*ast.SelectorExpr]bool)
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			// h.field.Load() — the field's type is itself a sync/atomic type.
+			if fun, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+				if inner, ok := ast.Unparen(fun.X).(*ast.SelectorExpr); ok && sharedFieldOf(pkg, inner) != nil {
+					if tn := namedTypeName(typeOf(pkg, fun.X)); tn != nil && tn.Pkg() != nil && tn.Pkg().Path() == "sync/atomic" {
+						allowed[inner] = true
+					}
+				}
+			}
+			// atomic.AddUint64(&h.field, 1) — address handed to sync/atomic.
+			if fn := calleeFunc(pkg, call); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic" {
+				for _, arg := range call.Args {
+					if u, ok := ast.Unparen(arg).(*ast.UnaryExpr); ok && u.Op == token.AND {
+						if sel, ok := ast.Unparen(u.X).(*ast.SelectorExpr); ok && sharedFieldOf(pkg, sel) != nil {
+							allowed[sel] = true
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return allowed
+}
+
+func (p *Pass) flagSharedAccesses(root ast.Node, allowed map[*ast.SelectorExpr]bool) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			if v := sharedFieldOf(p.Pkg, n); v != nil && !allowed[n] {
+				p.reportf(n.Pos(), "plain access to shm-shared field %s; the peer process races with anything but sync/atomic", v.Name())
+			}
+		case *ast.KeyValueExpr:
+			if id, ok := n.Key.(*ast.Ident); ok {
+				if v, ok := p.Pkg.Info.Uses[id].(*types.Var); ok && p.Pkg.Ann.SharedFields[v] {
+					p.reportf(n.Pos(), "composite literal initialises shm-shared field %s; zero the mapping and publish with sync/atomic instead", v.Name())
+				}
+			}
+		}
+		return true
+	})
+}
+
+// sharedFieldOf resolves sel to a //decaf:shared field, or nil.
+func sharedFieldOf(pkg *Package, sel *ast.SelectorExpr) *types.Var {
+	s := pkg.Info.Selections[sel]
+	if s == nil || s.Kind() != types.FieldVal {
+		return nil
+	}
+	v, _ := s.Obj().(*types.Var)
+	if v == nil || !pkg.Ann.SharedFields[v] {
+		return nil
+	}
+	return v
+}
+
+func typeOf(pkg *Package, e ast.Expr) types.Type {
+	if tv, ok := pkg.Info.Types[e]; ok && tv.Type != nil {
+		return tv.Type
+	}
+	return types.Typ[types.Invalid]
+}

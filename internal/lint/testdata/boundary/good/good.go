@@ -1,0 +1,19 @@
+// Package good is decaf-side code that crosses correctly: kernel state is
+// only touched inside function literals handed to the xpc runtime.
+//
+//decaf:boundary
+package good
+
+import (
+	"decafdrivers/internal/lint/testdata/boundary/internal/kernel"
+	"decafdrivers/internal/lint/testdata/boundary/internal/xpc"
+)
+
+// Open charges the capability it was handed, then crosses for the rest.
+func Open(rt *xpc.Runtime, ctx *kernel.Context) error {
+	ctx.Charge(kernel.MaxFrame)
+	return rt.Downcall("open", func() {
+		kernel.Poke()
+		kernel.Ticks = 0
+	})
+}

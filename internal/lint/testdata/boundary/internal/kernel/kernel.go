@@ -1,0 +1,20 @@
+// Package kernel is a miniature kernel-side surface for the boundary
+// analyzer's golden tests; its import path ends in /internal/kernel so the
+// real rule applies to it.
+package kernel
+
+// Context is the execution capability the runtime hands across; its methods
+// are exempt from the boundary rule.
+type Context struct{ budget int }
+
+// Charge consumes execution budget.
+func (c *Context) Charge(n int) { c.budget -= n }
+
+// Ticks is kernel-side package state.
+var Ticks uint64
+
+// MaxFrame is a constant: constants exist on both sides at compile time.
+const MaxFrame = 1536
+
+// Poke touches device state and must only run kernel-side.
+func Poke() { Ticks++ }

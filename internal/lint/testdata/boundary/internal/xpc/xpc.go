@@ -1,0 +1,19 @@
+// Package xpc is a miniature crossing runtime for the boundary analyzer's
+// golden tests; its import path ends in /internal/xpc so function literals
+// passed to it are treated as crossing stubs.
+package xpc
+
+// Runtime mimics the crossing API shape.
+type Runtime struct{}
+
+// Downcall runs fn on the kernel side.
+func (r *Runtime) Downcall(name string, fn func()) error {
+	fn()
+	return nil
+}
+
+// Upcall runs fn on the decaf side.
+func (r *Runtime) Upcall(name string, fn func()) error {
+	fn()
+	return nil
+}

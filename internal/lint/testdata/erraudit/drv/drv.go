@@ -1,0 +1,57 @@
+// Package drv exercises the erraudit analyzer with the paper's defect
+// kinds: invisibly ignored errors and checked-but-mishandled errors.
+package drv
+
+import "errors"
+
+func reset() error { return errors.New("reset") }
+func start() error { return errors.New("start") }
+func note(string)  {}
+
+func ignoredCall() {
+	reset() // want "ignoredCall: error from reset is ignored"
+}
+
+func ignoredDefer() {
+	defer reset() // want "ignoredDefer: error from reset is ignored"
+}
+
+// explicitDiscard is a visible, reviewable discard: allowed.
+func explicitDiscard() {
+	_ = reset()
+}
+
+func overwritten() error {
+	err := reset() // want "overwritten: error from reset is ignored"
+	err = start()
+	return err
+}
+
+func abandoned() {
+	err := reset()
+	if err != nil {
+		note("reset failed")
+	}
+	err = start() // want "abandoned: error from start is ignored"
+}
+
+func misroutedEmpty() {
+	if err := reset(); err != nil { // want "misroutedEmpty: error from reset is checked but mishandled"
+	}
+}
+
+func misroutedNil() error {
+	err := reset()
+	if err != nil { // want "misroutedNil: error from reset is checked but mishandled"
+		return nil
+	}
+	return start()
+}
+
+// handled is the clean idiom.
+func handled() error {
+	if err := reset(); err != nil {
+		return err
+	}
+	return start()
+}

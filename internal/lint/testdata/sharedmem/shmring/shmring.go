@@ -1,0 +1,29 @@
+// Package shmring exercises the sharedmem analyzer: a header struct whose
+// tagged fields stand in for shm-resident ring state.
+package shmring
+
+import "sync/atomic"
+
+type hdr struct {
+	head atomic.Uint64 //decaf:shared
+	tail uint64        //decaf:shared
+	seq  uint64
+}
+
+// good touches shared fields only through sync/atomic; the untagged field
+// is free.
+func good(h *hdr) uint64 {
+	h.head.Store(1)
+	atomic.AddUint64(&h.tail, 1)
+	h.seq = 7
+	return h.head.Load() + atomic.LoadUint64(&h.tail) + h.seq
+}
+
+// bad races the peer process four ways.
+func bad(h *hdr) uint64 {
+	h.tail = 1         // want "plain access to shm-shared field tail"
+	t := h.tail        // want "plain access to shm-shared field tail"
+	p := &h.tail       // want "plain access to shm-shared field tail"
+	h2 := hdr{tail: 3} // want "composite literal initialises shm-shared field tail"
+	return t + *p + h2.seq
+}

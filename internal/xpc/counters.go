@@ -220,6 +220,8 @@ type counterState struct {
 }
 
 // shardIndex hashes an entry-point name to a counter cell (FNV-1a).
+//
+//decaf:hotpath
 func shardIndex(name string) int {
 	h := uint32(2166136261)
 	for i := 0; i < len(name); i++ {
@@ -228,6 +230,9 @@ func shardIndex(name string) int {
 	return int(h % counterShards)
 }
 
+// cell returns the shard for an entry-point name.
+//
+//decaf:hotpath
 func (s *counterState) cell(name string) *counterCell {
 	return &s.cells[shardIndex(name)]
 }
@@ -360,12 +365,16 @@ func (r *Runtime) noteDirect(name string, n int) {
 
 // noteSyscallCrossing records one physical wire round trip into the worker
 // process (a process-separated transport's crossing).
+//
+//decaf:hotpath
 func (r *Runtime) noteSyscallCrossing(name string) {
 	r.state().cell(name).syscallCross.Add(1)
 }
 
 // noteRingCrossing records one coalesced chunk crossing through the
 // shared-memory descriptor rings — the syscall-free steady-state path.
+//
+//decaf:hotpath
 func (r *Runtime) noteRingCrossing(name string) {
 	r.state().cell(name).ringCross.Add(1)
 }
@@ -374,6 +383,8 @@ func (r *Runtime) noteRingCrossing(name string) {
 // being woken). Each one is also a physical syscall the crossing paid, so
 // it feeds SyscallCrossings too — in a healthy steady state both stay near
 // zero while RingCrossings climbs.
+//
+//decaf:hotpath
 func (r *Runtime) noteDoorbells(name string, n int) {
 	c := r.state().cell(name)
 	c.doorbells.Add(uint64(n))
@@ -381,6 +392,8 @@ func (r *Runtime) noteDoorbells(name string, n int) {
 }
 
 // noteWire accumulates framed bytes moved over the worker socketpair.
+//
+//decaf:hotpath
 func (r *Runtime) noteWire(name string, out, in int) {
 	c := r.state().cell(name)
 	if out > 0 {

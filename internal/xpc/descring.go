@@ -58,11 +58,11 @@ const descHdrSize = 192
 // parked is written by the consumer (park/unpark) and swapped by the
 // producer (doorbell gate).
 type descHdr struct {
-	head   atomic.Uint64
+	head   atomic.Uint64 //decaf:shared
 	_      [56]byte
-	tail   atomic.Uint64
+	tail   atomic.Uint64 //decaf:shared
 	_      [56]byte
-	parked atomic.Uint32
+	parked atomic.Uint32 //decaf:shared
 	_      [60]byte
 }
 
@@ -131,6 +131,8 @@ func (q *descRing) reset() {
 }
 
 // occupancy reports the published-but-unconsumed slot count.
+//
+//decaf:hotpath
 func (q *descRing) occupancy() uint64 { return q.hdr.head.Load() - q.hdr.tail.Load() }
 
 // --- producer side ---
@@ -138,6 +140,8 @@ func (q *descRing) occupancy() uint64 { return q.hdr.head.Load() - q.hdr.tail.Lo
 // reserve returns the next free slot's bytes, or nil when the ring is full.
 // The producer writes the slot, then publish()es it; until then the consumer
 // cannot observe it.
+//
+//decaf:hotpath
 func (q *descRing) reserve() []byte {
 	head := q.hdr.head.Load()
 	if head-q.hdr.tail.Load() >= q.entries {
@@ -148,17 +152,23 @@ func (q *descRing) reserve() []byte {
 }
 
 // publish makes the last reserved slot visible to the consumer (invariant 1).
+//
+//decaf:hotpath
 func (q *descRing) publish() { q.hdr.head.Add(1) }
 
 // consumerParked atomically consumes the consumer's parked declaration,
 // reporting whether a doorbell is owed (invariant 3, producer half). The
 // producer calls it after publish().
+//
+//decaf:hotpath
 func (q *descRing) consumerParked() bool { return q.hdr.parked.Swap(0) == 1 }
 
 // --- consumer side ---
 
 // pending returns the oldest published slot's bytes, or nil when the ring is
 // empty. The consumer reads the slot, then advance()s past it.
+//
+//decaf:hotpath
 func (q *descRing) pending() []byte {
 	tail := q.hdr.tail.Load()
 	if q.hdr.head.Load() == tail {
@@ -170,15 +180,21 @@ func (q *descRing) pending() []byte {
 
 // advance releases the slot pending() returned back to the producer
 // (invariant 2). The slot's bytes must not be touched afterwards.
+//
+//decaf:hotpath
 func (q *descRing) advance() { q.hdr.tail.Add(1) }
 
 // park declares this consumer about to block (invariant 3, consumer half):
 // the caller must re-check pending() after park() and only then block on the
 // doorbell.
+//
+//decaf:hotpath
 func (q *descRing) park() { q.hdr.parked.Store(1) }
 
 // unpark withdraws the parked declaration (after a wake, or when the
 // post-park re-check found work).
+//
+//decaf:hotpath
 func (q *descRing) unpark() { q.hdr.parked.Store(0) }
 
 // descSpinBudget is how many empty pending() polls a consumer burns before
@@ -194,6 +210,8 @@ const descSpinBudget = 4096
 // blocks that ended during the wait — returned rather than reported through
 // a callback so the caller's hot path stays closure-free (a captured-counter
 // closure would allocate per crossing).
+//
+//decaf:hotpath
 func (q *descRing) awaitSlot(bell doorbell, deadline time.Time) (slot []byte, wakes int, err error) {
 	for spins := 0; ; spins++ {
 		if s := q.pending(); s != nil {

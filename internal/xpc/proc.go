@@ -206,6 +206,8 @@ func (t *ProcTransport) bindLocked(r *Runtime) error {
 // standard crossing engine. The wire trip precedes body execution, so the
 // worker has acknowledged the frames — including reading any shared-ring
 // payloads — before completions resolve.
+//
+//decaf:hotpath
 func (t *ProcTransport) Submit(r *Runtime, ctx *kernel.Context, subs []*Submission) error {
 	if len(subs) == 0 {
 		return nil
@@ -245,6 +247,8 @@ func (t *ProcTransport) Submit(r *Runtime, ctx *kernel.Context, subs []*Submissi
 // encode failure is not a fault: nothing crossed and the worker is fine,
 // so the chunk just fails. A fault raised by the call bodies themselves
 // makes the containment physical by SIGKILLing the worker.
+//
+//decaf:hotpath
 func (t *ProcTransport) crossChunk(r *Runtime, ctx *kernel.Context, chunk []*Submission) error {
 	if werr := t.wireCross(r, chunk); werr != nil {
 		abortRest := func(first error, fault bool) {
@@ -277,6 +281,8 @@ func (t *ProcTransport) crossChunk(r *Runtime, ctx *kernel.Context, chunk []*Sub
 // (oversized payloads, names beyond the frame limit) falls back to the
 // framed socketpair (sockCrossLocked). Any boundary failure leaves the
 // worker dead (reaped and cleared) and returns the death or protocol error.
+//
+//decaf:hotpath
 func (t *ProcTransport) wireCross(r *Runtime, chunk []*Submission) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -296,6 +302,8 @@ func (t *ProcTransport) wireCross(r *Runtime, chunk []*Submission) error {
 // time cannot overflow the slot the chunk was admitted for — which is what
 // lets ringCrossLocked treat an encode failure as impossible rather than
 // unwinding a partially published ring.
+//
+//decaf:hotpath
 func ringFits(chunk []*Submission) bool {
 	for _, sub := range chunk {
 		c := sub.Call
@@ -316,6 +324,8 @@ func ringFits(chunk []*Submission) bool {
 // scratch arrays are pooled on the transport and the encode lands in the
 // mapping itself (ringFits proved it cannot spill, so AppendFrame never
 // grows the slot-backed slice).
+//
+//decaf:hotpath
 func (t *ProcTransport) ringCrossLocked(r *Runtime, chunk []*Submission) error {
 	name := chunk[0].Call.Name
 	ring := r.payloadRing.Load()

@@ -132,6 +132,8 @@ func (p *PayloadRing) Stale() uint64 { return p.stale.Load() }
 // descriptor and the slot's buffer truncated to n for the caller to fill.
 // ok is false — and the exhaustion counter bumps — when no slot is free or
 // n exceeds the slot size; the caller then falls back to carrying the bytes.
+//
+//decaf:hotpath
 func (p *PayloadRing) Acquire(n int) (s xdr.SlotDescriptor, buf []byte, ok bool) {
 	if n > p.slotSize {
 		p.exhausted.Add(1)
@@ -165,6 +167,8 @@ func (p *PayloadRing) Acquire(n int) (s xdr.SlotDescriptor, buf []byte, ok bool)
 // Buffer resolves a descriptor to its slot's bytes — the far side of the
 // crossing reading the payload in place. It fails on a stale or malformed
 // descriptor (recycled slot, generation mismatch, out-of-range index).
+//
+//decaf:hotpath
 func (p *PayloadRing) Buffer(s xdr.SlotDescriptor) ([]byte, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -189,6 +193,8 @@ func (p *PayloadRing) Buffer(s xdr.SlotDescriptor) ([]byte, error) {
 // become stale) and it returns to the free list. Releasing a stale
 // descriptor (double release, wrong generation) is an error and leaves the
 // ring unchanged.
+//
+//decaf:hotpath
 func (p *PayloadRing) Release(s xdr.SlotDescriptor) error {
 	p.mu.Lock()
 	if int(s.Index) >= len(p.slots) {
@@ -208,6 +214,7 @@ func (p *PayloadRing) Release(s xdr.SlotDescriptor) error {
 	if slot.gen == 0 { // generation 0 is reserved for "no slot"
 		slot.gen = 1
 	}
+	//decaf:allowalloc free list capacity is fixed at ring construction
 	p.free = append(p.free, s.Index)
 	p.mu.Unlock()
 	p.inUse.Add(-1)
@@ -235,6 +242,8 @@ func (p Payload) Direct() bool { return p.Slot.Valid() }
 // per-byte copy: degradation is always to the copy path, never a block or a
 // drop. Release with ReleasePayload when the carrying flush's completion
 // settles.
+//
+//decaf:hotpath
 func (r *Runtime) AcquirePayload(data []byte) Payload {
 	ring := r.payloadRing.Load()
 	if ring == nil {
@@ -251,6 +260,8 @@ func (r *Runtime) AcquirePayload(data []byte) Payload {
 // ReleasePayload recycles a slot-backed payload's ring slot; fallback
 // payloads pass through untouched. Drivers call it when the flush that
 // carried the payload settles (slot lifetime = completion lifetime).
+//
+//decaf:hotpath
 func (r *Runtime) ReleasePayload(p Payload) {
 	if !p.Slot.Valid() {
 		return
@@ -261,6 +272,8 @@ func (r *Runtime) ReleasePayload(p Payload) {
 }
 
 // ReleasePayloads recycles a batch of staged payloads.
+//
+//decaf:hotpath
 func (r *Runtime) ReleasePayloads(ps []Payload) {
 	for _, p := range ps {
 		r.ReleasePayload(p)

@@ -104,11 +104,17 @@ type fdDoorbell struct {
 	f *os.File
 }
 
+// ring wakes the parked peer with one byte.
+//
+//decaf:hotpath
 func (d fdDoorbell) ring() error {
 	_, err := d.f.Write(doorbellByte[:])
 	return err
 }
 
+// wait blocks until the peer rings, draining stale doorbell bytes.
+//
+//decaf:hotpath
 func (d fdDoorbell) wait(deadline time.Time) error {
 	// The parent end is nonblocking (poller-registered), so the deadline
 	// takes effect; the worker end is blocking and passes a zero deadline,

@@ -174,6 +174,8 @@ func runWorker() int {
 // slots<<32 | slotSize; zero means no ring) and checksum the payload bytes
 // the worker can actually see — the proof the mapping is shared. Both the
 // socketpair fallback and the descriptor-ring server go through it.
+//
+//decaf:hotpath
 func submitAck(f xdr.Frame, mem []byte, geom *atomic.Uint64) xdr.Frame {
 	ack := xdr.Frame{Kind: xdr.FrameComplete, ID: f.ID}
 	switch {
@@ -205,6 +207,8 @@ func submitAck(f xdr.Frame, mem []byte, geom *atomic.Uint64) xdr.Frame {
 // descring.go's invariants). It exits the process on a doorbell error — the
 // parent closed its end or died — or on a corrupt descriptor, which has no
 // recoverable framing.
+//
+//decaf:hotpath
 func serveDescRings(sub, cmp *descRing, mem []byte, geom *atomic.Uint64, bell fdDoorbell) {
 	for {
 		slot, _, err := sub.awaitSlot(bell, time.Time{})
@@ -254,6 +258,8 @@ func serveDescRings(sub, cmp *descRing, mem []byte, geom *atomic.Uint64, bell fd
 // the bytes. The loop is hand-rolled rather than hash/fnv because the
 // kernel side computes it per crossing on the allocation-free ring fast
 // path (fnv.New64a allocates its state).
+//
+//decaf:hotpath
 func payloadSum(b []byte) uint64 {
 	const (
 		fnvOffset = 14695981039346656037
