@@ -10,12 +10,12 @@ import (
 // validTables and validTransports are the accepted flag values; anything
 // else is rejected with a message listing them.
 var (
-	validTables     = []string{"1", "2", "3", "4", "casestudy", "batch", "async", "zerocopy", "recovery", "all"}
+	validTables     = []string{"1", "2", "3", "4", "casestudy", "batch", "async", "zerocopy", "recovery", "contend", "all"}
 	validTransports = []string{"all", "per-call", "sync", "batched", "batch", "async", "proc"}
-	jsonTables      = []string{"batch", "async", "zerocopy", "recovery"}
+	jsonTables      = []string{"batch", "async", "zerocopy", "recovery", "contend"}
 	// procTables are the tables with process-separated rows: the only ones
 	// -transport proc (or async) may select.
-	procTables = []string{"async", "zerocopy", "recovery"}
+	procTables = []string{"async", "zerocopy", "recovery", "contend"}
 )
 
 func oneOf(value string, valid []string) bool {
@@ -59,6 +59,11 @@ func (f benchFlags) validate() error {
 		return fmt.Errorf("-transport %s requires -table %s (-table %s has no %[1]s rows)",
 			f.Transport, strings.Join(procTables, ", "), f.Table)
 	}
+	// The contend table measures synchronous submit-to-completion wall time,
+	// which the queue-serviced async transport does not expose.
+	if f.Table == "contend" && f.Transport == "async" {
+		return fmt.Errorf("-table contend has no async rows (its flushes are submit-to-completion; use -transport proc or batched)")
+	}
 	if f.JSON && !oneOf(f.Table, jsonTables) {
 		return fmt.Errorf("-json supports -table %s (got %q)", strings.Join(jsonTables, ", "), f.Table)
 	}
@@ -70,6 +75,12 @@ func (f benchFlags) validate() error {
 	for _, name := range []string{"faults", "restart-policy"} {
 		if f.Set[name] && f.Table != "recovery" {
 			return fmt.Errorf("-%s requires -table recovery (got -table %s)", name, f.Table)
+		}
+	}
+	// Likewise the contention flags shape only the contend table.
+	for _, name := range []string{"submitters", "flushes"} {
+		if f.Set[name] && f.Table != "contend" {
+			return fmt.Errorf("-%s requires -table contend (got -table %s)", name, f.Table)
 		}
 	}
 	return nil
@@ -94,5 +105,5 @@ func (f benchFlags) transportNote() string {
 		return ""
 	}
 	return "note: -transport all covers the in-process transports only; add -transport proc\n" +
-		"(with -table async, zerocopy or recovery) for the process-separated rows."
+		"(with -table async, zerocopy, recovery or contend) for the process-separated rows."
 }

@@ -14,6 +14,7 @@
 //	decafbench -table zerocopy -json        # machine-readable rows (CI baseline)
 //	decafbench -table recovery -faults 40 -restart-policy backoff
 //	decafbench -table recovery -transport proc -json   # real process-separated boundary
+//	decafbench -table contend -transport proc -submitters 1,2,4,8   # lane-sharded concurrent submission
 package main
 
 import (
@@ -27,6 +28,23 @@ import (
 	"decafdrivers/internal/bench"
 	"decafdrivers/internal/xpc"
 )
+
+// parseSubmitters parses the -submitters flag ("1,2,4,8" -> []int{1, 2, 4, 8}).
+func parseSubmitters(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("submitter count %q (want integers >= 1)", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
 
 // parseBatchSizes parses the -batch flag ("8,32" -> []int{8, 32}).
 func parseBatchSizes(s string) ([]int, error) {
@@ -62,6 +80,8 @@ func main() {
 	queue := flag.Int("queue", 0, "async submission-ring depth for the async/zerocopy tables (0 = default)")
 	rate := flag.Float64("rate", 0, "offered load in Mb/s for the async/zerocopy tables (0 = default)")
 	slots := flag.Int("slots", 0, "payload-ring slots for the zerocopy table (0 = default; small values exercise the copy fallback)")
+	submitters := flag.String("submitters", "", "contend table: comma-separated concurrent submitter counts (default 1,2,4,8)")
+	flushes := flag.Int("flushes", 0, "contend table: total flushes per row, split across its submitters (0 = default)")
 	faults := flag.Uint64("faults", 0, "recovery table: inject a decaf-side panic on the Nth data-path upcall (0 = default)")
 	restartPolicy := flag.String("restart-policy", "", "recovery table: restart policy, one of "+strings.Join(bench.RestartPolicies, ", "))
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON rows instead of the rendered table ("+strings.Join(jsonTables, ", ")+" only)")
@@ -127,6 +147,19 @@ func main() {
 		RingSlots:   *slots,
 		Transports:  *transport,
 	}
+	ks, err := parseSubmitters(*submitters)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "decafbench: -submitters: %v\n", err)
+		os.Exit(2)
+	}
+	// The contend table shares the async/zerocopy coalescing size so its rows
+	// stay comparable with theirs at the same flags.
+	contendCfg := bench.ContendTableConfig{
+		BatchN:     asyncCfg.BatchN,
+		Submitters: ks,
+		Flushes:    *flushes,
+		Transports: *transport,
+	}
 	recCfg := bench.RecoveryTableConfig{
 		QueueDepth:  *queue,
 		OfferedMbps: asyncCfg.OfferedMbps,
@@ -189,6 +222,12 @@ func main() {
 			break
 		}
 		run("recovery table", func() error { return bench.PrintRecoveryTable(os.Stdout, recCfg) })
+	case "contend":
+		if *jsonOut {
+			run("contend table", func() error { return bench.PrintContendTableJSON(os.Stdout, contendCfg) })
+			break
+		}
+		run("contend table", func() error { return bench.PrintContendTable(os.Stdout, contendCfg) })
 	case "all":
 		run("table 1", func() error { return bench.PrintTable1(os.Stdout, *root) })
 		run("table 2", func() error { return bench.PrintTable2(os.Stdout) })
@@ -199,5 +238,6 @@ func main() {
 		run("async table", func() error { return bench.PrintAsyncTable(os.Stdout, asyncCfg) })
 		run("zerocopy table", func() error { return bench.PrintZeroCopyTable(os.Stdout, zcCfg) })
 		run("recovery table", func() error { return bench.PrintRecoveryTable(os.Stdout, recCfg) })
+		run("contend table", func() error { return bench.PrintContendTable(os.Stdout, contendCfg) })
 	}
 }

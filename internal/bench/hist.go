@@ -11,12 +11,16 @@ import (
 
 // latencyHist is a lock-free log-linear latency histogram in the HDR shape:
 // values below histSub land in exact one-nanosecond buckets, and each power
-// of two above that splits into histSub linear sub-buckets, bounding the
-// relative quantile error at 1/histSub (~3%) across the full uint64 range.
-// Recording is one atomic add, so the completion observer can file latencies
-// from the async service goroutine while the bench thread keeps running.
+// of two above that splits into histSub linear sub-buckets. Quantiles report
+// bucket midpoints, so the relative quantile error is bounded at
+// 1/(2*histSub) (~0.2%) across the full uint64 range — tight enough that
+// distinct tail quantiles of a millisecond-scale distribution never collapse
+// into one bucket edge (histSubBits 5 once made p99 and p999 both report
+// 117440.512µs: the shared lower edge of a ~2ms-wide bucket). Recording is
+// one atomic add, so the completion observer can file latencies from the
+// async service goroutine while the bench thread keeps running.
 const (
-	histSubBits = 5
+	histSubBits = 8
 	histSub     = 1 << histSubBits // linear sub-buckets per power of two
 	histBuckets = (64 - histSubBits + 1) * histSub
 )
@@ -59,10 +63,11 @@ func bucketValue(b int) uint64 {
 	return (histSub + sub) << uint(major-1)
 }
 
-// quantile returns the q-quantile (0 < q <= 1) as the lower edge of the
+// quantile returns the q-quantile (0 < q <= 1) as the midpoint of the
 // bucket holding the sample of that rank, or 0 for an empty histogram.
-// Quantiles are monotone in q by construction, so gates may assert
-// p50 <= p99 <= p999 unconditionally.
+// Midpoints halve the worst-case error of reporting an edge and keep a
+// bucket's reported value strictly inside it. Quantiles are monotone in q
+// by construction, so gates may assert p50 <= p99 <= p999 unconditionally.
 func (h *latencyHist) quantile(q float64) time.Duration {
 	total := h.total.Load()
 	if total == 0 {
@@ -80,11 +85,22 @@ func (h *latencyHist) quantile(q float64) time.Duration {
 		if c := h.counts[b].Load(); c > 0 {
 			seen += c
 			if seen >= rank {
-				return time.Duration(bucketValue(b))
+				return time.Duration(bucketMidpoint(b))
 			}
 		}
 	}
 	return 0
+}
+
+// bucketMidpoint is the center of bucket b: exact one-nanosecond buckets
+// report their value, wider buckets the mean of their edges. The last
+// bucket has no upper edge in range and reports its lower edge.
+func bucketMidpoint(b int) uint64 {
+	if b+1 >= histBuckets {
+		return bucketValue(b)
+	}
+	low, high := bucketValue(b), bucketValue(b+1)
+	return low + (high-low)/2
 }
 
 // quantileUs renders a quantile in microseconds, the rows' latency unit.

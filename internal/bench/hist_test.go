@@ -19,7 +19,7 @@ func TestHistBucketRoundTrip(t *testing.T) {
 		}
 	}
 	prev := -1
-	for _, v := range []uint64{0, 1, histSub - 1, histSub, histSub + 1, 100, 1 << 20, 1<<40 + 12345, 1<<63 + 1} {
+	for _, v := range []uint64{0, 1, histSub - 1, histSub, histSub + 1, 4*histSub + 100, 1 << 20, 1<<40 + 12345, 1<<63 + 1} {
 		b := histBucket(v)
 		if b <= prev && v != 0 {
 			t.Fatalf("histBucket(%d) = %d not monotone (prev %d)", v, b, prev)
@@ -50,11 +50,20 @@ func TestHistQuantiles(t *testing.T) {
 	if p50 > p99 || p99 > p999 {
 		t.Fatalf("quantiles not monotone: p50=%v p99=%v p999=%v", p50, p99, p999)
 	}
-	if rel := float64(time.Millisecond-p50) / float64(time.Millisecond); rel < 0 || rel > 2.0/histSub {
-		t.Fatalf("p50 = %v, want ~1ms within 1/%d relative error", p50, histSub/2)
+	// Midpoint reporting bounds the absolute relative error at 1/(2*histSub)
+	// on either side of the true value.
+	relErr := func(got time.Duration, want time.Duration) float64 {
+		rel := float64(got-want) / float64(want)
+		if rel < 0 {
+			rel = -rel
+		}
+		return rel
 	}
-	if rel := float64(100*time.Millisecond-p999) / float64(100*time.Millisecond); rel < 0 || rel > 2.0/histSub {
-		t.Fatalf("p999 = %v, want ~100ms within 1/%d relative error", p999, histSub/2)
+	if rel := relErr(p50, time.Millisecond); rel > 1.0/histSub {
+		t.Fatalf("p50 = %v, want ~1ms within 1/%d relative error", p50, histSub)
+	}
+	if rel := relErr(p999, 100*time.Millisecond); rel > 1.0/histSub {
+		t.Fatalf("p999 = %v, want ~100ms within 1/%d relative error", p999, histSub)
 	}
 	if got, want := h.count(), uint64(1011); got != want {
 		t.Fatalf("count = %d, want %d", got, want)

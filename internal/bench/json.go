@@ -45,6 +45,16 @@ func PrintZeroCopyTableJSON(w io.Writer, cfg ZeroCopyTableConfig) error {
 	return writeTableJSON(w, "zerocopy", rows)
 }
 
+// PrintContendTableJSON runs the concurrent-submission comparison and emits
+// JSON.
+func PrintContendTableJSON(w io.Writer, cfg ContendTableConfig) error {
+	rows, err := RunContendTable(cfg.fill())
+	if err != nil {
+		return err
+	}
+	return writeTableJSON(w, "contend", rows)
+}
+
 // PrintRecoveryTableJSON runs the fault-tolerance comparison and emits JSON.
 func PrintRecoveryTableJSON(w io.Writer, cfg RecoveryTableConfig) error {
 	rows, err := RunRecoveryTable(cfg.fill())

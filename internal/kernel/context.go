@@ -14,6 +14,7 @@ package kernel
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 )
 
@@ -64,6 +65,12 @@ type Context struct {
 	busy time.Duration
 	// elapsed is busy plus time spent sleeping (MSleep, XPC wait).
 	elapsed time.Duration
+
+	// laneHint caches the XPC submission lane this context last claimed
+	// (stored as index+1; zero means no hint). Atomic because the transport
+	// reads and refreshes it on the lock-free submit fast path, which other
+	// bookkeeping (counter snapshots) may observe concurrently.
+	laneHint atomic.Uint32
 }
 
 // NewContext creates a process-context execution context owned by the kernel.
@@ -143,6 +150,21 @@ func (c *Context) HeldSpinlocks() []string {
 	copy(out, c.heldSpinlocks)
 	return out
 }
+
+// LaneHint reports the XPC submission lane this context last claimed, if
+// any: the affinity cache that lets a steady submitter land on the same
+// uncontended lane every crossing.
+//
+//decaf:hotpath
+func (c *Context) LaneHint() (idx uint32, ok bool) {
+	v := c.laneHint.Load()
+	return v - 1, v != 0
+}
+
+// SetLaneHint records the submission lane this context claimed.
+//
+//decaf:hotpath
+func (c *Context) SetLaneHint(idx uint32) { c.laneHint.Store(idx + 1) }
 
 // Charge accounts d of CPU time to this context and to the kernel's global
 // accounting bucket for the context's current kind.

@@ -114,6 +114,12 @@ type NetOptions struct {
 	// QueueDepth bounds the async submission ring; <1 means
 	// xpc.DefaultQueueDepth. Ignored unless Async is set.
 	QueueDepth int
+	// Submitters sizes the proc transport's submission-lane table for the
+	// expected number of concurrent submitting contexts: each submitter can
+	// then hold its own lock-free lane instead of spilling to the contended
+	// fallback lane. <1 means xpc.DefaultProcLanes. Ignored unless Proc is
+	// set.
+	Submitters int
 	// CoalesceWindow overrides the drivers' batch-coalescing windows;
 	// harnesses running below line rate widen it so batches still fill.
 	// For rtl8139 a zero value selects the adaptive window (EWMA of frame
@@ -177,7 +183,7 @@ func (p FaultPlan) Injector() func(call string) bool {
 
 func (o NetOptions) transport() (xpc.Transport, error) {
 	if o.Proc {
-		return xpc.NewProcTransport(xpc.ProcConfig{Batch: o.BatchN})
+		return xpc.NewProcTransport(xpc.ProcConfig{Batch: o.BatchN, Lanes: o.Submitters})
 	}
 	if o.Async {
 		return xpc.NewAsyncTransport(xpc.AsyncConfig{Depth: o.QueueDepth, Batch: o.BatchN}), nil

@@ -88,6 +88,12 @@ type Frame struct {
 	// Aux is kind-specific: payload checksum on FrameComplete, packed ring
 	// geometry (slots<<32 | slotSize) on FrameRingRegister.
 	Aux uint64
+	// Lane identifies the submission lane a descriptor-ring frame rides: a
+	// FrameComplete echoes the lane of the submit it acknowledges (so
+	// completions demux without ordering across lanes), and FrameDescRing
+	// carries the lane count being carved. ID sequences are per-lane, so
+	// (Lane, ID) is the unique key of an in-flight ring crossing.
+	Lane uint32
 }
 
 // Wire-format limits. Decoders reject frames exceeding them before
@@ -99,9 +105,9 @@ const (
 	// largest slot size a ring would otherwise carry).
 	MaxFramePayload = 1 << 20
 	// frameFixedSize is the encoded size of the fixed fields: kind(1) +
-	// flags(1) + nameLen(2) + id(8) + status(4) + aux(8) + slot(12) +
-	// dataLen(4).
-	frameFixedSize = 40
+	// flags(1) + nameLen(2) + id(8) + status(4) + aux(8) + lane(4) +
+	// slot(12) + dataLen(4).
+	frameFixedSize = 44
 	// MaxFrameSize bounds one whole frame on the wire (length prefix
 	// excluded).
 	MaxFrameSize = frameFixedSize + MaxFrameName + 3 + MaxFramePayload + 3
@@ -150,6 +156,7 @@ func AppendFrame(dst []byte, f Frame) ([]byte, error) {
 	e.PutUint64(f.ID)
 	e.PutUint32(f.Status)
 	e.PutUint64(f.Aux)
+	e.PutUint32(f.Lane)
 	e.PutSlotDescriptor(f.Slot)
 	e.PutUint32(uint32(len(f.Data)))
 	e.PutFixedString(f.Name)
@@ -199,6 +206,9 @@ func DecodeFrame(data []byte) (Frame, int, error) {
 		return Frame{}, 0, err
 	}
 	if f.Aux, err = d.Uint64(); err != nil {
+		return Frame{}, 0, err
+	}
+	if f.Lane, err = d.Uint32(); err != nil {
 		return Frame{}, 0, err
 	}
 	if f.Slot, err = d.SlotDescriptor(); err != nil {

@@ -46,7 +46,7 @@ func FuzzDecodeFrame(f *testing.F) {
 		}
 		if m != len(wire) || back.Kind != fr.Kind || back.ID != fr.ID || back.Up != fr.Up ||
 			back.Name != fr.Name || back.Slot != fr.Slot || back.Status != fr.Status ||
-			back.Aux != fr.Aux || !bytes.Equal(back.Data, fr.Data) {
+			back.Aux != fr.Aux || back.Lane != fr.Lane || !bytes.Equal(back.Data, fr.Data) {
 			t.Fatalf("codec not self-inverse:\n first %+v\nsecond %+v", fr, back)
 		}
 	})

@@ -14,16 +14,16 @@ func everyFrameKind() []Frame {
 		{Kind: FrameSubmit, ID: 1, Up: true, Name: "e1000_xmit_frame",
 			Data: []byte{0xDE, 0xAD, 0xBE, 0xEF, 0x01}},
 		{Kind: FrameSubmit, ID: 2, Up: false, Name: "eeprom_read",
-			Slot: SlotDescriptor{Index: 7, Length: 1462, Generation: 3}},
+			Slot: SlotDescriptor{Index: 7, Length: 1462, Generation: 3}, Lane: 3},
 		{Kind: FrameSubmit, ID: 3, Up: true, Name: "watchdog"},
-		{Kind: FrameComplete, ID: 2, Status: 0, Aux: 0xCBF29CE484222325},
-		{Kind: FrameComplete, ID: 9, Status: 2, Name: "slot out of range"},
+		{Kind: FrameComplete, ID: 2, Status: 0, Aux: 0xCBF29CE484222325, Lane: 3},
+		{Kind: FrameComplete, ID: 9, Status: 2, Name: "slot out of range", Lane: 7},
 		{Kind: FrameRingRegister, ID: 4, Aux: 256<<32 | 2048},
 		{Kind: FrameRingRelease, ID: 5},
 		{Kind: FramePing, ID: 6},
 		{Kind: FramePong, ID: 6},
 		{Kind: FrameShutdown, ID: 7},
-		{Kind: FrameDescRing, ID: 8, Aux: 1024<<32 | 2048},
+		{Kind: FrameDescRing, ID: 8, Aux: 1024<<32 | 2048, Lane: 4},
 	}
 }
 
@@ -61,7 +61,7 @@ func TestFrameRoundTripEveryKind(t *testing.T) {
 		if got.Kind != want.Kind || got.ID != want.ID || got.Up != want.Up ||
 			got.Name != want.Name || got.Slot != want.Slot ||
 			got.Status != want.Status || got.Aux != want.Aux ||
-			!bytes.Equal(got.Data, want.Data) {
+			got.Lane != want.Lane || !bytes.Equal(got.Data, want.Data) {
 			t.Errorf("%v: round trip\n got %+v\nwant %+v", want.Kind, got, want)
 		}
 	}

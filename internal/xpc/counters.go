@@ -133,6 +133,20 @@ type Counters struct {
 	// DescRingPeak is the submit ring's occupancy high-water mark.
 	DescRingEntries uint64
 	DescRingPeak    uint64
+
+	// Submission-lane state, populated when the transport shards its
+	// descriptor rings into concurrent submission lanes (ProcTransport).
+	// Transport-lifetime gauges like the worker fields: ResetCounters does
+	// not zero them.
+	//
+	// LaneAcquisitions counts successful lane claims (one per ring crossing);
+	// LaneSpills counts claims that found every regular lane busy and fell
+	// back to the contended spill lane — a sustained nonzero rate means more
+	// submitters than lanes; LaneActivePeak is the high-water mark of
+	// simultaneously held lanes, the observed submission concurrency.
+	LaneAcquisitions uint64
+	LaneSpills       uint64
+	LaneActivePeak   uint64
 }
 
 // Trips reports total user/kernel call/return trips (upcalls + downcalls),
@@ -170,6 +184,13 @@ type workerStatser interface {
 // entries per direction and the submit ring's occupancy high-water mark.
 type descRingStatser interface {
 	descRingStats() (entries, peak uint64)
+}
+
+// laneStatser is the snapshot hook a transport sharding submissions over
+// concurrent lanes implements (ProcTransport): claim, spill and occupancy
+// gauges for the lock-free lane table.
+type laneStatser interface {
+	laneStats() (acquisitions, spills, activePeak uint64)
 }
 
 // counterShards is the number of independently updated counter cells. Distinct
@@ -453,6 +474,9 @@ func (r *Runtime) Counters() Counters {
 	}
 	if dt, ok := r.Transport().(descRingStatser); ok {
 		snap.DescRingEntries, snap.DescRingPeak = dt.descRingStats()
+	}
+	if lt, ok := r.Transport().(laneStatser); ok {
+		snap.LaneAcquisitions, snap.LaneSpills, snap.LaneActivePeak = lt.laneStats()
 	}
 	if ring := r.payloadRing.Load(); ring != nil {
 		snap.RingCapacity = int64(ring.Slots())

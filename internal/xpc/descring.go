@@ -47,6 +47,33 @@ import (
 // peer declared itself parked), so steady-state crossings perform zero
 // syscalls: the futex-style fast path the Decaf paper's §4.2 batching
 // argument wants under the process-separated transport.
+//
+// # Multi-lane invariants (sharded submission)
+//
+// The proc transport carves N+1 independent lanes from the mapping tail —
+// each lane a submit+complete SPSC ring pair — preceded by a laneDir header.
+// Every per-lane ring obeys invariants 1–3 unchanged; lanes add three more:
+//
+//  4. Lane exclusivity. A lane's kernel side is single-producer by
+//     construction: a submitter owns a lane only between a successful
+//     CompareAndSwap(0,1) on the lane's claim word and the matching
+//     Store(0) release. The CAS acquire / store release pairing means all
+//     of a previous holder's ring writes happen-before the next holder's,
+//     so per-lane head/tail/sequence state needs no further fencing.
+//  5. Worker-wide park. The worker parks on ONE flag spanning all submit
+//     lanes (laneDir.parked), not per-lane flags: it stores parked=1, THEN
+//     re-sweeps every submit lane, and only blocks if all were empty. A
+//     producer on any lane publishes THEN swaps parked; as in invariant 3,
+//     sequential consistency forbids the publish escaping both the sweep
+//     and the swap, so no lane's submission is stranded while the worker
+//     sleeps. Completion rings keep per-ring parked flags (invariant 3)
+//     because each lane's claimant is its own independent waiter, woken by
+//     a per-lane doorbell.
+//  6. Per-lane ordering only. Frame IDs are per-lane sequence numbers;
+//     completions carry (lane, id) and demux by lane, so the protocol
+//     promises FIFO within a lane and nothing across lanes. Cross-lane
+//     ordering is deliberately unspecified — that independence is what
+//     removes the transport-wide lock.
 
 // descHdrSize is the encoded size of a ring header: three cache lines (head,
 // tail, parked), so the producer's and consumer's hot fields never
@@ -69,6 +96,67 @@ type descHdr struct {
 // Compile-time proof the header layout matches descHdrSize — the worker
 // process casts the same bytes.
 var _ = [1]struct{}{}[descHdrSize-unsafe.Sizeof(descHdr{})]
+
+// laneDirSize is the encoded size of the lane directory: one cache line.
+const laneDirSize = 64
+
+// laneDir is the shared-memory header preceding the lane ring array: the
+// worker-wide parked flag of invariant 5. The worker stores it (park/unpark);
+// kernel-side producers swap it after publishing on any submit lane.
+type laneDir struct {
+	parked atomic.Uint32 //decaf:shared
+	_      [60]byte
+}
+
+// Compile-time proof the directory layout matches laneDirSize.
+var _ = [1]struct{}{}[laneDirSize-unsafe.Sizeof(laneDir{})]
+
+// laneRings is one lane's pair of SPSC rings: the kernel side produces into
+// sub and consumes cmp; the worker does the reverse.
+type laneRings struct {
+	sub *descRing
+	cmp *descRing
+}
+
+// laneRegionBytes is the mapping-tail footprint of a lane array: the
+// directory plus two rings per lane.
+func laneRegionBytes(lanes, entries, slotSize int) int {
+	return laneDirSize + lanes*2*descRingBytes(entries, slotSize)
+}
+
+// carveLanes lays the lane directory and `lanes` ring pairs over region
+// (directory first, then sub/cmp pairs back to back). Both processes call it
+// over the same mapping-tail bytes, so the layout is the wire format.
+func carveLanes(region []byte, lanes, entries, slotSize int) (*laneDir, []laneRings, error) {
+	if lanes < 1 {
+		return nil, nil, fmt.Errorf("xpc: lane count %d", lanes)
+	}
+	if need := laneRegionBytes(lanes, entries, slotSize); len(region) < need {
+		return nil, nil, fmt.Errorf("xpc: %d lanes of %dx%dB need %dB, region has %dB",
+			lanes, entries, slotSize, need, len(region))
+	}
+	if uintptr(unsafe.Pointer(&region[0]))%8 != 0 {
+		return nil, nil, fmt.Errorf("xpc: lane region not 8-byte aligned")
+	}
+	dir := (*laneDir)(unsafe.Pointer(&region[0]))
+	ringBytes := descRingBytes(entries, slotSize)
+	rings := make([]laneRings, lanes)
+	off := laneDirSize
+	for i := range rings {
+		sub, err := newDescRing(region[off:off+ringBytes], entries, slotSize)
+		if err != nil {
+			return nil, nil, err
+		}
+		off += ringBytes
+		cmp, err := newDescRing(region[off:off+ringBytes], entries, slotSize)
+		if err != nil {
+			return nil, nil, err
+		}
+		off += ringBytes
+		rings[i] = laneRings{sub: sub, cmp: cmp}
+	}
+	return dir, rings, nil
+}
 
 // descRing is one direction's SPSC descriptor ring over a shared-memory
 // region: [descHdr][entries × slotSize]. Both processes construct their own
@@ -213,11 +301,24 @@ const descSpinBudget = 4096
 //
 //decaf:hotpath
 func (q *descRing) awaitSlot(bell doorbell, deadline time.Time) (slot []byte, wakes int, err error) {
+	return q.awaitSlotBudget(bell, deadline, descSpinBudget)
+}
+
+// awaitSlotBudget is awaitSlot with an explicit spin budget. Concurrent lane
+// holders pass a budget scaled down by the number of active lanes: K
+// submitters spinning with Gosched on an oversubscribed machine take ~K
+// times longer wall-clock to exhaust a fixed budget, starving the worker
+// process of CPU exactly when it has the most pending work — the full
+// budget's tail latency under 8-way contention measured ~20x its
+// single-submitter value before this scaling.
+//
+//decaf:hotpath
+func (q *descRing) awaitSlotBudget(bell doorbell, deadline time.Time, budget int) (slot []byte, wakes int, err error) {
 	for spins := 0; ; spins++ {
 		if s := q.pending(); s != nil {
 			return s, wakes, nil
 		}
-		if spins < descSpinBudget {
+		if spins < budget {
 			if spins%64 == 63 {
 				runtime.Gosched()
 			}

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"os"
 	"os/exec"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -23,19 +24,28 @@ const DefaultProcShmBytes = 8 << 20
 
 // MaxProcBatch caps a ProcTransport's coalescing size. The wire protocol
 // writes a whole chunk before reading its completions, so the worker's
-// accumulated completion frames (~44 bytes each) must fit the socketpair's
+// accumulated completion frames (~48 bytes each) must fit the socketpair's
 // reverse buffer while the parent is still writing — otherwise both sides
 // block in write and deadlock. 1024 completions stay far below any
 // platform's default AF_UNIX buffer.
 const MaxProcBatch = 1024
 
+// DefaultProcLanes is the submission-lane count a zero ProcConfig gets:
+// enough independent lanes that eight concurrent submitters (the contention
+// level the bench gate pins) each claim their own.
+const DefaultProcLanes = 8
+
+// MaxProcLanes caps the configured lane count: each lane costs a doorbell
+// socketpair inherited at a fixed descriptor number, so the cap keeps the
+// worker's fd table (and the shm tail) bounded.
+const MaxProcLanes = 64
+
 // procWireTimeout bounds every parent-side wire operation — including a
 // parked doorbell wait on the ring fast path. A dead worker surfaces
 // immediately as EOF/EPIPE (the doorbell socketpair closes with it); this
 // deadline is the backstop for a wedged one (stopped, swapped out,
-// livelocked), which would otherwise block a crossing — and, through the
-// transport mutex, Close — forever. On expiry the worker is killed and the
-// crossing fails as a WorkerDeath.
+// livelocked), which would otherwise block a crossing forever. On expiry the
+// worker is killed and the crossing fails as a WorkerDeath.
 const procWireTimeout = 30 * time.Second
 
 // descSlotBytes sizes one descriptor-ring slot: room for an encoded submit
@@ -57,6 +67,10 @@ type ProcConfig struct {
 	// ShmBytes sizes the shared memory region backing mapped payload
 	// rings; <1 means DefaultProcShmBytes.
 	ShmBytes int
+	// Lanes is the number of independent submission lanes concurrent
+	// submitters claim (one extra contended spill lane is always carved on
+	// top); <1 means DefaultProcLanes, capped at MaxProcLanes.
+	Lanes int
 }
 
 // ProcTransport is the process-separated XPC transport: the decaf side of
@@ -67,8 +81,10 @@ type ProcConfig struct {
 // makes its mechanics physical:
 //
 //   - Every crossing is framed through internal/xdr's reflection-free wire
-//     codec and travels through real write/read syscalls (counted as
-//     Counters.SyscallCrossings, with Counters.WireBytesOut/In).
+//     codec. Control traffic travels through real write/read syscalls
+//     (counted as Counters.SyscallCrossings, with Counters.WireBytesOut/In);
+//     steady-state crossings ride shared-memory descriptor rings with no
+//     syscalls at all unless a side parked.
 //   - Zero-copy payloads stay zero-copy across address spaces: a slot
 //     descriptor crosses the wire and the worker resolves it against its
 //     own mapping of the shared region, returning a checksum of the bytes
@@ -81,6 +97,15 @@ type ProcConfig struct {
 //     flowing through SetFaultNotifier to a recovery.Supervisor, which
 //     respawns the worker (WorkerRespawner), re-registers the shared ring
 //     and replays the state journal against a process that actually died.
+//
+// The steady-state data plane is sharded and mutex-free: concurrent
+// submitters claim independent submission lanes (each its own SPSC
+// submit/complete ring pair in the shared mapping) through a lock-free CAS
+// lane table, so crossings from different goroutines pipeline through the
+// worker instead of queueing behind one transport lock. The control-plane
+// mutex survives only on bind, payload-ring registration, the socketpair
+// fallback, worker lifecycle and teardown; tests assert the steady state
+// acquires it zero times (see ControlAcquires).
 //
 // Call bodies (Go closures) still execute in the parent — they cannot
 // cross a process boundary — so the virtual cost model matches
@@ -95,39 +120,52 @@ type ProcConfig struct {
 type ProcTransport struct {
 	cfg ProcConfig
 
-	mu     sync.Mutex
-	r      *Runtime
-	shm    *shmRegion
-	worker *procWorker
-	closed bool
-	nextID uint64
-	encBuf []byte
+	// mu is the control-plane mutex: bind (first use), payload-ring
+	// registration, the socketpair fallback path, worker spawn/teardown and
+	// Close. The steady-state lane path never touches it. Always acquired
+	// through lockControl, which counts acquisitions so tests can assert
+	// the data plane's mutex-freedom.
+	mu         sync.Mutex
+	muAcquires atomic.Uint64
 
-	// geoms maps rings created by NewMappedRing to their geometry; reg is
-	// the geometry currently registered with the worker (re-sent on
-	// respawn).
-	geoms map[*PayloadRing]ringGeom
-	reg   *ringGeom
+	// closed, rt and reg are read on the lock-free submit path and written
+	// under mu, so the fast path is load-only.
+	closed atomic.Bool
+	rt     atomic.Pointer[Runtime]
+	reg    atomic.Pointer[ringGeom]
 
-	// Descriptor rings (see descring.go): the steady-state submit/complete
-	// path. They live at the tail of the shared region, past payloadLen
-	// bytes reserved for mapped payload rings, and are reset at each worker
-	// epoch. descEntries is the per-direction slot count (a power of two
-	// holding a full batch); descPeak is the submit ring's occupancy
-	// high-water mark, a transport-lifetime gauge.
-	subRing     *descRing
-	cmpRing     *descRing
-	payloadLen  int
-	descEntries int
-	descPeak    atomic.Uint64
+	// epoch is the live worker generation: process handle, lane table, and
+	// the rings carved for it. Teardown (death, protocol failure, respawn,
+	// Close) retires the whole epoch; the next crossing carves a fresh one.
+	epoch atomic.Pointer[procEpoch]
 
-	// ids and sums are preallocated per-chunk scratch: the ring fast path
-	// performs zero heap allocations per crossing.
+	shm        *shmRegion // mu
+	payloadLen int        // mu (set once with shm)
+	encBuf     []byte     // mu: control-frame scratch
+	nextID     uint64     // mu: control-frame sequence (lane IDs are per-lane)
+
+	// ids and sums are the socketpair fallback path's per-chunk scratch
+	// (mu); each lane carries its own pair for the lock-free path.
 	ids  []uint64
 	sums []uint64
 
-	spawns uint64
-	deaths uint64
+	// geoms maps rings created by NewMappedRing to their geometry (mu).
+	geoms map[*PayloadRing]ringGeom
+
+	descEntries int
+	descPeak    atomic.Uint64
+
+	// Lane gauges (transport lifetime, like the worker gauges).
+	laneAcq        atomic.Uint64
+	laneSpills     atomic.Uint64
+	laneActive     atomic.Int64
+	laneActivePeak atomic.Uint64
+
+	// rrHint rotates lane claims of hintless callers across the lane table.
+	rrHint atomic.Uint32
+
+	spawns uint64 // mu
+	deaths uint64 // mu
 }
 
 type ringGeom struct {
@@ -135,9 +173,39 @@ type ringGeom struct {
 	slotSize uint32
 }
 
+// procLane is one submission lane of an epoch: a submit/complete SPSC ring
+// pair in the shared mapping, a dedicated completion doorbell, and the
+// claim word of the lock-free lane table. seq/ids/sums are owned by the
+// claim holder — the CAS acquire / store release on claim orders them
+// across holders (descring.go invariant 4).
+type procLane struct {
+	idx  uint32
+	sub  *descRing
+	cmp  *descRing
+	bell fdDoorbell
+
+	claim atomic.Uint32 //decaf:shared
+	seq   uint64
+	ids   []uint64
+	sums  []uint64
+}
+
+// procEpoch is one worker generation. failed flips exactly once (CAS) when
+// any holder observes the worker dead or suspect; teardown then waits for
+// every lane claim to clear before closing descriptors and re-carving, so a
+// straggling holder can never touch a retired epoch's rings.
+type procEpoch struct {
+	w      *procWorker
+	pid    int
+	dir    *laneDir
+	bell   fdDoorbell // submit-side doorbell (wakes the parked worker)
+	lanes  []*procLane
+	failed atomic.Bool
+	torn   bool // mu: teardown completed
+}
+
 // procWorker is one live worker process. sock carries the framed control
-// protocol; bell is the parent end of the dedicated doorbell socketpair
-// (see descring.go's park/doorbell invariants).
+// protocol; bell is the parent end of the submit doorbell socketpair.
 type procWorker struct {
 	cmd    *exec.Cmd
 	sock   *os.File
@@ -160,6 +228,12 @@ func NewProcTransport(cfg ProcConfig) (*ProcTransport, error) {
 	if cfg.ShmBytes < 1 {
 		cfg.ShmBytes = DefaultProcShmBytes
 	}
+	if cfg.Lanes < 1 {
+		cfg.Lanes = DefaultProcLanes
+	}
+	if cfg.Lanes > MaxProcLanes {
+		cfg.Lanes = MaxProcLanes
+	}
 	return &ProcTransport{
 		cfg:         cfg,
 		geoms:       make(map[*PayloadRing]ringGeom),
@@ -175,37 +249,71 @@ func (t *ProcTransport) Name() string { return fmt.Sprintf("proc(b%d)", t.cfg.Ba
 // MaxBatch implements Transport.
 func (t *ProcTransport) MaxBatch() int { return t.cfg.Batch }
 
+// Lanes reports the configured submission-lane count (excluding the spill
+// lane).
+func (t *ProcTransport) Lanes() int { return t.cfg.Lanes }
+
 // SupportsDirectPayload implements DirectPayloadTransport: rings created
 // through NewMappedRing live in memory both processes map.
 func (t *ProcTransport) SupportsDirectPayload() bool { return true }
 
-// bind attaches the transport to its runtime on first use.
-func (t *ProcTransport) bind(r *Runtime) error {
+// ControlAcquires reports how many times the control-plane mutex has been
+// acquired over the transport's lifetime. The steady-state invariant —
+// Submit takes no lock — is asserted by reading it before and after a
+// storm of ring crossings: the delta must be zero.
+func (t *ProcTransport) ControlAcquires() uint64 { return t.muAcquires.Load() }
+
+// lockControl acquires the control-plane mutex, counting the acquisition
+// for ControlAcquires. Every t.mu.Lock in this file goes through it.
+func (t *ProcTransport) lockControl() {
+	t.muAcquires.Add(1)
 	t.mu.Lock()
+}
+
+// bind attaches the transport to its runtime on first use: an atomic load
+// in the steady state, the control mutex only for the first submitter.
+//
+//decaf:hotpath
+func (t *ProcTransport) bind(r *Runtime) error {
+	if t.closed.Load() {
+		return ErrTransportClosed
+	}
+	cur := t.rt.Load()
+	if cur == r {
+		return nil
+	}
+	if cur != nil {
+		return ErrTransportBound
+	}
+	return t.bindSlow(r)
+}
+
+func (t *ProcTransport) bindSlow(r *Runtime) error {
+	t.lockControl()
 	defer t.mu.Unlock()
 	return t.bindLocked(r)
 }
 
 func (t *ProcTransport) bindLocked(r *Runtime) error {
-	if t.closed {
+	if t.closed.Load() {
 		return ErrTransportClosed
 	}
-	if t.r == nil {
-		t.r = r
+	cur := t.rt.Load()
+	if cur == nil {
+		t.rt.Store(r)
 		return nil
 	}
-	if t.r != r {
+	if cur != r {
 		return ErrTransportBound
 	}
 	return nil
 }
 
 // Submit implements Transport: chunk like a BatchTransport, push each chunk
-// through the wire to the worker (one write syscall per crossing, one
-// completion frame per call), then execute the call bodies inline with the
-// standard crossing engine. The wire trip precedes body execution, so the
-// worker has acknowledged the frames — including reading any shared-ring
-// payloads — before completions resolve.
+// through the boundary to the worker, then execute the call bodies inline
+// with the standard crossing engine. The wire trip precedes body execution,
+// so the worker has acknowledged the frames — including reading any
+// shared-ring payloads — before completions resolve.
 //
 //decaf:hotpath
 func (t *ProcTransport) Submit(r *Runtime, ctx *kernel.Context, subs []*Submission) error {
@@ -250,7 +358,7 @@ func (t *ProcTransport) Submit(r *Runtime, ctx *kernel.Context, subs []*Submissi
 //
 //decaf:hotpath
 func (t *ProcTransport) crossChunk(r *Runtime, ctx *kernel.Context, chunk []*Submission) error {
-	if werr := t.wireCross(r, chunk); werr != nil {
+	if werr := t.wireCross(r, ctx, chunk); werr != nil {
 		abortRest := func(first error, fault bool) {
 			resolveAt(chunk[0], inlineCrossOptions, 0, 0, first, fault)
 			for _, sub := range chunk[1:] {
@@ -276,23 +384,30 @@ func (t *ProcTransport) crossChunk(r *Runtime, ctx *kernel.Context, chunk []*Sub
 
 // wireCross moves one chunk across the physical boundary and awaits the
 // worker's acknowledgements, verifying payload checksums. Steady-state
-// chunks whose frames all fit a descriptor slot ride the shared-memory
-// rings (ringCrossLocked) — no syscalls unless a side parked; anything else
-// (oversized payloads, names beyond the frame limit) falls back to the
-// framed socketpair (sockCrossLocked). Any boundary failure leaves the
-// worker dead (reaped and cleared) and returns the death or protocol error.
+// chunks whose frames all fit a descriptor slot ride a claimed submission
+// lane's shared-memory rings (laneCross) — lock-free, no syscalls unless a
+// side parked; anything else (oversized payloads, names beyond the frame
+// limit) falls back to the framed socketpair (sockCross), which serializes
+// on the control mutex. Any boundary failure retires the worker epoch and
+// returns the death or protocol error.
 //
 //decaf:hotpath
-func (t *ProcTransport) wireCross(r *Runtime, chunk []*Submission) error {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if t.closed {
+func (t *ProcTransport) wireCross(r *Runtime, ctx *kernel.Context, chunk []*Submission) error {
+	if t.closed.Load() {
 		return ErrTransportClosed
 	}
 	if ringFits(chunk) {
-		return t.ringCrossLocked(r, chunk)
+		return t.laneCross(r, ctx, chunk)
 	}
-	return t.sockCrossLocked(r, chunk)
+	return t.sockCross(r, chunk)
+}
+
+// CrossChunk exposes the boundary layer of one crossing — lane claim,
+// descriptor encode, completion await and checksum validation, without the
+// submit/complete bookkeeping around it — so benchmarks can pin the lane
+// submit path's allocation count in isolation.
+func (t *ProcTransport) CrossChunk(r *Runtime, ctx *kernel.Context, chunk []*Submission) error {
+	return t.wireCross(r, ctx, chunk)
 }
 
 // ringFits reports whether every frame of the chunk is guaranteed to encode
@@ -300,7 +415,7 @@ func (t *ProcTransport) wireCross(r *Runtime, chunk []*Submission) error {
 // copy-path form (Data counted even when a slot descriptor would cross), so
 // a stale zero-copy descriptor degrading to its Data fallback at encode
 // time cannot overflow the slot the chunk was admitted for — which is what
-// lets ringCrossLocked treat an encode failure as impossible rather than
+// lets laneCrossOn treat an encode failure as impossible rather than
 // unwinding a partially published ring.
 //
 //decaf:hotpath
@@ -317,31 +432,136 @@ func ringFits(chunk []*Submission) bool {
 	return true
 }
 
-// ringCrossLocked is the steady-state fast path: encode each submit frame
-// directly into a submit-ring slot of the shared mapping, ring the doorbell
-// only if the worker parked, and collect the completion descriptors the
-// same way. Zero wire traffic and zero heap allocations per crossing — the
-// scratch arrays are pooled on the transport and the encode lands in the
-// mapping itself (ringFits proved it cannot spill, so AppendFrame never
-// grows the slot-backed slice).
+// atomicMaxU64 lifts a to at least v (CAS max): the allocation-free way to
+// maintain a high-water mark from concurrent writers.
 //
 //decaf:hotpath
-func (t *ProcTransport) ringCrossLocked(r *Runtime, chunk []*Submission) error {
+func atomicMaxU64(a *atomic.Uint64, v uint64) {
+	for {
+		cur := a.Load()
+		if v <= cur || a.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// laneCross is the steady-state entry: claim a lane on the live epoch and
+// cross on it. A claim that fails because the epoch was retired under us
+// (worker died before anything was published) retries transparently on the
+// next epoch — matching the old behavior where a dead worker was respawned
+// by the next crossing. Once a frame is published the crossing is committed
+// to its epoch and a failure surfaces instead.
+//
+//decaf:hotpath
+func (t *ProcTransport) laneCross(r *Runtime, ctx *kernel.Context, chunk []*Submission) error {
+	for {
+		ep, err := t.currentEpoch()
+		if err != nil {
+			return err
+		}
+		lane := t.claimLane(ep, ctx)
+		if lane == nil {
+			continue
+		}
+		return t.laneCrossOn(r, ep, lane, chunk)
+	}
+}
+
+// claimLane acquires an exclusive submission lane from ep's lock-free lane
+// table: try the caller's affinity-cached lane first, sweep the regular
+// lanes from there, and spill to the dedicated contended lane when every
+// regular lane is busy. Returns nil when the epoch failed mid-claim — the
+// caller retries on a fresh epoch. The post-CAS failed re-check pairs with
+// teardown's claims-drain wait: a claim taken before failed flipped is
+// waited out; one taken after observes the flip and backs off.
+//
+//decaf:hotpath
+func (t *ProcTransport) claimLane(ep *procEpoch, ctx *kernel.Context) *procLane {
+	regular := uint32(len(ep.lanes) - 1)
+	start, hinted := uint32(0), false
+	if ctx != nil {
+		start, hinted = ctx.LaneHint()
+	}
+	if !hinted || start >= regular {
+		start = t.rrHint.Add(1)
+	}
+	for i := uint32(0); i < regular; i++ {
+		lane := ep.lanes[(start+i)%regular]
+		if lane.claim.CompareAndSwap(0, 1) {
+			if ep.failed.Load() {
+				lane.claim.Store(0)
+				return nil
+			}
+			t.noteClaim()
+			if ctx != nil {
+				ctx.SetLaneHint(lane.idx)
+			}
+			return lane
+		}
+	}
+	// Every regular lane is held: spill to the contended fallback lane
+	// rather than failing or blocking on a mutex. Spills are a capacity
+	// signal (LaneSpills), not an error.
+	t.laneSpills.Add(1)
+	spill := ep.lanes[regular]
+	for !spill.claim.CompareAndSwap(0, 1) {
+		if ep.failed.Load() {
+			return nil
+		}
+		runtime.Gosched()
+	}
+	if ep.failed.Load() {
+		spill.claim.Store(0)
+		return nil
+	}
+	t.noteClaim()
+	return spill
+}
+
+// noteClaim maintains the lane acquisition and occupancy gauges.
+//
+//decaf:hotpath
+func (t *ProcTransport) noteClaim() {
+	t.laneAcq.Add(1)
+	n := t.laneActive.Add(1)
+	if n > 0 {
+		atomicMaxU64(&t.laneActivePeak, uint64(n))
+	}
+}
+
+// releaseLane returns a lane to the table. The Store is the release half of
+// invariant 4: everything this holder wrote to the lane's rings and scratch
+// happens-before the next holder's CAS acquire.
+//
+//decaf:hotpath
+func (t *ProcTransport) releaseLane(lane *procLane) {
+	t.laneActive.Add(-1)
+	lane.claim.Store(0)
+}
+
+// laneCrossOn is the lock-free steady-state fast path: encode each submit
+// frame directly into the claimed lane's submit ring, wake the worker only
+// if it parked (one flag spans all lanes — invariant 5), and collect the
+// lane's completion descriptors tagged with its per-lane sequence. Zero
+// wire traffic and zero heap allocations per crossing — the scratch arrays
+// live on the lane and the encode lands in the mapping itself (ringFits
+// proved it cannot spill, so AppendFrame never grows the slot-backed
+// slice).
+//
+//decaf:hotpath
+func (t *ProcTransport) laneCrossOn(r *Runtime, ep *procEpoch, lane *procLane, chunk []*Submission) error {
 	name := chunk[0].Call.Name
 	ring := r.payloadRing.Load()
-	w, err := t.ensureWorkerLocked()
-	if err != nil {
-		return err
-	}
-	ids, sums := t.ids[:len(chunk)], t.sums[:len(chunk)]
+	reg := t.reg.Load()
+	ids, sums := lane.ids[:len(chunk)], lane.sums[:len(chunk)]
 	for i, sub := range chunk {
 		c := sub.Call
-		t.nextID++
-		ids[i] = t.nextID
+		lane.seq++
+		ids[i] = lane.seq
 		sums[i] = 0
-		f := xdr.Frame{Kind: xdr.FrameSubmit, ID: ids[i], Up: c.Up, Name: c.Name}
-		if c.Slot.Valid() && ring != nil && t.reg != nil {
-			// Zero-copy: only the descriptor crosses; see sockCrossLocked.
+		f := xdr.Frame{Kind: xdr.FrameSubmit, ID: ids[i], Up: c.Up, Name: c.Name, Lane: lane.idx}
+		if c.Slot.Valid() && ring != nil && reg != nil {
+			// Zero-copy: only the descriptor crosses; see sockCross.
 			if payload, berr := ring.Buffer(c.Slot); berr == nil {
 				f.Slot = c.Slot
 				sums[i] = payloadSum(payload)
@@ -351,70 +571,171 @@ func (t *ProcTransport) ringCrossLocked(r *Runtime, chunk []*Submission) error {
 			f.Data = c.Data
 			sums[i] = payloadSum(c.Data)
 		}
-		slot := t.subRing.reserve()
+		slot := lane.sub.reserve()
 		if slot == nil {
-			// Unreachable by construction: the ring holds a full batch and
-			// the previous chunk's submit descriptors were consumed before
-			// its completions were published (the worker advances before it
-			// acknowledges). A full ring therefore means a corrupted header.
-			return t.protocolFailLocked(w, fmt.Errorf("xpc: submit descriptor ring full at %d entries", t.descEntries))
+			// Unreachable by construction: the lane holds a full batch, the
+			// holder drained its completions before releasing, and the worker
+			// advances each submit descriptor before acknowledging it. A full
+			// ring therefore means a corrupted header.
+			t.releaseLane(lane)
+			return t.epochProtoFail(ep, fmt.Errorf("xpc: lane %d submit ring full at %d entries", lane.idx, t.descEntries))
 		}
 		if _, aerr := xdr.AppendFrame(slot[:0], f); aerr != nil {
-			// Unreachable: ringFits admitted the chunk. Nothing was
-			// published for this frame, but earlier frames of the chunk
-			// were — the worker is mid-chunk and must not survive it.
-			return t.protocolFailLocked(w, fmt.Errorf("xpc: descriptor encode %q: %v", c.Name, aerr))
+			// Unreachable: ringFits admitted the chunk. Earlier frames of the
+			// chunk were published — the worker is mid-chunk and must not
+			// survive it.
+			t.releaseLane(lane)
+			return t.epochProtoFail(ep, fmt.Errorf("xpc: lane %d descriptor encode %q: %v", lane.idx, c.Name, aerr))
 		}
-		t.subRing.publish()
+		lane.sub.publish()
 	}
-	if occ := t.subRing.occupancy(); occ > t.descPeak.Load() {
-		t.descPeak.Store(occ)
-	}
+	atomicMaxU64(&t.descPeak, lane.sub.occupancy())
 	r.noteRingCrossing(name)
-	bell := fdDoorbell{f: w.bell}
-	if t.subRing.consumerParked() {
-		if err := bell.ring(); err != nil {
-			return t.workerDiedLocked(w, err)
+	// Invariant 5, producer half: publish first, then consume the worker's
+	// parked declaration. Racing producers swap the one flag; exactly one
+	// observes 1 and pays the wake syscall.
+	if ep.dir.parked.Swap(0) == 1 {
+		if err := ep.bell.ring(); err != nil {
+			t.releaseLane(lane)
+			return t.epochDied(ep, err)
 		}
 		r.noteDoorbells(name, 1)
 	}
 	deadline := time.Now().Add(procWireTimeout)
+	// Scale the completion spin budget down by the lanes currently in
+	// flight: K holders spinning concurrently on an oversubscribed machine
+	// take ~K times longer wall-clock to exhaust a fixed budget, starving
+	// the worker of CPU exactly when it has the most lanes to serve.
+	// Parking promptly hands the worker the whole machine instead.
+	budget := descSpinBudget
+	if active := t.laneActive.Load(); active > 1 {
+		budget = descSpinBudget / int(active)
+	}
 	for i := range chunk {
-		slot, wakes, err := t.cmpRing.awaitSlot(bell, deadline)
+		slot, wakes, err := lane.cmp.awaitSlotBudget(lane.bell, deadline, budget)
 		if wakes > 0 {
 			r.noteDoorbells(chunk[i].Call.Name, wakes)
 		}
 		if err != nil {
-			return t.workerDiedLocked(w, err)
+			t.releaseLane(lane)
+			return t.epochDied(ep, err)
 		}
 		resp, _, derr := xdr.DecodeFrame(slot)
-		t.cmpRing.advance()
+		lane.cmp.advance()
 		if derr != nil {
-			return t.protocolFailLocked(w, fmt.Errorf("xpc: corrupt completion descriptor: %v", derr))
+			t.releaseLane(lane)
+			return t.epochProtoFail(ep, fmt.Errorf("xpc: corrupt completion descriptor on lane %d: %v", lane.idx, derr))
 		}
 		switch {
-		case resp.Kind != xdr.FrameComplete || resp.ID != ids[i]:
-			return t.protocolFailLocked(w, fmt.Errorf("xpc: proc worker protocol: got %v id %d, want complete id %d",
-				resp.Kind, resp.ID, ids[i]))
+		case resp.Kind != xdr.FrameComplete || resp.ID != ids[i] || resp.Lane != lane.idx:
+			t.releaseLane(lane)
+			return t.epochProtoFail(ep, fmt.Errorf("xpc: proc worker protocol: got %v id %d lane %d, want complete id %d lane %d",
+				resp.Kind, resp.ID, resp.Lane, ids[i], lane.idx))
 		case resp.Status != wireStatusOK:
-			return t.protocolFailLocked(w, fmt.Errorf("xpc: proc worker rejected %q: status %d %s",
+			t.releaseLane(lane)
+			return t.epochProtoFail(ep, fmt.Errorf("xpc: proc worker rejected %q: status %d %s",
 				chunk[i].Call.Name, resp.Status, resp.Name))
 		case resp.Aux != sums[i]:
-			return t.protocolFailLocked(w, fmt.Errorf("xpc: payload checksum mismatch on %q: worker saw %#x, kernel staged %#x",
+			t.releaseLane(lane)
+			return t.epochProtoFail(ep, fmt.Errorf("xpc: payload checksum mismatch on %q: worker saw %#x, kernel staged %#x",
 				chunk[i].Call.Name, resp.Aux, sums[i]))
 		}
 	}
+	t.releaseLane(lane)
 	return nil
 }
 
-// sockCrossLocked frames the chunk over the socketpair — the fallback for
-// frames a descriptor slot cannot hold. One write syscall carries the whole
-// chunk; the worker answers with one completion frame per call.
-func (t *ProcTransport) sockCrossLocked(r *Runtime, chunk []*Submission) error {
+// currentEpoch returns the live epoch, carving a fresh one under the
+// control mutex when none exists (first crossing, or after a teardown).
+//
+//decaf:hotpath
+func (t *ProcTransport) currentEpoch() (*procEpoch, error) {
+	if ep := t.epoch.Load(); ep != nil && !ep.failed.Load() {
+		return ep, nil
+	}
+	t.lockControl()
+	defer t.mu.Unlock()
+	return t.ensureEpochLocked()
+}
+
+// epochDied retires ep after an observed worker death (EOF, EPIPE, doorbell
+// timeout): the first observer runs the teardown; later observers just
+// report. The caller has already released its lane claim.
+func (t *ProcTransport) epochDied(ep *procEpoch, cause error) error {
+	if ep.failed.CompareAndSwap(false, true) {
+		t.lockControl()
+		t.teardownEpochLocked(ep, true)
+		t.mu.Unlock()
+	}
+	return &WorkerDeath{PID: ep.pid, Err: cause}
+}
+
+// epochProtoFail retires ep after a protocol violation or checksum mismatch
+// from a live-but-suspect worker: kill it and surface the error itself (not
+// a WorkerDeath — the worker did not die on its own).
+func (t *ProcTransport) epochProtoFail(ep *procEpoch, err error) error {
+	if ep.failed.CompareAndSwap(false, true) {
+		t.lockControl()
+		t.teardownEpochLocked(ep, true)
+		t.mu.Unlock()
+	}
+	return err
+}
+
+// teardownEpochLocked retires an epoch under mu: mark it failed (claimers
+// back off), kill and reap the worker (parked holders wake with EOF), wait
+// for every lane claim to drain, then close the parent-side descriptors and
+// clear the epoch slot. Idempotent via ep.torn. The claims-drain wait is
+// what makes re-carving safe: no straggler can touch the shared rings once
+// this returns.
+func (t *ProcTransport) teardownEpochLocked(ep *procEpoch, countDeath bool) {
+	if ep.torn {
+		return
+	}
+	ep.failed.Store(true)
+	if ep.w.cmd.Process != nil {
+		_ = ep.w.cmd.Process.Kill()
+	}
+	<-ep.w.exited
+	for _, lane := range ep.lanes {
+		for lane.claim.Load() != 0 {
+			runtime.Gosched()
+		}
+	}
+	_ = ep.w.sock.Close()
+	if ep.w.bell != nil {
+		_ = ep.w.bell.Close()
+	}
+	for _, lane := range ep.lanes {
+		if lane.bell.f != nil {
+			_ = lane.bell.f.Close()
+		}
+	}
+	if countDeath {
+		t.deaths++
+	}
+	ep.torn = true
+	if t.epoch.Load() == ep {
+		t.epoch.Store(nil)
+	}
+}
+
+// sockCross frames the chunk over the socketpair — the fallback for frames
+// a descriptor slot cannot hold. One write syscall carries the whole chunk;
+// the worker answers with one completion frame per call. The path holds the
+// control mutex for the round trip: oversized frames are the rare case, and
+// serializing them keeps the control stream framing trivially in order.
+func (t *ProcTransport) sockCross(r *Runtime, chunk []*Submission) error {
+	t.lockControl()
+	defer t.mu.Unlock()
+	if t.closed.Load() {
+		return ErrTransportClosed
+	}
 	// Encode the whole chunk before touching the worker: an encode failure
 	// is a kernel-side problem and must not cost a healthy process.
 	name := chunk[0].Call.Name
 	ring := r.payloadRing.Load()
+	reg := t.reg.Load()
 	buf := t.encBuf[:0]
 	defer func() { t.encBuf = buf[:0] }()
 	ids, sums := t.ids[:len(chunk)], t.sums[:len(chunk)]
@@ -424,7 +745,7 @@ func (t *ProcTransport) sockCrossLocked(r *Runtime, chunk []*Submission) error {
 		ids[i] = t.nextID
 		sums[i] = 0
 		f := xdr.Frame{Kind: xdr.FrameSubmit, ID: ids[i], Up: c.Up, Name: c.Name}
-		if c.Slot.Valid() && ring != nil && t.reg != nil {
+		if c.Slot.Valid() && ring != nil && reg != nil {
 			// Zero-copy: only the descriptor crosses; checksum the bytes
 			// through the kernel side's mapping for comparison against what
 			// the worker reads through its own. A stale descriptor (slot
@@ -452,32 +773,38 @@ func (t *ProcTransport) sockCrossLocked(r *Runtime, chunk []*Submission) error {
 			return fmt.Errorf("%w: %q: %v", errProcEncode, c.Name, err)
 		}
 	}
-	w, err := t.ensureWorkerLocked()
+	ep, err := t.ensureEpochLocked()
 	if err != nil {
 		return err
 	}
+	w := ep.w
 	_ = w.sock.SetDeadline(time.Now().Add(procWireTimeout))
 	if _, err := w.sock.Write(buf); err != nil {
-		return t.workerDiedLocked(w, err)
+		t.teardownEpochLocked(ep, true)
+		return &WorkerDeath{PID: ep.pid, Err: err}
 	}
 	r.noteSyscallCrossing(name)
 	r.noteWire(name, len(buf), 0)
 	for i := range chunk {
 		resp, n, err := readWireFrame(w.br)
 		if err != nil {
-			return t.workerDiedLocked(w, err)
+			t.teardownEpochLocked(ep, true)
+			return &WorkerDeath{PID: ep.pid, Err: err}
 		}
 		r.noteWire(chunk[i].Call.Name, 0, n)
 		switch {
 		case resp.Kind != xdr.FrameComplete || resp.ID != ids[i]:
-			return t.protocolFailLocked(w, fmt.Errorf("xpc: proc worker protocol: got %v id %d, want complete id %d",
-				resp.Kind, resp.ID, ids[i]))
+			t.teardownEpochLocked(ep, true)
+			return fmt.Errorf("xpc: proc worker protocol: got %v id %d, want complete id %d",
+				resp.Kind, resp.ID, ids[i])
 		case resp.Status != wireStatusOK:
-			return t.protocolFailLocked(w, fmt.Errorf("xpc: proc worker rejected %q: status %d %s",
-				chunk[i].Call.Name, resp.Status, resp.Name))
+			t.teardownEpochLocked(ep, true)
+			return fmt.Errorf("xpc: proc worker rejected %q: status %d %s",
+				chunk[i].Call.Name, resp.Status, resp.Name)
 		case resp.Aux != sums[i]:
-			return t.protocolFailLocked(w, fmt.Errorf("xpc: payload checksum mismatch on %q: worker saw %#x, kernel staged %#x",
-				chunk[i].Call.Name, resp.Aux, sums[i]))
+			t.teardownEpochLocked(ep, true)
+			return fmt.Errorf("xpc: payload checksum mismatch on %q: worker saw %#x, kernel staged %#x",
+				chunk[i].Call.Name, resp.Aux, sums[i])
 		}
 	}
 	_ = w.sock.SetDeadline(time.Time{})
@@ -491,9 +818,9 @@ func (*ProcTransport) Drain(*Runtime, *kernel.Context) error { return nil }
 // slice the shared region, so the worker resolves descriptors against the
 // same physical pages.
 func (t *ProcTransport) NewMappedRing(slots, slotSize int) (*PayloadRing, error) {
-	t.mu.Lock()
+	t.lockControl()
 	defer t.mu.Unlock()
-	if t.closed {
+	if t.closed.Load() {
 		return nil, ErrTransportClosed
 	}
 	if err := t.ensureShmLocked(); err != nil {
@@ -516,7 +843,7 @@ func (t *ProcTransport) NewMappedRing(slots, slotSize int) (*PayloadRing, error)
 // worker. Only rings created by NewMappedRing are accepted — a heap-backed
 // ring would be invisible to the worker's address space.
 func (t *ProcTransport) RegisterRing(r *Runtime, ring *PayloadRing) error {
-	t.mu.Lock()
+	t.lockControl()
 	defer t.mu.Unlock()
 	if err := t.bindLocked(r); err != nil {
 		return err
@@ -525,14 +852,14 @@ func (t *ProcTransport) RegisterRing(r *Runtime, ring *PayloadRing) error {
 	if !ok {
 		return fmt.Errorf("xpc: ProcTransport requires a shared-memory ring (Runtime.NewRing / NewMappedRing)")
 	}
-	w, err := t.ensureWorkerLocked()
+	ep, err := t.ensureEpochLocked()
 	if err != nil {
 		return err
 	}
-	if err := t.sendRingRegisterLocked(w, geom); err != nil {
+	if err := t.sendRingRegisterLocked(ep, geom); err != nil {
 		return err
 	}
-	t.reg = &geom
+	t.reg.Store(&geom)
 	return nil
 }
 
@@ -540,34 +867,38 @@ func (t *ProcTransport) RegisterRing(r *Runtime, ring *PayloadRing) error {
 // best-effort — the usual caller is recovery teardown, where the worker is
 // already dead.
 func (t *ProcTransport) UnregisterRing(r *Runtime, ring *PayloadRing) {
-	t.mu.Lock()
+	t.lockControl()
 	defer t.mu.Unlock()
-	t.reg = nil
+	t.reg.Store(nil)
 	delete(t.geoms, ring)
-	if t.worker == nil || t.closed {
+	ep := t.epoch.Load()
+	if ep == nil || ep.torn || t.closed.Load() {
 		return
 	}
 	t.nextID++
 	f := xdr.Frame{Kind: xdr.FrameRingRelease, ID: t.nextID}
-	if _, err := t.roundTripLocked(t.worker, f); err != nil {
-		_ = t.workerDiedLocked(t.worker, err)
+	if _, err := t.roundTripLocked(ep.w, f); err != nil {
+		t.teardownEpochLocked(ep, true)
 	}
 }
 
-// sendRingRegisterLocked publishes geometry to w and awaits the ack.
-func (t *ProcTransport) sendRingRegisterLocked(w *procWorker, geom ringGeom) error {
+// sendRingRegisterLocked publishes geometry to ep's worker and awaits the
+// ack.
+func (t *ProcTransport) sendRingRegisterLocked(ep *procEpoch, geom ringGeom) error {
 	t.nextID++
 	f := xdr.Frame{
 		Kind: xdr.FrameRingRegister,
 		ID:   t.nextID,
 		Aux:  uint64(geom.slots)<<32 | uint64(geom.slotSize),
 	}
-	resp, err := t.roundTripLocked(w, f)
+	resp, err := t.roundTripLocked(ep.w, f)
 	if err != nil {
-		return t.workerDiedLocked(w, err)
+		t.teardownEpochLocked(ep, true)
+		return &WorkerDeath{PID: ep.pid, Err: err}
 	}
 	if resp.Kind != xdr.FrameComplete || resp.ID != f.ID || resp.Status != wireStatusOK {
-		return t.protocolFailLocked(w, fmt.Errorf("xpc: worker refused ring registration: %v status %d", resp.Kind, resp.Status))
+		t.teardownEpochLocked(ep, true)
+		return fmt.Errorf("xpc: worker refused ring registration: %v status %d", resp.Kind, resp.Status)
 	}
 	return nil
 }
@@ -584,54 +915,56 @@ func (t *ProcTransport) roundTripLocked(w *procWorker, f xdr.Frame) (xdr.Frame, 
 	if _, err := w.sock.Write(wire); err != nil {
 		return xdr.Frame{}, err
 	}
-	if t.r != nil {
-		t.r.noteWire(f.Kind.String(), len(wire), 0)
+	if r := t.rt.Load(); r != nil {
+		r.noteWire(f.Kind.String(), len(wire), 0)
 	}
 	resp, n, err := readWireFrame(w.br)
 	if err != nil {
 		return xdr.Frame{}, err
 	}
-	if t.r != nil {
-		t.r.noteWire(f.Kind.String(), 0, n)
+	if r := t.rt.Load(); r != nil {
+		r.noteWire(f.Kind.String(), 0, n)
 	}
 	return resp, nil
 }
 
+// laneCount is the carved lane total: the configured lanes plus the
+// dedicated spill lane.
+func (t *ProcTransport) laneCount() int { return t.cfg.Lanes + 1 }
+
 // ensureShmLocked creates and maps the shared region on first need:
-// payloadLen bytes for mapped payload rings, then the two descriptor rings
-// (submit, then complete) at the tail. The worker derives the identical
-// layout from the region size and the FrameDescRing geometry.
+// payloadLen bytes for mapped payload rings, then the lane directory and
+// the per-lane descriptor-ring pairs at the tail. The worker derives the
+// identical layout from the region size and the FrameDescRing geometry.
 func (t *ProcTransport) ensureShmLocked() error {
 	if t.shm != nil {
 		return nil
 	}
 	payload := (t.cfg.ShmBytes + 63) &^ 63
-	ringB := descRingBytes(t.descEntries, descSlotBytes)
-	shm, err := newShmRegion(payload + 2*ringB)
+	shm, err := newShmRegion(payload + laneRegionBytes(t.laneCount(), t.descEntries, descSlotBytes))
 	if err != nil {
 		return err
 	}
-	sub, err := newDescRing(shm.mem[payload:payload+ringB], t.descEntries, descSlotBytes)
-	if err == nil {
-		t.cmpRing, err = newDescRing(shm.mem[payload+ringB:], t.descEntries, descSlotBytes)
-	}
-	if err != nil {
-		_ = shm.Close()
-		t.cmpRing = nil
-		return err
-	}
-	t.shm, t.payloadLen, t.subRing = shm, payload, sub
+	t.shm, t.payloadLen = shm, payload
 	return nil
 }
 
-// ensureWorkerLocked returns the live worker, spawning one if none exists:
-// a re-exec of the current binary in worker mode, with the socketpair child
-// end and the shared region's descriptor inherited at fixed fd numbers. A
-// registered ring's geometry is replayed to a fresh worker before it serves
-// crossings.
-func (t *ProcTransport) ensureWorkerLocked() (*procWorker, error) {
-	if t.worker != nil {
-		return t.worker, nil
+// ensureEpochLocked returns the live epoch, retiring a failed one and
+// carving a fresh one when needed: spawn the worker (a re-exec of the
+// current binary in worker mode, with the socketpair child end, the shared
+// region, the submit doorbell and one completion doorbell per lane
+// inherited at fixed fd numbers), reset the lane rings a dead predecessor
+// left behind, hand the worker its geometry, and replay any registered
+// payload-ring geometry so the fresh worker serves crossings immediately.
+func (t *ProcTransport) ensureEpochLocked() (*procEpoch, error) {
+	if t.closed.Load() {
+		return nil, ErrTransportClosed
+	}
+	if ep := t.epoch.Load(); ep != nil {
+		if !ep.failed.Load() {
+			return ep, nil
+		}
+		t.teardownEpochLocked(ep, true)
 	}
 	if err := t.ensureShmLocked(); err != nil {
 		return nil, err
@@ -639,6 +972,11 @@ func (t *ProcTransport) ensureWorkerLocked() (*procWorker, error) {
 	exe, err := os.Executable()
 	if err != nil {
 		return nil, fmt.Errorf("xpc: locate executable for worker re-exec: %w", err)
+	}
+	lanes := t.laneCount()
+	dir, rings, err := carveLanes(t.shm.mem[t.payloadLen:], lanes, t.descEntries, descSlotBytes)
+	if err != nil {
+		return nil, err
 	}
 	parent, child, err := socketPair()
 	if err != nil {
@@ -650,34 +988,77 @@ func (t *ProcTransport) ensureWorkerLocked() (*procWorker, error) {
 		child.Close()
 		return nil, err
 	}
-	cmd := exec.Command(exe)
-	cmd.Env = append(os.Environ(), workerEnv+"=1")
-	cmd.ExtraFiles = []*os.File{child, t.shm.file, bellChild} // fd 3, 4, 5
-	cmd.Stderr = os.Stderr
-	if err := cmd.Start(); err != nil {
+	laneParents := make([]*os.File, lanes)
+	laneChildren := make([]*os.File, lanes)
+	closeAll := func() {
 		parent.Close()
 		child.Close()
 		bellParent.Close()
 		bellChild.Close()
+		for i := range laneParents {
+			if laneParents[i] != nil {
+				laneParents[i].Close()
+			}
+			if laneChildren[i] != nil {
+				laneChildren[i].Close()
+			}
+		}
+	}
+	for i := 0; i < lanes; i++ {
+		laneParents[i], laneChildren[i], err = socketPair()
+		if err != nil {
+			closeAll()
+			return nil, err
+		}
+	}
+	cmd := exec.Command(exe)
+	cmd.Env = append(os.Environ(), workerEnv+"=1")
+	extra := make([]*os.File, 0, 3+lanes)
+	extra = append(extra, child, t.shm.file, bellChild) // fd 3, 4, 5
+	extra = append(extra, laneChildren...)              // fd 6 + lane index
+	cmd.ExtraFiles = extra
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		closeAll()
 		return nil, fmt.Errorf("xpc: spawn decaf worker: %w", err)
 	}
 	child.Close()
 	bellChild.Close()
+	for i := range laneChildren {
+		laneChildren[i].Close()
+	}
 	w := &procWorker{cmd: cmd, sock: parent, bell: bellParent, br: bufio.NewReader(parent), exited: make(chan struct{})}
 	go func() {
 		_ = cmd.Wait()
 		close(w.exited)
 	}()
-	t.worker = w
-	// A fresh worker epoch: zero the ring positions a dead predecessor left
-	// behind before this worker's ring goroutine attaches to them.
-	t.subRing.reset()
-	t.cmpRing.reset()
-	if err := t.sendDescRingLocked(w); err != nil {
+	ep := &procEpoch{
+		w:     w,
+		pid:   cmd.Process.Pid,
+		dir:   dir,
+		bell:  fdDoorbell{f: bellParent},
+		lanes: make([]*procLane, lanes),
+	}
+	// A fresh worker epoch: zero the lane directory and ring positions a
+	// dead predecessor left behind before this worker attaches to them.
+	dir.parked.Store(0)
+	for i := 0; i < lanes; i++ {
+		rings[i].sub.reset()
+		rings[i].cmp.reset()
+		ep.lanes[i] = &procLane{
+			idx:  uint32(i),
+			sub:  rings[i].sub,
+			cmp:  rings[i].cmp,
+			bell: fdDoorbell{f: laneParents[i]},
+			ids:  make([]uint64, t.cfg.Batch),
+			sums: make([]uint64, t.cfg.Batch),
+		}
+	}
+	if err := t.sendDescRingLocked(ep); err != nil {
 		return nil, err
 	}
-	if t.reg != nil {
-		if err := t.sendRingRegisterLocked(w, *t.reg); err != nil {
+	if reg := t.reg.Load(); reg != nil {
+		if err := t.sendRingRegisterLocked(ep, *reg); err != nil {
 			return nil, err
 		}
 	}
@@ -685,71 +1066,47 @@ func (t *ProcTransport) ensureWorkerLocked() (*procWorker, error) {
 	// replayed): a worker that died during its own setup never served a
 	// crossing and must not inflate the respawn metric the CI gate pins.
 	t.spawns++
-	return w, nil
+	t.epoch.Store(ep)
+	return ep, nil
 }
 
-// sendDescRingLocked publishes the descriptor-ring geometry to a fresh
-// worker and awaits the ack; only then may crossings ride the rings. Sent
-// before any payload-ring replay, so the worker can bound payload
-// geometries by the region minus the descriptor area.
-func (t *ProcTransport) sendDescRingLocked(w *procWorker) error {
+// sendDescRingLocked publishes the lane geometry to a fresh worker and
+// awaits the ack; only then may crossings ride the rings. Aux packs the
+// per-ring entries and slot size, Lane carries the lane count. Sent before
+// any payload-ring replay, so the worker can bound payload geometries by
+// the region minus the lane area.
+func (t *ProcTransport) sendDescRingLocked(ep *procEpoch) error {
 	t.nextID++
 	f := xdr.Frame{
 		Kind: xdr.FrameDescRing,
 		ID:   t.nextID,
 		Aux:  uint64(t.descEntries)<<32 | uint64(descSlotBytes),
+		Lane: uint32(t.laneCount()),
 	}
-	resp, err := t.roundTripLocked(w, f)
+	resp, err := t.roundTripLocked(ep.w, f)
 	if err != nil {
-		return t.workerDiedLocked(w, err)
+		t.teardownEpochLocked(ep, true)
+		return &WorkerDeath{PID: ep.pid, Err: err}
 	}
 	if resp.Kind != xdr.FrameComplete || resp.ID != f.ID || resp.Status != wireStatusOK {
-		return t.protocolFailLocked(w, fmt.Errorf("xpc: worker refused descriptor rings: %v status %d", resp.Kind, resp.Status))
+		t.teardownEpochLocked(ep, true)
+		return fmt.Errorf("xpc: worker refused descriptor lanes: %v status %d", resp.Kind, resp.Status)
 	}
 	return nil
-}
-
-// workerDiedLocked handles an observed worker death: reap the process,
-// clear the slot, and wrap the wire failure as a *WorkerDeath.
-func (t *ProcTransport) workerDiedLocked(w *procWorker, cause error) error {
-	pid := t.reapLocked(w)
-	return &WorkerDeath{PID: pid, Err: cause}
-}
-
-// protocolFailLocked handles a live-but-suspect worker (protocol violation,
-// checksum mismatch): kill it and surface the error.
-func (t *ProcTransport) protocolFailLocked(w *procWorker, err error) error {
-	t.reapLocked(w)
-	return err
-}
-
-// reapLocked force-kills and reaps w, counting the death. Safe when the
-// process already exited.
-func (t *ProcTransport) reapLocked(w *procWorker) (pid int) {
-	if w.cmd.Process != nil {
-		pid = w.cmd.Process.Pid
-		_ = w.cmd.Process.Kill()
-	}
-	<-w.exited
-	_ = w.sock.Close()
-	if w.bell != nil {
-		_ = w.bell.Close()
-	}
-	t.deaths++
-	if t.worker == w {
-		t.worker = nil
-	}
-	return pid
 }
 
 // killWorkerOnFault makes an in-parent decaf fault physical: the worker
 // process is SIGKILLed, exactly as the crashed decaf driver's process would
 // die.
 func (t *ProcTransport) killWorkerOnFault() {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if t.worker != nil {
-		t.reapLocked(t.worker)
+	ep := t.epoch.Load()
+	if ep == nil {
+		return
+	}
+	if ep.failed.CompareAndSwap(false, true) {
+		t.lockControl()
+		t.teardownEpochLocked(ep, true)
+		t.mu.Unlock()
 	}
 }
 
@@ -758,14 +1115,12 @@ func (t *ProcTransport) killWorkerOnFault() {
 // operation, which surfaces it as a contained fault. Tests and chaos
 // harnesses use it; it reports whether a worker was running.
 func (t *ProcTransport) KillWorker() bool {
-	t.mu.Lock()
-	w := t.worker
-	t.mu.Unlock()
-	if w == nil || w.cmd.Process == nil {
+	ep := t.epoch.Load()
+	if ep == nil || ep.w.cmd.Process == nil {
 		return false
 	}
-	_ = w.cmd.Process.Kill()
-	<-w.exited
+	_ = ep.w.cmd.Process.Kill()
+	<-ep.w.exited
 	return true
 }
 
@@ -774,57 +1129,65 @@ func (t *ProcTransport) KillWorker() bool {
 // calls it between teardown and journal replay, so the replayed crossings
 // land on a process that was actually restarted.
 func (t *ProcTransport) RespawnWorker() error {
-	t.mu.Lock()
+	t.lockControl()
 	defer t.mu.Unlock()
-	if t.closed {
+	if t.closed.Load() {
 		return ErrTransportClosed
 	}
-	if t.worker != nil {
-		t.reapLocked(t.worker)
+	if ep := t.epoch.Load(); ep != nil {
+		t.teardownEpochLocked(ep, true)
 	}
-	_, err := t.ensureWorkerLocked()
+	_, err := t.ensureEpochLocked()
 	return err
 }
 
 // WorkerPID reports the live worker's process id (0 when none is running).
 func (t *ProcTransport) WorkerPID() int {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if t.worker == nil || t.worker.cmd.Process == nil {
-		return 0
+	if ep := t.epoch.Load(); ep != nil {
+		return ep.pid
 	}
-	return t.worker.cmd.Process.Pid
+	return 0
 }
 
 // workerStats implements the counters snapshot hook: respawns beyond the
 // first spawn, observed deaths, and current liveness.
 func (t *ProcTransport) workerStats() (respawns, deaths uint64, alive bool) {
-	t.mu.Lock()
+	t.lockControl()
 	defer t.mu.Unlock()
 	if t.spawns > 0 {
 		respawns = t.spawns - 1
 	}
-	return respawns, t.deaths, t.worker != nil
+	ep := t.epoch.Load()
+	return respawns, t.deaths, ep != nil && !ep.failed.Load()
 }
 
 // descRingStats implements the counters snapshot hook for the descriptor
-// rings: configured entries per direction and the submit ring's occupancy
-// high-water mark over the transport's lifetime.
+// rings: configured entries per direction and the per-lane submit rings'
+// occupancy high-water mark over the transport's lifetime.
 func (t *ProcTransport) descRingStats() (entries, peak uint64) {
 	return uint64(t.descEntries), t.descPeak.Load()
+}
+
+// laneStats implements the counters snapshot hook for the submission
+// lanes: total claims, spills to the contended fallback lane, and the
+// high-water mark of simultaneously held lanes.
+func (t *ProcTransport) laneStats() (acquisitions, spills, activePeak uint64) {
+	return t.laneAcq.Load(), t.laneSpills.Load(), t.laneActivePeak.Load()
 }
 
 // Close stops the worker (a polite shutdown frame, then SIGKILL after a
 // grace period) and releases the shared region. Close is idempotent;
 // SetTransport calls it when replacing the transport.
 func (t *ProcTransport) Close() error {
-	t.mu.Lock()
+	t.lockControl()
 	defer t.mu.Unlock()
-	if t.closed {
+	if t.closed.Load() {
 		return nil
 	}
-	t.closed = true
-	if w := t.worker; w != nil {
+	t.closed.Store(true)
+	if ep := t.epoch.Load(); ep != nil && !ep.torn {
+		w := ep.w
+		ep.failed.Store(true)
 		t.nextID++
 		_ = w.sock.SetWriteDeadline(time.Now().Add(procWireTimeout))
 		if wire, err := xdr.AppendFrame(nil, xdr.Frame{Kind: xdr.FrameShutdown, ID: t.nextID}); err == nil {
@@ -838,13 +1201,12 @@ func (t *ProcTransport) Close() error {
 			}
 			<-w.exited
 		}
-		_ = w.sock.Close()
-		if w.bell != nil {
-			_ = w.bell.Close()
-		}
-		t.worker = nil
+		// A polite shutdown is not a death: teardown drains lane claims and
+		// closes descriptors, but only a failure path counts toward
+		// WorkerDeaths.
+		t.teardownEpochLocked(ep, false)
 	}
-	if len(t.geoms) == 0 && t.reg == nil {
+	if len(t.geoms) == 0 && t.reg.Load() == nil {
 		err := t.shm.Close()
 		t.shm = nil
 		return err

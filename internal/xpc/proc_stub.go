@@ -15,10 +15,17 @@ import (
 // DefaultProcShmBytes mirrors the unix constant for configuration code.
 const DefaultProcShmBytes = 8 << 20
 
+// DefaultProcLanes mirrors the unix constant for configuration code.
+const DefaultProcLanes = 8
+
+// MaxProcLanes mirrors the unix constant for configuration code.
+const MaxProcLanes = 64
+
 // ProcConfig sizes a ProcTransport (unsupported on this platform).
 type ProcConfig struct {
 	Batch    int
 	ShmBytes int
+	Lanes    int
 }
 
 // ProcTransport is unavailable on this platform; NewProcTransport reports
@@ -40,6 +47,17 @@ func (*ProcTransport) Name() string { return "proc(unsupported)" }
 
 // MaxBatch implements Transport.
 func (*ProcTransport) MaxBatch() int { return 1 }
+
+// Lanes mirrors the unix accessor; no transport exists here.
+func (*ProcTransport) Lanes() int { return 0 }
+
+// ControlAcquires mirrors the unix accessor; no transport exists here.
+func (*ProcTransport) ControlAcquires() uint64 { return 0 }
+
+// CrossChunk mirrors the unix boundary hook; unreachable here.
+func (*ProcTransport) CrossChunk(*Runtime, *kernel.Context, []*Submission) error {
+	return ErrProcUnsupported
+}
 
 // Submit implements Transport: unreachable (the constructor never hands
 // out an instance), kept so the type satisfies the interface.

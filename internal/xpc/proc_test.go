@@ -5,8 +5,11 @@ package xpc
 import (
 	"bytes"
 	"errors"
+	"fmt"
 	"os"
+	"sync"
 	"testing"
+	"time"
 
 	"decafdrivers/internal/kernel"
 )
@@ -158,7 +161,7 @@ func TestProcRingCrossingAllocFree(t *testing.T) {
 		r.NewSubmission(&Call{Name: "tx", Up: true, Data: payload}),
 	}
 	if avg := testing.AllocsPerRun(200, func() {
-		if err := pt.wireCross(r, chunk); err != nil {
+		if err := pt.wireCross(r, ctx, chunk); err != nil {
 			t.Fatal(err)
 		}
 	}); avg != 0 {
@@ -190,7 +193,7 @@ func BenchmarkProcRingCrossing(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := pt.wireCross(r, chunk); err != nil {
+		if err := pt.wireCross(r, ctx, chunk); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -370,6 +373,165 @@ func TestProcSubmitAfterCloseFails(t *testing.T) {
 		t.Fatalf("submit after close = %v", err)
 	}
 	r.SetTransport(nil)
+}
+
+// TestProcNoMutexUnderContention: the tentpole invariant of the sharded
+// lane design — once the worker epoch is warm, concurrent steady-state
+// submissions acquire the control-plane mutex exactly zero times. Every
+// t.mu acquisition goes through lockControl, so a zero ControlAcquires
+// delta across the storm is proof the data plane is lock-free.
+func TestProcNoMutexUnderContention(t *testing.T) {
+	k, r, pt := newProcRig(t, 4)
+	warm := k.NewContext("warm")
+	if err := r.Upcall(warm, "warmup", func(uctx *kernel.Context) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	base := pt.ControlAcquires()
+	const submitters, rounds, calls = 8, 40, 4
+	errs := make(chan error, submitters)
+	var wg sync.WaitGroup
+	for w := 0; w < submitters; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ctx := k.NewContext(fmt.Sprintf("submitter-%d", w))
+			for i := 0; i < rounds; i++ {
+				b := r.Batch(ctx)
+				for j := 0; j < calls; j++ {
+					b.Upcall("tx", func(uctx *kernel.Context) error { return nil })
+				}
+				if err := b.Flush(); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if delta := pt.ControlAcquires() - base; delta != 0 {
+		t.Fatalf("steady state acquired the control mutex %d times under contention, want 0", delta)
+	}
+	c := r.Counters()
+	if want := uint64(submitters * rounds); c.LaneAcquisitions < want {
+		t.Fatalf("LaneAcquisitions = %d, want >= %d (one claim per crossing)", c.LaneAcquisitions, want)
+	}
+	if c.LaneActivePeak < 1 || c.LaneActivePeak > uint64(pt.Lanes())+1 {
+		t.Fatalf("LaneActivePeak = %d, want within [1, %d]", c.LaneActivePeak, pt.Lanes()+1)
+	}
+}
+
+// TestProcSpillLaneAbsorbsOversubscription: with more concurrent submitters
+// than lanes, claims that find every regular lane busy must spill to the
+// contended fallback lane and still complete correctly.
+func TestProcSpillLaneAbsorbsOversubscription(t *testing.T) {
+	k := newTestKernel()
+	r := newDecafRuntime(k)
+	pt, err := NewProcTransport(ProcConfig{Batch: 2, Lanes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.SetTransport(pt)
+	t.Cleanup(func() { r.SetTransport(nil) })
+	warm := k.NewContext("warm")
+	if err := r.Upcall(warm, "warmup", func(uctx *kernel.Context) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	const submitters, rounds = 6, 30
+	errs := make(chan error, submitters)
+	var wg sync.WaitGroup
+	for w := 0; w < submitters; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ctx := k.NewContext(fmt.Sprintf("submitter-%d", w))
+			for i := 0; i < rounds; i++ {
+				if err := r.Upcall(ctx, "tx", func(uctx *kernel.Context) error { return nil }); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if c := r.Counters(); c.LaneAcquisitions < uint64(submitters*rounds) {
+		t.Fatalf("LaneAcquisitions = %d, want >= %d (one claim per crossing)", c.LaneAcquisitions, submitters*rounds)
+	}
+}
+
+// TestProcSigkillMidContentionRecovers: SIGKILL the worker while K
+// submitters are mid-storm. Every in-flight crossing must resolve — as a
+// contained *UserFault (caused by *WorkerDeath) or an ErrCrossingAborted
+// sibling, never a hang or a raw error — the epoch's lanes must be re-carved
+// for a fresh worker, and post-storm crossings (including zero-copy slot
+// resolution, which requires the re-registered ring geometry) must succeed.
+func TestProcSigkillMidContentionRecovers(t *testing.T) {
+	k, r, pt := newProcRig(t, 4)
+	ctx := k.NewContext("warm")
+	ring, err := r.NewRing(8, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.RegisterPayloadRing(ctx, ring); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Upcall(ctx, "warmup", func(uctx *kernel.Context) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	const submitters, rounds = 6, 60
+	unexpected := make(chan error, submitters*rounds)
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for w := 0; w < submitters; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ctx := k.NewContext(fmt.Sprintf("storm-%d", w))
+			<-start
+			for i := 0; i < rounds; i++ {
+				err := r.Upcall(ctx, "tx", func(uctx *kernel.Context) error { return nil })
+				if err != nil && !IsUserFault(err) && !errors.Is(err, ErrCrossingAborted) {
+					unexpected <- fmt.Errorf("submitter %d round %d: %w", w, i, err)
+					return
+				}
+			}
+		}(w)
+	}
+	close(start)
+	for i := 0; i < 3; i++ {
+		time.Sleep(2 * time.Millisecond)
+		pt.KillWorker()
+	}
+	wg.Wait()
+	close(unexpected)
+	for err := range unexpected {
+		t.Fatal(err)
+	}
+	// The boundary heals: lanes re-carved, ring geometry replayed, zero-copy
+	// crossings resolve on the fresh worker.
+	post := k.NewContext("post")
+	p := r.AcquirePayload([]byte("post-storm payload"))
+	if !p.Direct() {
+		t.Fatal("payload not staged in the mapped ring")
+	}
+	if err := r.Batch(post).UpcallPayload("rx", p, func(uctx *kernel.Context) error { return nil }).Flush(); err != nil {
+		t.Fatalf("zero-copy crossing after mid-contention SIGKILL: %v", err)
+	}
+	r.ReleasePayload(p)
+	c := r.Counters()
+	if c.WorkerDeaths < 1 || c.WorkerRespawns < 1 {
+		t.Fatalf("WorkerDeaths=%d WorkerRespawns=%d, want >= 1 each", c.WorkerDeaths, c.WorkerRespawns)
+	}
+	if !c.WorkerAlive {
+		t.Fatal("no live worker after recovery")
+	}
 }
 
 // TestProcSupervisedRecoveryRespawn: the WorkerRespawner seam the recovery

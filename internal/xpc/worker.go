@@ -17,15 +17,18 @@ import (
 
 // The hidden worker mode: a ProcTransport re-execs the current binary with
 // workerEnv set and the socketpair/shm/doorbell descriptors at these fixed
-// numbers. Binaries that may host a ProcTransport (decafrun, decafbench,
-// test binaries via TestMain) call MaybeRunWorker first thing in main.
+// numbers; the per-lane completion doorbells follow from workerLaneBellFD,
+// one per carved lane. Binaries that may host a ProcTransport (decafrun,
+// decafbench, test binaries via TestMain) call MaybeRunWorker first thing
+// in main.
 const (
-	workerEnv     = "DECAF_XPC_PROC_WORKER"
-	workerSockFD  = 3
-	workerShmFD   = 4
-	workerBellFD  = 5
-	workerOKExit  = 0
-	workerErrExit = 3
+	workerEnv        = "DECAF_XPC_PROC_WORKER"
+	workerSockFD     = 3
+	workerShmFD      = 4
+	workerBellFD     = 5
+	workerLaneBellFD = 6
+	workerOKExit     = 0
+	workerErrExit    = 3
 )
 
 // Worker-side completion statuses (Frame.Status).
@@ -80,9 +83,9 @@ func runWorker() int {
 	// geom is the registered payload-ring geometry, packed exactly as the
 	// FrameRingRegister Aux (slots<<32 | slotSize, zero = none). It is
 	// atomic because two goroutines resolve slot descriptors against it:
-	// this wire loop (socketpair fallback path) and the descriptor-ring
-	// server. descArea is the region tail the descriptor rings own; payload
-	// geometries must fit in front of it (wire-loop-only, plain var).
+	// this wire loop (socketpair fallback path) and the lane server.
+	// descArea is the region tail the lane rings own; payload geometries
+	// must fit in front of it (wire-loop-only, plain var).
 	var geom atomic.Uint64
 	var descArea int
 	reply := func(f xdr.Frame) error {
@@ -130,29 +133,37 @@ func runWorker() int {
 			err = reply(xdr.Frame{Kind: xdr.FrameComplete, ID: f.ID})
 		case xdr.FrameDescRing:
 			entries, slotSize := int(f.Aux>>32), int(uint32(f.Aux))
+			laneCount := int(f.Lane)
 			status := wireStatusOK
 			switch {
 			case descArea != 0:
-				// The rings are registered once per worker process; a second
+				// The lanes are carved once per worker process; a second
 				// geometry while the server goroutine runs is a protocol bug.
 				status = wireStatusBadFrame
-			case entries < 1 || entries > 1<<20 || slotSize < 8 || slotSize > 1<<20 ||
-				2*descRingBytes(entries, slotSize) > len(mem):
+			case laneCount < 2 || laneCount > MaxProcLanes+1 ||
+				entries < 1 || entries > 1<<20 || slotSize < 8 || slotSize > 1<<20 ||
+				laneRegionBytes(laneCount, entries, slotSize) > len(mem):
 				status = wireStatusBadSlot
 			default:
-				rb := descRingBytes(entries, slotSize)
-				payload := len(mem) - 2*rb
-				sub, serr := newDescRing(mem[payload:payload+rb], entries, slotSize)
-				var cmp *descRing
-				if serr == nil {
-					cmp, serr = newDescRing(mem[payload+rb:], entries, slotSize)
-				}
+				need := laneRegionBytes(laneCount, entries, slotSize)
+				dir, rings, serr := carveLanes(mem[len(mem)-need:], laneCount, entries, slotSize)
 				if serr != nil {
-					fmt.Fprintln(os.Stderr, "xpc worker: desc rings:", serr)
+					fmt.Fprintln(os.Stderr, "xpc worker: desc lanes:", serr)
 					status = wireStatusBadSlot
-				} else {
-					descArea = 2 * rb
-					go serveDescRings(sub, cmp, mem, &geom, fdDoorbell{f: bell})
+					break
+				}
+				bells := make([]fdDoorbell, laneCount)
+				for i := range bells {
+					lf := os.NewFile(uintptr(workerLaneBellFD+i), "xpc-worker-lane-bell")
+					if lf == nil {
+						status = wireStatusBadSlot
+						break
+					}
+					bells[i] = fdDoorbell{f: lf}
+				}
+				if status == wireStatusOK {
+					descArea = need
+					go serveLanes(dir, rings, bells, mem, &geom, fdDoorbell{f: bell})
 				}
 			}
 			err = reply(xdr.Frame{Kind: xdr.FrameComplete, ID: f.ID, Status: status})
@@ -172,12 +183,13 @@ func runWorker() int {
 // submitAck services one submit frame against this address space: resolve a
 // slot descriptor through the registered payload-ring geometry (geom packs
 // slots<<32 | slotSize; zero means no ring) and checksum the payload bytes
-// the worker can actually see — the proof the mapping is shared. Both the
-// socketpair fallback and the descriptor-ring server go through it.
+// the worker can actually see — the proof the mapping is shared. The ack
+// echoes the submit's lane so the kernel side can demux completions per
+// lane. Both the socketpair fallback and the lane server go through it.
 //
 //decaf:hotpath
 func submitAck(f xdr.Frame, mem []byte, geom *atomic.Uint64) xdr.Frame {
-	ack := xdr.Frame{Kind: xdr.FrameComplete, ID: f.ID}
+	ack := xdr.Frame{Kind: xdr.FrameComplete, ID: f.ID, Lane: f.Lane}
 	switch {
 	case f.Slot.Valid():
 		g := geom.Load()
@@ -201,54 +213,118 @@ func submitAck(f xdr.Frame, mem []byte, geom *atomic.Uint64) xdr.Frame {
 	return ack
 }
 
-// serveDescRings is the worker's steady-state loop, one goroutine per
-// worker process: consume submit descriptors from the sub ring, acknowledge
-// each into the cmp ring, and touch the doorbell only around parking (see
-// descring.go's invariants). It exits the process on a doorbell error — the
-// parent closed its end or died — or on a corrupt descriptor, which has no
-// recoverable framing.
+// laneServeQuantum bounds how many descriptors one lane may consume per
+// sweep visit, so a firehose lane cannot starve its siblings.
+const laneServeQuantum = 64
+
+// serveLanes is the worker's steady-state loop, one goroutine per worker
+// process: a fair round-robin sweep over every submission lane, serving up
+// to a quantum per lane per visit. An idle worker parks on the worker-wide
+// flag (descring.go invariant 5): declare parked, re-sweep EVERY lane, and
+// block on the submit doorbell only if all were empty — so a publication on
+// any lane either sees the flag and rings, or lands before the re-sweep.
+// It exits the process on a doorbell error — the parent closed its end or
+// died — or on a corrupt descriptor, which has no recoverable framing.
 //
 //decaf:hotpath
-func serveDescRings(sub, cmp *descRing, mem []byte, geom *atomic.Uint64, bell fdDoorbell) {
+func serveLanes(dir *laneDir, lanes []laneRings, bells []fdDoorbell, mem []byte, geom *atomic.Uint64, subBell fdDoorbell) {
+	next := 0
+	spins := 0
 	for {
-		slot, _, err := sub.awaitSlot(bell, time.Time{})
-		if err != nil {
+		served := false
+		for i := range lanes {
+			l := next + i
+			if l >= len(lanes) {
+				l -= len(lanes)
+			}
+			if serveLane(lanes[l], bells[l], mem, geom) > 0 {
+				served = true
+			}
+		}
+		// Rotate the sweep origin so no lane is structurally first.
+		next++
+		if next == len(lanes) {
+			next = 0
+		}
+		if served {
+			spins = 0
+			continue
+		}
+		spins++
+		if spins < descSpinBudget {
+			if spins%64 == 63 {
+				runtime.Gosched()
+			}
+			continue
+		}
+		dir.parked.Store(1)
+		again := false
+		for i := range lanes {
+			if lanes[i].sub.pending() != nil {
+				again = true
+				break
+			}
+		}
+		if again {
+			dir.parked.Store(0)
+			spins = 0
+			continue
+		}
+		if err := subBell.wait(time.Time{}); err != nil {
 			os.Exit(workerOKExit)
 		}
+		dir.parked.Store(0)
+		spins = 0
+	}
+}
+
+// serveLane drains up to one quantum of submit descriptors from a lane,
+// publishing each acknowledgement into the lane's completion ring and
+// ringing the lane's doorbell only when its consumer parked. The submit
+// slot is advanced BEFORE the completion publishes: the kernel side assumes
+// a fully acknowledged chunk has left the submit ring, so the next
+// full-batch chunk on the lane always finds room (laneCrossOn treats a full
+// submit ring as corruption).
+//
+//decaf:hotpath
+func serveLane(lr laneRings, bell fdDoorbell, mem []byte, geom *atomic.Uint64) int {
+	n := 0
+	for ; n < laneServeQuantum; n++ {
+		slot := lr.sub.pending()
+		if slot == nil {
+			return n
+		}
 		f, _, derr := xdr.DecodeFrame(slot)
-		// Advance the sub ring BEFORE publishing the completion: the parent
-		// assumes a fully acknowledged chunk has left the submit ring, so
-		// the next full-batch chunk always finds room (ringCrossLocked
-		// treats a full submit ring as corruption).
-		sub.advance()
+		lr.sub.advance()
 		if derr != nil {
 			fmt.Fprintln(os.Stderr, "xpc worker: corrupt submit descriptor:", derr)
 			os.Exit(workerErrExit)
 		}
 		var ack xdr.Frame
 		if f.Kind != xdr.FrameSubmit {
-			ack = xdr.Frame{Kind: xdr.FrameComplete, ID: f.ID, Status: wireStatusBadFrame, Name: f.Kind.String()}
+			ack = xdr.Frame{Kind: xdr.FrameComplete, ID: f.ID, Status: wireStatusBadFrame, Name: f.Kind.String(), Lane: f.Lane}
 		} else {
 			ack = submitAck(f, mem, geom)
 		}
-		out := cmp.reserve()
+		out := lr.cmp.reserve()
 		for out == nil {
-			// Cannot persist: the parent drains completions of the chunk it
-			// is awaiting, and a chunk never exceeds the ring.
+			// Cannot persist: the lane's claimant drains completions of the
+			// chunk it is awaiting, and a chunk never exceeds the ring.
 			runtime.Gosched()
-			out = cmp.reserve()
+			out = lr.cmp.reserve()
 		}
 		if _, aerr := xdr.AppendFrame(out[:0], ack); aerr != nil {
 			fmt.Fprintln(os.Stderr, "xpc worker: encode completion:", aerr)
 			os.Exit(workerErrExit)
 		}
-		cmp.publish()
-		if cmp.consumerParked() {
+		lr.cmp.publish()
+		if lr.cmp.consumerParked() {
 			if err := bell.ring(); err != nil {
 				os.Exit(workerOKExit)
 			}
 		}
 	}
+	return n
 }
 
 // payloadSum is the FNV-64a checksum both sides compute over a crossing's

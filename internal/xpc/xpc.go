@@ -51,18 +51,30 @@
 //     backpressure policy (block or fail fast), and ordered FIFO
 //     completion holds per direction.
 //   - ProcTransport: the decaf side in a real separate process — the
-//     paper's actual deployment shape. Steady-state chunks cross through a
-//     pair of mmap-shared SPSC descriptor rings (encoded xdr.Frames written
-//     directly into shared slots; see descring.go for the park/doorbell
-//     handshake and its memory-ordering invariants), so a healthy crossing
-//     performs zero syscalls and zero heap allocations — the socketpair
-//     carries only control frames, oversized fallbacks, and the doorbell
-//     byte that wakes a parked peer. Payload rings live in the same shared
-//     region, resolved through the worker's own mapping; fault containment
-//     is physical (a decaf panic kills the worker process, recovery
-//     respawns it). Virtual costs match BatchTransport; the real boundary
-//     is metered separately (Counters.RingCrossings, DoorbellWakeups,
-//     SyscallCrossings, WireBytesOut/In). See proc.go and MaybeRunWorker.
+//     paper's actual deployment shape. Steady-state chunks cross through
+//     mmap-shared SPSC descriptor rings organized as independent
+//     submission lanes (ProcConfig.Lanes regular lanes plus a contended
+//     spill lane, each lane a submit/complete ring pair): a submitter
+//     CAS-claims a lane from a lock-free lane table (the claim is
+//     affinity-cached on the submitting kernel.Context), encodes
+//     xdr.Frames directly into the lane's shared slots, and demuxes
+//     completions by the lane's private sequence — concurrent submitters
+//     proceed in parallel with no transport mutex and no cross-lane
+//     ordering, while the worker serves all lanes in one fair round-robin
+//     sweep under a single park/doorbell protocol (see descring.go for
+//     the handshake, its memory-ordering invariants and the
+//     lane-ownership rules). A healthy crossing performs zero syscalls
+//     and zero heap allocations — the socketpair carries only control
+//     frames, oversized fallbacks, and the doorbell byte that wakes a
+//     parked peer; the transport mutex guards only the control plane
+//     (bind, ring registration, worker lifecycle). Payload rings live in
+//     the same shared region, resolved through the worker's own mapping;
+//     fault containment is physical (a decaf panic kills the worker
+//     process, recovery respawns it). Virtual costs match BatchTransport;
+//     the real boundary is metered separately (Counters.RingCrossings,
+//     DoorbellWakeups, SyscallCrossings, WireBytesOut/In, and the lane
+//     gauges LaneAcquisitions/LaneSpills/LaneActivePeak). See proc.go and
+//     MaybeRunWorker.
 //
 // Hot paths written against the Batch builder are transport-agnostic:
 // Batch.Flush waits for its calls under any transport, while
