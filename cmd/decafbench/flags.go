@@ -10,12 +10,13 @@ import (
 // validTables and validTransports are the accepted flag values; anything
 // else is rejected with a message listing them.
 var (
-	validTables     = []string{"1", "2", "3", "4", "casestudy", "batch", "async", "zerocopy", "recovery", "contend", "all"}
+	validTables     = []string{"1", "2", "3", "4", "casestudy", "batch", "async", "zerocopy", "recovery", "contend", "proc", "all"}
 	validTransports = []string{"all", "per-call", "sync", "batched", "batch", "async", "proc"}
 	jsonTables      = []string{"batch", "async", "zerocopy", "recovery", "contend"}
 	// procTables are the tables with process-separated rows: the only ones
-	// -transport proc (or async) may select.
-	procTables = []string{"async", "zerocopy", "recovery", "contend"}
+	// -transport proc (or async) may select. The proc table is always
+	// process-separated, so -transport proc is redundant but accepted there.
+	procTables = []string{"async", "zerocopy", "recovery", "contend", "proc"}
 )
 
 func oneOf(value string, valid []string) bool {
@@ -35,6 +36,7 @@ type benchFlags struct {
 	Transport     string
 	JSON          bool
 	RestartPolicy string
+	Trace         string
 	// Set holds the flag names explicitly provided on the command line
 	// (flag.Visit), for rules that reject an explicit flag the selected
 	// table would silently ignore.
@@ -64,6 +66,16 @@ func (f benchFlags) validate() error {
 	if f.Table == "contend" && f.Transport == "async" {
 		return fmt.Errorf("-table contend has no async rows (its flushes are submit-to-completion; use -transport proc or batched)")
 	}
+	// The proc table is the traced process-separated storm: it always runs
+	// the proc transport, so only -transport proc (or the default) makes
+	// sense there.
+	if f.Table == "proc" && f.Transport != "all" && f.Transport != "proc" {
+		return fmt.Errorf("-table proc always runs the process-separated transport (drop -transport %s)", f.Transport)
+	}
+	// The flight-recorder export only exists where the shm trace rings do.
+	if f.Set["trace"] && f.Table != "proc" {
+		return fmt.Errorf("-trace requires -table proc (got -table %s)", f.Table)
+	}
 	if f.JSON && !oneOf(f.Table, jsonTables) {
 		return fmt.Errorf("-json supports -table %s (got %q)", strings.Join(jsonTables, ", "), f.Table)
 	}
@@ -77,10 +89,10 @@ func (f benchFlags) validate() error {
 			return fmt.Errorf("-%s requires -table recovery (got -table %s)", name, f.Table)
 		}
 	}
-	// Likewise the contention flags shape only the contend table.
+	// Likewise the contention flags shape only the contend and proc storms.
 	for _, name := range []string{"submitters", "flushes"} {
-		if f.Set[name] && f.Table != "contend" {
-			return fmt.Errorf("-%s requires -table contend (got -table %s)", name, f.Table)
+		if f.Set[name] && f.Table != "contend" && f.Table != "proc" {
+			return fmt.Errorf("-%s requires -table contend or proc (got -table %s)", name, f.Table)
 		}
 	}
 	return nil
@@ -97,7 +109,7 @@ func (f benchFlags) transportNote() string {
 	}
 	covers := false
 	for _, t := range procTables {
-		if f.Table == t || f.Table == "all" {
+		if (f.Table == t || f.Table == "all") && f.Table != "proc" {
 			covers = true
 		}
 	}

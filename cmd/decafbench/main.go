@@ -85,6 +85,7 @@ func main() {
 	faults := flag.Uint64("faults", 0, "recovery table: inject a decaf-side panic on the Nth data-path upcall (0 = default)")
 	restartPolicy := flag.String("restart-policy", "", "recovery table: restart policy, one of "+strings.Join(bench.RestartPolicies, ", "))
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON rows instead of the rendered table ("+strings.Join(jsonTables, ", ")+" only)")
+	tracePath := flag.String("trace", "", "proc table: write the flight-recorder timeline as Chrome trace-event JSON to this path (open in Perfetto)")
 	flag.Parse()
 
 	flags := benchFlags{
@@ -92,6 +93,7 @@ func main() {
 		Transport:     *transport,
 		JSON:          *jsonOut,
 		RestartPolicy: *restartPolicy,
+		Trace:         *tracePath,
 		Set:           map[string]bool{},
 	}
 	flag.Visit(func(f *flag.Flag) { flags.Set[f.Name] = true })
@@ -159,6 +161,16 @@ func main() {
 		Submitters: ks,
 		Flushes:    *flushes,
 		Transports: *transport,
+	}
+	// The traced proc storm shares the coalescing size; -submitters narrows
+	// to its first value (the storm is one shape, not a sweep).
+	procCfg := bench.ProcTraceConfig{
+		BatchN:    asyncCfg.BatchN,
+		Flushes:   *flushes,
+		TracePath: *tracePath,
+	}
+	if len(ks) > 0 {
+		procCfg.Submitters = ks[0]
 	}
 	recCfg := bench.RecoveryTableConfig{
 		QueueDepth:  *queue,
@@ -228,6 +240,8 @@ func main() {
 			break
 		}
 		run("contend table", func() error { return bench.PrintContendTable(os.Stdout, contendCfg) })
+	case "proc":
+		run("proc trace", func() error { return bench.PrintProcTrace(os.Stdout, procCfg) })
 	case "all":
 		run("table 1", func() error { return bench.PrintTable1(os.Stdout, *root) })
 		run("table 2", func() error { return bench.PrintTable2(os.Stdout) })

@@ -8,6 +8,9 @@
 //	decafrun -driver e1000 -mode decaf -dur 10s
 //	decafrun -driver psmouse -mode native
 //	decafrun -driver e1000 -transport proc -batch 16   # decaf side in a real worker process
+//	decafrun -driver e1000 -transport proc -trace run.json   # flight-recorder timeline (Perfetto)
+//	decafrun -driver e1000 -metrics 127.0.0.1:9431           # live Prometheus + expvar endpoint
+//	decafrun -driver e1000 -metrics-out counters.prom        # snapshot the counters to a file
 package main
 
 import (
@@ -16,6 +19,8 @@ import (
 	"os"
 	"time"
 
+	"decafdrivers/internal/metrics"
+	"decafdrivers/internal/trace"
 	"decafdrivers/internal/workload"
 	"decafdrivers/internal/xpc"
 )
@@ -37,6 +42,9 @@ func main() {
 	transport := flag.String("transport", "sync", "XPC transport for the network drivers' decaf data path: "+netTransports)
 	batch := flag.Int("batch", 16, "calls coalesced per crossing for -transport batch/async/proc")
 	queue := flag.Int("queue", 0, "submission-ring depth for -transport async (0 = default)")
+	tracePath := flag.String("trace", "", "write the flight-recorder timeline as Chrome trace-event JSON to this path (requires -transport proc; open in Perfetto)")
+	metricsAddr := flag.String("metrics", "", "serve the live metrics surface on this address (/metrics Prometheus text, /debug/vars expvar) for the duration of the run")
+	metricsOut := flag.String("metrics-out", "", "write a final Prometheus-text counter snapshot to this file (CI mode; no listener needed)")
 	flag.Parse()
 
 	var mode xpc.Mode
@@ -58,7 +66,7 @@ func main() {
 	case "async":
 		opts = workload.NetOptions{DataPath: xpc.DataPathDecaf, BatchN: *batch, Async: true, QueueDepth: *queue}
 	case "proc":
-		opts = workload.NetOptions{DataPath: xpc.DataPathDecaf, BatchN: *batch, Proc: true, ZeroCopy: true}
+		opts = workload.NetOptions{DataPath: xpc.DataPathDecaf, BatchN: *batch, Proc: true, ZeroCopy: true, Trace: *tracePath != ""}
 	default:
 		fmt.Fprintf(os.Stderr, "decafrun: unknown transport %q (valid: %s)\n", *transport, netTransports)
 		os.Exit(2)
@@ -68,38 +76,39 @@ func main() {
 		fmt.Fprintf(os.Stderr, "decafrun: -transport %s requires a network driver (e1000, 8139too)\n", *transport)
 		os.Exit(2)
 	}
+	if *tracePath != "" && *transport != "proc" {
+		fmt.Fprintln(os.Stderr, "decafrun: -trace requires -transport proc (the flight recorder's shm rings live in the worker's shared region)")
+		os.Exit(2)
+	}
 
+	// Boot first, run second: the live metrics endpoint comes up between
+	// the two, so a scraper watches the counters move during the workload.
 	var (
 		tb  *workload.Testbed
+		run func() (workload.Result, error)
 		res workload.Result
 		err error
 	)
 	switch *driver {
 	case "e1000":
 		tb, err = workload.NewE1000With(mode, opts)
-		if err == nil {
-			res, err = workload.NetperfSend(tb, tb.E1000.NetDevice(), workload.GigabitMbps, *dur)
+		run = func() (workload.Result, error) {
+			return workload.NetperfSend(tb, tb.E1000.NetDevice(), workload.GigabitMbps, *dur)
 		}
 	case "8139too":
 		tb, err = workload.NewRTL8139With(mode, opts)
-		if err == nil {
-			res, err = workload.NetperfSend(tb, tb.RTL.NetDevice(), workload.FastEtherMbps, *dur)
+		run = func() (workload.Result, error) {
+			return workload.NetperfSend(tb, tb.RTL.NetDevice(), workload.FastEtherMbps, *dur)
 		}
 	case "ens1371":
 		tb, err = workload.NewEns1371(mode)
-		if err == nil {
-			res, err = workload.Mpg123(tb, *dur)
-		}
+		run = func() (workload.Result, error) { return workload.Mpg123(tb, *dur) }
 	case "uhci-hcd":
 		tb, err = workload.NewUhci(mode)
-		if err == nil {
-			res, err = workload.TarToFlash(tb, *tarBytes)
-		}
+		run = func() (workload.Result, error) { return workload.TarToFlash(tb, *tarBytes) }
 	case "psmouse":
 		tb, err = workload.NewPsmouse(mode)
-		if err == nil {
-			res, err = workload.MoveAndClick(tb, *dur)
-		}
+		run = func() (workload.Result, error) { return workload.MoveAndClick(tb, *dur) }
 	default:
 		fmt.Fprintf(os.Stderr, "decafrun: unknown driver %q\n", *driver)
 		os.Exit(2)
@@ -109,6 +118,26 @@ func main() {
 		os.Exit(1)
 	}
 	defer tb.Shutdown()
+
+	if *metricsAddr != "" {
+		bound, closeMetrics, merr := metrics.Serve(*metricsAddr, tb.Runtime.Counters)
+		if merr != nil {
+			fmt.Fprintln(os.Stderr, "decafrun: -metrics:", merr)
+			os.Exit(1)
+		}
+		defer func() {
+			if cerr := closeMetrics(); cerr != nil {
+				fmt.Fprintln(os.Stderr, "decafrun: -metrics close:", cerr)
+			}
+		}()
+		fmt.Printf("metrics:         http://%s/metrics (and /debug/vars)\n", bound)
+	}
+
+	res, err = run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "decafrun:", err)
+		os.Exit(1)
+	}
 
 	fmt.Printf("driver:          %s (%s deployment)\n", *driver, mode)
 	fmt.Printf("transport:       %s\n", tb.Runtime.Transport().Name())
@@ -136,5 +165,25 @@ func main() {
 		for _, n := range names {
 			fmt.Printf("  %6d  %s\n", c.PerCall[n], n)
 		}
+	}
+	if c.TraceEvents > 0 || c.TraceDropped > 0 {
+		fmt.Printf("flight recorder: %d events, %d dropped\n", c.TraceEvents, c.TraceDropped)
+	}
+	if *metricsOut != "" {
+		if err := metrics.WriteSnapshotFile(*metricsOut, c); err != nil {
+			fmt.Fprintln(os.Stderr, "decafrun: -metrics-out:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("counter snapshot: %s\n", *metricsOut)
+	}
+	if *tracePath != "" && tb.TraceCollector != nil {
+		// Stop is idempotent (Shutdown repeats it): the final sweep plus the
+		// synthesized GC-pause windows land before the export.
+		tb.TraceCollector.Stop()
+		if err := trace.WriteChromeFile(*tracePath, tb.TraceCollector.Events(), tb.TraceCollector.Dropped()); err != nil {
+			fmt.Fprintln(os.Stderr, "decafrun: -trace:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace:           %s (open at https://ui.perfetto.dev)\n", *tracePath)
 	}
 }

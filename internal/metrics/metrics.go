@@ -1,0 +1,179 @@
+// Package metrics exports the XPC runtime's crossing counters as a live
+// observability surface: Prometheus text format over HTTP (plus the
+// standard expvar JSON at /debug/vars), and a snapshot-to-file mode for CI
+// runs that cannot scrape.
+//
+// The exporter is reflection-driven over xpc.Counters, so a counter added
+// to the struct appears in the endpoint without touching this package —
+// the round-trip test walks the same struct and fails if a field ever goes
+// missing from the output.
+package metrics
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"reflect"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"decafdrivers/internal/xpc"
+)
+
+// namespace prefixes every exported series.
+const namespace = "decaf"
+
+// CounterSource yields a fresh counter snapshot per scrape; xpc's
+// Runtime.Counters is the canonical implementation.
+type CounterSource func() xpc.Counters
+
+// WriteCounters renders one snapshot in Prometheus text exposition format.
+// Scalar fields become decaf_<snake_case> series (time.Duration fields gain
+// a _seconds suffix and float values); map fields become one labeled series
+// per key (PerCall -> decaf_per_call{call="tx"}).
+func WriteCounters(w io.Writer, c xpc.Counters) error {
+	v := reflect.ValueOf(c)
+	t := v.Type()
+	for i := 0; i < t.NumField(); i++ {
+		f := t.Field(i)
+		if !f.IsExported() {
+			continue
+		}
+		name := namespace + "_" + snakeCase(f.Name)
+		fv := v.Field(i)
+		switch {
+		case f.Type == reflect.TypeOf(time.Duration(0)):
+			name += "_seconds"
+			if err := writeSeries(w, name, "", fv.Interface().(time.Duration).Seconds()); err != nil {
+				return err
+			}
+		case f.Type.Kind() == reflect.Map:
+			// Deterministic output: sorted keys, one labeled sample each.
+			keys := make([]string, 0, fv.Len())
+			for _, k := range fv.MapKeys() {
+				keys = append(keys, k.String())
+			}
+			sort.Strings(keys)
+			if err := writeType(w, name); err != nil {
+				return err
+			}
+			for _, k := range keys {
+				label := fmt.Sprintf(`{call=%q}`, k)
+				if _, err := fmt.Fprintf(w, "%s%s %d\n", name, label, fv.MapIndex(reflect.ValueOf(k)).Uint()); err != nil {
+					return err
+				}
+			}
+		case f.Type.Kind() == reflect.Bool:
+			val := 0.0
+			if fv.Bool() {
+				val = 1
+			}
+			if err := writeSeries(w, name, "", val); err != nil {
+				return err
+			}
+		case f.Type.Kind() == reflect.Int64:
+			if err := writeSeries(w, name, "", float64(fv.Int())); err != nil {
+				return err
+			}
+		case f.Type.Kind() == reflect.Uint64:
+			if err := writeSeries(w, name, "", float64(fv.Uint())); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("metrics: unhandled Counters field %s (%s)", f.Name, f.Type)
+		}
+	}
+	return nil
+}
+
+func writeType(w io.Writer, name string) error {
+	_, err := fmt.Fprintf(w, "# TYPE %s gauge\n", name)
+	return err
+}
+
+func writeSeries(w io.Writer, name, labels string, val float64) error {
+	if err := writeType(w, name); err != nil {
+		return err
+	}
+	// %g keeps integers integral and durations fractional without trailing
+	// zero noise.
+	_, err := fmt.Fprintf(w, "%s%s %g\n", name, labels, val)
+	return err
+}
+
+// snakeCase converts a Go field name to prometheus_style: word boundaries
+// at lower→upper transitions and before the last capital of an acronym run
+// ("BytesKernelUser" -> "bytes_kernel_user", "BytesCJava" -> "bytes_c_java").
+func snakeCase(s string) string {
+	var b strings.Builder
+	for i, r := range s {
+		if r >= 'A' && r <= 'Z' {
+			prevLower := i > 0 && s[i-1] >= 'a' && s[i-1] <= 'z'
+			nextLower := i+1 < len(s) && s[i+1] >= 'a' && s[i+1] <= 'z'
+			if i > 0 && (prevLower || nextLower) {
+				b.WriteByte('_')
+			}
+			b.WriteByte(byte(r - 'A' + 'a'))
+			continue
+		}
+		b.WriteRune(r)
+	}
+	return b.String()
+}
+
+// Handler serves the Prometheus text endpoint at /metrics and the expvar
+// JSON dump at /debug/vars, each scrape taking a fresh snapshot from src.
+func Handler(src CounterSource) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = WriteCounters(w, src())
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	return mux
+}
+
+var publishOnce sync.Once
+
+// Publish registers src under the "decaf.counters" expvar name, so the
+// snapshot also appears in the process-wide /debug/vars map. expvar panics
+// on duplicate registration, so repeat calls (tests, multiple runtimes)
+// keep the first source.
+func Publish(src CounterSource) {
+	publishOnce.Do(func() {
+		expvar.Publish("decaf.counters", expvar.Func(func() any { return src() }))
+	})
+}
+
+// Serve starts the metrics endpoint on addr in the background, returning
+// the bound address (addr may end in ":0") and a closer. It also Publishes
+// src so /debug/vars carries the same snapshot.
+func Serve(addr string, src CounterSource) (string, func() error, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	Publish(src)
+	srv := &http.Server{Handler: Handler(src)}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), srv.Close, nil
+}
+
+// WriteSnapshotFile renders one snapshot to path — the scrape-free mode CI
+// uses to archive the counter surface next to the bench artifacts.
+func WriteSnapshotFile(path string, c xpc.Counters) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteCounters(f, c); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,162 @@
+package metrics
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"decafdrivers/internal/xpc"
+)
+
+func TestSnakeCase(t *testing.T) {
+	cases := map[string]string{
+		"Upcalls":            "upcalls",
+		"BytesKernelUser":    "bytes_kernel_user",
+		"BytesCJava":         "bytes_c_java",
+		"PerCall":            "per_call",
+		"InFlight":           "in_flight",
+		"TraceDropped":       "trace_dropped",
+		"WorkerAlive":        "worker_alive",
+		"DescRingEntries":    "desc_ring_entries",
+		"BytesPayloadCopied": "bytes_payload_copied",
+	}
+	for in, want := range cases {
+		if got := snakeCase(in); got != want {
+			t.Errorf("snakeCase(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// expectedSeries walks xpc.Counters by reflection and returns the series
+// name every exported field must contribute — the same walk WriteCounters
+// performs, so a new Counters field that the writer mishandles fails here.
+func expectedSeries(t *testing.T) []string {
+	t.Helper()
+	var names []string
+	ct := reflect.TypeOf(xpc.Counters{})
+	for i := 0; i < ct.NumField(); i++ {
+		f := ct.Field(i)
+		if !f.IsExported() {
+			continue
+		}
+		name := "decaf_" + snakeCase(f.Name)
+		if f.Type == reflect.TypeOf(time.Duration(0)) {
+			name += "_seconds"
+		}
+		names = append(names, name)
+	}
+	return names
+}
+
+func sampleCounters() xpc.Counters {
+	return xpc.Counters{
+		Upcalls:      12,
+		Downcalls:    7,
+		Stall:        1500 * time.Millisecond,
+		InFlight:     -2,
+		WorkerAlive:  true,
+		TraceEvents:  9,
+		TraceDropped: 1,
+		PerCall:      map[string]uint64{"tx": 5, "rx": 3},
+		FaultsByCall: map[string]uint64{"tx": 1},
+	}
+}
+
+func TestWriteCountersCoversEveryField(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteCounters(&sb, sampleCounters()); err != nil {
+		t.Fatalf("WriteCounters: %v", err)
+	}
+	out := sb.String()
+	for _, name := range expectedSeries(t) {
+		if !strings.Contains(out, "# TYPE "+name+" ") {
+			t.Errorf("output is missing series %s", name)
+		}
+	}
+	for _, want := range []string{
+		"decaf_upcalls 12\n",
+		"decaf_stall_seconds 1.5\n",
+		"decaf_in_flight -2\n",
+		"decaf_worker_alive 1\n",
+		`decaf_per_call{call="rx"} 3` + "\n",
+		`decaf_per_call{call="tx"} 5` + "\n",
+		`decaf_faults_by_call{call="tx"} 1` + "\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output is missing sample %q\n%s", want, out)
+		}
+	}
+	// Labeled series must be deterministically ordered for diffable CI
+	// snapshots.
+	if strings.Index(out, `call="rx"`) > strings.Index(out, `call="tx"`) {
+		t.Errorf("per-call samples are not key-sorted:\n%s", out)
+	}
+}
+
+func TestHandlerServesMetricsAndVars(t *testing.T) {
+	h := Handler(func() xpc.Counters { return sampleCounters() })
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	body := make([]byte, 1<<20)
+	n, _ := resp.Body.Read(body)
+	resp.Body.Close()
+	if got := string(body[:n]); !strings.Contains(got, "decaf_upcalls 12") {
+		t.Errorf("/metrics missing counter sample:\n%s", got)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("/metrics Content-Type = %q", ct)
+	}
+
+	resp, err = http.Get(srv.URL + "/debug/vars")
+	if err != nil {
+		t.Fatalf("GET /debug/vars: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("/debug/vars status = %d", resp.StatusCode)
+	}
+}
+
+func TestServeAndPublish(t *testing.T) {
+	addr, closer, err := Serve("127.0.0.1:0", func() xpc.Counters { return sampleCounters() })
+	if err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	defer closer()
+	resp, err := http.Get("http://" + addr + "/debug/vars")
+	if err != nil {
+		t.Fatalf("GET /debug/vars: %v", err)
+	}
+	defer resp.Body.Close()
+	buf := make([]byte, 1<<20)
+	n, _ := resp.Body.Read(buf)
+	if !strings.Contains(string(buf[:n]), "decaf.counters") {
+		t.Errorf("/debug/vars does not carry the published decaf.counters var")
+	}
+	// Publish must tolerate repeat registration (expvar panics on dupes).
+	Publish(func() xpc.Counters { return xpc.Counters{} })
+}
+
+func TestWriteSnapshotFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "counters.prom")
+	if err := WriteSnapshotFile(path, sampleCounters()); err != nil {
+		t.Fatalf("WriteSnapshotFile: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read snapshot: %v", err)
+	}
+	if !strings.Contains(string(data), "decaf_trace_events 9") {
+		t.Errorf("snapshot missing trace counter:\n%s", data)
+	}
+}

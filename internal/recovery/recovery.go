@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"decafdrivers/internal/kernel"
+	"decafdrivers/internal/trace"
 	"decafdrivers/internal/xpc"
 )
 
@@ -223,6 +224,16 @@ func (s *Supervisor) Stats() Stats {
 	return snap
 }
 
+// emit records one recovery-timeline event on the supervised runtime's
+// flight recorder, when one is installed. id is the restart attempt the
+// event belongs to, so the trace exporter can pair teardown/replay/resume
+// marks into per-attempt recovery spans.
+func (s *Supervisor) emit(k trace.Kind, id, arg uint64) {
+	if rec := s.target.Runtime().Tracer(); rec != nil {
+		rec.Emit(k, trace.LaneNone, trace.SrcKernel, id, arg)
+	}
+}
+
 // onFault is the runtime's fault notifier: record, and kick recovery once.
 // It runs on whatever goroutine resolved the faulted completion, so it only
 // records and defers.
@@ -238,6 +249,7 @@ func (s *Supervisor) onFault(ev xpc.FaultEvent) {
 	}
 	s.state = StateRecovering
 	s.faultAt = s.kern.Clock().Now()
+	s.emit(trace.KindRecFault, uint64(s.attempts+1), s.stats.Faults)
 	s.kern.DeferToWork(s.teardownWork)
 }
 
@@ -246,6 +258,10 @@ func (s *Supervisor) onFault(ev xpc.FaultEvent) {
 // backoff timer.
 func (s *Supervisor) teardownWork(wctx *kernel.Context) {
 	base := wctx.Elapsed()
+	s.mu.Lock()
+	traceAttempt := uint64(s.attempts + 1)
+	s.mu.Unlock()
+	s.emit(trace.KindRecTeardown, traceAttempt, 0)
 	s.target.BeginOutage(wctx)
 	_ = s.target.TeardownForRecovery(wctx)
 	// A process-separated transport's decaf process died with the fault:
@@ -254,6 +270,7 @@ func (s *Supervisor) teardownWork(wctx *kernel.Context) {
 	// actually restarted.
 	if wr, ok := s.target.Runtime().Transport().(xpc.WorkerRespawner); ok {
 		_ = wr.RespawnWorker()
+		s.emit(trace.KindRecRespawn, traceAttempt, 0)
 	}
 	_ = s.target.ResetDecafState(wctx)
 	s.swapPayloadRing(wctx)
@@ -319,6 +336,10 @@ func (s *Supervisor) restartWork(wctx *kernel.Context) {
 // virtual cost — not yet reflected in the global clock — lands in the
 // recovery-latency measurement.
 func (s *Supervisor) restartFrom(wctx *kernel.Context, base time.Duration) {
+	s.mu.Lock()
+	attempt := uint64(s.attempts)
+	s.mu.Unlock()
+	s.emit(trace.KindRecReplay, attempt, uint64(s.journal.Len()))
 	ran, err := s.journal.Replay(wctx)
 	s.mu.Lock()
 	s.stats.Replayed += uint64(ran)
@@ -343,6 +364,7 @@ func (s *Supervisor) restartFrom(wctx *kernel.Context, base time.Duration) {
 	}
 
 	replayed, dropped := s.target.ResumeFromRecovery(wctx)
+	s.emit(trace.KindRecResume, attempt, uint64(ran))
 	s.mu.Lock()
 	s.consecutiveFail = 0
 	s.state = StateMonitoring
@@ -373,7 +395,9 @@ func (s *Supervisor) failStop(wctx *kernel.Context) {
 	}
 	s.state = StateFailed
 	s.stats.FailStops++
+	attempt := uint64(s.attempts)
 	s.mu.Unlock()
+	s.emit(trace.KindRecFailStop, attempt, 0)
 	s.timer.Stop()
 	s.target.FailStop(wctx)
 }

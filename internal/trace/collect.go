@@ -1,0 +1,183 @@
+package trace
+
+import (
+	"runtime"
+	"runtime/metrics"
+	"sort"
+	"sync"
+	"time"
+)
+
+// DefaultDrainInterval is how often the collector sweeps the rings. The
+// rings absorb bursts between sweeps; a sweep that finds a wrapped ring has
+// already been charged to TraceDropped by the producers.
+const DefaultDrainInterval = 2 * time.Millisecond
+
+// heapSampleEvery throttles the Go-runtime gauge samples to one per this
+// many drain sweeps, so the heap track stays readable at trace scale.
+const heapSampleEvery = 4
+
+// Collector drains a Recorder's rings into an in-memory event log on its
+// own goroutine — the only consumer side of the flight recorder, free to
+// allocate — and synthesizes the Go-runtime track: live-heap and GC-cycle
+// samples via runtime/metrics while running, and the GC stop-the-world
+// pause windows (from runtime.MemStats' pause history) at Stop, so a
+// tail-latency spike in the exported timeline can be visually attributed to
+// a collection.
+type Collector struct {
+	rec      *Recorder
+	interval time.Duration
+
+	mu     sync.Mutex
+	events []Event
+
+	stop     chan struct{}
+	done     chan struct{}
+	started  bool
+	stopped  bool
+	startGC  uint32
+	samples  []metrics.Sample
+	lastHeap uint64
+	lastGC   uint64
+}
+
+// NewCollector creates a collector for rec. interval <= 0 means
+// DefaultDrainInterval.
+func NewCollector(rec *Recorder, interval time.Duration) *Collector {
+	if interval <= 0 {
+		interval = DefaultDrainInterval
+	}
+	return &Collector{
+		rec:      rec,
+		interval: interval,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+		samples: []metrics.Sample{
+			{Name: "/memory/classes/heap/objects:bytes"},
+			{Name: "/gc/cycles/total:gc-cycles"},
+		},
+	}
+}
+
+// Start launches the drain goroutine and marks the GC-history watermark so
+// Stop only synthesizes pauses from this run. Start is not idempotent; call
+// it once.
+func (c *Collector) Start() {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	c.startGC = ms.NumGC
+	c.started = true
+	go c.run()
+}
+
+func (c *Collector) run() {
+	defer close(c.done)
+	tick := time.NewTicker(c.interval)
+	defer tick.Stop()
+	sweeps := 0
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-tick.C:
+			c.sweep()
+			sweeps++
+			if sweeps%heapSampleEvery == 1 {
+				c.sampleRuntime()
+			}
+		}
+	}
+}
+
+// sweep drains the host ring and every attached shm ring into the log.
+func (c *Collector) sweep() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	add := func(e Event) { c.events = append(c.events, e) }
+	c.rec.host.drain(add)
+	for _, ring := range c.rec.attached() {
+		ring.Drain(add)
+	}
+}
+
+// sampleRuntime appends one live-heap gauge sample (and a GC-cycle sample
+// when the count moved) from runtime/metrics.
+func (c *Collector) sampleRuntime() {
+	metrics.Read(c.samples)
+	now := time.Now().UnixNano()
+	heap := c.samples[0].Value.Uint64()
+	cycles := c.samples[1].Value.Uint64()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if heap != c.lastHeap {
+		c.events = append(c.events, Event{TS: now, Arg: heap, Kind: KindHeapSample, Lane: LaneNone, Src: SrcRuntime})
+		c.lastHeap = heap
+	}
+	if cycles != c.lastGC {
+		c.events = append(c.events, Event{TS: now, ID: cycles, Arg: cycles, Kind: KindGCCycles, Lane: LaneNone, Src: SrcRuntime})
+		c.lastGC = cycles
+	}
+}
+
+// Stop halts the drain goroutine, performs a final sweep, and synthesizes
+// the GC pause events observed since Start. Idempotent.
+func (c *Collector) Stop() {
+	if !c.started || c.stopped {
+		return
+	}
+	c.stopped = true
+	close(c.stop)
+	<-c.done
+	c.sweep()
+	c.synthesizeGCPauses()
+}
+
+// synthesizeGCPauses converts the MemStats pause history into KindGCPause
+// events. PauseEnd is wall-clock nanoseconds since the epoch — the same
+// timebase every ring record is stamped with — so the pause windows land in
+// the right place on the shared timeline. The history is a 256-entry
+// circular buffer; cycles older than that (unreachable in a bounded trace
+// run) are simply absent.
+func (c *Collector) synthesizeGCPauses() {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	first := c.startGC + 1
+	if ms.NumGC > 255 && first < ms.NumGC-255 {
+		first = ms.NumGC - 255
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for g := first; g <= ms.NumGC; g++ {
+		idx := (g + 255) % 256
+		end := ms.PauseEnd[idx]
+		dur := ms.PauseNs[idx]
+		if end == 0 {
+			continue
+		}
+		c.events = append(c.events, Event{
+			TS:   int64(end),
+			ID:   uint64(g),
+			Arg:  dur,
+			Kind: KindGCPause,
+			Lane: LaneNone,
+			Src:  SrcRuntime,
+		})
+	}
+}
+
+// Events returns the collected log sorted by timestamp. Call after Stop for
+// a complete run; calling mid-run snapshots what has been drained so far.
+func (c *Collector) Events() []Event {
+	c.mu.Lock()
+	out := make([]Event, len(c.events))
+	copy(out, c.events)
+	c.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool { return out[i].TS < out[j].TS })
+	return out
+}
+
+// Dropped reports the recorder's total drop count (ring overflows).
+func (c *Collector) Dropped() uint64 {
+	_, dropped := c.rec.Stats()
+	return dropped
+}

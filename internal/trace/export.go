@@ -1,0 +1,303 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// The exporter emits Chrome trace-event JSON (the "JSON Array Format" inside
+// a {"traceEvents": [...]} envelope), loadable in Perfetto (ui.perfetto.dev)
+// and chrome://tracing. The timeline renders as three processes — the kernel
+// side, the decaf worker, and the Go runtime — with one track per submission
+// lane on each side of the boundary, so a single submission's chunk span on
+// a kernel lane lines up under the worker's serve span for the same frames,
+// connected by a flow arrow across the process boundary.
+
+// Synthetic process ids for the exported tracks (Perfetto groups by pid).
+const (
+	pidKernel  = 1
+	pidWorker  = 2
+	pidRuntime = 3
+)
+
+// Synthetic thread ids within the processes. Lane tracks use tid = lane+1;
+// the auxiliary tracks sit above the lane range.
+const (
+	tidSubmit   = 900
+	tidRecovery = 901
+	tidSched    = 900
+	tidGC       = 1
+	tidHeap     = 2
+)
+
+// chromeEvent is one entry of the traceEvents array.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Cat  string         `json:"cat,omitempty"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	ID   string         `json:"id,omitempty"`
+	BP   string         `json:"bp,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeDoc struct {
+	TraceEvents     []chromeEvent  `json:"traceEvents"`
+	DisplayTimeUnit string         `json:"displayTimeUnit"`
+	Metadata        map[string]any `json:"metadata,omitempty"`
+}
+
+// us converts a wall-clock nanosecond stamp to the trace's microsecond
+// timebase.
+func us(ns int64) float64 { return float64(ns) / 1e3 }
+
+func laneTid(lane uint16) int { return int(lane) + 1 }
+
+// spanKey correlates a begin/end pair.
+type spanKey struct {
+	lane uint16
+	id   uint64
+}
+
+// workerSpan is one worker serve visit, kept for cross-boundary flow
+// matching: the visit served frames [id, id+n).
+type workerSpan struct {
+	id      uint64
+	n       uint64
+	beginTS int64
+}
+
+// WriteChrome renders events as Chrome trace-event JSON. dropped is the
+// recorder's overflow count, recorded in the trace metadata so a gappy
+// timeline is self-describing. Events need not be sorted; torn or unpaired
+// records degrade to instant markers rather than failing the export.
+func WriteChrome(w io.Writer, events []Event, dropped uint64) error {
+	evs := make([]Event, len(events))
+	copy(evs, events)
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].TS < evs[j].TS })
+
+	out := make([]chromeEvent, 0, len(evs)+32)
+	usedTid := map[[2]int]string{}
+	track := func(pid, tid int, name string) {
+		key := [2]int{pid, tid}
+		if _, ok := usedTid[key]; !ok {
+			usedTid[key] = name
+		}
+	}
+
+	chunkBegins := map[spanKey]Event{}
+	serveBegins := map[spanKey]Event{}
+	workerSpans := map[uint16][]workerSpan{}
+	recBegins := map[uint64]Event{}    // teardown begin by attempt
+	replayBegins := map[uint64]Event{} // replay begin by attempt
+	var parkBegin *Event
+
+	instant := func(e Event, pid, tid int, name string, args map[string]any) {
+		out = append(out, chromeEvent{Name: name, Ph: "i", TS: us(e.TS), PID: pid, TID: tid, S: "t", Args: args})
+	}
+	span := func(begin, end Event, pid, tid int, name string, args map[string]any) {
+		dur := us(end.TS) - us(begin.TS)
+		if dur < 0 {
+			dur = 0
+		}
+		out = append(out, chromeEvent{Name: name, Ph: "X", TS: us(begin.TS), Dur: dur, PID: pid, TID: tid, Args: args})
+	}
+
+	for _, e := range evs {
+		switch e.Kind {
+		case KindSubmit:
+			track(pidKernel, tidSubmit, "submit")
+			instant(e, pidKernel, tidSubmit, "admit", map[string]any{"submissions": e.Arg})
+		case KindChunkBegin:
+			track(pidKernel, laneTid(e.Lane), fmt.Sprintf("lane %d", e.Lane))
+			chunkBegins[spanKey{e.Lane, e.ID}] = e
+		case KindChunkEnd:
+			tid := laneTid(e.Lane)
+			track(pidKernel, tid, fmt.Sprintf("lane %d", e.Lane))
+			if begin, ok := chunkBegins[spanKey{e.Lane, e.ID}]; ok {
+				delete(chunkBegins, spanKey{e.Lane, e.ID})
+				span(begin, e, pidKernel, tid, "chunk", map[string]any{"frames": e.Arg, "first_id": e.ID})
+			} else {
+				instant(e, pidKernel, tid, "chunk-end", map[string]any{"frames": e.Arg})
+			}
+		case KindEnqueue:
+			track(pidKernel, laneTid(e.Lane), fmt.Sprintf("lane %d", e.Lane))
+			instant(e, pidKernel, laneTid(e.Lane), "enqueue", map[string]any{"frames": e.Arg, "first_id": e.ID})
+		case KindDoorbell:
+			instant(e, pidKernel, laneTid(e.Lane), "doorbell", nil)
+		case KindWake:
+			instant(e, pidKernel, laneTid(e.Lane), "wake", map[string]any{"wakes": e.Arg})
+		case KindSpill:
+			instant(e, pidKernel, laneTid(e.Lane), "spill", nil)
+		case KindWorkerDequeue:
+			track(pidWorker, laneTid(e.Lane), fmt.Sprintf("serve lane %d", e.Lane))
+			serveBegins[spanKey{e.Lane, e.ID}] = e
+		case KindWorkerComplete:
+			tid := laneTid(e.Lane)
+			track(pidWorker, tid, fmt.Sprintf("serve lane %d", e.Lane))
+			if begin, ok := serveBegins[spanKey{e.Lane, e.ID}]; ok {
+				delete(serveBegins, spanKey{e.Lane, e.ID})
+				span(begin, e, pidWorker, tid, "serve", map[string]any{"frames": e.Arg, "first_id": e.ID})
+				workerSpans[e.Lane] = append(workerSpans[e.Lane], workerSpan{id: e.ID, n: e.Arg, beginTS: begin.TS})
+			} else {
+				instant(e, pidWorker, tid, "serve-end", map[string]any{"frames": e.Arg})
+			}
+		case KindWorkerPark:
+			track(pidWorker, tidSched, "scheduler")
+			ev := e
+			parkBegin = &ev
+		case KindWorkerWake:
+			track(pidWorker, tidSched, "scheduler")
+			if parkBegin != nil {
+				span(*parkBegin, e, pidWorker, tidSched, "parked", nil)
+				parkBegin = nil
+			} else {
+				instant(e, pidWorker, tidSched, "worker-wake", nil)
+			}
+		case KindRecFault:
+			track(pidKernel, tidRecovery, "recovery")
+			instant(e, pidKernel, tidRecovery, "fault", map[string]any{"attempt": e.ID})
+		case KindRecTeardown:
+			track(pidKernel, tidRecovery, "recovery")
+			recBegins[e.ID] = e
+		case KindRecRespawn:
+			track(pidKernel, tidRecovery, "recovery")
+			instant(e, pidKernel, tidRecovery, "respawn", map[string]any{"attempt": e.ID})
+		case KindRecReplay:
+			track(pidKernel, tidRecovery, "recovery")
+			replayBegins[e.ID] = e
+		case KindRecResume, KindRecFailStop:
+			track(pidKernel, tidRecovery, "recovery")
+			name := "recovery"
+			if e.Kind == KindRecFailStop {
+				name = "recovery (fail-stop)"
+				instant(e, pidKernel, tidRecovery, "fail-stop", map[string]any{"attempt": e.ID})
+			}
+			if begin, ok := replayBegins[e.ID]; ok {
+				delete(replayBegins, e.ID)
+				span(begin, e, pidKernel, tidRecovery, "replay", map[string]any{"attempt": e.ID})
+			}
+			if begin, ok := recBegins[e.ID]; ok {
+				delete(recBegins, e.ID)
+				span(begin, e, pidKernel, tidRecovery, name, map[string]any{"attempt": e.ID})
+			} else if e.Kind == KindRecResume {
+				instant(e, pidKernel, tidRecovery, "resume", map[string]any{"attempt": e.ID})
+			}
+		case KindGCPause:
+			track(pidRuntime, tidGC, "GC pauses")
+			start := e.TS - int64(e.Arg)
+			out = append(out, chromeEvent{
+				Name: "gc-pause", Ph: "X", TS: us(start), Dur: float64(e.Arg) / 1e3,
+				PID: pidRuntime, TID: tidGC,
+				Args: map[string]any{"cycle": e.ID, "pause_ns": e.Arg},
+			})
+		case KindHeapSample:
+			track(pidRuntime, tidHeap, "heap")
+			out = append(out, chromeEvent{
+				Name: "heap_bytes", Ph: "C", TS: us(e.TS), PID: pidRuntime, TID: tidHeap,
+				Args: map[string]any{"bytes": e.Arg},
+			})
+		case KindGCCycles:
+			track(pidRuntime, tidHeap, "heap")
+			out = append(out, chromeEvent{
+				Name: "gc_cycles", Ph: "C", TS: us(e.TS), PID: pidRuntime, TID: tidHeap,
+				Args: map[string]any{"cycles": e.Arg},
+			})
+		}
+	}
+
+	// Degrade unpaired begins (end lost to a wrap or a killed worker) to
+	// instant markers so nothing silently vanishes.
+	for key, e := range chunkBegins {
+		instant(e, pidKernel, laneTid(key.lane), "chunk-begin (unpaired)", map[string]any{"first_id": key.id})
+	}
+	for key, e := range serveBegins {
+		instant(e, pidWorker, laneTid(key.lane), "serve-begin (unpaired)", map[string]any{"first_id": key.id})
+	}
+	for id, e := range recBegins {
+		instant(e, pidKernel, tidRecovery, "teardown (unpaired)", map[string]any{"attempt": id})
+	}
+	if parkBegin != nil {
+		instant(*parkBegin, pidWorker, tidSched, "worker-park", nil)
+	}
+
+	// Flow arrows across the process boundary: a kernel chunk's first frame
+	// id falls inside exactly one worker serve visit's [id, id+n) range on
+	// the same lane; the arrow runs from the chunk's begin to that visit's
+	// dequeue — the visual proof the span crossed address spaces.
+	for lane, spans := range workerSpans {
+		sort.Slice(spans, func(i, j int) bool { return spans[i].id < spans[j].id })
+		workerSpans[lane] = spans
+	}
+	for _, e := range evs {
+		if e.Kind != KindChunkBegin {
+			continue
+		}
+		spans := workerSpans[e.Lane]
+		i := sort.Search(len(spans), func(i int) bool { return spans[i].id+spans[i].n > e.ID })
+		if i >= len(spans) || spans[i].id > e.ID {
+			continue
+		}
+		flowID := fmt.Sprintf("l%d-%d", e.Lane, e.ID)
+		out = append(out,
+			chromeEvent{Name: "crossing", Ph: "s", Cat: "xpc", TS: us(e.TS), PID: pidKernel, TID: laneTid(e.Lane), ID: flowID},
+			chromeEvent{Name: "crossing", Ph: "f", BP: "e", Cat: "xpc", TS: us(spans[i].beginTS), PID: pidWorker, TID: laneTid(e.Lane), ID: flowID},
+		)
+	}
+
+	// Track metadata: process and thread names, emitted first so viewers
+	// label tracks before any event references them.
+	meta := make([]chromeEvent, 0, len(usedTid)+3)
+	for pid, name := range map[int]string{pidKernel: "kernel", pidWorker: "decaf worker", pidRuntime: "go runtime"} {
+		meta = append(meta, chromeEvent{
+			Name: "process_name", Ph: "M", PID: pid, TID: 0,
+			Args: map[string]any{"name": name},
+		})
+	}
+	for key, name := range usedTid {
+		meta = append(meta, chromeEvent{
+			Name: "thread_name", Ph: "M", PID: key[0], TID: key[1],
+			Args: map[string]any{"name": name},
+		})
+	}
+	sort.Slice(meta, func(i, j int) bool {
+		if meta[i].PID != meta[j].PID {
+			return meta[i].PID < meta[j].PID
+		}
+		if meta[i].TID != meta[j].TID {
+			return meta[i].TID < meta[j].TID
+		}
+		return meta[i].Name < meta[j].Name
+	})
+
+	doc := chromeDoc{
+		TraceEvents:     append(meta, out...),
+		DisplayTimeUnit: "ms",
+		Metadata: map[string]any{
+			"trace_events":  len(evs),
+			"trace_dropped": dropped,
+		},
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}
+
+// WriteChromeFile writes the Chrome trace JSON to path.
+func WriteChromeFile(path string, events []Event, dropped uint64) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteChrome(f, events, dropped); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

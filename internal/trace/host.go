@@ -1,0 +1,176 @@
+package trace
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultHostEntries sizes a Recorder's host ring: generous for the
+// kernel-side events (admissions, recovery spans) that do not ride a
+// per-lane shm ring.
+const DefaultHostEntries = 1 << 14
+
+// hostSlot is one cell of the heap-backed multi-producer ring. seq is the
+// Vyukov-style sequence word: slot i starts at seq=i; a producer claiming
+// ticket t stores seq=t+1 after writing, and the consumer restores
+// seq=t+entries after reading, handing the slot to the next lap.
+type hostSlot struct {
+	seq  atomic.Uint64
+	ts   int64
+	id   uint64
+	arg  uint64
+	kind Kind
+	lane uint16
+	src  Src
+	_    [11]byte
+}
+
+// hostRing is a bounded MPMC-producer / single-consumer event queue for the
+// kernel process's own events: unlike the per-lane shm rings (SPSC by lane
+// exclusivity), admissions and recovery spans come from arbitrary
+// goroutines, so the producer side must be multi-producer. Full means drop
+// and count, same as the shm rings — the recorder never blocks a submitter.
+type hostRing struct {
+	slots   []hostSlot
+	mask    uint64
+	entries uint64
+	enq     atomic.Uint64
+	_       [56]byte
+	deq     uint64
+	_       [56]byte
+	dropped atomic.Uint64
+}
+
+func newHostRing(entries int) *hostRing {
+	if entries < 2 || entries&(entries-1) != 0 {
+		entries = DefaultHostEntries
+	}
+	h := &hostRing{
+		slots:   make([]hostSlot, entries),
+		mask:    uint64(entries) - 1,
+		entries: uint64(entries),
+	}
+	for i := range h.slots {
+		h.slots[i].seq.Store(uint64(i))
+	}
+	return h
+}
+
+// emit appends one record from any goroutine, dropping (and counting) when
+// the ring is full.
+//
+//decaf:hotpath
+func (h *hostRing) emit(k Kind, lane uint16, src Src, id, arg uint64) {
+	for {
+		pos := h.enq.Load()
+		slot := &h.slots[pos&h.mask]
+		seq := slot.seq.Load()
+		if seq == pos {
+			if h.enq.CompareAndSwap(pos, pos+1) {
+				slot.ts = time.Now().UnixNano()
+				slot.id = id
+				slot.arg = arg
+				slot.kind = k
+				slot.lane = lane
+				slot.src = src
+				slot.seq.Store(pos + 1)
+				return
+			}
+			continue
+		}
+		if seq < pos {
+			// The consumer has not freed this slot: a full lap behind.
+			h.dropped.Add(1)
+			return
+		}
+		// seq > pos: another producer claimed the ticket first; retry.
+	}
+}
+
+// drain consumes every completed record (single consumer).
+func (h *hostRing) drain(fn func(Event)) int {
+	n := 0
+	for {
+		slot := &h.slots[h.deq&h.mask]
+		if slot.seq.Load() != h.deq+1 {
+			return n
+		}
+		fn(Event{TS: slot.ts, ID: slot.id, Arg: slot.arg, Kind: slot.kind, Lane: slot.lane, Src: slot.src})
+		slot.seq.Store(h.deq + h.entries)
+		h.deq++
+		n++
+	}
+}
+
+// Recorder is the process-wide flight recorder handle: kernel-side events
+// land in its heap-backed host ring, and the xpc transport attaches the
+// per-lane and worker shm rings so the collector drains one merged timeline.
+// A nil *Recorder is the off state — every Emit site is a single atomic
+// pointer load plus nil check, which is what keeps tracing-off at zero
+// allocations and zero ring traffic.
+type Recorder struct {
+	host *hostRing
+
+	mu    sync.Mutex
+	rings []*Ring
+}
+
+// NewRecorder creates a recorder with a host ring of entries records
+// (<2 or non-power-of-two means DefaultHostEntries).
+func NewRecorder(entries int) *Recorder {
+	return &Recorder{host: newHostRing(entries)}
+}
+
+// Emit appends one kernel-process event to the host ring: safe from any
+// goroutine, never blocks, never allocates; drops (counted) when the
+// collector falls a full ring behind.
+//
+//decaf:hotpath
+func (r *Recorder) Emit(k Kind, lane uint16, src Src, id, arg uint64) {
+	r.host.emit(k, lane, src, id, arg)
+}
+
+// Attach registers shm-carved rings for draining and accounting. The xpc
+// transport calls it once per shared region with every ring both processes
+// append into; re-attaching an already-attached ring is a no-op.
+func (r *Recorder) Attach(rings ...*Ring) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, ring := range rings {
+		known := false
+		for _, have := range r.rings {
+			if have == ring {
+				known = true
+				break
+			}
+		}
+		if !known {
+			r.rings = append(r.rings, ring)
+		}
+	}
+}
+
+// attached snapshots the registered ring set for the collector.
+func (r *Recorder) attached() []*Ring {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*Ring, len(r.rings))
+	copy(out, r.rings)
+	return out
+}
+
+// Stats totals the records emitted and dropped across the host ring and
+// every attached shm ring. Emitted counts publications (drops excluded), so
+// xpc.Counters surfaces the pair as TraceEvents / TraceDropped.
+func (r *Recorder) Stats() (emitted, dropped uint64) {
+	emitted = r.host.enq.Load()
+	dropped = r.host.dropped.Load()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, ring := range r.rings {
+		emitted += ring.Emitted()
+		dropped += ring.Dropped()
+	}
+	return emitted, dropped
+}

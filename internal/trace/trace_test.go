@@ -1,0 +1,461 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+	"unsafe"
+)
+
+func TestRecordRoundTrip(t *testing.T) {
+	slot := make([]byte, RecordBytes)
+	putRecord(slot, 12345, 67, 89, KindEnqueue, 3, SrcWorker)
+	e, ok := getRecord(slot)
+	if !ok {
+		t.Fatalf("getRecord rejected a valid record")
+	}
+	want := Event{TS: 12345, ID: 67, Arg: 89, Kind: KindEnqueue, Lane: 3, Src: SrcWorker}
+	if e != want {
+		t.Fatalf("round trip = %+v, want %+v", e, want)
+	}
+}
+
+func TestRecordTornAndInvalid(t *testing.T) {
+	zero := make([]byte, RecordBytes)
+	if _, ok := getRecord(zero); ok {
+		t.Errorf("zeroed (torn) record decoded as valid")
+	}
+	bad := make([]byte, RecordBytes)
+	putRecord(bad, 1, 0, 0, kindMax, 0, SrcKernel)
+	if _, ok := getRecord(bad); ok {
+		t.Errorf("out-of-range kind decoded as valid")
+	}
+	badSrc := make([]byte, RecordBytes)
+	putRecord(badSrc, 1, 0, 0, KindSubmit, 0, Src(9))
+	if _, ok := getRecord(badSrc); ok {
+		t.Errorf("out-of-range src decoded as valid")
+	}
+}
+
+func TestRingEmitDrain(t *testing.T) {
+	r, err := NewRing(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		r.Emit(KindSubmit, uint16(i), SrcKernel, uint64(i), uint64(i*10))
+	}
+	var got []Event
+	if n := r.Drain(func(e Event) { got = append(got, e) }); n != 5 {
+		t.Fatalf("Drain consumed %d, want 5", n)
+	}
+	if len(got) != 5 {
+		t.Fatalf("Drain delivered %d, want 5", len(got))
+	}
+	for i, e := range got {
+		if e.ID != uint64(i) || e.Arg != uint64(i*10) || e.Lane != uint16(i) {
+			t.Errorf("record %d = %+v", i, e)
+		}
+		if e.TS == 0 {
+			t.Errorf("record %d has zero timestamp", i)
+		}
+	}
+	if r.Emitted() != 5 || r.Dropped() != 0 {
+		t.Errorf("Emitted/Dropped = %d/%d, want 5/0", r.Emitted(), r.Dropped())
+	}
+}
+
+// TestRingWraparoundDropsNewest is the wraparound contract: a full ring
+// drops (and counts) new records rather than blocking or overwriting
+// unread history, and the surviving records are intact.
+func TestRingWraparoundDropsNewest(t *testing.T) {
+	const entries = 8
+	r, err := NewRing(entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < entries+5; i++ {
+		r.Emit(KindEnqueue, 1, SrcKernel, uint64(i), 0)
+	}
+	if got := r.Dropped(); got != 5 {
+		t.Errorf("Dropped = %d, want 5", got)
+	}
+	if got := r.Emitted(); got != entries {
+		t.Errorf("Emitted = %d, want %d", got, entries)
+	}
+	var got []Event
+	r.Drain(func(e Event) { got = append(got, e) })
+	if len(got) != entries {
+		t.Fatalf("Drain delivered %d, want %d", len(got), entries)
+	}
+	// Drop-newest: the first `entries` records survive, none corrupted.
+	for i, e := range got {
+		if e.ID != uint64(i) {
+			t.Errorf("record %d has ID %d: overwrote or corrupted unread history", i, e.ID)
+		}
+	}
+	// The ring recovers after a drain: new emits land again.
+	r.Emit(KindEnqueue, 1, SrcKernel, 99, 0)
+	n := 0
+	var last Event
+	r.Drain(func(e Event) { n++; last = e })
+	if n != 1 || last.ID != 99 {
+		t.Errorf("post-drain emit: got %d records (last %+v), want 1 with ID 99", n, last)
+	}
+}
+
+// TestRingWraparoundAdjacentRings proves overflow on one carved ring never
+// corrupts its neighbors in the same region.
+func TestRingWraparoundAdjacentRings(t *testing.T) {
+	const entries = 4
+	rings, err := CarveRings(alignedRegion(make([]byte, RegionBytes(3, entries))), 3, entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rings[0].Emit(KindSubmit, 0, SrcKernel, 100, 0)
+	rings[2].Emit(KindSubmit, 2, SrcWorker, 300, 0)
+	// Overflow the middle ring hard.
+	for i := 0; i < entries*3; i++ {
+		rings[1].Emit(KindEnqueue, 1, SrcKernel, uint64(i), 0)
+	}
+	if rings[1].Dropped() != uint64(entries*2) {
+		t.Errorf("middle ring Dropped = %d, want %d", rings[1].Dropped(), entries*2)
+	}
+	for _, i := range []int{0, 2} {
+		var got []Event
+		rings[i].Drain(func(e Event) { got = append(got, e) })
+		if len(got) != 1 || got[0].ID != uint64((i+1)*100) {
+			t.Errorf("ring %d corrupted by neighbor overflow: %+v", i, got)
+		}
+		if rings[i].Dropped() != 0 {
+			t.Errorf("ring %d Dropped = %d, want 0", i, rings[i].Dropped())
+		}
+	}
+}
+
+// alignedRegion returns an 8-byte-aligned region of len(buf) bytes (heap
+// []byte allocations are not guaranteed aligned; the shm mapping is
+// page-aligned).
+func alignedRegion(buf []byte) []byte {
+	words := make([]uint64, (len(buf)+7)/8)
+	return unsafe.Slice((*byte)(unsafe.Pointer(&words[0])), len(words)*8)[:len(buf)]
+}
+
+// TestRingTornFinalRecord simulates the cross-process tear the exporter
+// must tolerate: a producer process dies between advancing head and the
+// slot write becoming visible — the slot holds zeroes (kindInvalid), which
+// Drain skips while still consuming the position.
+func TestRingTornFinalRecord(t *testing.T) {
+	r, err := NewRing(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Emit(KindSubmit, 0, SrcKernel, 1, 0)
+	r.Emit(KindSubmit, 0, SrcKernel, 2, 0)
+	// Tear the final record: publish a head advance over a zeroed slot.
+	head := r.hdr.head.Load()
+	i := int(head&r.mask) * RecordBytes
+	copy(r.slots[i:i+RecordBytes], make([]byte, RecordBytes))
+	r.hdr.head.Store(head + 1)
+
+	var got []Event
+	n := r.Drain(func(e Event) { got = append(got, e) })
+	if n != 3 {
+		t.Errorf("Drain consumed %d positions, want 3", n)
+	}
+	if len(got) != 2 || got[0].ID != 1 || got[1].ID != 2 {
+		t.Errorf("torn record leaked or valid records lost: %+v", got)
+	}
+}
+
+func TestMapRingResumesPositions(t *testing.T) {
+	buf := alignedRegion(make([]byte, RingBytes(8)))
+	r1, err := MapRing(buf, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1.Emit(KindSubmit, 0, SrcWorker, 7, 0)
+	r1.Emit(KindSubmit, 0, SrcWorker, 8, 0)
+	// A respawned worker maps the same bytes: the timeline continues, no
+	// reset.
+	r2, err := MapRing(buf, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Emitted() != 2 {
+		t.Fatalf("remapped ring lost positions: Emitted = %d, want 2", r2.Emitted())
+	}
+	r2.Emit(KindSubmit, 0, SrcWorker, 9, 0)
+	var ids []uint64
+	r2.Drain(func(e Event) { ids = append(ids, e.ID) })
+	if len(ids) != 3 || ids[0] != 7 || ids[2] != 9 {
+		t.Errorf("timeline across remap = %v, want [7 8 9]", ids)
+	}
+}
+
+func TestMapRingRejects(t *testing.T) {
+	buf := alignedRegion(make([]byte, RingBytes(8)))
+	if _, err := MapRing(buf, 7); err == nil {
+		t.Errorf("non-power-of-two entries accepted")
+	}
+	if _, err := MapRing(buf[:10], 8); err == nil {
+		t.Errorf("undersized region accepted")
+	}
+	if _, err := MapRing(buf[1:], 8); err == nil {
+		t.Errorf("misaligned region accepted")
+	}
+}
+
+func TestHostRingConcurrentEmit(t *testing.T) {
+	rec := NewRecorder(1 << 11)
+	const producers, each = 8, 200
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				rec.Emit(KindSubmit, LaneNone, SrcKernel, uint64(p), uint64(i))
+			}
+		}(p)
+	}
+	wg.Wait()
+	seen := map[uint64]int{}
+	n := rec.host.drain(func(e Event) { seen[e.ID]++ })
+	if n != producers*each {
+		t.Fatalf("drained %d, want %d", n, producers*each)
+	}
+	for p := 0; p < producers; p++ {
+		if seen[uint64(p)] != each {
+			t.Errorf("producer %d: %d records, want %d", p, seen[uint64(p)], each)
+		}
+	}
+	emitted, dropped := rec.Stats()
+	if emitted != producers*each || dropped != 0 {
+		t.Errorf("Stats = %d/%d, want %d/0", emitted, dropped, producers*each)
+	}
+}
+
+func TestHostRingOverflowDrops(t *testing.T) {
+	rec := NewRecorder(4)
+	for i := 0; i < 10; i++ {
+		rec.Emit(KindSubmit, LaneNone, SrcKernel, uint64(i), 0)
+	}
+	emitted, dropped := rec.Stats()
+	if emitted != 4 || dropped != 6 {
+		t.Errorf("Stats = %d/%d, want 4/6", emitted, dropped)
+	}
+}
+
+func TestRecorderAttachDedup(t *testing.T) {
+	rec := NewRecorder(16)
+	r1, _ := NewRing(8)
+	r2, _ := NewRing(8)
+	rec.Attach(r1, r2)
+	rec.Attach(r1)
+	if got := len(rec.attached()); got != 2 {
+		t.Errorf("attached rings = %d, want 2 (dedup)", got)
+	}
+	r1.Emit(KindSubmit, 0, SrcKernel, 1, 0)
+	emitted, _ := rec.Stats()
+	if emitted != 1 {
+		t.Errorf("Stats emitted = %d, want 1", emitted)
+	}
+}
+
+func TestCollectorMergesAndSynthesizesGC(t *testing.T) {
+	rec := NewRecorder(1 << 10)
+	ring, _ := NewRing(64)
+	rec.Attach(ring)
+	col := NewCollector(rec, time.Millisecond)
+	col.Start()
+	rec.Emit(KindSubmit, LaneNone, SrcKernel, 0, 3)
+	ring.Emit(KindEnqueue, 2, SrcKernel, 10, 4)
+	runtime.GC()
+	time.Sleep(20 * time.Millisecond)
+	col.Stop()
+	col.Stop() // idempotent
+
+	events := col.Events()
+	var haveSubmit, haveEnqueue, haveGC bool
+	for i, e := range events {
+		if i > 0 && events[i-1].TS > e.TS {
+			t.Fatalf("Events not sorted at %d", i)
+		}
+		switch e.Kind {
+		case KindSubmit:
+			haveSubmit = true
+		case KindEnqueue:
+			haveEnqueue = e.Lane == 2 && e.ID == 10
+		case KindGCPause:
+			haveGC = true
+		}
+	}
+	if !haveSubmit || !haveEnqueue {
+		t.Errorf("merged log missing ring events: submit=%v enqueue=%v", haveSubmit, haveEnqueue)
+	}
+	if !haveGC {
+		t.Errorf("no GC pause synthesized despite forced collection")
+	}
+	if col.Dropped() != 0 {
+		t.Errorf("Dropped = %d, want 0", col.Dropped())
+	}
+}
+
+// chromeOut decodes an exporter run for structural assertions.
+type chromeOut struct {
+	TraceEvents []map[string]any `json:"traceEvents"`
+	Metadata    map[string]any   `json:"metadata"`
+}
+
+func exportEvents(t *testing.T, events []Event, dropped uint64) chromeOut {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, events, dropped); err != nil {
+		t.Fatalf("WriteChrome: %v", err)
+	}
+	var doc chromeOut
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("exporter emitted invalid JSON: %v", err)
+	}
+	return doc
+}
+
+func countBy(doc chromeOut, pred func(map[string]any) bool) int {
+	n := 0
+	for _, e := range doc.TraceEvents {
+		if pred(e) {
+			n++
+		}
+	}
+	return n
+}
+
+func TestWriteChromeSpansAndFlows(t *testing.T) {
+	base := int64(1_000_000_000)
+	events := []Event{
+		{TS: base + 0, Kind: KindSubmit, Lane: LaneNone, Src: SrcKernel, Arg: 2},
+		{TS: base + 10, Kind: KindChunkBegin, Lane: 1, Src: SrcKernel, ID: 5, Arg: 2},
+		{TS: base + 20, Kind: KindEnqueue, Lane: 1, Src: SrcKernel, ID: 5, Arg: 2},
+		{TS: base + 25, Kind: KindDoorbell, Lane: 1, Src: SrcKernel, ID: 5},
+		{TS: base + 40, Kind: KindChunkEnd, Lane: 1, Src: SrcKernel, ID: 5, Arg: 2},
+		{TS: base + 30, Kind: KindWorkerDequeue, Lane: 1, Src: SrcWorker, ID: 5},
+		{TS: base + 50, Kind: KindWorkerComplete, Lane: 1, Src: SrcWorker, ID: 5, Arg: 2},
+		{TS: base + 60, Kind: KindWorkerPark, Lane: LaneNone, Src: SrcWorker},
+		{TS: base + 80, Kind: KindWorkerWake, Lane: LaneNone, Src: SrcWorker},
+		{TS: base + 90, Kind: KindGCPause, Lane: LaneNone, Src: SrcRuntime, ID: 3, Arg: 15},
+	}
+	doc := exportEvents(t, events, 7)
+
+	if got := countBy(doc, func(e map[string]any) bool { return e["ph"] == "X" && e["name"] == "chunk" }); got != 1 {
+		t.Errorf("chunk spans = %d, want 1", got)
+	}
+	if got := countBy(doc, func(e map[string]any) bool { return e["ph"] == "X" && e["name"] == "serve" }); got != 1 {
+		t.Errorf("serve spans = %d, want 1", got)
+	}
+	if got := countBy(doc, func(e map[string]any) bool { return e["ph"] == "X" && e["name"] == "parked" }); got != 1 {
+		t.Errorf("parked spans = %d, want 1", got)
+	}
+	if got := countBy(doc, func(e map[string]any) bool { return e["ph"] == "X" && e["name"] == "gc-pause" }); got != 1 {
+		t.Errorf("gc-pause spans = %d, want 1", got)
+	}
+	// The cross-boundary proof: one flow start on the kernel pid, one flow
+	// finish on the worker pid, sharing an id.
+	s := countBy(doc, func(e map[string]any) bool { return e["ph"] == "s" && e["pid"] == float64(pidKernel) })
+	f := countBy(doc, func(e map[string]any) bool { return e["ph"] == "f" && e["pid"] == float64(pidWorker) })
+	if s != 1 || f != 1 {
+		t.Errorf("flow pair = %d starts / %d finishes, want 1/1", s, f)
+	}
+	// All three processes are named.
+	for pid := 1; pid <= 3; pid++ {
+		if countBy(doc, func(e map[string]any) bool {
+			return e["ph"] == "M" && e["name"] == "process_name" && e["pid"] == float64(pid)
+		}) != 1 {
+			t.Errorf("missing process_name metadata for pid %d", pid)
+		}
+	}
+	if doc.Metadata["trace_dropped"] != float64(7) {
+		t.Errorf("metadata trace_dropped = %v, want 7", doc.Metadata["trace_dropped"])
+	}
+}
+
+// TestWriteChromeUnpairedDegrade: a chunk whose end was lost (ring wrap,
+// killed worker) degrades to an instant marker instead of failing or
+// vanishing.
+func TestWriteChromeUnpairedDegrade(t *testing.T) {
+	base := int64(1_000_000_000)
+	events := []Event{
+		{TS: base, Kind: KindChunkBegin, Lane: 0, Src: SrcKernel, ID: 1, Arg: 4},
+		{TS: base + 5, Kind: KindWorkerDequeue, Lane: 0, Src: SrcWorker, ID: 1},
+	}
+	doc := exportEvents(t, events, 0)
+	if got := countBy(doc, func(e map[string]any) bool { return e["ph"] == "X" }); got != 0 {
+		t.Errorf("unpaired begins produced %d spans, want 0", got)
+	}
+	unpaired := countBy(doc, func(e map[string]any) bool {
+		n, _ := e["name"].(string)
+		return e["ph"] == "i" && (n == "chunk-begin (unpaired)" || n == "serve-begin (unpaired)")
+	})
+	if unpaired != 2 {
+		t.Errorf("unpaired instants = %d, want 2", unpaired)
+	}
+}
+
+func TestRecoverySpansExport(t *testing.T) {
+	base := int64(2_000_000_000)
+	events := []Event{
+		{TS: base, Kind: KindRecFault, Lane: LaneNone, Src: SrcKernel, ID: 1, Arg: 1},
+		{TS: base + 10, Kind: KindRecTeardown, Lane: LaneNone, Src: SrcKernel, ID: 1},
+		{TS: base + 20, Kind: KindRecRespawn, Lane: LaneNone, Src: SrcKernel, ID: 1},
+		{TS: base + 30, Kind: KindRecReplay, Lane: LaneNone, Src: SrcKernel, ID: 1, Arg: 12},
+		{TS: base + 50, Kind: KindRecResume, Lane: LaneNone, Src: SrcKernel, ID: 1, Arg: 12},
+	}
+	doc := exportEvents(t, events, 0)
+	if got := countBy(doc, func(e map[string]any) bool { return e["ph"] == "X" && e["name"] == "recovery" }); got != 1 {
+		t.Errorf("recovery spans = %d, want 1", got)
+	}
+	if got := countBy(doc, func(e map[string]any) bool { return e["ph"] == "X" && e["name"] == "replay" }); got != 1 {
+		t.Errorf("replay spans = %d, want 1", got)
+	}
+	if got := countBy(doc, func(e map[string]any) bool { return e["ph"] == "i" && e["name"] == "respawn" }); got != 1 {
+		t.Errorf("respawn instants = %d, want 1", got)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k := KindSubmit; k < kindMax; k++ {
+		if s := k.String(); s == "" || s == "invalid" {
+			t.Errorf("Kind %d has no name", k)
+		}
+	}
+}
+
+func BenchmarkRingEmit(b *testing.B) {
+	r, err := NewRing(1 << 12)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Emit(KindEnqueue, 1, SrcKernel, uint64(i), 0)
+		if i&1023 == 1023 {
+			r.Drain(func(Event) {})
+		}
+	}
+}
+
+func BenchmarkHostEmit(b *testing.B) {
+	rec := NewRecorder(1 << 12)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec.Emit(KindSubmit, LaneNone, SrcKernel, uint64(i), 0)
+		if i&1023 == 1023 {
+			rec.host.drain(func(Event) {})
+		}
+	}
+}

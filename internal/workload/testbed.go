@@ -28,6 +28,7 @@ import (
 	"decafdrivers/internal/ktime"
 	"decafdrivers/internal/kusb"
 	"decafdrivers/internal/recovery"
+	"decafdrivers/internal/trace"
 	"decafdrivers/internal/xpc"
 )
 
@@ -46,6 +47,12 @@ type Testbed struct {
 	// Sup is the recovery supervisor, non-nil when NetOptions.Recovery
 	// armed shadow-driver supervision for the driver under test.
 	Sup *recovery.Supervisor
+	// TraceRecorder/TraceCollector are the flight recorder pair, non-nil
+	// when NetOptions.Trace armed cross-process tracing. The collector runs
+	// from boot; Shutdown stops it, after which TraceEvents returns the
+	// complete timeline.
+	TraceRecorder  *trace.Recorder
+	TraceCollector *trace.Collector
 
 	// Subsystems (populated as needed per driver).
 	Net   *knet.Subsystem
@@ -146,6 +153,15 @@ type NetOptions struct {
 	// outage; <=0 selects the driver default. Ignored unless Recovery is
 	// set.
 	TxHoldLimit int
+	// Trace arms the cross-process flight recorder: shm trace rings are
+	// carved in the transport's shared region, a Recorder is installed
+	// before the transport (so the first epoch's FrameTraceRing handshake
+	// hands the worker its ring), and a Collector drains the merged
+	// timeline for export. Ignored unless Proc is set.
+	Trace bool
+	// TraceEntries sizes each shm trace ring; <1 means the transport
+	// default. Ignored unless Trace is set.
+	TraceEntries int
 	// Faults arms the decaf-side fault injector after boot (boot crossings
 	// never count toward Nth).
 	Faults FaultPlan
@@ -183,7 +199,14 @@ func (p FaultPlan) Injector() func(call string) bool {
 
 func (o NetOptions) transport() (xpc.Transport, error) {
 	if o.Proc {
-		return xpc.NewProcTransport(xpc.ProcConfig{Batch: o.BatchN, Lanes: o.Submitters})
+		entries := 0
+		if o.Trace {
+			entries = o.TraceEntries
+			if entries < 1 {
+				entries = -1 // transport default ring depth
+			}
+		}
+		return xpc.NewProcTransport(xpc.ProcConfig{Batch: o.BatchN, Lanes: o.Submitters, TraceEntries: entries})
 	}
 	if o.Async {
 		return xpc.NewAsyncTransport(xpc.AsyncConfig{Depth: o.QueueDepth, Batch: o.BatchN}), nil
@@ -194,11 +217,19 @@ func (o NetOptions) transport() (xpc.Transport, error) {
 	return nil, nil
 }
 
-// installTransport selects and installs the testbed's transport.
+// installTransport selects and installs the testbed's transport. When Trace
+// is armed the recorder installs first: the proc transport's first epoch
+// checks for it when deciding whether to hand the worker its trace ring.
 func (o NetOptions) installTransport(tb *Testbed) error {
 	tr, err := o.transport()
 	if err != nil {
 		return err
+	}
+	if o.Trace && o.Proc {
+		tb.TraceRecorder = trace.NewRecorder(0)
+		tb.Runtime.SetTracer(tb.TraceRecorder)
+		tb.TraceCollector = trace.NewCollector(tb.TraceRecorder, 0)
+		tb.TraceCollector.Start()
 	}
 	tb.Runtime.SetTransport(tr)
 	return nil
@@ -422,6 +453,9 @@ func (tb *Testbed) Settle(ctx *kernel.Context) {
 func (tb *Testbed) Shutdown() {
 	ctx := tb.Kernel.NewContext("shutdown")
 	tb.Settle(ctx)
+	if tb.TraceCollector != nil {
+		tb.TraceCollector.Stop()
+	}
 	if tb.Runtime != nil {
 		tb.Runtime.SetTransport(nil)
 	}

@@ -41,9 +41,17 @@ const (
 	// acknowledges, steady-state submit/complete frames ride the rings and
 	// the socketpair is demoted to a doorbell/control slow path.
 	FrameDescRing
+	// FrameTraceRing publishes the flight-recorder trace-ring geometry to
+	// the worker: Aux packs entries<<32 | ringCount. The rings live at the
+	// very tail of the shared region (behind the descriptor-ring lanes);
+	// the worker appends its service-loop events into the last ring, so
+	// both processes write one shared timeline. Sent before FrameDescRing
+	// when tracing is enabled; a worker that never receives it traces
+	// nothing.
+	FrameTraceRing
 )
 
-func (k FrameKind) valid() bool { return k >= FrameSubmit && k <= FrameDescRing }
+func (k FrameKind) valid() bool { return k >= FrameSubmit && k <= FrameTraceRing }
 
 func (k FrameKind) String() string {
 	switch k {
@@ -63,6 +71,8 @@ func (k FrameKind) String() string {
 		return "shutdown"
 	case FrameDescRing:
 		return "desc-ring"
+	case FrameTraceRing:
+		return "trace-ring"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}

@@ -24,6 +24,7 @@ func everyFrameKind() []Frame {
 		{Kind: FramePong, ID: 6},
 		{Kind: FrameShutdown, ID: 7},
 		{Kind: FrameDescRing, ID: 8, Aux: 1024<<32 | 2048, Lane: 4},
+		{Kind: FrameTraceRing, ID: 10, Aux: 4096<<32 | 9},
 	}
 }
 

@@ -147,6 +147,17 @@ type Counters struct {
 	LaneAcquisitions uint64
 	LaneSpills       uint64
 	LaneActivePeak   uint64
+
+	// Flight-recorder state, populated when a tracer is installed
+	// (Runtime.SetTracer). Recorder-lifetime gauges like the worker fields:
+	// ResetCounters does not zero them.
+	//
+	// TraceEvents counts records published across the host ring and every
+	// attached shared-memory trace ring; TraceDropped counts records
+	// discarded because a ring wrapped before the collector drained it — the
+	// flight recorder is lossy-by-design and never blocks the hot path.
+	TraceEvents  uint64
+	TraceDropped uint64
 }
 
 // Trips reports total user/kernel call/return trips (upcalls + downcalls),
@@ -477,6 +488,9 @@ func (r *Runtime) Counters() Counters {
 	}
 	if lt, ok := r.Transport().(laneStatser); ok {
 		snap.LaneAcquisitions, snap.LaneSpills, snap.LaneActivePeak = lt.laneStats()
+	}
+	if rec := r.tracer.Load(); rec != nil {
+		snap.TraceEvents, snap.TraceDropped = rec.Stats()
 	}
 	if ring := r.payloadRing.Load(); ring != nil {
 		snap.RingCapacity = int64(ring.Slots())

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"decafdrivers/internal/kernel"
+	"decafdrivers/internal/trace"
 	"decafdrivers/internal/xdr"
 )
 
@@ -59,6 +60,17 @@ const descSlotBytes = 2048
 // the submission fails without killing or respawning anything.
 var errProcEncode = errors.New("xpc: proc frame encode failed")
 
+// DefaultTraceEntries is the per-ring record count a traced transport uses
+// when TraceEntries is set negative ("trace with defaults"): deep enough
+// that a collector sweeping every couple of milliseconds keeps up with a
+// full-rate lane.
+const DefaultTraceEntries = 4096
+
+// MaxTraceEntries caps a trace ring's entry count (1 MiB of records per
+// ring), bounding the shared-region tail like MaxProcLanes bounds the lane
+// area.
+const MaxTraceEntries = 1 << 15
+
 // ProcConfig sizes a ProcTransport.
 type ProcConfig struct {
 	// Batch is the most calls one wire crossing may coalesce; <1 means
@@ -71,6 +83,14 @@ type ProcConfig struct {
 	// submitters claim (one extra contended spill lane is always carved on
 	// top); <1 means DefaultProcLanes, capped at MaxProcLanes.
 	Lanes int
+	// TraceEntries enables the cross-process flight recorder: >0 carves
+	// per-lane SPSC trace rings (plus one worker ring) of that many records
+	// at the tail of the shared region, rounded up to a power of two and
+	// capped at MaxTraceEntries; <0 means DefaultTraceEntries; 0 disables
+	// tracing (no shm overhead, no record writes). Rings are only written
+	// when the bound Runtime also has a tracer installed (SetTracer) before
+	// the first crossing.
+	TraceEntries int
 }
 
 // ProcTransport is the process-separated XPC transport: the decaf side of
@@ -141,8 +161,16 @@ type ProcTransport struct {
 
 	shm        *shmRegion // mu
 	payloadLen int        // mu (set once with shm)
-	encBuf     []byte     // mu: control-frame scratch
-	nextID     uint64     // mu: control-frame sequence (lane IDs are per-lane)
+
+	// Flight-recorder rings carved from the shared-region tail (mu; set
+	// once with shm when TraceEntries > 0). traceKern[i] is lane i's
+	// kernel-side ring; traceWorker is the worker process's ring. Ring
+	// positions persist across worker epochs — the timeline spans respawns.
+	traceKern     []*trace.Ring
+	traceWorker   *trace.Ring
+	traceAttached bool   // mu: rings handed to the runtime's recorder
+	encBuf        []byte // mu: control-frame scratch
+	nextID        uint64 // mu: control-frame sequence (lane IDs are per-lane)
 
 	// ids and sums are the socketpair fallback path's per-chunk scratch
 	// (mu); each lane carries its own pair for the lock-free path.
@@ -188,6 +216,11 @@ type procLane struct {
 	seq   uint64
 	ids   []uint64
 	sums  []uint64
+
+	// tr is the lane's kernel-side flight-recorder ring, nil when tracing
+	// is off. Owned by the claim holder like seq/ids/sums, so its SPSC
+	// producer discipline rides the lane-exclusivity invariant for free.
+	tr *trace.Ring
 }
 
 // procEpoch is one worker generation. failed flips exactly once (CAS) when
@@ -233,6 +266,18 @@ func NewProcTransport(cfg ProcConfig) (*ProcTransport, error) {
 	}
 	if cfg.Lanes > MaxProcLanes {
 		cfg.Lanes = MaxProcLanes
+	}
+	if cfg.TraceEntries < 0 {
+		cfg.TraceEntries = DefaultTraceEntries
+	}
+	if cfg.TraceEntries > 0 {
+		if cfg.TraceEntries < 2 {
+			cfg.TraceEntries = 2
+		}
+		cfg.TraceEntries = nextPow2(cfg.TraceEntries)
+		if cfg.TraceEntries > MaxTraceEntries {
+			cfg.TraceEntries = MaxTraceEntries
+		}
 	}
 	return &ProcTransport{
 		cfg:         cfg,
@@ -515,6 +560,11 @@ func (t *ProcTransport) claimLane(ep *procEpoch, ctx *kernel.Context) *procLane 
 		return nil
 	}
 	t.noteClaim()
+	if spill.tr != nil {
+		// SPSC-safe: the claim just acquired makes this holder the spill
+		// lane ring's sole producer.
+		spill.tr.Emit(trace.KindSpill, uint16(spill.idx), trace.SrcKernel, 0, 0)
+	}
 	return spill
 }
 
@@ -553,6 +603,9 @@ func (t *ProcTransport) laneCrossOn(r *Runtime, ep *procEpoch, lane *procLane, c
 	name := chunk[0].Call.Name
 	ring := r.payloadRing.Load()
 	reg := t.reg.Load()
+	if lane.tr != nil {
+		lane.tr.Emit(trace.KindChunkBegin, uint16(lane.idx), trace.SrcKernel, lane.seq+1, uint64(len(chunk)))
+	}
 	ids, sums := lane.ids[:len(chunk)], lane.sums[:len(chunk)]
 	for i, sub := range chunk {
 		c := sub.Call
@@ -591,6 +644,9 @@ func (t *ProcTransport) laneCrossOn(r *Runtime, ep *procEpoch, lane *procLane, c
 	}
 	atomicMaxU64(&t.descPeak, lane.sub.occupancy())
 	r.noteRingCrossing(name)
+	if lane.tr != nil {
+		lane.tr.Emit(trace.KindEnqueue, uint16(lane.idx), trace.SrcKernel, ids[0], uint64(len(chunk)))
+	}
 	// Invariant 5, producer half: publish first, then consume the worker's
 	// parked declaration. Racing producers swap the one flag; exactly one
 	// observes 1 and pays the wake syscall.
@@ -600,6 +656,9 @@ func (t *ProcTransport) laneCrossOn(r *Runtime, ep *procEpoch, lane *procLane, c
 			return t.epochDied(ep, err)
 		}
 		r.noteDoorbells(name, 1)
+		if lane.tr != nil {
+			lane.tr.Emit(trace.KindDoorbell, uint16(lane.idx), trace.SrcKernel, ids[0], 1)
+		}
 	}
 	deadline := time.Now().Add(procWireTimeout)
 	// Scale the completion spin budget down by the lanes currently in
@@ -611,10 +670,12 @@ func (t *ProcTransport) laneCrossOn(r *Runtime, ep *procEpoch, lane *procLane, c
 	if active := t.laneActive.Load(); active > 1 {
 		budget = descSpinBudget / int(active)
 	}
+	totalWakes := 0
 	for i := range chunk {
 		slot, wakes, err := lane.cmp.awaitSlotBudget(lane.bell, deadline, budget)
 		if wakes > 0 {
 			r.noteDoorbells(chunk[i].Call.Name, wakes)
+			totalWakes += wakes
 		}
 		if err != nil {
 			t.releaseLane(lane)
@@ -640,6 +701,12 @@ func (t *ProcTransport) laneCrossOn(r *Runtime, ep *procEpoch, lane *procLane, c
 			return t.epochProtoFail(ep, fmt.Errorf("xpc: payload checksum mismatch on %q: worker saw %#x, kernel staged %#x",
 				chunk[i].Call.Name, resp.Aux, sums[i]))
 		}
+	}
+	if lane.tr != nil {
+		if totalWakes > 0 {
+			lane.tr.Emit(trace.KindWake, uint16(lane.idx), trace.SrcKernel, ids[0], uint64(totalWakes))
+		}
+		lane.tr.Emit(trace.KindChunkEnd, uint16(lane.idx), trace.SrcKernel, ids[0], uint64(len(chunk)))
 	}
 	t.releaseLane(lane)
 	return nil
@@ -941,11 +1008,31 @@ func (t *ProcTransport) ensureShmLocked() error {
 		return nil
 	}
 	payload := (t.cfg.ShmBytes + 63) &^ 63
-	shm, err := newShmRegion(payload + laneRegionBytes(t.laneCount(), t.descEntries, descSlotBytes))
+	laneBytes := laneRegionBytes(t.laneCount(), t.descEntries, descSlotBytes)
+	traceBytes := 0
+	if t.cfg.TraceEntries > 0 {
+		traceBytes = trace.RegionBytes(t.laneCount()+1, t.cfg.TraceEntries)
+	}
+	shm, err := newShmRegion(payload + laneBytes + traceBytes)
 	if err != nil {
 		return err
 	}
 	t.shm, t.payloadLen = shm, payload
+	if traceBytes > 0 {
+		// One trace ring per lane for the kernel side plus the worker's own
+		// ring, at the very tail — behind the lane region, so the worker
+		// derives the identical layout from the region size and the
+		// FrameTraceRing geometry. A fresh mapping is zeroed, which is the
+		// rings' initial state; positions then persist across worker epochs.
+		rings, terr := trace.CarveRings(shm.mem[payload+laneBytes:], t.laneCount()+1, t.cfg.TraceEntries)
+		if terr != nil {
+			t.shm, t.payloadLen = nil, 0
+			_ = shm.Close()
+			return terr
+		}
+		t.traceKern = rings[:t.laneCount()]
+		t.traceWorker = rings[t.laneCount()]
+	}
 	return nil
 }
 
@@ -1041,7 +1128,11 @@ func (t *ProcTransport) ensureEpochLocked() (*procEpoch, error) {
 	}
 	// A fresh worker epoch: zero the lane directory and ring positions a
 	// dead predecessor left behind before this worker attaches to them.
+	// Trace-ring positions are deliberately NOT reset — the flight
+	// recorder's timeline spans worker respawns (the gap between the old
+	// worker's last record and the new one's first IS the outage).
 	dir.parked.Store(0)
+	rec := t.epochRecorderLocked()
 	for i := 0; i < lanes; i++ {
 		rings[i].sub.reset()
 		rings[i].cmp.reset()
@@ -1052,6 +1143,14 @@ func (t *ProcTransport) ensureEpochLocked() (*procEpoch, error) {
 			bell: fdDoorbell{f: laneParents[i]},
 			ids:  make([]uint64, t.cfg.Batch),
 			sums: make([]uint64, t.cfg.Batch),
+		}
+		if rec != nil {
+			ep.lanes[i].tr = t.traceKern[i]
+		}
+	}
+	if rec != nil {
+		if err := t.sendTraceRingLocked(ep); err != nil {
+			return nil, err
 		}
 	}
 	if err := t.sendDescRingLocked(ep); err != nil {
@@ -1068,6 +1167,55 @@ func (t *ProcTransport) ensureEpochLocked() (*procEpoch, error) {
 	t.spawns++
 	t.epoch.Store(ep)
 	return ep, nil
+}
+
+// epochRecorderLocked resolves the flight recorder a fresh epoch should
+// trace into: non-nil only when trace rings were carved AND the bound
+// runtime has a tracer installed. First resolution hands the recorder every
+// shm ring (kernel lanes + worker) for draining and accounting.
+func (t *ProcTransport) epochRecorderLocked() *trace.Recorder {
+	if t.traceKern == nil {
+		return nil
+	}
+	rt := t.rt.Load()
+	if rt == nil {
+		return nil
+	}
+	rec := rt.Tracer()
+	if rec == nil {
+		return nil
+	}
+	if !t.traceAttached {
+		rec.Attach(t.traceKern...)
+		rec.Attach(t.traceWorker)
+		t.traceAttached = true
+	}
+	return rec
+}
+
+// sendTraceRingLocked publishes the flight-recorder ring geometry to a
+// fresh worker and awaits the ack. Sent BEFORE FrameDescRing: the worker
+// subtracts the trace area from the region tail before carving its lanes,
+// so the order is part of the layout handshake. Aux packs the per-ring
+// entry count and the total ring count (kernel lanes + the worker's own
+// ring, which is the last one).
+func (t *ProcTransport) sendTraceRingLocked(ep *procEpoch) error {
+	t.nextID++
+	f := xdr.Frame{
+		Kind: xdr.FrameTraceRing,
+		ID:   t.nextID,
+		Aux:  uint64(t.cfg.TraceEntries)<<32 | uint64(t.laneCount()+1),
+	}
+	resp, err := t.roundTripLocked(ep.w, f)
+	if err != nil {
+		t.teardownEpochLocked(ep, true)
+		return &WorkerDeath{PID: ep.pid, Err: err}
+	}
+	if resp.Kind != xdr.FrameComplete || resp.ID != f.ID || resp.Status != wireStatusOK {
+		t.teardownEpochLocked(ep, true)
+		return fmt.Errorf("xpc: worker refused trace rings: %v status %d", resp.Kind, resp.Status)
+	}
+	return nil
 }
 
 // sendDescRingLocked publishes the lane geometry to a fresh worker and

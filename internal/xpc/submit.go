@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"decafdrivers/internal/kernel"
+	"decafdrivers/internal/trace"
 )
 
 // Submission errors. Completions resolved on a failure path carry one of
@@ -274,6 +275,9 @@ func (r *Runtime) Admit(subs []*Submission) {
 		sub.Completion.submitClock = now
 		r.noteSubmission(sub.Call.Name)
 		r.inFlight.Add(1)
+	}
+	if rec := r.tracer.Load(); rec != nil {
+		rec.Emit(trace.KindSubmit, trace.LaneNone, trace.SrcKernel, 0, uint64(len(subs)))
 	}
 }
 

@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"decafdrivers/internal/trace"
 	"decafdrivers/internal/xdr"
 )
 
@@ -85,9 +86,14 @@ func runWorker() int {
 	// atomic because two goroutines resolve slot descriptors against it:
 	// this wire loop (socketpair fallback path) and the lane server.
 	// descArea is the region tail the lane rings own; payload geometries
-	// must fit in front of it (wire-loop-only, plain var).
+	// must fit in front of it (wire-loop-only, plain var). traceArea is the
+	// flight-recorder ring area behind even that (FrameTraceRing, optional,
+	// always published before FrameDescRing); wring is the worker's own
+	// trace ring — the last of the carved rings — nil when tracing is off.
 	var geom atomic.Uint64
 	var descArea int
+	var traceArea int
+	var wring *trace.Ring
 	reply := func(f xdr.Frame) error {
 		wire, err := xdr.AppendFrame(nil, f)
 		if err != nil {
@@ -122,10 +128,37 @@ func runWorker() int {
 			slots, slotSize := uint32(f.Aux>>32), uint32(f.Aux)
 			status := wireStatusOK
 			if slots > 0 && slotSize > 0 &&
-				int64(slots)*int64(slotSize) <= int64(len(mem)-descArea) {
+				int64(slots)*int64(slotSize) <= int64(len(mem)-descArea-traceArea) {
 				geom.Store(f.Aux)
 			} else {
 				status = wireStatusBadSlot
+			}
+			err = reply(xdr.Frame{Kind: xdr.FrameComplete, ID: f.ID, Status: status})
+		case xdr.FrameTraceRing:
+			entries, nrings := int(f.Aux>>32), int(uint32(f.Aux))
+			status := wireStatusOK
+			switch {
+			case traceArea != 0 || descArea != 0:
+				// Trace rings are carved once per worker process and must
+				// precede the lane carve (the lanes sit in front of them).
+				status = wireStatusBadFrame
+			case nrings < 2 || nrings > MaxProcLanes+2 ||
+				entries < 2 || entries&(entries-1) != 0 || entries > MaxTraceEntries ||
+				trace.RegionBytes(nrings, entries) > len(mem):
+				status = wireStatusBadSlot
+			default:
+				need := trace.RegionBytes(nrings, entries)
+				rings, terr := trace.CarveRings(mem[len(mem)-need:], nrings, entries)
+				if terr != nil {
+					fmt.Fprintln(os.Stderr, "xpc worker: trace rings:", terr)
+					status = wireStatusBadSlot
+					break
+				}
+				traceArea = need
+				// The last ring is this process's: the service loop appends
+				// its dequeue/complete/park records into it, resuming at
+				// whatever position a predecessor epoch left.
+				wring = rings[nrings-1]
 			}
 			err = reply(xdr.Frame{Kind: xdr.FrameComplete, ID: f.ID, Status: status})
 		case xdr.FrameRingRelease:
@@ -142,11 +175,13 @@ func runWorker() int {
 				status = wireStatusBadFrame
 			case laneCount < 2 || laneCount > MaxProcLanes+1 ||
 				entries < 1 || entries > 1<<20 || slotSize < 8 || slotSize > 1<<20 ||
-				laneRegionBytes(laneCount, entries, slotSize) > len(mem):
+				laneRegionBytes(laneCount, entries, slotSize) > len(mem)-traceArea:
 				status = wireStatusBadSlot
 			default:
+				// The lanes sit immediately in front of the trace-ring area
+				// (when one was published), mirroring the parent's carve.
 				need := laneRegionBytes(laneCount, entries, slotSize)
-				dir, rings, serr := carveLanes(mem[len(mem)-need:], laneCount, entries, slotSize)
+				dir, rings, serr := carveLanes(mem[len(mem)-traceArea-need:len(mem)-traceArea], laneCount, entries, slotSize)
 				if serr != nil {
 					fmt.Fprintln(os.Stderr, "xpc worker: desc lanes:", serr)
 					status = wireStatusBadSlot
@@ -163,7 +198,7 @@ func runWorker() int {
 				}
 				if status == wireStatusOK {
 					descArea = need
-					go serveLanes(dir, rings, bells, mem, &geom, fdDoorbell{f: bell})
+					go serveLanes(dir, rings, bells, mem, &geom, fdDoorbell{f: bell}, wring)
 				}
 			}
 			err = reply(xdr.Frame{Kind: xdr.FrameComplete, ID: f.ID, Status: status})
@@ -227,7 +262,7 @@ const laneServeQuantum = 64
 // died — or on a corrupt descriptor, which has no recoverable framing.
 //
 //decaf:hotpath
-func serveLanes(dir *laneDir, lanes []laneRings, bells []fdDoorbell, mem []byte, geom *atomic.Uint64, subBell fdDoorbell) {
+func serveLanes(dir *laneDir, lanes []laneRings, bells []fdDoorbell, mem []byte, geom *atomic.Uint64, subBell fdDoorbell, wring *trace.Ring) {
 	next := 0
 	spins := 0
 	for {
@@ -237,7 +272,7 @@ func serveLanes(dir *laneDir, lanes []laneRings, bells []fdDoorbell, mem []byte,
 			if l >= len(lanes) {
 				l -= len(lanes)
 			}
-			if serveLane(lanes[l], bells[l], mem, geom) > 0 {
+			if serveLane(lanes[l], bells[l], uint16(l), mem, geom, wring) > 0 {
 				served = true
 			}
 		}
@@ -270,8 +305,14 @@ func serveLanes(dir *laneDir, lanes []laneRings, bells []fdDoorbell, mem []byte,
 			spins = 0
 			continue
 		}
+		if wring != nil {
+			wring.Emit(trace.KindWorkerPark, trace.LaneNone, trace.SrcWorker, 0, 0)
+		}
 		if err := subBell.wait(time.Time{}); err != nil {
 			os.Exit(workerOKExit)
+		}
+		if wring != nil {
+			wring.Emit(trace.KindWorkerWake, trace.LaneNone, trace.SrcWorker, 0, 0)
 		}
 		dir.parked.Store(0)
 		spins = 0
@@ -287,18 +328,28 @@ func serveLanes(dir *laneDir, lanes []laneRings, bells []fdDoorbell, mem []byte,
 // submit ring as corruption).
 //
 //decaf:hotpath
-func serveLane(lr laneRings, bell fdDoorbell, mem []byte, geom *atomic.Uint64) int {
+func serveLane(lr laneRings, bell fdDoorbell, laneIdx uint16, mem []byte, geom *atomic.Uint64, wring *trace.Ring) int {
 	n := 0
+	firstID := uint64(0)
 	for ; n < laneServeQuantum; n++ {
 		slot := lr.sub.pending()
 		if slot == nil {
-			return n
+			break
 		}
 		f, _, derr := xdr.DecodeFrame(slot)
 		lr.sub.advance()
 		if derr != nil {
 			fmt.Fprintln(os.Stderr, "xpc worker: corrupt submit descriptor:", derr)
 			os.Exit(workerErrExit)
+		}
+		if n == 0 {
+			firstID = f.ID
+			if wring != nil {
+				// The visit's dequeue mark: paired with KindWorkerComplete
+				// below, this is the worker-side half of the cross-boundary
+				// span the exporter draws per submission chunk.
+				wring.Emit(trace.KindWorkerDequeue, laneIdx, trace.SrcWorker, firstID, 0)
+			}
 		}
 		var ack xdr.Frame
 		if f.Kind != xdr.FrameSubmit {
@@ -323,6 +374,9 @@ func serveLane(lr laneRings, bell fdDoorbell, mem []byte, geom *atomic.Uint64) i
 				os.Exit(workerOKExit)
 			}
 		}
+	}
+	if n > 0 && wring != nil {
+		wring.Emit(trace.KindWorkerComplete, laneIdx, trace.SrcWorker, firstID, uint64(n))
 	}
 	return n
 }

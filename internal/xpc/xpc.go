@@ -115,6 +115,7 @@ import (
 
 	"decafdrivers/internal/kernel"
 	"decafdrivers/internal/objtrack"
+	"decafdrivers/internal/trace"
 	"decafdrivers/internal/xdr"
 )
 
@@ -236,6 +237,11 @@ type Runtime struct {
 	// caller-visible latency histograms without touching the crossing path
 	// when unset.
 	completionObserver atomic.Pointer[func(name string, queueWait, crossCost time.Duration, fault bool)]
+	// tracer, when set, is the flight recorder every crossing stage reports
+	// to (see internal/trace). Unset, every instrumentation site is one
+	// atomic load plus a nil check — the tracing-off state stays
+	// allocation-free and ring-free.
+	tracer atomic.Pointer[trace.Recorder]
 
 	// mu guards the shared-object registry only; the crossing fast path
 	// never takes it.
@@ -523,6 +529,24 @@ func (r *Runtime) SetCompletionObserver(fn func(name string, queueWait, crossCos
 	}
 	r.completionObserver.Store(&fn)
 }
+
+// SetTracer installs (or, with nil, removes) the flight recorder the
+// runtime and its transport report crossing-lifecycle events to. Install it
+// BEFORE SetTransport: a ProcTransport captures the recorder when it carves
+// its worker epoch, attaching the shared-memory trace rings both processes
+// append into. The recorder's hot-path cost with tracing on is one ring
+// record per event; with no recorder installed every site is a single
+// atomic load.
+func (r *Runtime) SetTracer(rec *trace.Recorder) {
+	if rec == nil {
+		r.tracer.Store(nil)
+		return
+	}
+	r.tracer.Store(rec)
+}
+
+// Tracer returns the installed flight recorder, or nil when tracing is off.
+func (r *Runtime) Tracer() *trace.Recorder { return r.tracer.Load() }
 
 // SetFaultInjector installs (or, with nil, removes) the decaf-side fault
 // injector: fn is consulted with the entry-point name at the top of every

@@ -5,6 +5,7 @@ Usage:
     decafbench -table zerocopy -json | scripts/check_bench.py zerocopy
     decafbench -table recovery -transport proc -json | scripts/check_bench.py recovery bench.json
     decafbench -table contend -transport proc -json | scripts/check_bench.py contend
+    decafbench -table proc -trace trace.json && scripts/check_bench.py trace trace.json
     scripts/check_bench.py zerocopy bench.json --baseline BENCH_proc.json
     scripts/check_bench.py --self-test
 
@@ -236,8 +237,62 @@ def check_contend(rows):
             f"{gated} proc scaling gates passed")
 
 
+# The flight-recorder export's fixed track layout (internal/trace/export.go):
+# one Chrome-trace pid per address space plus one for the Go runtime.
+TRACE_PID_KERNEL = 1
+TRACE_PID_WORKER = 2
+TRACE_PID_RUNTIME = 3
+TRACE_PROCESS_NAMES = {TRACE_PID_KERNEL: "kernel",
+                       TRACE_PID_WORKER: "decaf worker",
+                       TRACE_PID_RUNTIME: "go runtime"}
+
+
+def check_trace(doc):
+    """The flight-recorder schema gate over Chrome trace-event JSON.
+
+    A trace from `decafbench -table proc -trace` must be a loadable Perfetto
+    timeline that actually proves the cross-process story: labeled kernel /
+    worker / runtime process tracks, duration spans on BOTH sides of the
+    boundary (a trace whose worker track is empty means the shm trace rings
+    never carried records back), paired s/f flow arrows stitching a kernel
+    chunk to the worker visit that served it, a Go-runtime track (GC pauses
+    or heap counters) to attribute tail latency against, and the lossy
+    recorder's drop count in the metadata so a gappy timeline is never
+    mistaken for a quiet one.
+    """
+    evs = doc.get("traceEvents")
+    assert isinstance(evs, list) and evs, "trace carries no traceEvents"
+    for e in evs:
+        assert "ph" in e and "pid" in e and "name" in e, f"malformed trace event: {e}"
+    procs = {e["pid"]: e.get("args", {}).get("name")
+             for e in evs if e["ph"] == "M" and e["name"] == "process_name"}
+    for pid, name in sorted(TRACE_PROCESS_NAMES.items()):
+        assert procs.get(pid) == name, \
+            f"missing process_name metadata for pid {pid} ({name!r}): have {procs}"
+    spans = {}
+    for e in evs:
+        if e["ph"] == "X":
+            assert e.get("ts", -1) >= 0 and e.get("dur", 0) >= 0, \
+                f"X span with bad ts/dur: {e}"
+            spans.setdefault(e["pid"], []).append(e)
+    assert spans.get(TRACE_PID_KERNEL), "no kernel-side X spans: chunk submissions missing"
+    assert spans.get(TRACE_PID_WORKER), \
+        "no worker-side X spans: the shm trace rings carried nothing back across the boundary"
+    flows = {e["ph"] for e in evs if e["name"] == "crossing"}
+    assert {"s", "f"} <= flows, \
+        f"cross-process flow arrows not paired (crossing phases: {sorted(flows)})"
+    runtime_track = [e for e in evs
+                     if e["pid"] == TRACE_PID_RUNTIME and e["ph"] in ("X", "C")]
+    assert runtime_track, "no go-runtime track events (GC pauses / heap counters missing)"
+    meta = doc.get("metadata", {})
+    assert "trace_dropped" in meta, "metadata lost the trace_dropped overflow count"
+    return (f"{len(evs)} events; {len(spans[TRACE_PID_KERNEL])} kernel / "
+            f"{len(spans[TRACE_PID_WORKER])} worker spans, flows paired, "
+            f"runtime track present, {meta['trace_dropped']} dropped")
+
+
 CHECKS = {"zerocopy": check_zerocopy, "recovery": check_recovery,
-          "contend": check_contend}
+          "contend": check_contend, "trace": check_trace}
 
 
 def compare_baseline(table, rows, base_doc, tolerance):
@@ -266,6 +321,11 @@ def compare_baseline(table, rows, base_doc, tolerance):
 
 
 def run_check(table, doc, baseline_doc=None, tolerance=DEFAULT_TOLERANCE):
+    if table == "trace":
+        # Trace documents are Chrome trace-event JSON, not bench tables:
+        # no "table"/"rows" envelope and nothing deterministic to band.
+        assert baseline_doc is None, "the trace check takes no --baseline"
+        return check_trace(doc)
     assert doc.get("table") == table, \
         f"expected a {table} table, got {doc.get('table')!r}"
     summary = CHECKS[table](doc["rows"])
@@ -303,14 +363,21 @@ def self_test():
     zc_good, zc_bad = load("zerocopy_good.json"), load("zerocopy_bad.json")
     rec_good, rec_bad = load("recovery_good.json"), load("recovery_bad.json")
     con_good, con_bad = load("contend_good.json"), load("contend_bad.json")
+    tr_good, tr_bad = load("trace_good.json"), load("trace_bad.json")
     zc_drift = load("zerocopy_drift.json")
 
     expect_ok("zerocopy good", lambda: run_check("zerocopy", zc_good))
     expect_ok("recovery good", lambda: run_check("recovery", rec_good))
     expect_ok("contend good", lambda: run_check("contend", con_good))
+    expect_ok("trace good", lambda: run_check("trace", tr_good))
     expect_reject("zerocopy bad", lambda: run_check("zerocopy", zc_bad))
     expect_reject("recovery bad", lambda: run_check("recovery", rec_bad))
     expect_reject("contend bad", lambda: run_check("contend", con_bad))
+    # The bad trace has kernel spans but an empty worker track and an
+    # unpaired flow start: the exact signature of trace rings that were
+    # never carved in the shared region.
+    expect_reject("trace bad", lambda: run_check("trace", tr_bad))
+    expect_reject("trace on a bench table", lambda: run_check("trace", zc_good))
     expect_ok("zerocopy self-baseline",
               lambda: run_check("zerocopy", zc_good, baseline_doc=zc_good))
     expect_ok("contend self-baseline",
@@ -323,7 +390,7 @@ def self_test():
         for f in failures:
             print(f"self-test FAIL: {f}", file=sys.stderr)
         return 1
-    print("ok (self-test): 10 fixture scenarios behaved")
+    print("ok (self-test): 13 fixture scenarios behaved")
     return 0
 
 
