@@ -31,8 +31,14 @@
 //	       fault containment is physical — a decaf panic SIGKILLs the
 //	       worker and recovery respawns a process that actually died
 //
-// The proc transport keeps the virtual cost model identical to batch (call
-// bodies are Go closures and execute kernel-side), so crossings per packet
+// Decaf call bodies live in a process-global handler table
+// (internal/decaf/registry) dispatched by name: under the proc transport
+// the body executes in the worker's address space (the worker re-execs the
+// same binary, so init() builds the identical table), with shared driver
+// state in shm-backed cells and nested downcalls crossing back for real;
+// the in-process transports dispatch the same bodies inline. The declared
+// per-call cost is charged kernel-side either way, so the virtual cost
+// model is identical to batch and crossings per packet
 // are comparable across all four while Counters.RingCrossings,
 // DoorbellWakeups, SyscallCrossings and WireBytesOut/In meter the real
 // boundary: descriptor-ring traffic, doorbell syscalls, and socketpair

@@ -7,6 +7,11 @@
 // — plus the finalizer-based automatic release of shared objects that the
 // paper describes as future work (§3.1.2, §5.1).
 //
+// Decaf call bodies themselves are registered in the handler table
+// (handlers.go in this package re-exports internal/decaf/registry): named,
+// package-level functions the XPC layer dispatches by name, in the worker
+// process under the proc transport and inline otherwise.
+//
 // The whole package is decaf-side: it may reach kernel-side state only
 // through xpc.Runtime crossings, and decafvet's boundary analyzer enforces
 // that below.

@@ -66,7 +66,7 @@ func TestDecafDataPathBatchedTx(t *testing.T) {
 	if got := r.drv.Adapter.Stats.TxPackets; got != batchN {
 		t.Fatalf("hardware transmitted %d frames, want %d", got, batchN)
 	}
-	if got := r.drv.DecafAdapter.DecafTxFrames; got != batchN {
+	if got := r.drv.DecafTxFrames(); got != batchN {
 		t.Fatalf("decaf driver saw %d frames, want %d", got, batchN)
 	}
 }
@@ -145,7 +145,7 @@ func TestDecafDataPathRx(t *testing.T) {
 	if received != 5 {
 		t.Fatalf("received %d frames, want 5", received)
 	}
-	if got := r.drv.DecafAdapter.DecafRxFrames; got != 5 {
+	if got := r.drv.DecafRxFrames(); got != 5 {
 		t.Fatalf("decaf driver saw %d RX frames, want 5", got)
 	}
 	if got := r.drv.Runtime().Counters().Trips(); got == 0 || got > 5 {
@@ -179,7 +179,7 @@ func TestDecafDataPathAsyncTransport(t *testing.T) {
 	if got := r.drv.Adapter.Stats.TxPackets; got != 3*batchN {
 		t.Fatalf("hardware transmitted %d frames, want %d", got, 3*batchN)
 	}
-	if got := r.drv.DecafAdapter.DecafTxFrames; got != 3*batchN {
+	if got := r.drv.DecafTxFrames(); got != 3*batchN {
 		t.Fatalf("decaf driver saw %d frames, want %d", got, 3*batchN)
 	}
 	c := r.drv.Runtime().Counters()

@@ -2,27 +2,20 @@ package e1000
 
 import (
 	"fmt"
-	"time"
 
 	"decafdrivers/internal/decaf"
 	"decafdrivers/internal/hw/e1000hw"
 	"decafdrivers/internal/kernel"
-	"decafdrivers/internal/knet"
 )
 
-// Decaf-side per-frame handling costs in the decaf data path: cheaper than a
-// crossing by orders of magnitude, so batching gains show up as crossing
-// savings rather than being drowned by user-level work.
-const (
-	decafTxFrameCost = 350 * time.Nanosecond
-	decafRxFrameCost = 600 * time.Nanosecond
-)
-
-// decafDriver is the user-level managed half of the split driver: probe,
-// open/close, PHY and EEPROM management, parameter validation and the
-// watchdog, all written in the exception style of the case study. Its
+// decafDriver is the user-level managed half of the split driver's
+// control plane: probe, open/close, PHY and EEPROM management and parameter
+// validation, all written in the exception style of the case study. Its
 // methods operate on the decaf copy of the adapter and reach the kernel
-// through downcall stubs.
+// through downcall stubs. The steady-state bodies — the watchdog and the
+// decaf data path's per-frame work — live in the handler table instead
+// (handlers.go), so a process-separated transport executes them in the
+// worker's address space.
 //
 //decaf:boundary
 type decafDriver struct {
@@ -275,43 +268,3 @@ func (dd *decafDriver) close(uctx *kernel.Context) {
 	})
 }
 
-// xmitFrame is the decaf-driver TX body in the decaf data path: user-level
-// frame validation and accounting. The hardware submit stays in the nucleus
-// after the batch returns.
-func (dd *decafDriver) xmitFrame(uctx *kernel.Context, pkt *knet.Packet) {
-	a := dd.adapter()
-	a.DecafTxFrames++
-	uctx.Charge(decafTxFrameCost)
-	_ = pkt
-}
-
-// rxFrame is the decaf-driver RX body: user-level inspection of a received
-// frame before the nucleus hands it up the stack.
-func (dd *decafDriver) rxFrame(uctx *kernel.Context, pkt *knet.Packet) {
-	a := dd.adapter()
-	a.DecafRxFrames++
-	uctx.Charge(decafRxFrameCost)
-	_ = pkt
-}
-
-// watchdog is the two-second watchdog body, running in the decaf driver
-// because the kernel timer defers it to a work item (§3.1.3). It reads link
-// state from the device through the driver library and reports carrier
-// changes to the kernel through a downcall.
-func (dd *decafDriver) watchdog(uctx *kernel.Context) {
-	a := dd.adapter()
-	a.WatchdogRuns++
-	status := uint32(dd.drv.helpers.ReadMMIO(uctx, dd.drv.dev.PCI, 0, e1000hw.RegSTATUS, 4))
-	linkNow := status&e1000hw.StatusLU != 0
-	if linkNow != a.LinkUp {
-		a.LinkUp = linkNow
-		_ = dd.drv.rt.Downcall(uctx, "netif_carrier_change", func(kctx *kernel.Context) error {
-			if linkNow {
-				dd.drv.netdev.CarrierOn()
-			} else {
-				dd.drv.netdev.CarrierOff()
-			}
-			return nil
-		})
-	}
-}

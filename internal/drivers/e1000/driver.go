@@ -140,6 +140,7 @@ func New(k *kernel.Kernel, net *knet.Subsystem, dev *e1000hw.Device, cfg Config)
 	}
 	d.nuc = newNucleus(d)
 	d.dcf = newDecafDriver(d)
+	d.registerDowncalls()
 	return d
 }
 
@@ -218,9 +219,7 @@ func (d *Driver) scheduleWatchdogWork() {
 		if d.recovering {
 			return
 		}
-		_ = d.rt.Upcall(wctx, "e1000_watchdog", func(uctx *kernel.Context) error {
-			return decaf.ToError(decaf.Try(func() { d.dcf.watchdog(uctx) }))
-		}, d.Adapter)
+		_ = d.rt.UpcallHandler(wctx, "e1000_watchdog")
 	})
 }
 
@@ -244,9 +243,12 @@ func (o *e1000Ops) Open(ctx *kernel.Context) error {
 	if err != nil {
 		return err
 	}
-	// Immediate link evaluation, as the C driver does after e1000_up.
+	// Immediate link evaluation, as the C driver does after e1000_up. The
+	// shared cell mirrors the kernel-side transition so the watchdog body
+	// (which may run in another process) compares against current state.
 	if d.dev.LinkUp() {
 		d.Adapter.LinkUp = true
+		d.setLinkCell(true)
 		d.netdev.CarrierOn()
 	}
 	d.journalOpen()
@@ -349,12 +351,8 @@ func (d *Driver) FlushTx(ctx *kernel.Context) error {
 		}
 		fl := xpc.StageFlight(d.rt, pending, pktData)
 		b := d.rt.Batch(ctx)
-		for i, pkt := range pending {
-			p := pkt
-			b.UpcallPayload("e1000_xmit_frame", fl.Payloads[i], func(uctx *kernel.Context) error {
-				d.dcf.xmitFrame(uctx, p)
-				return nil
-			})
+		for i := range pending {
+			b.UpcallHandlerPayload("e1000_xmit_frame", fl.Payloads[i])
 		}
 		d.txInFlight.Push(b.FlushAsync(), fl)
 	}
@@ -465,12 +463,8 @@ func (d *Driver) deliverRx(frames []*knet.Packet) {
 	d.kern.DeferToWork(func(wctx *kernel.Context) {
 		fl := xpc.StageFlight(d.rt, frames, pktData)
 		b := d.rt.Batch(wctx)
-		for i, f := range frames {
-			p := f
-			b.UpcallPayload("e1000_rx_frame", fl.Payloads[i], func(uctx *kernel.Context) error {
-				d.dcf.rxFrame(uctx, p)
-				return nil
-			})
+		for i := range frames {
+			b.UpcallHandlerPayload("e1000_rx_frame", fl.Payloads[i])
 		}
 		d.rxInFlight.Push(b.FlushAsync(), fl)
 		d.reapRx(wctx, d.rxInFlight.Len() >= maxRxInFlight)

@@ -205,8 +205,8 @@ func TestSteadyStateNoCrossingsExceptWatchdog(t *testing.T) {
 	if c.PerCall["e1000_watchdog"] != 2 {
 		t.Fatalf("watchdog upcalls = %d, want 2", c.PerCall["e1000_watchdog"])
 	}
-	if r.drv.DecafAdapter.WatchdogRuns != 2 {
-		t.Fatalf("WatchdogRuns = %d", r.drv.DecafAdapter.WatchdogRuns)
+	if r.drv.WatchdogRuns() != 2 {
+		t.Fatalf("WatchdogRuns = %d", r.drv.WatchdogRuns())
 	}
 }
 
@@ -292,10 +292,10 @@ func TestModuleUnload(t *testing.T) {
 		t.Fatal("netdev still registered after unload")
 	}
 	// Watchdog must not fire after unload.
-	runs := r.drv.Adapter.WatchdogRuns
+	runs := r.drv.WatchdogRuns()
 	r.clock.Advance(10 * WatchdogPeriod)
 	r.kern.DefaultWorkqueue().Drain()
-	if r.drv.Adapter.WatchdogRuns != runs {
+	if r.drv.WatchdogRuns() != runs {
 		t.Fatal("watchdog ran after unload")
 	}
 }

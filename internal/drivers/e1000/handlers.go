@@ -1,0 +1,131 @@
+package e1000
+
+import (
+	"time"
+
+	"decafdrivers/internal/decaf/registry"
+	"decafdrivers/internal/hw/e1000hw"
+	"decafdrivers/internal/kernel"
+)
+
+// Shared state cells for the decaf-resident bodies. Cells are registered at
+// package init so the parent and a re-exec'd worker agree on the indices,
+// and under a process-separated transport they live in the shared mapping —
+// the analogue of the adapter fields the closure-era bodies mutated, minus
+// the marshaling: both sides read the same memory.
+var (
+	cellTxFrames     = registry.RegisterCell("e1000.decaf_tx_frames")
+	cellRxFrames     = registry.RegisterCell("e1000.decaf_rx_frames")
+	cellWatchdogRuns = registry.RegisterCell("e1000.watchdog_runs")
+	cellLinkUp       = registry.RegisterCell("e1000.link_up")
+)
+
+// Decaf-side per-frame handling costs in the decaf data path: cheaper than a
+// crossing by orders of magnitude, so batching gains show up as crossing
+// savings rather than being drowned by user-level work.
+const (
+	decafTxFrameCost = 350 * time.Nanosecond
+	decafRxFrameCost = 600 * time.Nanosecond
+	// watchdogBodyCost is the user-level work of one watchdog pass (link
+	// evaluation and statistics), excluding its downcalls.
+	watchdogBodyCost = 500 * time.Nanosecond
+)
+
+// The handler table holds the decaf call bodies that execute in the worker
+// process under a process-separated transport (and dispatch inline under the
+// in-process ones). Bodies reach driver state only through the shared cells
+// and reach the kernel or device only through named downcalls — the same
+// discipline process separation enforces physically.
+//
+//decaf:boundary
+func init() {
+	// e1000_xmit_frame is the decaf-driver TX body in the decaf data path:
+	// user-level frame validation and accounting. The hardware submit stays
+	// in the nucleus after the flight is reaped.
+	registry.Register("e1000_xmit_frame", registry.Handler{
+		Cost: decafTxFrameCost,
+		Fn: func(c *registry.Ctx) error {
+			c.State.Add(cellTxFrames, 1)
+			return nil
+		},
+	})
+	// e1000_rx_frame is the decaf-driver RX body: user-level inspection of a
+	// received frame before the nucleus hands it up the stack.
+	registry.Register("e1000_rx_frame", registry.Handler{
+		Cost: decafRxFrameCost,
+		Fn: func(c *registry.Ctx) error {
+			c.State.Add(cellRxFrames, 1)
+			return nil
+		},
+	})
+	// e1000_watchdog is the two-second watchdog body, running in the decaf
+	// driver because the kernel timer defers it to a work item (§3.1.3). It
+	// reads link state from the device through a downcall and reports
+	// carrier changes to the kernel through another.
+	registry.Register("e1000_watchdog", registry.Handler{
+		Cost: watchdogBodyCost,
+		Down: true,
+		Fn: func(c *registry.Ctx) error {
+			c.State.Add(cellWatchdogRuns, 1)
+			status, err := c.Downcall("e1000_read_status", 0)
+			if err != nil {
+				return err
+			}
+			linkNow := uint32(status)&e1000hw.StatusLU != 0
+			if linkNow != (c.State.Load(cellLinkUp) != 0) {
+				var v uint64
+				if linkNow {
+					v = 1
+				}
+				c.State.Store(cellLinkUp, v)
+				if _, err := c.Downcall("netif_carrier_change", v); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	})
+}
+
+// registerDowncalls installs the kernel-side targets the handler bodies
+// name. Registration is per-Runtime, so each driver instance's handlers
+// reach that instance's device and netdev.
+func (d *Driver) registerDowncalls() {
+	d.rt.RegisterDowncall("e1000_read_status", func(kctx *kernel.Context, _ uint64) (uint64, error) {
+		return d.dev.PCI.MMIORead(0, e1000hw.RegSTATUS, 4), nil
+	})
+	d.rt.RegisterDowncall("netif_carrier_change", func(kctx *kernel.Context, arg uint64) (uint64, error) {
+		up := arg != 0
+		// Mirror the cell into the kernel adapter: the nucleus and the
+		// harness read link state here, not from the decaf cells.
+		d.Adapter.LinkUp = up
+		if d.netdev == nil {
+			return 0, nil
+		}
+		if up {
+			d.netdev.CarrierOn()
+		} else {
+			d.netdev.CarrierOff()
+		}
+		return 0, nil
+	})
+}
+
+// setLinkCell mirrors a kernel-side link transition into the shared cell the
+// watchdog handler compares against.
+func (d *Driver) setLinkCell(up bool) {
+	var v uint64
+	if up {
+		v = 1
+	}
+	d.rt.SharedState().Store(cellLinkUp, v)
+}
+
+// WatchdogRuns reads the watchdog pass count from the shared state cells.
+func (d *Driver) WatchdogRuns() uint64 { return d.rt.SharedState().Load(cellWatchdogRuns) }
+
+// DecafTxFrames reads the decaf data path's TX frame count.
+func (d *Driver) DecafTxFrames() uint64 { return d.rt.SharedState().Load(cellTxFrames) }
+
+// DecafRxFrames reads the decaf data path's RX frame count.
+func (d *Driver) DecafRxFrames() uint64 { return d.rt.SharedState().Load(cellRxFrames) }

@@ -63,6 +63,7 @@ func (d *Driver) journalOpen() {
 			}
 			if d.dev.LinkUp() {
 				d.Adapter.LinkUp = true
+				d.setLinkCell(true)
 				d.netdev.CarrierOn()
 			}
 			return nil
@@ -142,4 +143,5 @@ func (d *Driver) FailStop(ctx *kernel.Context) {
 	}
 	d.netdev.AbortRecovery()
 	d.Adapter.LinkUp = false
+	d.setLinkCell(false)
 }

@@ -58,21 +58,17 @@ type Adapter struct {
 	TxRingSize  uint32
 	RxRingSize  uint32
 
-	// Link and statistics, read by the decaf watchdog.
-	LinkUp       bool
-	Stats        NetStats
-	WatchdogRuns uint64
+	// Link state and statistics. The decaf watchdog's own pass count and
+	// the decaf data path's frame counters are not adapter fields: they are
+	// shared state cells (handlers.go) readable from both processes.
+	LinkUp bool
+	Stats  NetStats
 
 	// Kernel-only data-path state (masked out of marshaling).
 	TxNextToUse   uint32
 	TxNextToClean uint32
 	RxNextToClean uint32
 	IntrCount     uint64
-
-	// Decaf-local frame counters for the decaf data path (not marshaled:
-	// they live on the decaf copy only).
-	DecafTxFrames uint64
-	DecafRxFrames uint64
 }
 
 // FieldMask is the marshaling specification DriverSlicer generates for the
@@ -83,7 +79,7 @@ func FieldMask() xdr.FieldMask {
 			"Name": true, "MAC": true, "MsgEnable": true, "Mtu": true,
 			"FlowControl": true, "PhyID": true, "EEPROM": true,
 			"ConfigSpace": true, "TxRingSize": true, "RxRingSize": true,
-			"LinkUp": true, "Stats": true, "WatchdogRuns": true,
+			"LinkUp": true, "Stats": true,
 		},
 	}
 }

@@ -151,6 +151,7 @@ func New(k *kernel.Kernel, snd *ksound.Subsystem, dev *es1371hw.Device, ioBase u
 			panic(fmt.Sprintf("ens1371: share chip: %v", err))
 		}
 	}
+	d.registerDowncalls()
 	return d
 }
 
@@ -422,20 +423,15 @@ func (o *pcmOps) Trigger(ctx *kernel.Context, start bool) error {
 }
 
 func (d *Driver) triggerUpcall(ctx *kernel.Context, start bool) error {
-	return d.rt.Upcall(ctx, "snd_ens1371_trigger", func(uctx *kernel.Context) error {
-		return decaf.ToError(decaf.Try(func() {
-			c := d.DecafChip
-			c.Running = start
-			_ = d.rt.Downcall(uctx, "snd_es1371_dac2_ctrl", func(kctx *kernel.Context) error {
-				if start {
-					d.startDAC2(kctx)
-				} else {
-					d.stopDAC2(kctx)
-				}
-				return nil
-			})
-		}))
-	}, d.Chip)
+	// The trigger body is a registered handler (handlers.go): under a
+	// process-separated transport it executes in the worker and reaches the
+	// engine through the snd_es1371_dac2_ctrl downcall. Data[0] carries the
+	// requested engine state.
+	data := []byte{0}
+	if start {
+		data[0] = 1
+	}
+	return d.rt.UpcallHandlerData(ctx, "snd_ens1371_trigger", data)
 }
 
 // Pointer implements ksound.PCMOps in the nucleus (fast path).

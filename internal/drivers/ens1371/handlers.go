@@ -1,0 +1,62 @@
+package ens1371
+
+import (
+	"time"
+
+	"decafdrivers/internal/decaf/registry"
+	"decafdrivers/internal/kernel"
+)
+
+// cellRunning mirrors the DAC2 engine state into the shared state cells so
+// the trigger body can compare and update it from whichever process it
+// executes in.
+var cellRunning = registry.RegisterCell("ens1371.dac2_running")
+
+// triggerBodyCost is the user-level work of one trigger pass, excluding the
+// engine-control downcall.
+const triggerBodyCost = 200 * time.Nanosecond
+
+// snd_ens1371_trigger is the PCM trigger body: record the requested engine
+// state and program the DAC2 engine through a downcall. Registered in the
+// handler table so a process-separated transport executes it in the worker;
+// Data[0] carries the start/stop flag.
+//
+//decaf:boundary
+func init() {
+	registry.Register("snd_ens1371_trigger", registry.Handler{
+		Cost: triggerBodyCost,
+		Down: true,
+		Fn: func(c *registry.Ctx) error {
+			var v uint64
+			if len(c.Data) > 0 && c.Data[0] != 0 {
+				v = 1
+			}
+			c.State.Store(cellRunning, v)
+			_, err := c.Downcall("snd_es1371_dac2_ctrl", v)
+			return err
+		},
+	})
+}
+
+// registerDowncalls installs the kernel-side targets the handler bodies
+// name; per-Runtime, so each driver instance's handlers reach its device.
+func (d *Driver) registerDowncalls() {
+	d.rt.RegisterDowncall("snd_es1371_dac2_ctrl", func(kctx *kernel.Context, arg uint64) (uint64, error) {
+		start := arg != 0
+		// Mirror into both chip copies: the kernel side reads Chip.Running,
+		// and the decaf copy must match what a replayed trigger established
+		// (under process separation the worker's truth is the cell; the
+		// struct fields are the kernel-resident view of it).
+		d.Chip.Running = start
+		d.DecafChip.Running = start
+		if start {
+			d.startDAC2(kctx)
+		} else {
+			d.stopDAC2(kctx)
+		}
+		return 0, nil
+	})
+}
+
+// DAC2Running reads the engine state from the shared state cells.
+func (d *Driver) DAC2Running() bool { return d.rt.SharedState().Load(cellRunning) != 0 }

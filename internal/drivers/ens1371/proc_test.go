@@ -1,0 +1,127 @@
+//go:build unix
+
+package ens1371
+
+import (
+	"os"
+	"testing"
+
+	"decafdrivers/internal/recovery"
+	"decafdrivers/internal/xpc"
+)
+
+// TestMain routes the re-exec'd test binary into the decaf worker loop for
+// the process-separated transport fixtures below.
+func TestMain(m *testing.M) {
+	xpc.MaybeRunWorker()
+	os.Exit(m.Run())
+}
+
+// newProcRig is newRig with the decaf side in a real worker process.
+func newProcRig(t *testing.T) (*rig, *xpc.ProcTransport) {
+	t.Helper()
+	r := newRig(t, xpc.ModeDecaf)
+	pt, err := xpc.NewProcTransport(xpc.ProcConfig{Batch: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.drv.Runtime().SetTransport(pt)
+	t.Cleanup(func() { r.drv.Runtime().SetTransport(nil) })
+	return r, pt
+}
+
+// TestProcTriggerExecutesInWorkerAndRecovers: the PCM trigger body runs in
+// the worker process (its engine-control downcall crossing back for real),
+// an injected fault inside a trigger SIGKILLs the worker without surfacing
+// through the sound core, and the supervisor's replay over the respawned
+// worker leaves the engine state consistent in the shared cells and the
+// kernel mirror alike.
+func TestProcTriggerExecutesInWorkerAndRecovers(t *testing.T) {
+	r, pt := newProcRig(t)
+	j := recovery.NewStateJournal()
+	r.drv.EnableRecovery(j)
+	if _, err := r.kern.LoadModule(r.drv.Module()); err != nil {
+		t.Fatal(err)
+	}
+	sup := recovery.NewSupervisor(r.kern, r.drv, j, recovery.Config{})
+	sup.Attach()
+
+	card, ok := r.snd.Card("ens1371")
+	if !ok {
+		t.Fatal("card not registered")
+	}
+	ctx := r.kern.NewContext("mpg123")
+	st, err := card.OpenPlayback(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.drv.AttachStream(st)
+	if err := st.Configure(ctx, 44100, 2, 1024); err != nil {
+		t.Fatal(err)
+	}
+	r.drv.Runtime().ResetCounters()
+	if err := st.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// The start trigger executed in the worker: the served-call counter
+	// ticked, its downcall crossed back, and both the shared cell and the
+	// kernel-side mirror report a running engine.
+	c := r.drv.Runtime().Counters()
+	if c.WorkerServedCalls == 0 {
+		t.Fatal("trigger body did not execute in the worker")
+	}
+	if c.WorkerDowncalls == 0 {
+		t.Fatal("the trigger's engine-control downcall did not cross from the worker")
+	}
+	if !r.drv.DAC2Running() {
+		t.Fatal("running cell not set after a worker-served start trigger")
+	}
+	if !r.drv.Chip.Running {
+		t.Fatal("kernel chip mirror not set after a worker-served start trigger")
+	}
+	bootPID := pt.WorkerPID()
+	if bootPID <= 0 || bootPID == os.Getpid() {
+		t.Fatalf("worker pid = %d, want a live separate process", bootPID)
+	}
+
+	// Crash the decaf driver inside the stop trigger: the PCM layer must
+	// see success (the proxy journals the stop and defers it), the worker
+	// dies for real, and the replay over the respawned worker applies the
+	// journaled stop.
+	r.drv.Runtime().SetFaultInjector(func(call string) bool {
+		return call == "snd_ens1371_trigger"
+	})
+	if err := st.Stop(ctx); err != nil {
+		t.Fatalf("contained fault surfaced through the PCM layer: %v", err)
+	}
+	r.drv.Runtime().SetFaultInjector(nil)
+	r.kern.DefaultWorkqueue().Drain()
+
+	stats := sup.Stats()
+	if stats.Recoveries != 1 || stats.State != recovery.StateMonitoring {
+		t.Fatalf("supervisor stats = %+v", stats)
+	}
+	c = r.drv.Runtime().Counters()
+	if c.WorkerDeaths == 0 || !c.WorkerAlive {
+		t.Fatalf("deaths=%d alive=%v: the containment was not physical", c.WorkerDeaths, c.WorkerAlive)
+	}
+	if pid := pt.WorkerPID(); pid == bootPID {
+		t.Fatalf("worker pid %d unchanged across recovery", pid)
+	}
+	if r.drv.DAC2Running() {
+		t.Fatal("running cell still set: the journaled stop was not replayed through the new worker")
+	}
+	if r.drv.Chip.Running {
+		t.Fatal("kernel chip mirror still running after the replayed stop")
+	}
+	// The recovered driver keeps working through the respawned worker.
+	if err := st.Start(ctx); err != nil {
+		t.Fatalf("start after recovery: %v", err)
+	}
+	if !r.drv.DAC2Running() {
+		t.Fatal("running cell not set after post-recovery start")
+	}
+	if err := st.Stop(ctx); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -90,6 +90,7 @@ func New(k *kernel.Kernel, in *kinput.Subsystem, port *kinput.SerioPort, cfg Con
 		}
 	}
 	port.ConnectDriver(d.receiveByte)
+	d.registerDowncalls()
 	return d
 }
 
@@ -196,14 +197,14 @@ func (d *Driver) command(uctx *kernel.Context, name string, cmd byte, arg *byte,
 	return resp
 }
 
-// probeDecaf is the decaf-driver body: reset, protocol detection (the
-// IntelliMouse rate knock), rate/resolution programming, and reporting
-// enable.
+// resetDecaf is the reset half of the probe: reset the mouse and verify its
+// self-test, then make sure stream mode is off before detection. Written in
+// exception style as a closure upcall; the detection half is the registered
+// psmouse_detect handler (handlers.go), which a process-separated transport
+// executes in the worker.
 //
 //decaf:boundary
-func (d *Driver) probeDecaf(uctx *kernel.Context) {
-	s := d.DecafState
-
+func (d *Driver) resetDecaf(uctx *kernel.Context) {
 	// Reset: expect self-test OK + id.
 	resp := d.command(uctx, "psmouse_reset", ps2hw.CmdReset, nil, 2)
 	if resp[0] != ps2hw.RespSelfTestOK {
@@ -212,52 +213,6 @@ func (d *Driver) probeDecaf(uctx *kernel.Context) {
 
 	// Make sure stream mode is off during detection.
 	d.command(uctx, "psmouse_disable", ps2hw.CmdDisable, nil, 0)
-
-	// Baseline identity.
-	id := d.command(uctx, "psmouse_getid", ps2hw.CmdGetID, nil, 1)[0]
-
-	// IntelliMouse detection: the 200/100/80 sample-rate knock.
-	for _, rate := range []byte{200, 100, 80} {
-		r := rate
-		d.command(uctx, "psmouse_setrate", ps2hw.CmdSetRate, &r, 0)
-	}
-	id = d.command(uctx, "psmouse_getid", ps2hw.CmdGetID, nil, 1)[0]
-
-	// IntelliMouse Explorer detection: the 200/200/80 knock (a further
-	// protocol probe the real driver always attempts).
-	for _, rate := range []byte{200, 200, 80} {
-		r := rate
-		d.command(uctx, "psmouse_setrate", ps2hw.CmdSetRate, &r, 0)
-	}
-	exID := d.command(uctx, "psmouse_getid", ps2hw.CmdGetID, nil, 1)[0]
-	if exID > id {
-		id = exID
-	}
-	switch id {
-	case ps2hw.IDIntelliMouse:
-		s.Protocol = "ImPS/2"
-	default:
-		s.Protocol = "PS/2"
-	}
-	s.MouseID = int32(id)
-
-	// Operating parameters: the real driver programs them once during
-	// detection and again in psmouse_initialize.
-	for i := 0; i < 2; i++ {
-		rate := byte(100)
-		d.command(uctx, "psmouse_setrate", ps2hw.CmdSetRate, &rate, 0)
-		s.Rate = int32(rate)
-		res := byte(3) // 8 counts/mm
-		d.command(uctx, "psmouse_setres", ps2hw.CmdSetResolution, &res, 0)
-		s.Resolution = int32(res)
-	}
-
-	// Final identity confirmation after programming.
-	d.command(uctx, "psmouse_getid", ps2hw.CmdGetID, nil, 1)
-
-	// Enable stream mode.
-	d.command(uctx, "psmouse_enable", ps2hw.CmdEnable, nil, 0)
-	s.Name = "psmouse"
 }
 
 // --- module glue ---
@@ -275,11 +230,18 @@ func (m *psmouseModule) ModuleName() string { return "psmouse" }
 func (m *psmouseModule) Init(ctx *kernel.Context) error {
 	d := (*Driver)(m)
 	err := d.rt.Upcall(ctx, "psmouse_probe", func(uctx *kernel.Context) error {
-		return decaf.ToError(decaf.Try(func() { d.probeDecaf(uctx) }))
+		return decaf.ToError(decaf.Try(func() { d.resetDecaf(uctx) }))
 	}, d.State)
 	if err != nil {
 		return fmt.Errorf("psmouse: probe: %w", err)
 	}
+	// Detection runs through the handler table — in the worker's address
+	// space under a process-separated transport — and reports through the
+	// shared state cells, adopted into the kernel state here.
+	if err := d.rt.UpcallHandler(ctx, "psmouse_detect"); err != nil {
+		return fmt.Errorf("psmouse: detect: %w", err)
+	}
+	d.adoptDetection()
 	dev, err := d.in.Register(d.State.Name)
 	if err != nil {
 		return err

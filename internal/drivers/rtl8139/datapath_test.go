@@ -54,7 +54,7 @@ func TestRxCoalescingFillsBatch(t *testing.T) {
 	if c.BatchedCalls != batchN {
 		t.Fatalf("BatchedCalls = %d, want %d", c.BatchedCalls, batchN)
 	}
-	if got := r.drv.DecafAdapter.DecafRxFrames; got != batchN {
+	if got := r.drv.DecafRxFrames(); got != batchN {
 		t.Fatalf("decaf driver saw %d frames, want %d", got, batchN)
 	}
 }
@@ -146,7 +146,7 @@ func TestRxDecafPathAsyncTransport(t *testing.T) {
 	if received != 2*batchN {
 		t.Fatalf("received %d frames, want %d", received, 2*batchN)
 	}
-	if got := r.drv.DecafAdapter.DecafRxFrames; got != 2*batchN {
+	if got := r.drv.DecafRxFrames(); got != 2*batchN {
 		t.Fatalf("decaf driver saw %d frames, want %d", got, 2*batchN)
 	}
 	c := r.drv.Runtime().Counters()

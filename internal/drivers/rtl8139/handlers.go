@@ -1,0 +1,38 @@
+package rtl8139
+
+import (
+	"time"
+
+	"decafdrivers/internal/decaf/registry"
+)
+
+// cellRxFrames is the decaf data path's frame count, kept in a shared state
+// cell (registered at package init so parent and re-exec'd worker agree on
+// the index) rather than an adapter field: under a process-separated
+// transport the RX body increments it from the worker's address space and
+// the harness reads it through the same mapping.
+var cellRxFrames = registry.RegisterCell("rtl8139.decaf_rx_frames")
+
+// decafRxFrameCost is the user-level per-frame inspection cost in the decaf
+// data path.
+const decafRxFrameCost = 900 * time.Nanosecond
+
+// rtl8139_rx_frame is the decaf-driver RX body in the decaf data path:
+// user-level inspection and accounting of one drained frame. Registered in
+// the handler table so a process-separated transport executes it in the
+// worker process.
+//
+//decaf:boundary
+func init() {
+	registry.Register("rtl8139_rx_frame", registry.Handler{
+		Cost: decafRxFrameCost,
+		Fn: func(c *registry.Ctx) error {
+			c.State.Add(cellRxFrames, 1)
+			return nil
+		},
+	})
+}
+
+// DecafRxFrames reads the decaf data path's frame count from the shared
+// state cells.
+func (d *Driver) DecafRxFrames() uint64 { return d.rt.SharedState().Load(cellRxFrames) }

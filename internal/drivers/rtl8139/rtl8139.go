@@ -45,10 +45,6 @@ type Adapter struct {
 	TxCurrent uint32
 	TxDirty   uint32
 	IntrCount uint64
-
-	// DecafRxFrames is the decaf-local frame count for the decaf data path
-	// (not marshaled: it lives on the decaf copy only).
-	DecafRxFrames uint64
 }
 
 // FieldMask is DriverSlicer's marshaling specification for the adapter.
@@ -405,12 +401,8 @@ func (d *Driver) flushRx(wctx *kernel.Context) {
 	if len(frames) > 0 {
 		fl := xpc.StageFlight(d.rt, frames, func(p *knet.Packet) []byte { return p.Data })
 		b := d.rt.Batch(wctx)
-		for i, f := range frames {
-			p := f
-			b.UpcallPayload("rtl8139_rx_frame", fl.Payloads[i], func(uctx *kernel.Context) error {
-				d.rxFrameDecaf(uctx, p)
-				return nil
-			})
+		for i := range frames {
+			b.UpcallHandlerPayload("rtl8139_rx_frame", fl.Payloads[i])
 		}
 		d.rxInFlight.Push(b.FlushAsync(), fl)
 	}
@@ -473,19 +465,8 @@ func (d *Driver) xmit(ctx *kernel.Context, pkt *knet.Packet) error {
 
 // --- decaf driver (user-level) ---
 
-// decafRxFrameCost is the user-level per-frame inspection cost in the decaf
-// data path.
-const decafRxFrameCost = 900 * time.Nanosecond
-
-// rxFrameDecaf is the decaf-driver RX body in the decaf data path:
-// user-level inspection and accounting of one drained frame.
-//
-//decaf:boundary
-func (d *Driver) rxFrameDecaf(uctx *kernel.Context, pkt *knet.Packet) {
-	d.DecafAdapter.DecafRxFrames++
-	uctx.Charge(decafRxFrameCost)
-	_ = pkt
-}
+// The decaf data path's per-frame RX body lives in the handler table
+// (handlers.go) so a process-separated transport executes it in the worker.
 
 // probeDecaf identifies the chip and reads the MAC: the decaf-driver body
 // of rtl8139_init_board + read_eeprom.

@@ -1,0 +1,53 @@
+package uhcihcd
+
+import (
+	"time"
+
+	"decafdrivers/internal/decaf/registry"
+	"decafdrivers/internal/hw/uhcihw"
+	"decafdrivers/internal/kernel"
+)
+
+// cellRunning mirrors the controller's run state into the shared state
+// cells, readable from whichever process the suspend body executes in.
+var cellRunning = registry.RegisterCell("uhci.running")
+
+// suspendBodyCost is the user-level work of one suspend pass, excluding the
+// controller-stop downcall.
+const suspendBodyCost = 200 * time.Nanosecond
+
+// uhci_suspend is the third converted function: stop the controller. The
+// body is a registered handler so a process-separated transport executes it
+// in the worker; the register write crosses back as a downcall.
+//
+//decaf:boundary
+func init() {
+	registry.Register("uhci_suspend", registry.Handler{
+		Cost: suspendBodyCost,
+		Down: true,
+		Fn: func(c *registry.Ctx) error {
+			if _, err := c.Downcall("uhci_stop", 0); err != nil {
+				return err
+			}
+			c.State.Store(cellRunning, 0)
+			return nil
+		},
+	})
+}
+
+// registerDowncalls installs the kernel-side targets the handler bodies
+// name; per-Runtime, so each driver instance's handlers reach its device.
+func (d *Driver) registerDowncalls() {
+	d.rt.RegisterDowncall("uhci_stop", func(kctx *kernel.Context, _ uint64) (uint64, error) {
+		d.ioWrite16(kctx, uhcihw.RegUSBCMD, 0)
+		d.dev.Stop()
+		// Mirror into both state copies: the kernel side reads
+		// State.Running; the decaf copy must match the cell.
+		d.State.Running = false
+		d.DecafState.Running = false
+		return 0, nil
+	})
+}
+
+// ControllerRunning reads the run state from the shared state cells.
+func (d *Driver) ControllerRunning() bool { return d.rt.SharedState().Load(cellRunning) != 0 }

@@ -100,6 +100,7 @@ func New(k *kernel.Kernel, usb *kusb.Core, dev *uhcihw.Device, ioBase uint16, cf
 			panic(fmt.Sprintf("uhci-hcd: share state: %v", err))
 		}
 	}
+	d.registerDowncalls()
 	return d
 }
 
@@ -405,17 +406,8 @@ func (d *Driver) configureHCDecaf(uctx *kernel.Context) {
 	d.helpers.Msleep(uctx, 1000) // device enumeration settle, per Table 3's 1.3s native init
 }
 
-// suspendDecaf is the third converted function: stop the controller.
-//
-//decaf:boundary
-func (d *Driver) suspendDecaf(uctx *kernel.Context) {
-	_ = d.rt.Downcall(uctx, "uhci_stop", func(kctx *kernel.Context) error {
-		d.ioWrite16(kctx, uhcihw.RegUSBCMD, 0)
-		d.dev.Stop()
-		return nil
-	})
-	d.DecafState.Running = false
-}
+// The suspend body lives in the handler table (handlers.go) so a
+// process-separated transport executes it in the worker process.
 
 // --- module glue ---
 
@@ -440,6 +432,9 @@ func (m *uhciModule) Init(ctx *kernel.Context) error {
 	if err != nil {
 		return fmt.Errorf("uhci-hcd: start: %w", err)
 	}
+	// Mirror the started controller into the shared cell the suspend
+	// handler clears.
+	d.rt.SharedState().Store(cellRunning, 1)
 	if err := d.kern.RequestIRQ(d.irq, "uhci-hcd", d.intr, d.State); err != nil {
 		return err
 	}
@@ -449,9 +444,7 @@ func (m *uhciModule) Init(ctx *kernel.Context) error {
 // Exit suspends the controller and unregisters.
 func (m *uhciModule) Exit(ctx *kernel.Context) {
 	d := (*Driver)(m)
-	_ = d.rt.Upcall(ctx, "uhci_suspend", func(uctx *kernel.Context) error {
-		return decaf.ToError(decaf.Try(func() { d.suspendDecaf(uctx) }))
-	}, d.State)
+	_ = d.rt.UpcallHandler(ctx, "uhci_suspend")
 	_ = d.kern.FreeIRQ(d.irq, "uhci-hcd")
 	_ = d.usb.UnregisterHCD("uhci-hcd")
 	d.freeSchedule(ctx)

@@ -49,9 +49,34 @@ const (
 	// when tracing is enabled; a worker that never receives it traces
 	// nothing.
 	FrameTraceRing
+	// FrameCall dispatches one decaf call body to the worker's handler
+	// table: Name is the registered handler name, the payload travels like
+	// FrameSubmit (slot descriptor or copy bytes), and Aux counts the
+	// FrameCall frames remaining after this one in the same chunk (so the
+	// worker can skip the rest of an aborting chunk with kernel-side
+	// parity). The Inject flag asks the worker to report an injected fault
+	// without executing the body. The completion's Status distinguishes
+	// executed / failed / faulted / injected / skipped outcomes.
+	FrameCall
+	// FrameDown is a worker→kernel nested downcall made by an executing
+	// handler: Name is the registered downcall name, Aux the scalar
+	// argument, and ID echoes the FrameCall that is mid-execution. The
+	// kernel side serves it inline and answers with FrameDownResult before
+	// the handler's own completion is written.
+	FrameDown
+	// FrameDownResult answers a FrameDown: Aux is the downcall's scalar
+	// result; a non-zero Status carries the error text in Name.
+	FrameDownResult
+	// FrameStateMap publishes the shm-backed shared-state area to the
+	// worker: Aux packs offset<<32 | length, the offset 64-byte aligned
+	// within the shared mapping. Sent before FrameDescRing; the worker
+	// binds its handler-visible state cells over that window, so a
+	// worker-side Store is immediately visible through the kernel side's
+	// own mapping.
+	FrameStateMap
 )
 
-func (k FrameKind) valid() bool { return k >= FrameSubmit && k <= FrameTraceRing }
+func (k FrameKind) valid() bool { return k >= FrameSubmit && k <= FrameStateMap }
 
 func (k FrameKind) String() string {
 	switch k {
@@ -73,6 +98,14 @@ func (k FrameKind) String() string {
 		return "desc-ring"
 	case FrameTraceRing:
 		return "trace-ring"
+	case FrameCall:
+		return "call"
+	case FrameDown:
+		return "down"
+	case FrameDownResult:
+		return "down-result"
+	case FrameStateMap:
+		return "state-map"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -85,6 +118,10 @@ type Frame struct {
 	ID uint64
 	// Up is the crossing direction for submit frames (true = upcall).
 	Up bool
+	// Inject marks a FrameCall whose body must not execute: the kernel
+	// side's fault injector elected this call, and the worker acknowledges
+	// it as an injected fault instead of dispatching the handler.
+	Inject bool
 	// Name is the entry-point name for submit frames, or an error message
 	// on a non-zero-Status completion.
 	Name string
@@ -134,7 +171,10 @@ var (
 	ErrFrameCorrupt = errors.New("xdr: corrupt frame")
 )
 
-const frameFlagUp = 0x01
+const (
+	frameFlagUp     = 0x01
+	frameFlagInject = 0x02
+)
 
 // FrameWireSize reports the exact bytes AppendFrame would emit for f,
 // including the 4-byte length prefix. Callers encoding into fixed-size
@@ -158,6 +198,9 @@ func AppendFrame(dst []byte, f Frame) ([]byte, error) {
 	var flags byte
 	if f.Up {
 		flags |= frameFlagUp
+	}
+	if f.Inject {
+		flags |= frameFlagInject
 	}
 	body := frameFixedSize + len(f.Name) + pad(len(f.Name)) + len(f.Data) + pad(len(f.Data))
 	e := Encoder{buf: dst}
@@ -201,10 +244,11 @@ func DecodeFrame(data []byte) (Frame, int, error) {
 		return Frame{}, 0, fmt.Errorf("%w: kind %d", ErrFrameCorrupt, hdr[0])
 	}
 	flags := hdr[1]
-	if flags&^byte(frameFlagUp) != 0 {
+	if flags&^byte(frameFlagUp|frameFlagInject) != 0 {
 		return Frame{}, 0, fmt.Errorf("%w: reserved flag bits %#x", ErrFrameCorrupt, flags)
 	}
 	f.Up = flags&frameFlagUp != 0
+	f.Inject = flags&frameFlagInject != 0
 	nameLen := int(hdr[2])<<8 | int(hdr[3])
 	if nameLen > MaxFrameName {
 		return Frame{}, 0, fmt.Errorf("%w: name length %d", ErrFrameCorrupt, nameLen)

@@ -45,8 +45,9 @@ func FuzzDecodeFrame(f *testing.F) {
 			t.Fatalf("re-encoded frame fails to decode: %v", err)
 		}
 		if m != len(wire) || back.Kind != fr.Kind || back.ID != fr.ID || back.Up != fr.Up ||
-			back.Name != fr.Name || back.Slot != fr.Slot || back.Status != fr.Status ||
-			back.Aux != fr.Aux || back.Lane != fr.Lane || !bytes.Equal(back.Data, fr.Data) {
+			back.Inject != fr.Inject || back.Name != fr.Name || back.Slot != fr.Slot ||
+			back.Status != fr.Status || back.Aux != fr.Aux || back.Lane != fr.Lane ||
+			!bytes.Equal(back.Data, fr.Data) {
 			t.Fatalf("codec not self-inverse:\n first %+v\nsecond %+v", fr, back)
 		}
 	})

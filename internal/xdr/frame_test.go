@@ -25,6 +25,14 @@ func everyFrameKind() []Frame {
 		{Kind: FrameShutdown, ID: 7},
 		{Kind: FrameDescRing, ID: 8, Aux: 1024<<32 | 2048, Lane: 4},
 		{Kind: FrameTraceRing, ID: 10, Aux: 4096<<32 | 9},
+		{Kind: FrameCall, ID: 11, Up: true, Name: "e1000_xmit_frame", Aux: 3,
+			Slot: SlotDescriptor{Index: 2, Length: 640, Generation: 1}, Lane: 2},
+		{Kind: FrameCall, ID: 12, Up: true, Inject: true, Name: "ens1371_trigger",
+			Data: []byte{0x01}},
+		{Kind: FrameDown, ID: 11, Name: "e1000_read_status", Aux: 0x83},
+		{Kind: FrameDownResult, ID: 11, Aux: 0x80080783},
+		{Kind: FrameDownResult, ID: 12, Status: 1, Name: "unknown downcall"},
+		{Kind: FrameStateMap, ID: 13, Aux: 1 << 20 << 32 | 512},
 	}
 }
 
@@ -60,7 +68,7 @@ func TestFrameRoundTripEveryKind(t *testing.T) {
 			t.Errorf("%v: consumed %d of %d bytes", want.Kind, n, len(wire))
 		}
 		if got.Kind != want.Kind || got.ID != want.ID || got.Up != want.Up ||
-			got.Name != want.Name || got.Slot != want.Slot ||
+			got.Inject != want.Inject || got.Name != want.Name || got.Slot != want.Slot ||
 			got.Status != want.Status || got.Aux != want.Aux ||
 			got.Lane != want.Lane || !bytes.Equal(got.Data, want.Data) {
 			t.Errorf("%v: round trip\n got %+v\nwant %+v", want.Kind, got, want)

@@ -1,6 +1,9 @@
 package xpc
 
 import (
+	"fmt"
+
+	"decafdrivers/internal/decaf/registry"
 	"decafdrivers/internal/kernel"
 	"decafdrivers/internal/xdr"
 )
@@ -71,7 +74,11 @@ func (b *Batch) add(c *Call) *Batch {
 		return b
 	}
 	if b.r.Mode == ModeNative {
-		b.err = c.Fn(b.ctx)
+		if c.h != nil {
+			b.err = b.r.runHandlerNative(b.ctx, c)
+		} else {
+			b.err = c.Fn(b.ctx)
+		}
 		b.recycle(c)
 		return b
 	}
@@ -121,6 +128,43 @@ func (b *Batch) UpcallData(name string, data []byte, fn func(uctx *kernel.Contex
 // release it with Runtime.ReleasePayload when they reap the flush.
 func (b *Batch) UpcallPayload(name string, p Payload, fn func(uctx *kernel.Context) error, objs ...any) *Batch {
 	return b.add(b.newCall(name, true, fn, objs, p.Data, p.Slot))
+}
+
+// UpcallHandler queues a kernel→user call dispatched through the handler
+// table (registry.Register) instead of a closure: under a
+// process-separated transport the registered body executes in the worker
+// process; under the in-process transports it dispatches inline. The
+// handler is resolved now, so a missing registration is a sticky batch
+// error.
+func (b *Batch) UpcallHandler(name string, objs ...any) *Batch {
+	return b.addHandler(name, objs, nil, xdr.SlotDescriptor{})
+}
+
+// UpcallHandlerData is UpcallHandler with an opaque payload, delivered to
+// the handler as its Ctx.Data. The slice is aliased under the same
+// ownership rule as UpcallData.
+func (b *Batch) UpcallHandlerData(name string, data []byte, objs ...any) *Batch {
+	return b.addHandler(name, objs, data, xdr.SlotDescriptor{})
+}
+
+// UpcallHandlerPayload is UpcallHandler with a staged payload: on the
+// zero-copy fast path the handler reads the ring slot's bytes — under the
+// proc transport, through the worker's own shm mapping.
+func (b *Batch) UpcallHandlerPayload(name string, p Payload, objs ...any) *Batch {
+	return b.addHandler(name, objs, p.Data, p.Slot)
+}
+
+func (b *Batch) addHandler(name string, objs []any, data []byte, slot xdr.SlotDescriptor) *Batch {
+	h := registry.Lookup(name)
+	if h == nil {
+		if b.err == nil {
+			b.err = fmt.Errorf("xpc: no handler registered for %q", name)
+		}
+		return b
+	}
+	c := b.newCall(name, true, nil, objs, data, slot)
+	c.h = h
+	return b.add(c)
 }
 
 // Downcall queues a user→kernel call.

@@ -90,6 +90,17 @@ type Counters struct {
 	// the frames.
 	WireBytesOut uint64
 	WireBytesIn  uint64
+	// WorkerServedCalls counts call bodies that executed to completion (or
+	// failed, or faulted) in the worker process — dispatched through the
+	// handler table rather than run as kernel-resident closures. Injected
+	// faults do not count: the worker skips the body. Zero under every
+	// in-process transport; under ProcTransport this is the proof that
+	// worker-side execution is live.
+	WorkerServedCalls uint64
+	// WorkerDowncalls counts nested downcalls served on behalf of
+	// worker-resident handler bodies: each is a FrameDown round trip from
+	// the worker mid-call back into the kernel.
+	WorkerDowncalls uint64
 
 	// InFlight is a gauge: submissions admitted but not yet completed.
 	InFlight int64
@@ -235,6 +246,8 @@ type counterCell struct {
 	doorbells       atomic.Uint64
 	wireBytesOut    atomic.Uint64
 	wireBytesIn     atomic.Uint64
+	workerServed    atomic.Uint64
+	workerDown      atomic.Uint64
 	_               [16]byte
 }
 
@@ -436,6 +449,22 @@ func (r *Runtime) noteWire(name string, out, in int) {
 	}
 }
 
+// noteWorkerServed ticks the worker-served counter: one handler body
+// executed (to completion, failure, or fault) in the worker process.
+//
+//decaf:hotpath
+func (r *Runtime) noteWorkerServed(name string) {
+	r.state().cell(name).workerServed.Add(1)
+}
+
+// noteWorkerDowncall ticks the nested-downcall counter: one FrameDown from
+// an executing worker-side handler served by the kernel.
+//
+//decaf:hotpath
+func (r *Runtime) noteWorkerDowncall(name string) {
+	r.state().cell(name).workerDown.Add(1)
+}
+
 // addBytes accumulates marshaled byte counts on the shard keyed by name
 // (an entry-point or shared-object type name).
 func (r *Runtime) addBytes(name string, ku, cj int) {
@@ -476,6 +505,8 @@ func (r *Runtime) Counters() Counters {
 		snap.DoorbellWakeups += c.doorbells.Load()
 		snap.WireBytesOut += c.wireBytesOut.Load()
 		snap.WireBytesIn += c.wireBytesIn.Load()
+		snap.WorkerServedCalls += c.workerServed.Load()
+		snap.WorkerDowncalls += c.workerDown.Load()
 	}
 	snap.InFlight = r.inFlight.Load()
 	snap.QueueLen = r.queueLen.Load()

@@ -1,0 +1,295 @@
+package xpc
+
+import (
+	"fmt"
+
+	"decafdrivers/internal/decaf/registry"
+	"decafdrivers/internal/kernel"
+)
+
+// Remote call-body outcomes (Frame.Status on a FrameCall completion). The
+// low statuses (0-3) are the wire-level protocol statuses shared with
+// FrameSubmit acks; these extend them with the dispatch outcomes a handler
+// body can produce in the worker process. Defined here — not in the
+// unix-only worker file — because the portable completion path maps them
+// back onto call results.
+const (
+	// remoteCallOK: the handler executed in the worker and returned nil.
+	remoteCallOK uint32 = 0
+	// remoteCallFault: the handler panicked in the worker; the completion's
+	// Name carries the panic text. The parent converts it to a *UserFault
+	// and makes the containment physical by killing the worker.
+	remoteCallFault uint32 = 4
+	// remoteCallInjected: the frame carried the Inject flag, so the worker
+	// reported an injected fault without executing the body.
+	remoteCallInjected uint32 = 5
+	// remoteCallFailed: the handler executed and returned a non-nil error;
+	// Name carries its text (error identity does not cross the boundary).
+	remoteCallFailed uint32 = 6
+	// remoteCallSkipped: an earlier handler in the same chunk failed or
+	// faulted, so the worker skipped this body — mirroring the kernel
+	// side's chunk-abort semantics.
+	remoteCallSkipped uint32 = 7
+)
+
+// remoteStatusValid reports whether a FrameCall completion status is a
+// legitimate dispatch outcome (anything else is a protocol violation).
+func remoteStatusValid(s uint32) bool {
+	switch s {
+	case remoteCallOK, remoteCallFault, remoteCallInjected, remoteCallFailed, remoteCallSkipped:
+		return true
+	}
+	return false
+}
+
+// WorkerHandlerFault is the *UserFault cause recorded when a registered
+// handler panicked inside the worker process: the worker contained the
+// panic, reported it on the wire, and only the panic text crossed back.
+type WorkerHandlerFault struct {
+	// Call is the handler name that faulted.
+	Call string
+	// Panic is the worker-side panic value's text.
+	Panic string
+}
+
+func (f *WorkerHandlerFault) String() string {
+	return fmt.Sprintf("worker-side fault in %s: %s", f.Call, f.Panic)
+}
+
+// DowncallHandler is a kernel-side function a worker-resident handler may
+// invoke through registry.Ctx.Downcall: it runs in the kernel with a scalar
+// argument and returns a scalar result — the serialized downcall surface
+// process separation forces on nested crossings.
+type DowncallHandler func(kctx *kernel.Context, arg uint64) (uint64, error)
+
+// RegisterDowncall installs the kernel-side target for a named downcall.
+// Drivers register their downcalls at construction, before any handler that
+// names them can cross. Registration is per-Runtime (two driver instances
+// never share downcall tables) and last-registration-wins.
+func (r *Runtime) RegisterDowncall(name string, fn DowncallHandler) {
+	if name == "" || fn == nil {
+		panic("xpc: RegisterDowncall needs a name and a function")
+	}
+	r.downMu.Lock()
+	defer r.downMu.Unlock()
+	old := r.downcalls.Load()
+	next := make(map[string]DowncallHandler, 1)
+	if old != nil {
+		for k, v := range *old {
+			next[k] = v
+		}
+	}
+	next[name] = fn
+	r.downcalls.Store(&next)
+}
+
+// downcallFn resolves a registered downcall target (nil when absent).
+//
+//decaf:hotpath
+func (r *Runtime) downcallFn(name string) DowncallHandler {
+	m := r.downcalls.Load()
+	if m == nil {
+		return nil
+	}
+	return (*m)[name]
+}
+
+// SharedState returns this runtime's shared state area — the cells
+// registered through registry.RegisterCell, instantiated per runtime.
+// Heap-backed until a process-separated transport installs an shm backing
+// (InstallSharedState); either way, drivers and handlers read and write
+// driver state through it with atomic cell operations.
+func (r *Runtime) SharedState() *registry.State {
+	if st := r.userState.Load(); st != nil {
+		return st
+	}
+	st := registry.NewState()
+	if r.userState.CompareAndSwap(nil, st) {
+		return st
+	}
+	return r.userState.Load()
+}
+
+// InstallSharedState rebinds the runtime's shared state area onto mem — the
+// window of the shm mapping a process-separated transport carved for state
+// cells — copying the current cells in so writes made before the transport
+// bound are preserved. Idempotent across worker respawns: rebinding the
+// same backing is a no-op (the live shm cells must not be clobbered by a
+// stale heap copy).
+func (r *Runtime) InstallSharedState(mem []byte) error {
+	st, err := registry.BindState(mem)
+	if err != nil {
+		return err
+	}
+	cur := r.userState.Load()
+	if registry.SameBacking(cur, st) {
+		return nil
+	}
+	if cur != nil {
+		cur.CopyTo(st)
+	}
+	r.userState.Store(st)
+	return nil
+}
+
+// UpcallHandler performs one blocking upcall dispatched through the handler
+// table: sugar for a single-call Batch flush of UpcallHandler.
+func (r *Runtime) UpcallHandler(ctx *kernel.Context, name string, objs ...any) error {
+	c, err := r.handlerCall(name, nil, objs)
+	if err != nil {
+		return err
+	}
+	return r.submitAndWait(ctx, c)
+}
+
+// UpcallHandlerData is UpcallHandler with an opaque payload, delivered to
+// the handler as its Ctx.Data.
+func (r *Runtime) UpcallHandlerData(ctx *kernel.Context, name string, data []byte, objs ...any) error {
+	c, err := r.handlerCall(name, data, objs)
+	if err != nil {
+		return err
+	}
+	return r.submitAndWait(ctx, c)
+}
+
+// handlerCall builds a Call dispatched through the registry, resolving the
+// handler at call-creation time so a missing registration fails loudly on
+// the submitting side instead of in the worker.
+func (r *Runtime) handlerCall(name string, data []byte, objs []any) (*Call, error) {
+	h := registry.Lookup(name)
+	if h == nil {
+		return nil, fmt.Errorf("xpc: no handler registered for %q", name)
+	}
+	return &Call{Name: name, Up: true, h: h, Objs: objs, Data: data}, nil
+}
+
+// handlerData resolves the payload bytes a handler body sees: the staged
+// ring slot's bytes when the call carries a valid descriptor (the same
+// bytes the worker would read through its own mapping), the copy-path Data
+// otherwise.
+func (r *Runtime) handlerData(c *Call) []byte {
+	if c.Slot.Valid() {
+		if ring := r.payloadRing.Load(); ring != nil {
+			if buf, err := ring.Buffer(c.Slot); err == nil {
+				return buf
+			}
+		}
+	}
+	return c.Data
+}
+
+// executeHandler runs a handler-table call body. Under a process-separated
+// transport the body already executed in the worker (the wire trip precedes
+// execution) and remoteStatus carries its outcome: the modeled cost is
+// charged to the decaf timeline so the virtual cost model stays identical
+// to inline dispatch, and fault outcomes convert to contained *UserFaults.
+// Under the in-process transports the same registered Fn dispatches inline
+// through the standard containment region.
+func (r *Runtime) executeHandler(ctx *kernel.Context, c *Call) error {
+	if c.remoteServed {
+		return r.applyRemote(ctx, c)
+	}
+	return r.runUser(ctx, c.Name, func(uctx *kernel.Context) error {
+		uctx.Charge(c.h.Cost)
+		rctx := registry.NewCtx(c.Name, r.handlerData(c), r.SharedState(), func(name string, arg uint64) (uint64, error) {
+			return r.dispatchDowncall(uctx, name, arg)
+		})
+		return c.h.Fn(rctx)
+	})
+}
+
+// applyRemote maps a worker-served dispatch outcome onto the call's result.
+// For executed bodies (ok or failed) the handler's modeled cost is charged
+// to the decaf timeline and the caller sleeps the delta — the same
+// accounting inline execution produces — and the worker-served counter
+// ticks. Faults charge nothing: the body is presumed not to have completed.
+func (r *Runtime) applyRemote(ctx *kernel.Context, c *Call) error {
+	switch c.remoteStatus {
+	case remoteCallOK, remoteCallFailed:
+		userStart := r.decafCtx.Elapsed()
+		r.decafCtx.Charge(c.h.Cost)
+		if d := r.decafCtx.Elapsed() - userStart; d > 0 {
+			ctx.Sleep(d)
+		}
+		r.noteWorkerServed(c.Name)
+		if c.remoteStatus == remoteCallFailed {
+			return fmt.Errorf("xpc: handler %s failed in worker: %s", c.Name, c.remoteErr)
+		}
+		return nil
+	case remoteCallFault:
+		r.noteWorkerServed(c.Name)
+		return &UserFault{Call: c.Name, Cause: &WorkerHandlerFault{Call: c.Name, Panic: c.remoteErr}}
+	case remoteCallInjected:
+		return &UserFault{Call: c.Name, Cause: &InjectedFault{Call: c.Name}}
+	case remoteCallSkipped:
+		// The worker skipped the body because an earlier call in the chunk
+		// failed; the kernel-side abort resolves this submission before
+		// execute normally runs, so reaching here is defensive.
+		return ErrCrossingAborted
+	default:
+		return fmt.Errorf("xpc: handler %s: worker returned unknown status %d", c.Name, c.remoteStatus)
+	}
+}
+
+// dispatchDowncall crosses a handler's nested downcall for inline dispatch:
+// the registered kernel-side target runs under a real Downcall crossing on
+// the decaf timeline, exactly the accounting the worker path produces with
+// its FrameDown round trip.
+func (r *Runtime) dispatchDowncall(uctx *kernel.Context, name string, arg uint64) (uint64, error) {
+	fn := r.downcallFn(name)
+	if fn == nil {
+		return 0, fmt.Errorf("xpc: no downcall registered for %q", name)
+	}
+	var res uint64
+	err := r.Downcall(uctx, name, func(kctx *kernel.Context) error {
+		var derr error
+		res, derr = fn(kctx, arg)
+		return derr
+	})
+	return res, err
+}
+
+// serveWorkerDowncall serves one FrameDown from an executing worker-side
+// handler: resolve the registered target, cross it on the decaf timeline
+// (it IS the decaf driver calling down), and charge the submitting caller
+// the crossing's elapsed time — keeping the virtual cost identical to an
+// inline handler making the same downcall. Called from the transport's
+// control path while a chunk is mid-flight, so it must not re-enter
+// Transport.Submit; it crosses through the crossing engine directly.
+func (r *Runtime) serveWorkerDowncall(ctx *kernel.Context, name string, arg uint64) (uint64, error) {
+	fn := r.downcallFn(name)
+	if fn == nil {
+		return 0, fmt.Errorf("xpc: no downcall registered for %q", name)
+	}
+	var res uint64
+	call := &Call{Name: name, Up: false, Fn: func(kctx *kernel.Context) error {
+		var derr error
+		res, derr = fn(kctx, arg)
+		return derr
+	}}
+	sub := r.NewSubmission(call)
+	r.Admit([]*Submission{sub})
+	userStart := r.decafCtx.Elapsed()
+	err := r.crossSubmissions(r.decafCtx, []*Submission{sub}, decafSideCrossOptions)
+	if d := r.decafCtx.Elapsed() - userStart; d > 0 && ctx != nil {
+		ctx.Sleep(d)
+	}
+	r.noteWorkerDowncall(name)
+	return res, err
+}
+
+// runHandlerNative executes a handler-table call in ModeNative: no
+// crossing, no containment, no state relocation — the body runs in the
+// caller's kernel context with its cost charged directly, and downcalls
+// invoke their registered targets as plain function calls.
+func (r *Runtime) runHandlerNative(ctx *kernel.Context, c *Call) error {
+	ctx.Charge(c.h.Cost)
+	rctx := registry.NewCtx(c.Name, c.Data, r.SharedState(), func(name string, arg uint64) (uint64, error) {
+		fn := r.downcallFn(name)
+		if fn == nil {
+			return 0, fmt.Errorf("xpc: no downcall registered for %q", name)
+		}
+		return fn(ctx, arg)
+	})
+	return c.h.Fn(rctx)
+}

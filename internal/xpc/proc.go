@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"decafdrivers/internal/decaf/registry"
 	"decafdrivers/internal/kernel"
 	"decafdrivers/internal/trace"
 	"decafdrivers/internal/xdr"
@@ -127,12 +128,21 @@ type ProcConfig struct {
 // fallback, worker lifecycle and teardown; tests assert the steady state
 // acquires it zero times (see ControlAcquires).
 //
-// Call bodies (Go closures) still execute in the parent — they cannot
-// cross a process boundary — so the virtual cost model matches
-// BatchTransport exactly: crossings per packet, stall and marshaling
-// charges are identical, and the wire adds real-world counters on top
-// rather than perturbing the modeled timeline. The worker's job is the
-// boundary itself: framing, payload residency, liveness.
+// Call bodies dispatch two ways. Handler-table calls (Batch.UpcallHandler;
+// see internal/decaf/registry) execute in the worker process for real: the
+// worker is a re-exec of the same binary, so it holds the same registered
+// handler table, and each FrameCall names the handler to run against the
+// payload bytes the worker reads through its own shm mapping. Results,
+// contained panics and injected-fault outcomes travel back as completion
+// statuses; nested downcalls from an executing handler cross back as
+// FrameDown round trips on the socketpair. Shared driver state lives in a
+// state window of the same mapping (FrameStateMap), so both processes read
+// and write it through registry.State. Legacy closure calls (Batch.Upcall)
+// still execute in the parent — a Go closure cannot cross a process
+// boundary — with the wire carrying their frames for real. Either way the
+// virtual cost model matches BatchTransport exactly: crossings per packet,
+// stall and marshaling charges are identical, and the wire adds real-world
+// counters on top rather than perturbing the modeled timeline.
 //
 // A ProcTransport binds to the first Runtime that submits through it and
 // must be Closed (directly, or by SetTransport replacing it) to stop the
@@ -161,6 +171,7 @@ type ProcTransport struct {
 
 	shm        *shmRegion // mu
 	payloadLen int        // mu (set once with shm)
+	stateLen   int        // mu (set once with shm): shared state cell area
 
 	// Flight-recorder rings carved from the shared-region tail (mu; set
 	// once with shm when TraceEntries > 0). traceKern[i] is lane i's
@@ -444,7 +455,7 @@ func (t *ProcTransport) wireCross(r *Runtime, ctx *kernel.Context, chunk []*Subm
 	if ringFits(chunk) {
 		return t.laneCross(r, ctx, chunk)
 	}
-	return t.sockCross(r, chunk)
+	return t.sockCross(r, ctx, chunk)
 }
 
 // CrossChunk exposes the boundary layer of one crossing — lane claim,
@@ -468,6 +479,13 @@ func ringFits(chunk []*Submission) bool {
 	for _, sub := range chunk {
 		c := sub.Call
 		if len(c.Name) > xdr.MaxFrameName {
+			return false
+		}
+		// Handlers that make nested downcalls cross on the socketpair: a
+		// FrameDown conversation is a framed request/response exchange the
+		// SPSC rings do not model, so the lane path carries only
+		// downcall-free bodies.
+		if c.h != nil && c.h.Down {
 			return false
 		}
 		if xdr.FrameWireSize(xdr.Frame{Name: c.Name, Data: c.Data}) > descSlotBytes {
@@ -607,12 +625,36 @@ func (t *ProcTransport) laneCrossOn(r *Runtime, ep *procEpoch, lane *procLane, c
 		lane.tr.Emit(trace.KindChunkBegin, uint16(lane.idx), trace.SrcKernel, lane.seq+1, uint64(len(chunk)))
 	}
 	ids, sums := lane.ids[:len(chunk)], lane.sums[:len(chunk)]
+	handlersLeft := 0
+	for _, sub := range chunk {
+		if sub.Call.h != nil {
+			handlersLeft++
+		}
+	}
+	injector := r.faultInjector.Load()
 	for i, sub := range chunk {
 		c := sub.Call
 		lane.seq++
 		ids[i] = lane.seq
 		sums[i] = 0
 		f := xdr.Frame{Kind: xdr.FrameSubmit, ID: ids[i], Up: c.Up, Name: c.Name, Lane: lane.idx}
+		if c.h != nil {
+			// Handler-table call: the worker executes the registered body.
+			// Aux carries the count of handler frames after this one in the
+			// chunk, so the worker can mirror the kernel side's chunk-abort
+			// by skipping them when this body fails. Injection is decided
+			// here, at encode time: the worker reports the injected fault
+			// without executing (the inline path decides inside runUser —
+			// never both).
+			handlersLeft--
+			f.Kind = xdr.FrameCall
+			f.Aux = uint64(handlersLeft)
+			c.remoteServed = false
+			if injector != nil && (*injector)(c.Name) {
+				f.Inject = true
+				r.noteInjected(c.Name)
+			}
+		}
 		if c.Slot.Valid() && ring != nil && reg != nil {
 			// Zero-copy: only the descriptor crosses; see sockCross.
 			if payload, berr := ring.Buffer(c.Slot); berr == nil {
@@ -687,19 +729,34 @@ func (t *ProcTransport) laneCrossOn(r *Runtime, ep *procEpoch, lane *procLane, c
 			t.releaseLane(lane)
 			return t.epochProtoFail(ep, fmt.Errorf("xpc: corrupt completion descriptor on lane %d: %v", lane.idx, derr))
 		}
+		c := chunk[i].Call
 		switch {
 		case resp.Kind != xdr.FrameComplete || resp.ID != ids[i] || resp.Lane != lane.idx:
 			t.releaseLane(lane)
 			return t.epochProtoFail(ep, fmt.Errorf("xpc: proc worker protocol: got %v id %d lane %d, want complete id %d lane %d",
 				resp.Kind, resp.ID, resp.Lane, ids[i], lane.idx))
+		case c.h != nil && remoteStatusValid(resp.Status):
+			// A dispatch outcome — including failure, contained fault,
+			// injection and chunk-abort skip — is a successful wire
+			// conversation; execute maps it onto the call's result. The
+			// checksum still proves the worker read the payload the kernel
+			// staged.
+			if resp.Aux != sums[i] {
+				t.releaseLane(lane)
+				return t.epochProtoFail(ep, fmt.Errorf("xpc: payload checksum mismatch on %q: worker saw %#x, kernel staged %#x",
+					c.Name, resp.Aux, sums[i]))
+			}
+			c.remoteServed = true
+			c.remoteStatus = resp.Status
+			c.remoteErr = resp.Name
 		case resp.Status != wireStatusOK:
 			t.releaseLane(lane)
 			return t.epochProtoFail(ep, fmt.Errorf("xpc: proc worker rejected %q: status %d %s",
-				chunk[i].Call.Name, resp.Status, resp.Name))
+				c.Name, resp.Status, resp.Name))
 		case resp.Aux != sums[i]:
 			t.releaseLane(lane)
 			return t.epochProtoFail(ep, fmt.Errorf("xpc: payload checksum mismatch on %q: worker saw %#x, kernel staged %#x",
-				chunk[i].Call.Name, resp.Aux, sums[i]))
+				c.Name, resp.Aux, sums[i]))
 		}
 	}
 	if lane.tr != nil {
@@ -788,11 +845,15 @@ func (t *ProcTransport) teardownEpochLocked(ep *procEpoch, countDeath bool) {
 }
 
 // sockCross frames the chunk over the socketpair — the fallback for frames
-// a descriptor slot cannot hold. One write syscall carries the whole chunk;
-// the worker answers with one completion frame per call. The path holds the
-// control mutex for the round trip: oversized frames are the rare case, and
+// a descriptor slot cannot hold, and the path every downcall-capable
+// handler takes: an executing worker-side body may interleave FrameDown
+// requests with the chunk's completions, and this read loop serves them
+// (serveWireDowncallLocked) before resuming the completion wait. One write
+// syscall carries the whole chunk; the worker answers with one completion
+// frame per call. The path holds the control mutex for the round trip:
+// oversized frames and downcall conversations are the rare case, and
 // serializing them keeps the control stream framing trivially in order.
-func (t *ProcTransport) sockCross(r *Runtime, chunk []*Submission) error {
+func (t *ProcTransport) sockCross(r *Runtime, ctx *kernel.Context, chunk []*Submission) error {
 	t.lockControl()
 	defer t.mu.Unlock()
 	if t.closed.Load() {
@@ -806,12 +867,31 @@ func (t *ProcTransport) sockCross(r *Runtime, chunk []*Submission) error {
 	buf := t.encBuf[:0]
 	defer func() { t.encBuf = buf[:0] }()
 	ids, sums := t.ids[:len(chunk)], t.sums[:len(chunk)]
+	handlersLeft := 0
+	for _, sub := range chunk {
+		if sub.Call.h != nil {
+			handlersLeft++
+		}
+	}
+	injector := r.faultInjector.Load()
 	for i, sub := range chunk {
 		c := sub.Call
 		t.nextID++
 		ids[i] = t.nextID
 		sums[i] = 0
 		f := xdr.Frame{Kind: xdr.FrameSubmit, ID: ids[i], Up: c.Up, Name: c.Name}
+		if c.h != nil {
+			// Handler-table dispatch; see laneCrossOn for the Aux and
+			// injection semantics.
+			handlersLeft--
+			f.Kind = xdr.FrameCall
+			f.Aux = uint64(handlersLeft)
+			c.remoteServed = false
+			if injector != nil && (*injector)(c.Name) {
+				f.Inject = true
+				r.noteInjected(c.Name)
+			}
+		}
 		if c.Slot.Valid() && ring != nil && reg != nil {
 			// Zero-copy: only the descriptor crosses; checksum the bytes
 			// through the kernel side's mapping for comparison against what
@@ -853,28 +933,79 @@ func (t *ProcTransport) sockCross(r *Runtime, chunk []*Submission) error {
 	r.noteSyscallCrossing(name)
 	r.noteWire(name, len(buf), 0)
 	for i := range chunk {
+		c := chunk[i].Call
+	awaitCompletion:
 		resp, n, err := readWireFrame(w.br)
 		if err != nil {
 			t.teardownEpochLocked(ep, true)
 			return &WorkerDeath{PID: ep.pid, Err: err}
 		}
-		r.noteWire(chunk[i].Call.Name, 0, n)
+		r.noteWire(c.Name, 0, n)
+		if resp.Kind == xdr.FrameDown {
+			// A worker-side handler body called down mid-execution: serve the
+			// nested crossing and resume waiting for this completion.
+			if derr := t.serveWireDowncallLocked(r, ctx, ep, resp); derr != nil {
+				return derr
+			}
+			goto awaitCompletion
+		}
 		switch {
 		case resp.Kind != xdr.FrameComplete || resp.ID != ids[i]:
 			t.teardownEpochLocked(ep, true)
 			return fmt.Errorf("xpc: proc worker protocol: got %v id %d, want complete id %d",
 				resp.Kind, resp.ID, ids[i])
+		case c.h != nil && remoteStatusValid(resp.Status):
+			// Dispatch outcome; see laneCrossOn.
+			if resp.Aux != sums[i] {
+				t.teardownEpochLocked(ep, true)
+				return fmt.Errorf("xpc: payload checksum mismatch on %q: worker saw %#x, kernel staged %#x",
+					c.Name, resp.Aux, sums[i])
+			}
+			c.remoteServed = true
+			c.remoteStatus = resp.Status
+			c.remoteErr = resp.Name
 		case resp.Status != wireStatusOK:
 			t.teardownEpochLocked(ep, true)
 			return fmt.Errorf("xpc: proc worker rejected %q: status %d %s",
-				chunk[i].Call.Name, resp.Status, resp.Name)
+				c.Name, resp.Status, resp.Name)
 		case resp.Aux != sums[i]:
 			t.teardownEpochLocked(ep, true)
 			return fmt.Errorf("xpc: payload checksum mismatch on %q: worker saw %#x, kernel staged %#x",
-				chunk[i].Call.Name, resp.Aux, sums[i])
+				c.Name, resp.Aux, sums[i])
 		}
 	}
 	_ = w.sock.SetDeadline(time.Time{})
+	return nil
+}
+
+// serveWireDowncallLocked serves one FrameDown from the worker: the
+// registered kernel-side target runs as a real downcall crossing (the
+// runtime's serveWorkerDowncall carries the cost accounting), and the
+// scalar result — or the error text — returns to the blocked handler as a
+// FrameDownResult. Runs with the control mutex held, inside sockCross's
+// completion wait.
+func (t *ProcTransport) serveWireDowncallLocked(r *Runtime, ctx *kernel.Context, ep *procEpoch, req xdr.Frame) error {
+	res, derr := r.serveWorkerDowncall(ctx, req.Name, req.Aux)
+	ack := xdr.Frame{Kind: xdr.FrameDownResult, ID: req.ID, Aux: res}
+	if derr != nil {
+		ack.Status = 1
+		msg := derr.Error()
+		if len(msg) > xdr.MaxFrameName {
+			msg = msg[:xdr.MaxFrameName]
+		}
+		ack.Name = msg
+	}
+	wire, err := xdr.AppendFrame(t.encBuf[:0], ack)
+	if err != nil {
+		t.teardownEpochLocked(ep, true)
+		return fmt.Errorf("xpc: encode downcall result for %q: %v", req.Name, err)
+	}
+	t.encBuf = wire[:0]
+	if _, err := ep.w.sock.Write(wire); err != nil {
+		t.teardownEpochLocked(ep, true)
+		return &WorkerDeath{PID: ep.pid, Err: err}
+	}
+	r.noteWire(req.Name, len(wire), 0)
 	return nil
 }
 
@@ -1000,33 +1131,37 @@ func (t *ProcTransport) roundTripLocked(w *procWorker, f xdr.Frame) (xdr.Frame, 
 func (t *ProcTransport) laneCount() int { return t.cfg.Lanes + 1 }
 
 // ensureShmLocked creates and maps the shared region on first need:
-// payloadLen bytes for mapped payload rings, then the lane directory and
-// the per-lane descriptor-ring pairs at the tail. The worker derives the
-// identical layout from the region size and the FrameDescRing geometry.
+// payloadLen bytes for mapped payload rings, then the shared state cell
+// area (registry cells, both processes' registry.State backing), then the
+// lane directory and the per-lane descriptor-ring pairs, then the trace
+// rings at the tail. The worker derives the lane and trace layout from the
+// region size and the FrameDescRing geometry; the state window's offset
+// travels explicitly in FrameStateMap.
 func (t *ProcTransport) ensureShmLocked() error {
 	if t.shm != nil {
 		return nil
 	}
 	payload := (t.cfg.ShmBytes + 63) &^ 63
+	stateBytes := (registry.StateBytes() + 63) &^ 63
 	laneBytes := laneRegionBytes(t.laneCount(), t.descEntries, descSlotBytes)
 	traceBytes := 0
 	if t.cfg.TraceEntries > 0 {
 		traceBytes = trace.RegionBytes(t.laneCount()+1, t.cfg.TraceEntries)
 	}
-	shm, err := newShmRegion(payload + laneBytes + traceBytes)
+	shm, err := newShmRegion(payload + stateBytes + laneBytes + traceBytes)
 	if err != nil {
 		return err
 	}
-	t.shm, t.payloadLen = shm, payload
+	t.shm, t.payloadLen, t.stateLen = shm, payload, stateBytes
 	if traceBytes > 0 {
 		// One trace ring per lane for the kernel side plus the worker's own
 		// ring, at the very tail — behind the lane region, so the worker
 		// derives the identical layout from the region size and the
 		// FrameTraceRing geometry. A fresh mapping is zeroed, which is the
 		// rings' initial state; positions then persist across worker epochs.
-		rings, terr := trace.CarveRings(shm.mem[payload+laneBytes:], t.laneCount()+1, t.cfg.TraceEntries)
+		rings, terr := trace.CarveRings(shm.mem[payload+stateBytes+laneBytes:], t.laneCount()+1, t.cfg.TraceEntries)
 		if terr != nil {
-			t.shm, t.payloadLen = nil, 0
+			t.shm, t.payloadLen, t.stateLen = nil, 0, 0
 			_ = shm.Close()
 			return terr
 		}
@@ -1061,9 +1196,20 @@ func (t *ProcTransport) ensureEpochLocked() (*procEpoch, error) {
 		return nil, fmt.Errorf("xpc: locate executable for worker re-exec: %w", err)
 	}
 	lanes := t.laneCount()
-	dir, rings, err := carveLanes(t.shm.mem[t.payloadLen:], lanes, t.descEntries, descSlotBytes)
+	dir, rings, err := carveLanes(t.shm.mem[t.payloadLen+t.stateLen:], lanes, t.descEntries, descSlotBytes)
 	if err != nil {
 		return nil, err
+	}
+	// Bind the kernel side's shared state onto its shm window before the
+	// worker can touch it: cells written before the transport bound are
+	// copied in, and a respawn rebinding the same window is a no-op (the
+	// area — and the driver state in it — survives worker epochs).
+	if t.stateLen > 0 {
+		if r := t.rt.Load(); r != nil {
+			if serr := r.InstallSharedState(t.shm.mem[t.payloadLen : t.payloadLen+t.stateLen]); serr != nil {
+				return nil, serr
+			}
+		}
 	}
 	parent, child, err := socketPair()
 	if err != nil {
@@ -1153,6 +1299,11 @@ func (t *ProcTransport) ensureEpochLocked() (*procEpoch, error) {
 			return nil, err
 		}
 	}
+	if t.stateLen > 0 {
+		if err := t.sendStateMapLocked(ep); err != nil {
+			return nil, err
+		}
+	}
 	if err := t.sendDescRingLocked(ep); err != nil {
 		return nil, err
 	}
@@ -1214,6 +1365,31 @@ func (t *ProcTransport) sendTraceRingLocked(ep *procEpoch) error {
 	if resp.Kind != xdr.FrameComplete || resp.ID != f.ID || resp.Status != wireStatusOK {
 		t.teardownEpochLocked(ep, true)
 		return fmt.Errorf("xpc: worker refused trace rings: %v status %d", resp.Kind, resp.Status)
+	}
+	return nil
+}
+
+// sendStateMapLocked publishes the shared state window to a fresh worker
+// and awaits the ack: Aux packs the window's byte offset into the region
+// and its length. Sent before FrameDescRing so the worker's handler table
+// runs against shm-backed cells before any call can dispatch. The window
+// sits between the payload area and the lane area; its contents persist
+// across worker epochs — driver state survives a respawn.
+func (t *ProcTransport) sendStateMapLocked(ep *procEpoch) error {
+	t.nextID++
+	f := xdr.Frame{
+		Kind: xdr.FrameStateMap,
+		ID:   t.nextID,
+		Aux:  uint64(t.payloadLen)<<32 | uint64(t.stateLen),
+	}
+	resp, err := t.roundTripLocked(ep.w, f)
+	if err != nil {
+		t.teardownEpochLocked(ep, true)
+		return &WorkerDeath{PID: ep.pid, Err: err}
+	}
+	if resp.Kind != xdr.FrameComplete || resp.ID != f.ID || resp.Status != wireStatusOK {
+		t.teardownEpochLocked(ep, true)
+		return fmt.Errorf("xpc: worker refused state map: %v status %d %s", resp.Kind, resp.Status, resp.Name)
 	}
 	return nil
 }

@@ -3,6 +3,7 @@ package xpc
 import (
 	"fmt"
 
+	"decafdrivers/internal/decaf/registry"
 	"decafdrivers/internal/kernel"
 	"decafdrivers/internal/xdr"
 )
@@ -30,6 +31,21 @@ type Call struct {
 	// twelve-byte descriptor crosses and Data is not consulted; the zero
 	// value selects the Data copy path.
 	Slot xdr.SlotDescriptor
+
+	// h, when non-nil, marks a handler-table call: the body is the
+	// registered handler looked up by Name (Fn is nil), dispatchable in the
+	// worker process under a process-separated transport and inline
+	// elsewhere. Resolved at call creation (Batch.UpcallHandler and
+	// friends).
+	h *registry.Handler
+
+	// remoteServed and friends record a worker-side dispatch outcome: the
+	// wire layer sets them when the worker executed (or skipped) the body,
+	// and execute consumes them instead of running the handler again.
+	// remoteErr carries the worker's error or panic text.
+	remoteServed bool
+	remoteStatus uint32
+	remoteErr    string
 }
 
 // Transport moves submissions across the user/kernel boundary on behalf of a

@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"decafdrivers/internal/decaf/registry"
 	"decafdrivers/internal/trace"
 	"decafdrivers/internal/xdr"
 )
@@ -32,7 +33,9 @@ const (
 	workerErrExit    = 3
 )
 
-// Worker-side completion statuses (Frame.Status).
+// Worker-side wire-protocol statuses (Frame.Status). Dispatch outcomes for
+// handler-table calls extend these: see the remoteCall* constants in
+// handler.go (wireStatusOK doubles as remoteCallOK).
 const (
 	wireStatusOK uint32 = iota
 	wireStatusNoRing
@@ -94,6 +97,19 @@ func runWorker() int {
 	var descArea int
 	var traceArea int
 	var wring *trace.Ring
+	// wstate is the handler table's shared state: heap-backed until the
+	// parent maps the shm window with FrameStateMap (always before
+	// FrameDescRing, so the lane server is spawned with the final binding).
+	// stateArea is the window's size, subtracted from the payload bound.
+	wstate := registry.NewState()
+	var stateArea int
+	// stash holds frames read off the socket while a dispatching handler
+	// awaited its FrameDownResult: the parent writes a whole chunk before
+	// reading, so the chunk's remaining frames sit ahead of the result in
+	// the stream. They replay, in order, before the next socket read.
+	var stash []xdr.Frame
+	// sockSkip is the socketpair path's chunk-abort counter (see callAck).
+	var sockSkip int
 	reply := func(f xdr.Frame) error {
 		wire, err := xdr.AppendFrame(nil, f)
 		if err != nil {
@@ -102,21 +118,60 @@ func runWorker() int {
 		if _, err := bw.Write(wire); err != nil {
 			return err
 		}
-		// Flush only when no further request is already buffered, so a
-		// batched submit gets one response write instead of one per call.
-		if br.Buffered() == 0 {
+		// Flush only when no further request is already buffered or
+		// stashed, so a batched submit gets one response write instead of
+		// one per call.
+		if br.Buffered() == 0 && len(stash) == 0 {
 			return bw.Flush()
 		}
 		return nil
 	}
-	for {
-		f, _, err := readWireFrame(br)
-		if err == io.EOF {
-			return workerOKExit
+	// sockDown builds the downcall route for one dispatching FrameCall: the
+	// request crosses back to the kernel as a FrameDown carrying the
+	// in-flight call's ID, and the handler blocks until the matching
+	// FrameDownResult arrives, stashing any interleaved chunk frames.
+	sockDown := func(callID uint64) func(name string, arg uint64) (uint64, error) {
+		return func(name string, arg uint64) (uint64, error) {
+			wire, werr := xdr.AppendFrame(nil, xdr.Frame{Kind: xdr.FrameDown, ID: callID, Name: name, Aux: arg})
+			if werr != nil {
+				return 0, werr
+			}
+			if _, werr = bw.Write(wire); werr != nil {
+				return 0, werr
+			}
+			if werr = bw.Flush(); werr != nil {
+				return 0, werr
+			}
+			for {
+				g, _, rerr := readWireFrame(br)
+				if rerr != nil {
+					return 0, rerr
+				}
+				if g.Kind == xdr.FrameDownResult && g.ID == callID {
+					if g.Status != 0 {
+						return 0, fmt.Errorf("%s", g.Name)
+					}
+					return g.Aux, nil
+				}
+				stash = append(stash, g)
+			}
 		}
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "xpc worker: read:", err)
-			return workerErrExit
+	}
+	for {
+		var f xdr.Frame
+		var err error
+		if len(stash) > 0 {
+			f = stash[0]
+			stash = stash[1:]
+		} else {
+			f, _, err = readWireFrame(br)
+			if err == io.EOF {
+				return workerOKExit
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "xpc worker: read:", err)
+				return workerErrExit
+			}
 		}
 		switch f.Kind {
 		case xdr.FrameShutdown:
@@ -128,7 +183,7 @@ func runWorker() int {
 			slots, slotSize := uint32(f.Aux>>32), uint32(f.Aux)
 			status := wireStatusOK
 			if slots > 0 && slotSize > 0 &&
-				int64(slots)*int64(slotSize) <= int64(len(mem)-descArea-traceArea) {
+				int64(slots)*int64(slotSize) <= int64(len(mem)-descArea-traceArea-stateArea) {
 				geom.Store(f.Aux)
 			} else {
 				status = wireStatusBadSlot
@@ -198,12 +253,35 @@ func runWorker() int {
 				}
 				if status == wireStatusOK {
 					descArea = need
-					go serveLanes(dir, rings, bells, mem, &geom, fdDoorbell{f: bell}, wring)
+					go serveLanes(dir, rings, bells, mem, &geom, fdDoorbell{f: bell}, wring, wstate)
+				}
+			}
+			err = reply(xdr.Frame{Kind: xdr.FrameComplete, ID: f.ID, Status: status})
+		case xdr.FrameStateMap:
+			off, ln := int(f.Aux>>32), int(uint32(f.Aux))
+			status := wireStatusOK
+			switch {
+			case descArea != 0 || stateArea != 0:
+				// The state window binds once per worker process, before the
+				// lane carve: the lane server captures the binding at spawn.
+				status = wireStatusBadFrame
+			case off < 0 || ln < 0 || off+ln > len(mem) || off%8 != 0:
+				status = wireStatusBadSlot
+			default:
+				st, serr := registry.BindState(mem[off : off+ln])
+				if serr != nil {
+					fmt.Fprintln(os.Stderr, "xpc worker: state map:", serr)
+					status = wireStatusBadSlot
+				} else {
+					wstate = st
+					stateArea = ln
 				}
 			}
 			err = reply(xdr.Frame{Kind: xdr.FrameComplete, ID: f.ID, Status: status})
 		case xdr.FrameSubmit:
 			err = reply(submitAck(f, mem, &geom))
+		case xdr.FrameCall:
+			err = reply(callAck(f, mem, &geom, wstate, &sockSkip, sockDown(f.ID)))
 		default:
 			fmt.Fprintf(os.Stderr, "xpc worker: unexpected %v frame\n", f.Kind)
 			return workerErrExit
@@ -248,6 +326,109 @@ func submitAck(f xdr.Frame, mem []byte, geom *atomic.Uint64) xdr.Frame {
 	return ack
 }
 
+// callAck services one handler-table dispatch in this address space: the
+// worker IS the decaf driver process, and the registered body runs here,
+// against the payload bytes resolved through the worker's own mapping and
+// the shared state cells both processes see. The checksum is computed
+// before dispatch (and for every outcome), so the parent's payload proof is
+// independent of how the body fared. A panic is contained and reported as a
+// fault status — the parent makes the containment physical by killing this
+// process. A failing or faulting body arms *skip with the frame's Aux (the
+// count of handler frames left in its chunk), and armed skips consume
+// subsequent FrameCall frames unexecuted — mirroring the kernel side's
+// chunk abort. down routes the body's nested downcalls; nil when the
+// path cannot serve them (lanes carry only downcall-free handlers).
+//
+//decaf:hotpath
+func callAck(f xdr.Frame, mem []byte, geom *atomic.Uint64, st *registry.State, skip *int, down func(name string, arg uint64) (uint64, error)) xdr.Frame {
+	ack := xdr.Frame{Kind: xdr.FrameComplete, ID: f.ID, Lane: f.Lane}
+	var data []byte
+	switch {
+	case f.Slot.Valid():
+		g := geom.Load()
+		if g == 0 {
+			ack.Status = wireStatusNoRing
+			return ack
+		}
+		slots, slotSize := uint32(g>>32), uint32(g)
+		off := int64(f.Slot.Index) * int64(slotSize)
+		end := off + int64(f.Slot.Length)
+		if f.Slot.Index >= slots || f.Slot.Length > slotSize || end > int64(len(mem)) {
+			ack.Status = wireStatusBadSlot
+			return ack
+		}
+		data = mem[off:end]
+		ack.Aux = payloadSum(data)
+	case len(f.Data) > 0:
+		data = f.Data
+		ack.Aux = payloadSum(f.Data)
+	}
+	if *skip > 0 {
+		*skip--
+		ack.Status = remoteCallSkipped
+		return ack
+	}
+	if f.Inject {
+		// The kernel side armed fault injection for this call: report the
+		// injected fault without executing the body.
+		ack.Status = remoteCallInjected
+		return ack
+	}
+	h := registry.Lookup(f.Name)
+	if h == nil {
+		// The parent resolved this handler before encoding and the worker is
+		// a re-exec of the same binary: a miss is a protocol violation.
+		ack.Status = wireStatusBadFrame
+		ack.Name = clipFrameName("no handler registered for " + f.Name)
+		return ack
+	}
+	var route func(name string, arg uint64) (uint64, error)
+	if h.Down {
+		route = down
+	}
+	if err := runRegisteredHandler(h, registry.NewCtx(f.Name, data, st, route)); err != nil {
+		if int(f.Aux) > *skip {
+			*skip = int(f.Aux)
+		}
+		if pe, ok := err.(*workerPanicError); ok {
+			ack.Status = remoteCallFault
+			ack.Name = clipFrameName(pe.text)
+		} else {
+			ack.Status = remoteCallFailed
+			ack.Name = clipFrameName(err.Error())
+		}
+	}
+	return ack
+}
+
+// workerPanicError marks a contained handler panic, distinguishing a fault
+// from an ordinary error return on the wire.
+type workerPanicError struct{ text string }
+
+func (e *workerPanicError) Error() string { return e.text }
+
+// runRegisteredHandler executes one handler body under the worker's fault
+// containment: a panic becomes a *workerPanicError instead of killing the
+// dispatch loop mid-protocol, so the fault travels the wire before the
+// parent kills the process.
+func runRegisteredHandler(h *registry.Handler, ctx *registry.Ctx) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = &workerPanicError{text: fmt.Sprint(p)}
+		}
+	}()
+	return h.Fn(ctx)
+}
+
+// clipFrameName bounds error and panic text to what a frame's name field
+// can carry.
+func clipFrameName(s string) string {
+	if len(s) > xdr.MaxFrameName {
+		return s[:xdr.MaxFrameName]
+	}
+	return s
+}
+
 // laneServeQuantum bounds how many descriptors one lane may consume per
 // sweep visit, so a firehose lane cannot starve its siblings.
 const laneServeQuantum = 64
@@ -262,9 +443,13 @@ const laneServeQuantum = 64
 // died — or on a corrupt descriptor, which has no recoverable framing.
 //
 //decaf:hotpath
-func serveLanes(dir *laneDir, lanes []laneRings, bells []fdDoorbell, mem []byte, geom *atomic.Uint64, subBell fdDoorbell, wring *trace.Ring) {
+func serveLanes(dir *laneDir, lanes []laneRings, bells []fdDoorbell, mem []byte, geom *atomic.Uint64, subBell fdDoorbell, wring *trace.Ring, st *registry.State) {
 	next := 0
 	spins := 0
+	// skips holds each lane's chunk-abort counter: chunks are per-lane, so
+	// a failing handler skips only the remainder of its own lane's chunk.
+	//decaf:allowalloc one-time setup before the serve loop, not per-crossing
+	skips := make([]int, len(lanes))
 	for {
 		served := false
 		for i := range lanes {
@@ -272,7 +457,7 @@ func serveLanes(dir *laneDir, lanes []laneRings, bells []fdDoorbell, mem []byte,
 			if l >= len(lanes) {
 				l -= len(lanes)
 			}
-			if serveLane(lanes[l], bells[l], uint16(l), mem, geom, wring) > 0 {
+			if serveLane(lanes[l], bells[l], uint16(l), mem, geom, wring, st, &skips[l]) > 0 {
 				served = true
 			}
 		}
@@ -328,7 +513,7 @@ func serveLanes(dir *laneDir, lanes []laneRings, bells []fdDoorbell, mem []byte,
 // submit ring as corruption).
 //
 //decaf:hotpath
-func serveLane(lr laneRings, bell fdDoorbell, laneIdx uint16, mem []byte, geom *atomic.Uint64, wring *trace.Ring) int {
+func serveLane(lr laneRings, bell fdDoorbell, laneIdx uint16, mem []byte, geom *atomic.Uint64, wring *trace.Ring, st *registry.State, skip *int) int {
 	n := 0
 	firstID := uint64(0)
 	for ; n < laneServeQuantum; n++ {
@@ -352,10 +537,16 @@ func serveLane(lr laneRings, bell fdDoorbell, laneIdx uint16, mem []byte, geom *
 			}
 		}
 		var ack xdr.Frame
-		if f.Kind != xdr.FrameSubmit {
-			ack = xdr.Frame{Kind: xdr.FrameComplete, ID: f.ID, Status: wireStatusBadFrame, Name: f.Kind.String(), Lane: f.Lane}
-		} else {
+		switch f.Kind {
+		case xdr.FrameSubmit:
 			ack = submitAck(f, mem, geom)
+		case xdr.FrameCall:
+			// Lane-borne handler dispatch. The down route is nil by
+			// invariant: ringFits steers downcall-capable handlers onto the
+			// socketpair.
+			ack = callAck(f, mem, geom, st, skip, nil)
+		default:
+			ack = xdr.Frame{Kind: xdr.FrameComplete, ID: f.ID, Status: wireStatusBadFrame, Name: f.Kind.String(), Lane: f.Lane}
 		}
 		out := lr.cmp.reserve()
 		for out == nil {

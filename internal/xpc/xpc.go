@@ -76,6 +76,37 @@
 //     gauges LaneAcquisitions/LaneSpills/LaneActivePeak). See proc.go and
 //     MaybeRunWorker.
 //
+// # The handler table: worker-side call bodies
+//
+// Decaf call bodies are not closures but entries in a process-global handler
+// table (internal/decaf/registry, re-exported by internal/decaf): named
+// registry.Handler values installed from init(), dispatched by call name.
+// Runtime.UpcallHandler / UpcallHandlerData and the Batch builder's
+// UpcallHandler / UpcallHandlerData / UpcallHandlerPayload submit handler
+// calls; because the proc transport's worker is a re-exec of the same
+// binary, the worker's init() builds the identical table, so under
+// ProcTransport the body executes in the worker's address space — the
+// paper's architecture for real. The in-process transports dispatch the
+// same Fn inline, so the virtual cost model (Handler.Cost, charged
+// kernel-side) is comparable across all four transports.
+//
+// A handler sees only its registry.Ctx: the payload bytes, the shared state
+// cells (shm-backed under proc, so worker-side writes are immediately
+// visible kernel-side), and — for handlers registered Down: true — a
+// Downcall hook that crosses back into the kernel, where per-Runtime
+// targets installed with Runtime.RegisterDowncall run with full kernel
+// access. The proc transport routes downcall-bearing handlers over the
+// socketpair control path (FrameDown / FrameDownResult frames nested inside
+// the call) and downcall-free handlers over the descriptor-ring fast path.
+// A panic inside a handler is a decaf fault like any other — contained,
+// surfaced as a *UserFault wrapping *WorkerHandlerFault, and under proc
+// fatal to the worker process, with the shm-backed cells surviving the
+// respawn. Counters.WorkerServedCalls and WorkerDowncalls meter where
+// bodies actually ran.
+//
+// Closure-based Upcall/Downcall remain for kernel-adjacent glue that cannot
+// leave the parent process; steady-state driver bodies belong in the table.
+//
 // Hot paths written against the Batch builder are transport-agnostic:
 // Batch.Flush waits for its calls under any transport, while
 // Batch.FlushAsync returns an aggregate Completion the driver can pipeline
@@ -113,6 +144,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"decafdrivers/internal/decaf/registry"
 	"decafdrivers/internal/kernel"
 	"decafdrivers/internal/objtrack"
 	"decafdrivers/internal/trace"
@@ -242,6 +274,16 @@ type Runtime struct {
 	// atomic load plus a nil check — the tracing-off state stays
 	// allocation-free and ring-free.
 	tracer atomic.Pointer[trace.Recorder]
+
+	// userState is this runtime's shared state area (registry cells):
+	// heap-backed until a process-separated transport installs an shm
+	// backing via InstallSharedState. See SharedState.
+	userState atomic.Pointer[registry.State]
+
+	// downcalls maps downcall names to their kernel-side targets
+	// (RegisterDowncall). Copy-on-write so the serving path is lock-free.
+	downcalls atomic.Pointer[map[string]DowncallHandler]
+	downMu    sync.Mutex
 
 	// mu guards the shared-object registry only; the crossing fast path
 	// never takes it.
@@ -593,6 +635,9 @@ func (r *Runtime) Downcall(uctx *kernel.Context, name string, fn func(kctx *kern
 // submitAndWait is the blocking sugar shared by Upcall and Downcall.
 func (r *Runtime) submitAndWait(ctx *kernel.Context, c *Call) error {
 	if r.Mode == ModeNative {
+		if c.h != nil {
+			return r.runHandlerNative(ctx, c)
+		}
 		return c.Fn(ctx)
 	}
 	sub := &Submission{Call: c}
@@ -710,6 +755,9 @@ func (r *Runtime) transferSlot(ctx *kernel.Context, c *Call) {
 // elapsed time to the caller as wait time. Upcall bodies run under fault
 // containment; downcall bodies run in the kernel, where a panic is a crash.
 func (r *Runtime) execute(ctx *kernel.Context, c *Call) error {
+	if c.h != nil {
+		return r.executeHandler(ctx, c)
+	}
 	if c.Up {
 		return r.runUser(ctx, c.Name, c.Fn)
 	}

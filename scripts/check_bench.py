@@ -13,10 +13,12 @@ The checks are the CI acceptance bar for the zero-copy payload ring, the
 descriptor-ring proc transport, the lane-sharded concurrent submission path
 and the shadow-driver recovery subsystem, across every transport.
 Process-separated rows must prove a real boundary: chunks crossing on the
-shared-memory descriptor rings (RingCrossings), a doorbell that stays quiet
-in steady state, and — for recovery — a worker process that died and was
-respawned. Every row must carry the latency percentiles and GC columns the
-perf trajectory is built on.
+shared-memory descriptor rings (RingCrossings), decaf call bodies actually
+executed by the worker's handler table (WorkerServedCalls > 0 on proc rows,
+exactly 0 in-process — worker-side execution must be live, not simulated),
+a doorbell that stays quiet in steady state, and — for recovery — a worker
+process that died and was respawned. Every row must carry the latency
+percentiles and GC columns the perf trajectory is built on.
 
 The contend table is wall-clock (real concurrency has no virtual
 timeline), so its gate is structural within one run: proc throughput at
@@ -35,6 +37,7 @@ makes it runnable locally, diffable in review, and self-testable against the
 fixtures in scripts/testdata.
 """
 
+import copy
 import json
 import os
 import sys
@@ -64,13 +67,13 @@ BANDED_METRICS = {
         "ThroughputMbps", "Packets", "XPerPacket",
         "CopiedBPerPkt", "DirectBPerPkt",
         "P50Us", "P99Us", "P999Us",
-        "RingCrossings",
+        "RingCrossings", "WorkerServedCalls",
     ],
     "recovery": [
         "ThroughputMbps", "Packets", "XPerPacket",
         "CopiedBPerPkt", "DirectBPerPkt",
         "P50Us", "P99Us", "P999Us",
-        "RingCrossings",
+        "RingCrossings", "WorkerServedCalls",
     ],
     "contend": ["Ops", "BatchN", "Lanes"],
 }
@@ -119,6 +122,8 @@ def check_proc_rings(row, ctx):
     boot, outside the measured window.
     """
     assert row["RingCrossings"] > 0, f"{ctx}: proc row crossed nothing on the rings: {row}"
+    assert row["WorkerServedCalls"] > 0, \
+        f"{ctx}: proc row served no call bodies in the worker — execution fell back in-process: {row}"
     if row["Packets"] > 0:
         ratio = row["DoorbellWakeups"] / row["Packets"]
         assert ratio < DOORBELL_RATIO_MAX, \
@@ -144,6 +149,8 @@ def check_zerocopy(rows):
         else:
             assert r["RingCrossings"] == 0 and r["DoorbellWakeups"] == 0, \
                 f"{ctx}: in-process row reported descriptor-ring traffic: {r}"
+            assert r.get("WorkerServedCalls", 0) == 0, \
+                f"{ctx}: in-process row claims worker-served call bodies: {r}"
     return (f"{len(rows)} rows, {len(direct)} direct rows copy 0 B/pkt, "
             f"{len(proc)} process-separated")
 
@@ -169,19 +176,30 @@ def check_recovery(rows):
         assert fault["SlotsReclaimed"] == 0, f"{key}: quiesce stranded ring slots: {fault}"
         if is_proc(fault):
             # The process-separated boundary must be real in every scenario:
-            # chunks on the descriptor rings. Steady-state scenarios frame
-            # no wire bytes (control traffic happens at boot), but the fault
+            # chunks on the descriptor rings AND call bodies executed by the
+            # worker's handler table. Steady-state scenarios frame no wire
+            # bytes (control traffic happens at boot), but the fault
             # scenario's recovery must have SIGKILLed and respawned an
             # actual worker process — and the respawn's handshake rides the
             # socketpair mid-phase, so its wire bytes must show.
             for scenario, row in c.items():
                 assert row["RingCrossings"] > 0, f"{key}/{scenario}: no ring crossings: {row}"
+                assert row["WorkerServedCalls"] > 0, \
+                    f"{key}/{scenario}: no call bodies executed in the worker: {row}"
+            # Armed-vs-off parity holds for worker execution too: arming the
+            # supervisor must not move any bodies across the boundary.
+            assert off["WorkerServedCalls"] == armed["WorkerServedCalls"], \
+                f"{key}: supervision changed worker-served bodies: {off} vs {armed}"
             assert fault["WireBytes"] > 0, \
                 f"{key}: respawn handshake framed no wire bytes: {fault}"
             assert fault["WorkerRespawns"] >= 1, \
                 f"{key}: fault recovered without respawning the worker process: {fault}"
             assert off["WorkerRespawns"] == 0 and armed["WorkerRespawns"] == 0, \
                 f"{key}: worker respawned without a fault: {off} / {armed}"
+        else:
+            for scenario, row in c.items():
+                assert row.get("WorkerServedCalls", 0) == 0, \
+                    f"{key}/{scenario}: in-process row claims worker-served call bodies: {row}"
     proc_cells = sum(1 for (_, _, t) in cells if t.startswith("proc"))
     return (f"{len(rows)} rows across {len(cells)} cells ({proc_cells} process-separated); "
             "faults recovered, steady state unchanged")
@@ -386,11 +404,26 @@ def self_test():
                   lambda: run_check("zerocopy", zc_good, baseline_doc=zc_drift))
     expect_reject("wrong table", lambda: run_check("recovery", zc_good))
 
+    # Worker-side execution must be live: a proc row whose handler table
+    # served nothing (bodies silently fell back in-process) is rejected.
+    zc_dead_worker = copy.deepcopy(zc_good)
+    for row in zc_dead_worker["rows"]:
+        if row["Transport"].startswith("proc"):
+            row["WorkerServedCalls"] = 0
+    expect_reject("zerocopy proc row with no worker-served bodies",
+                  lambda: run_check("zerocopy", zc_dead_worker))
+    rec_dead_worker = copy.deepcopy(rec_good)
+    for row in rec_dead_worker["rows"]:
+        if row["Transport"].startswith("proc"):
+            row["WorkerServedCalls"] = 0
+    expect_reject("recovery proc rows with no worker-served bodies",
+                  lambda: run_check("recovery", rec_dead_worker))
+
     if failures:
         for f in failures:
             print(f"self-test FAIL: {f}", file=sys.stderr)
         return 1
-    print("ok (self-test): 13 fixture scenarios behaved")
+    print("ok (self-test): 15 fixture scenarios behaved")
     return 0
 
 
